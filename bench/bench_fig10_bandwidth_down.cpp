@@ -1,0 +1,6 @@
+#include "bench/bandwidth_impl.h"
+
+int main(int argc, char** argv) {
+  return brisa::bench::run_bandwidth_bench(
+      argc, argv, brisa::bench::BandwidthDirection::kDownload);
+}

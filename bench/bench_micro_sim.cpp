@@ -1,0 +1,128 @@
+// Simulator substrate micro-benchmarks: event-queue throughput, RNG speed,
+// and end-to-end message cost through the transport. These bound how large a
+// BRISA deployment the simulator can handle per wall-clock second.
+#include <benchmark/benchmark.h>
+
+#include "membership/messages.h"
+#include "net/latency.h"
+#include "net/network.h"
+#include "net/transport.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace brisa;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  sim::EventQueue queue;
+  sim::Rng rng(1);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      queue.schedule(sim::TimePoint::from_us(
+                         t + static_cast<std::int64_t>(rng.uniform(1000))),
+                     []() {});
+    }
+    for (int i = 0; i < 64; ++i) {
+      auto fired = queue.pop();
+      benchmark::DoNotOptimize(fired.time);
+    }
+    t += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_EventQueueCancellation(benchmark::State& state) {
+  sim::EventQueue queue;
+  for (auto _ : state) {
+    std::vector<sim::EventId> ids;
+    ids.reserve(64);
+    for (int i = 0; i < 64; ++i) {
+      ids.push_back(queue.schedule(sim::TimePoint::from_us(i), []() {}));
+    }
+    for (const sim::EventId id : ids) queue.cancel(id);
+    benchmark::DoNotOptimize(queue.empty());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueCancellation);
+
+void BM_RngNextU64(benchmark::State& state) {
+  sim::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_u64());
+  }
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_RngUniform(benchmark::State& state) {
+  sim::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform(17));
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_RngExponential(benchmark::State& state) {
+  sim::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.exponential(10.0));
+  }
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_PlanetLabLatencySample(benchmark::State& state) {
+  net::PlanetLabLatencyModel model;
+  sim::Rng rng(3);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.sample(net::NodeId(i % 200), net::NodeId((i + 7) % 200), rng));
+    ++i;
+  }
+}
+BENCHMARK(BM_PlanetLabLatencySample);
+
+/// Full round trip: send a message over an established transport connection
+/// and drain the simulator — the dominant inner loop of every experiment.
+void BM_TransportMessageRoundtrip(benchmark::State& state) {
+  class Sink : public net::TransportHandler {
+   public:
+    void on_connection_up(net::ConnectionId, net::NodeId, bool) override {}
+    void on_connection_down(net::ConnectionId, net::NodeId,
+                            net::CloseReason) override {}
+    void on_message(net::ConnectionId, net::NodeId,
+                    net::MessagePtr) override {
+      ++received;
+    }
+    std::uint64_t received = 0;
+  };
+
+  sim::Simulator simulator(1);
+  net::Network network(simulator, std::make_unique<net::ClusterLatencyModel>());
+  net::Transport transport(network);
+  const net::NodeId a = network.add_host();
+  const net::NodeId b = network.add_host();
+  Sink sink_a, sink_b;
+  transport.bind(a, &sink_a);
+  transport.bind(b, &sink_b);
+  const net::ConnectionId conn = transport.connect(a, b);
+  simulator.run();
+
+  for (auto _ : state) {
+    transport.send(conn, a,
+                   std::make_shared<membership::HpvKeepAlive>(1, 0, 0),
+                   net::TrafficClass::kMembership);
+    simulator.run();
+  }
+  benchmark::DoNotOptimize(sink_b.received);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransportMessageRoundtrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

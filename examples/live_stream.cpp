@@ -1,0 +1,108 @@
+// Live media streaming under churn — the paper's motivating scenario for
+// DAG mode (§II-G): a node with two parents keeps playing through parent
+// failures without waiting for repair.
+//
+//   $ ./live_stream [--nodes=128] [--seconds=120] [--churn=5]
+//
+// Simulates a 64 kbps "radio" stream (1 KB chunks at 8/s) over a network
+// losing --churn % of its nodes per minute, and reports per-listener
+// interruption statistics (longest gap between consecutive chunk arrivals)
+// for tree vs DAG-2 side by side.
+#include <cstdio>
+
+#include "analysis/stats.h"
+#include "util/flags.h"
+#include "workload/brisa_system.h"
+#include "workload/churn.h"
+
+using namespace brisa;
+
+namespace {
+
+struct PlaybackReport {
+  std::vector<double> longest_gap_ms;  ///< worst stall per listener
+  double orphan_events = 0;
+  bool complete = false;
+};
+
+PlaybackReport run(std::size_t nodes, std::int64_t seconds, double churn,
+                   core::StructureMode mode, std::size_t parents) {
+  workload::BrisaSystem::Config config;
+  config.seed = 7;
+  config.num_nodes = nodes;
+  config.brisa.mode = mode;
+  config.brisa.num_parents = parents;
+  config.join_spread = sim::Duration::seconds(15);
+  config.stabilization = sim::Duration::seconds(20);
+  workload::BrisaSystem system(config);
+  system.bootstrap();
+
+  workload::ChurnScript script = workload::ChurnScript::parse(
+      "at 0 s set replacement ratio to 100%\n"
+      "from 0 s to " + std::to_string(seconds) + " s const churn " +
+      std::to_string(churn) + "% each 60 s\n" +
+      "at " + std::to_string(seconds) + " s stop\n");
+  workload::ChurnDriver driver(system.simulator(), script,
+                               system.churn_hooks());
+  driver.arm();
+
+  const auto chunks = static_cast<std::size_t>(seconds * 8);  // 8 chunks/s
+  system.run_stream(chunks, 8.0, 1024, sim::Duration::seconds(20));
+
+  PlaybackReport report;
+  report.complete = system.complete_delivery();
+  for (const net::NodeId id : system.member_ids()) {
+    if (id == system.source_id()) continue;
+    const auto& times = system.brisa(id).stats().delivery_time;
+    if (times.size() < 2) continue;
+    double longest_ms = 0;
+    auto prev = times.begin();
+    for (auto it = std::next(times.begin()); it != times.end(); ++it) {
+      longest_ms = std::max(longest_ms,
+                            (it->second - prev->second).to_milliseconds());
+      prev = it;
+    }
+    report.longest_gap_ms.push_back(longest_ms);
+    report.orphan_events +=
+        static_cast<double>(system.brisa(id).stats().orphan_events);
+  }
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags = util::Flags::parse(argc, argv);
+  if (flags.help_requested()) {
+    std::printf("live_stream [--nodes=128] [--seconds=120] [--churn=5]\n");
+    return 0;
+  }
+  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 128));
+  const auto seconds = flags.get_int("seconds", 120);
+  const auto churn = flags.get_double("churn", 5.0);
+
+  std::printf(
+      "=== live stream: %zu listeners, %llds of 8 chunk/s audio, %.0f%%/min "
+      "churn ===\n",
+      nodes, static_cast<long long>(seconds), churn);
+
+  for (const bool dag : {false, true}) {
+    const PlaybackReport report =
+        run(nodes, seconds, churn,
+            dag ? core::StructureMode::kDag : core::StructureMode::kTree,
+            dag ? 2 : 1);
+    std::printf(
+        "\n%s: worst playback stall per listener: p50=%.0f ms p90=%.0f ms "
+        "max=%.0f ms\n",
+        dag ? "DAG-2 " : "tree  ",
+        analysis::percentile(report.longest_gap_ms, 50),
+        analysis::percentile(report.longest_gap_ms, 90),
+        analysis::sample_max(report.longest_gap_ms));
+    std::printf("        total orphan events: %.0f; every chunk delivered: %s\n",
+                report.orphan_events, report.complete ? "yes" : "NO");
+  }
+  std::printf(
+      "\nexpected: the DAG masks parent failures (far fewer orphans), "
+      "trading ~2x download bandwidth for continuity (§II-G)\n");
+  return 0;
+}

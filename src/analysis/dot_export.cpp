@@ -1,0 +1,51 @@
+#include "analysis/dot_export.h"
+
+#include <map>
+#include <queue>
+#include <sstream>
+
+namespace brisa::analysis {
+
+std::string to_dot(const std::string& graph_name, net::NodeId root,
+                   const std::vector<StructureEdge>& edges) {
+  std::ostringstream out;
+  out << "digraph \"" << graph_name << "\" {\n";
+  out << "  rankdir=TB;\n  node [shape=circle, fontsize=8];\n";
+  if (root.valid()) {
+    out << "  n" << root.index() << " [peripheries=2];\n";
+  }
+  for (const StructureEdge& edge : edges) {
+    out << "  n" << edge.parent.index() << " -> n" << edge.child.index()
+        << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::vector<std::size_t> depth_histogram(
+    net::NodeId root, const std::vector<StructureEdge>& edges) {
+  std::multimap<net::NodeId, net::NodeId> children;
+  for (const StructureEdge& edge : edges) {
+    children.emplace(edge.parent, edge.child);
+  }
+  std::vector<std::size_t> histogram;
+  std::queue<std::pair<net::NodeId, std::size_t>> frontier;
+  frontier.emplace(root, 0);
+  std::map<net::NodeId, bool> visited;
+  visited[root] = true;
+  while (!frontier.empty()) {
+    const auto [node, depth] = frontier.front();
+    frontier.pop();
+    if (histogram.size() <= depth) histogram.resize(depth + 1, 0);
+    ++histogram[depth];
+    const auto [lo, hi] = children.equal_range(node);
+    for (auto it = lo; it != hi; ++it) {
+      if (visited.emplace(it->second, true).second) {
+        frontier.emplace(it->second, depth + 1);
+      }
+    }
+  }
+  return histogram;
+}
+
+}  // namespace brisa::analysis

@@ -1,0 +1,28 @@
+// Graphviz export of emergent dissemination structures (Fig 8).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/node_id.h"
+
+namespace brisa::analysis {
+
+struct StructureEdge {
+  net::NodeId parent;
+  net::NodeId child;
+};
+
+/// Renders a parent->child edge list as a Graphviz digraph. `root` is drawn
+/// with a doubled border like the paper's source node.
+[[nodiscard]] std::string to_dot(const std::string& graph_name,
+                                 net::NodeId root,
+                                 const std::vector<StructureEdge>& edges);
+
+/// Depth histogram helper used next to the drawing: edges -> (depth ->
+/// node count), computed by BFS from the root.
+[[nodiscard]] std::vector<std::size_t> depth_histogram(
+    net::NodeId root, const std::vector<StructureEdge>& edges);
+
+}  // namespace brisa::analysis

@@ -1,0 +1,82 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace brisa::analysis {
+
+std::vector<CdfPoint> make_cdf(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(samples.size());
+  const double n = static_cast<double>(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    cdf.push_back({samples[i], 100.0 * static_cast<double>(i + 1) / n});
+  }
+  return cdf;
+}
+
+std::vector<CdfPoint> cdf_at_percents(std::vector<double> samples,
+                                      const std::vector<double>& percents) {
+  std::sort(samples.begin(), samples.end());
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(percents.size());
+  for (const double p : percents) {
+    cdf.push_back({percentile(samples, p), p});
+  }
+  return cdf;
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples.front();
+  const double rank =
+      (p / 100.0) * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - std::floor(rank);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+PercentileSummary summarize(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  PercentileSummary s;
+  s.p5 = percentile(samples, 5);
+  s.p25 = percentile(samples, 25);
+  s.p50 = percentile(samples, 50);
+  s.p75 = percentile(samples, 75);
+  s.p90 = percentile(samples, 90);
+  return s;
+}
+
+double mean(const std::vector<double>& samples) {
+  if (samples.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double total = 0;
+  for (const double v : samples) total += v;
+  return total / static_cast<double>(samples.size());
+}
+
+double sample_min(const std::vector<double>& samples) {
+  if (samples.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::min_element(samples.begin(), samples.end());
+}
+
+double sample_max(const std::vector<double>& samples) {
+  if (samples.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::max_element(samples.begin(), samples.end());
+}
+
+std::string format_cdf(const std::string& title,
+                       const std::vector<CdfPoint>& cdf) {
+  std::ostringstream out;
+  out << "# " << title << "\n";
+  for (const CdfPoint& point : cdf) {
+    out << point.value << " " << point.percent << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace brisa::analysis

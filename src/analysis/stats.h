@@ -1,0 +1,48 @@
+// Sample statistics used by every experiment harness: CDFs (the paper's
+// favorite presentation) and percentile summaries (the stacked bars of
+// Figs 10/11).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace brisa::analysis {
+
+/// One point of an empirical CDF: `percent` % of samples are <= `value`.
+struct CdfPoint {
+  double value;
+  double percent;
+};
+
+/// Full empirical CDF (one point per sample, sorted ascending).
+[[nodiscard]] std::vector<CdfPoint> make_cdf(std::vector<double> samples);
+
+/// CDF downsampled to the given percent levels (e.g. every 5%), which keeps
+/// benchmark output readable while preserving the curve's shape.
+[[nodiscard]] std::vector<CdfPoint> cdf_at_percents(
+    std::vector<double> samples, const std::vector<double>& percents);
+
+/// Linear-interpolated percentile, p in [0, 100]. Empty input -> NaN.
+[[nodiscard]] double percentile(std::vector<double> samples, double p);
+
+/// The five-point summary the paper's stacked bars report.
+struct PercentileSummary {
+  double p5 = 0;
+  double p25 = 0;
+  double p50 = 0;
+  double p75 = 0;
+  double p90 = 0;
+};
+[[nodiscard]] PercentileSummary summarize(std::vector<double> samples);
+
+[[nodiscard]] double mean(const std::vector<double>& samples);
+[[nodiscard]] double sample_min(const std::vector<double>& samples);
+[[nodiscard]] double sample_max(const std::vector<double>& samples);
+
+/// Renders a CDF as gnuplot-ready two-column text ("value percent" rows),
+/// prefixed by `# <title>`.
+[[nodiscard]] std::string format_cdf(const std::string& title,
+                                     const std::vector<CdfPoint>& cdf);
+
+}  // namespace brisa::analysis

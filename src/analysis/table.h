@@ -1,0 +1,31 @@
+// Fixed-width text table used by the benchmark harnesses to print the
+// paper's tables (Table I, Table II) and figure series in a diff-friendly
+// format.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace brisa::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with the given precision (helper for callers).
+  [[nodiscard]] static std::string num(double value, int precision = 2);
+
+  /// Renders with aligned columns, a header separator, and a trailing
+  /// newline.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace brisa::analysis

@@ -1,0 +1,317 @@
+// Wire messages of the three comparison protocols (§III-D).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/message.h"
+#include "net/node_id.h"
+
+namespace brisa::baselines {
+
+// --- SimpleTree -------------------------------------------------------------
+
+/// Joiner -> coordinator: "assign me a parent" (datagram).
+class TreeJoinRequest final : public net::Message {
+ public:
+  [[nodiscard]] net::MessageKind kind() const override {
+    return net::MessageKind::kTreeJoinRequest;
+  }
+  [[nodiscard]] std::size_t wire_size() const override { return 8; }
+  [[nodiscard]] const char* name() const override { return "tree-join-req"; }
+};
+
+/// Coordinator -> joiner: the randomly chosen parent (datagram).
+class TreeJoinReply final : public net::Message {
+ public:
+  explicit TreeJoinReply(net::NodeId parent) : parent_(parent) {}
+  [[nodiscard]] net::MessageKind kind() const override {
+    return net::MessageKind::kTreeJoinReply;
+  }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 8 + net::kWireIdBytes;
+  }
+  [[nodiscard]] const char* name() const override { return "tree-join-reply"; }
+  [[nodiscard]] net::NodeId parent() const { return parent_; }
+
+ private:
+  net::NodeId parent_;
+};
+
+/// Joiner -> parent over the fresh connection: "I am your child now".
+class TreeAttach final : public net::Message {
+ public:
+  [[nodiscard]] net::MessageKind kind() const override {
+    return net::MessageKind::kTreeAttach;
+  }
+  [[nodiscard]] std::size_t wire_size() const override { return 8; }
+  [[nodiscard]] const char* name() const override { return "tree-attach"; }
+};
+
+/// Stream payload pushed down the tree.
+class TreeData final : public net::Message {
+ public:
+  TreeData(std::uint64_t seq, std::size_t payload_bytes)
+      : seq_(seq), payload_bytes_(payload_bytes) {}
+  [[nodiscard]] net::MessageKind kind() const override {
+    return net::MessageKind::kTreeData;
+  }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 16 + payload_bytes_;
+  }
+  [[nodiscard]] const char* name() const override { return "tree-data"; }
+  [[nodiscard]] std::uint64_t seq() const { return seq_; }
+  [[nodiscard]] std::size_t payload_bytes() const { return payload_bytes_; }
+
+ private:
+  std::uint64_t seq_;
+  std::size_t payload_bytes_;
+};
+
+// --- SimpleGossip -----------------------------------------------------------
+
+/// Push rumor (infect-and-die).
+class GossipRumor final : public net::Message {
+ public:
+  GossipRumor(std::uint64_t seq, std::size_t payload_bytes)
+      : seq_(seq), payload_bytes_(payload_bytes) {}
+  [[nodiscard]] net::MessageKind kind() const override {
+    return net::MessageKind::kGossipRumor;
+  }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 16 + payload_bytes_;
+  }
+  [[nodiscard]] const char* name() const override { return "gossip-rumor"; }
+  [[nodiscard]] std::uint64_t seq() const { return seq_; }
+  [[nodiscard]] std::size_t payload_bytes() const { return payload_bytes_; }
+
+ private:
+  std::uint64_t seq_;
+  std::size_t payload_bytes_;
+};
+
+/// Anti-entropy pull: "I have everything below `contiguous_upto`, plus
+/// `extra_known` newer ones" — a compact digest.
+class GossipAntiEntropyRequest final : public net::Message {
+ public:
+  GossipAntiEntropyRequest(std::uint64_t contiguous_upto,
+                           std::vector<std::uint64_t> extra_known)
+      : contiguous_upto_(contiguous_upto), extra_known_(std::move(extra_known)) {}
+  [[nodiscard]] net::MessageKind kind() const override {
+    return net::MessageKind::kGossipAntiEntropyRequest;
+  }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 16 + extra_known_.size() * 8;
+  }
+  [[nodiscard]] const char* name() const override { return "gossip-ae-req"; }
+  [[nodiscard]] std::uint64_t contiguous_upto() const {
+    return contiguous_upto_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& extra_known() const {
+    return extra_known_;
+  }
+
+ private:
+  std::uint64_t contiguous_upto_;
+  std::vector<std::uint64_t> extra_known_;
+};
+
+/// Anti-entropy reply: the payloads the requester was missing.
+class GossipAntiEntropyReply final : public net::Message {
+ public:
+  explicit GossipAntiEntropyReply(
+      std::vector<std::pair<std::uint64_t, std::size_t>> updates)
+      : updates_(std::move(updates)) {}
+  [[nodiscard]] net::MessageKind kind() const override {
+    return net::MessageKind::kGossipAntiEntropyReply;
+  }
+  [[nodiscard]] std::size_t wire_size() const override {
+    std::size_t total = 8;
+    for (const auto& [seq, bytes] : updates_) total += 12 + bytes;
+    return total;
+  }
+  [[nodiscard]] const char* name() const override { return "gossip-ae-reply"; }
+  [[nodiscard]] const std::vector<std::pair<std::uint64_t, std::size_t>>&
+  updates() const {
+    return updates_;
+  }
+
+ private:
+  std::vector<std::pair<std::uint64_t, std::size_t>> updates_;
+};
+
+// --- TAG ---------------------------------------------------------------------
+
+/// Joiner -> head: "who is the current list tail?" (datagram).
+class TagTailQuery final : public net::Message {
+ public:
+  [[nodiscard]] net::MessageKind kind() const override {
+    return net::MessageKind::kTagTailQuery;
+  }
+  [[nodiscard]] std::size_t wire_size() const override { return 8; }
+  [[nodiscard]] const char* name() const override { return "tag-tail-query"; }
+};
+
+class TagTailReply final : public net::Message {
+ public:
+  explicit TagTailReply(net::NodeId tail) : tail_(tail) {}
+  [[nodiscard]] net::MessageKind kind() const override {
+    return net::MessageKind::kTagTailReply;
+  }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 8 + net::kWireIdBytes;
+  }
+  [[nodiscard]] const char* name() const override { return "tag-tail-reply"; }
+  [[nodiscard]] net::NodeId tail() const { return tail_; }
+
+ private:
+  net::NodeId tail_;
+};
+
+/// Joiner -> tail over a fresh connection: "append me to the list".
+class TagAppendRequest final : public net::Message {
+ public:
+  [[nodiscard]] net::MessageKind kind() const override {
+    return net::MessageKind::kTagAppendRequest;
+  }
+  [[nodiscard]] std::size_t wire_size() const override { return 8; }
+  [[nodiscard]] const char* name() const override { return "tag-append-req"; }
+};
+
+/// Tail -> joiner: accepted (with list context) or redirect to the real tail.
+class TagAppendReply final : public net::Message {
+ public:
+  TagAppendReply(bool accepted, net::NodeId redirect, net::NodeId pred,
+                 net::NodeId pred2)
+      : accepted_(accepted), redirect_(redirect), pred_(pred), pred2_(pred2) {}
+  [[nodiscard]] net::MessageKind kind() const override {
+    return net::MessageKind::kTagAppendReply;
+  }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 9 + 3 * net::kWireIdBytes;
+  }
+  [[nodiscard]] const char* name() const override { return "tag-append-reply"; }
+  [[nodiscard]] bool accepted() const { return accepted_; }
+  [[nodiscard]] net::NodeId redirect() const { return redirect_; }
+  [[nodiscard]] net::NodeId pred() const { return pred_; }
+  [[nodiscard]] net::NodeId pred2() const { return pred2_; }
+
+ private:
+  bool accepted_;
+  net::NodeId redirect_;
+  net::NodeId pred_;
+  net::NodeId pred2_;
+};
+
+/// Traversal probe: "tell me about yourself" (temporary connection).
+class TagListProbe final : public net::Message {
+ public:
+  [[nodiscard]] net::MessageKind kind() const override {
+    return net::MessageKind::kTagListProbe;
+  }
+  [[nodiscard]] std::size_t wire_size() const override { return 8; }
+  [[nodiscard]] const char* name() const override { return "tag-probe"; }
+};
+
+class TagListProbeReply final : public net::Message {
+ public:
+  TagListProbeReply(net::NodeId pred, net::NodeId pred2,
+                    std::uint32_t child_count, std::uint32_t capacity,
+                    std::vector<net::NodeId> peer_sample)
+      : pred_(pred),
+        pred2_(pred2),
+        child_count_(child_count),
+        capacity_(capacity),
+        peer_sample_(std::move(peer_sample)) {}
+  [[nodiscard]] net::MessageKind kind() const override {
+    return net::MessageKind::kTagListProbeReply;
+  }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 16 + (2 + peer_sample_.size()) * net::kWireIdBytes;
+  }
+  [[nodiscard]] const char* name() const override { return "tag-probe-reply"; }
+  [[nodiscard]] net::NodeId pred() const { return pred_; }
+  [[nodiscard]] net::NodeId pred2() const { return pred2_; }
+  [[nodiscard]] std::uint32_t child_count() const { return child_count_; }
+  [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+  [[nodiscard]] const std::vector<net::NodeId>& peer_sample() const {
+    return peer_sample_;
+  }
+
+ private:
+  net::NodeId pred_;
+  net::NodeId pred2_;
+  std::uint32_t child_count_;
+  std::uint32_t capacity_;
+  std::vector<net::NodeId> peer_sample_;
+};
+
+/// List maintenance: a node informs a neighbor of its (new) list links.
+/// `role` distinguishes "I am your successor" / "I am your predecessor" /
+/// "the tail moved" notifications.
+class TagListUpdate final : public net::Message {
+ public:
+  enum class Role : std::uint8_t {
+    kNewTail,        ///< to the head: tail pointer moved
+    kYourSuccessor,  ///< to pred: I follow you now (includes my succ)
+    kYourPred2,      ///< to succ-of-succ: I am two behind you
+  };
+  TagListUpdate(Role role, net::NodeId subject)
+      : role_(role), subject_(subject) {}
+  [[nodiscard]] net::MessageKind kind() const override {
+    return net::MessageKind::kTagListUpdate;
+  }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 9 + net::kWireIdBytes;
+  }
+  [[nodiscard]] const char* name() const override { return "tag-list-update"; }
+  [[nodiscard]] Role role() const { return role_; }
+  [[nodiscard]] net::NodeId subject() const { return subject_; }
+
+ private:
+  Role role_;
+  net::NodeId subject_;
+};
+
+/// Pull request: "send me what I miss, starting at `from_seq`" (to the tree
+/// parent over the persistent connection, or to a gossip peer as datagram).
+class TagPullRequest final : public net::Message {
+ public:
+  explicit TagPullRequest(std::uint64_t from_seq) : from_seq_(from_seq) {}
+  [[nodiscard]] net::MessageKind kind() const override {
+    return net::MessageKind::kTagPullRequest;
+  }
+  [[nodiscard]] std::size_t wire_size() const override { return 16; }
+  [[nodiscard]] const char* name() const override { return "tag-pull-req"; }
+  [[nodiscard]] std::uint64_t from_seq() const { return from_seq_; }
+
+ private:
+  std::uint64_t from_seq_;
+};
+
+/// Pull reply: a bounded batch of payloads.
+class TagPullReply final : public net::Message {
+ public:
+  explicit TagPullReply(
+      std::vector<std::pair<std::uint64_t, std::size_t>> updates)
+      : updates_(std::move(updates)) {}
+  [[nodiscard]] net::MessageKind kind() const override {
+    return net::MessageKind::kTagPullReply;
+  }
+  [[nodiscard]] std::size_t wire_size() const override {
+    std::size_t total = 8;
+    for (const auto& [seq, bytes] : updates_) total += 12 + bytes;
+    return total;
+  }
+  [[nodiscard]] const char* name() const override { return "tag-pull-reply"; }
+  [[nodiscard]] const std::vector<std::pair<std::uint64_t, std::size_t>>&
+  updates() const {
+    return updates_;
+  }
+
+ private:
+  std::vector<std::pair<std::uint64_t, std::size_t>> updates_;
+};
+
+}  // namespace brisa::baselines

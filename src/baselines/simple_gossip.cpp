@@ -1,0 +1,137 @@
+#include "baselines/simple_gossip.h"
+
+#include "util/assert.h"
+
+namespace brisa::baselines {
+
+namespace {
+constexpr net::TrafficClass kCtl = net::TrafficClass::kControl;
+constexpr net::TrafficClass kData = net::TrafficClass::kData;
+}  // namespace
+
+SimpleGossip::SimpleGossip(net::Network& network, net::NodeId id,
+                           Config config)
+    : net::Process(network, id),
+      config_(config),
+      rng_(network.simulator().rng().split(0x6055BULL ^ id.index())),
+      cyclon_(network, id, config.cyclon) {
+  network.bind_datagram_handler(id, this);
+}
+
+void SimpleGossip::bootstrap(const std::vector<net::NodeId>& seeds) {
+  cyclon_.bootstrap(seeds);
+  start_timers();
+}
+
+void SimpleGossip::join(net::NodeId contact) {
+  cyclon_.join(contact);
+  start_timers();
+}
+
+void SimpleGossip::start_timers() {
+  if (started_) return;
+  started_ = true;
+  const auto phase = sim::Duration::microseconds(
+      static_cast<std::int64_t>(rng_.uniform(static_cast<std::uint64_t>(
+          config_.anti_entropy_period.us()))));
+  after(phase, [this]() {
+    every(config_.anti_entropy_period, [this]() { on_anti_entropy_timer(); });
+  });
+}
+
+std::uint64_t SimpleGossip::broadcast(std::size_t payload_bytes) {
+  const std::uint64_t seq = next_seq_++;
+  deliver(seq, payload_bytes, /*push=*/true);
+  return seq;
+}
+
+void SimpleGossip::on_datagram(net::NodeId from, net::MessagePtr message) {
+  switch (message->kind()) {
+    case net::MessageKind::kCyclonShuffle:
+    case net::MessageKind::kCyclonShuffleReply:
+      cyclon_.on_datagram(from, std::move(message));
+      return;
+    case net::MessageKind::kGossipRumor: {
+      const auto& rumor = static_cast<const GossipRumor&>(*message);
+      if (store_.count(rumor.seq()) > 0) {
+        stats_.duplicates += 1;
+        return;  // infect-and-die: duplicates are dropped silently
+      }
+      deliver(rumor.seq(), rumor.payload_bytes(), /*push=*/true);
+      return;
+    }
+    case net::MessageKind::kGossipAntiEntropyRequest:
+      handle_anti_entropy_request(
+          from, static_cast<const GossipAntiEntropyRequest&>(*message));
+      return;
+    case net::MessageKind::kGossipAntiEntropyReply: {
+      const auto& reply = static_cast<const GossipAntiEntropyReply&>(*message);
+      for (const auto& [seq, payload_bytes] : reply.updates()) {
+        if (store_.count(seq) > 0) continue;
+        stats_.anti_entropy_recoveries += 1;
+        // Anti-entropy recoveries are not re-pushed: rumor mongering already
+        // saturated; re-pushing old updates would only add duplicates.
+        deliver(seq, payload_bytes, /*push=*/false);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void SimpleGossip::deliver(std::uint64_t seq, std::size_t payload_bytes,
+                           bool push) {
+  store_[seq] = payload_bytes;
+  while (store_.count(contiguous_upto_) > 0) ++contiguous_upto_;
+  stats_.delivered += 1;
+  stats_.delivery_time[seq] = now();
+  if (push) push_rumor(seq, payload_bytes);
+}
+
+void SimpleGossip::push_rumor(std::uint64_t seq, std::size_t payload_bytes) {
+  for (const net::NodeId peer : cyclon_.random_peers(config_.fanout)) {
+    stats_.rumors_sent += 1;
+    network().send_datagram(id(), peer,
+                            std::make_shared<GossipRumor>(seq, payload_bytes),
+                            kData);
+  }
+}
+
+void SimpleGossip::on_anti_entropy_timer() {
+  const std::vector<net::NodeId> peers = cyclon_.random_peers(1);
+  if (peers.empty()) return;
+  stats_.anti_entropy_rounds += 1;
+  // Digest: everything below contiguous_upto_ plus the most recent
+  // out-of-order seqs.
+  std::vector<std::uint64_t> extras;
+  for (auto it = store_.rbegin();
+       it != store_.rend() && extras.size() < config_.digest_extras; ++it) {
+    if (it->first < contiguous_upto_) break;
+    extras.push_back(it->first);
+  }
+  network().send_datagram(
+      id(), peers.front(),
+      std::make_shared<GossipAntiEntropyRequest>(contiguous_upto_,
+                                                 std::move(extras)),
+      kCtl);
+}
+
+void SimpleGossip::handle_anti_entropy_request(
+    net::NodeId from, const GossipAntiEntropyRequest& msg) {
+  std::vector<std::pair<std::uint64_t, std::size_t>> updates;
+  const std::set<std::uint64_t> known(msg.extra_known().begin(),
+                                      msg.extra_known().end());
+  for (auto it = store_.lower_bound(msg.contiguous_upto());
+       it != store_.end() && updates.size() < config_.anti_entropy_batch;
+       ++it) {
+    if (known.count(it->first) > 0) continue;
+    updates.emplace_back(it->first, it->second);
+  }
+  if (updates.empty()) return;
+  network().send_datagram(
+      id(), from, std::make_shared<GossipAntiEntropyReply>(std::move(updates)),
+      kData);
+}
+
+}  // namespace brisa::baselines

@@ -1,0 +1,99 @@
+// SimpleTree baseline (§III-D b): a centrally coordinated random tree.
+//
+// The efficiency end of the design spectrum. A coordinator assigns every
+// joiner a uniformly random parent among previously joined nodes (which
+// makes the structure acyclic by construction, join-order style, as in TAG);
+// data is pushed down tree edges immediately. There is no repair: the paper
+// uses SimpleTree only in static scenarios (Fig 12, Table II).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "baselines/messages.h"
+#include "net/network.h"
+#include "net/process.h"
+#include "net/transport.h"
+#include "sim/rng.h"
+
+namespace brisa::baselines {
+
+/// The centralized membership point. Runs on its own host so that the single
+/// communication step of a join is charged to the network like any other
+/// traffic.
+class SimpleTreeCoordinator final : public net::Process,
+                                    public net::Network::DatagramHandler {
+ public:
+  SimpleTreeCoordinator(net::Network& network, net::NodeId id);
+
+  /// Declares the tree root (the stream source); must precede any join.
+  void register_root(net::NodeId root);
+
+  void on_datagram(net::NodeId from, net::MessagePtr message) override;
+
+  [[nodiscard]] std::size_t joined_count() const { return joined_.size(); }
+
+ private:
+  std::vector<net::NodeId> joined_;
+  sim::Rng rng_;
+};
+
+class SimpleTreeNode final : public net::Process, public net::TransportHandler,
+                             public net::Network::DatagramHandler {
+ public:
+  struct Stats {
+    std::uint64_t delivered = 0;
+    std::uint64_t duplicates = 0;
+    std::map<std::uint64_t, sim::TimePoint> delivery_time;
+    bool parent_lost = false;
+  };
+
+  SimpleTreeNode(net::Network& network, net::Transport& transport,
+                 net::NodeId id, net::NodeId coordinator);
+
+  /// Root bootstrap: no join round-trip, just registration with the
+  /// coordinator (done by the scenario via register_root).
+  void start_as_root() { is_root_ = true; }
+
+  /// Contacts the coordinator for a parent assignment.
+  void join();
+
+  /// Injects the next message (root only). Returns the sequence number.
+  std::uint64_t broadcast(std::size_t payload_bytes);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] net::NodeId parent() const { return parent_; }
+  [[nodiscard]] std::size_t child_count() const { return children_.size(); }
+  [[nodiscard]] bool joined() const { return is_root_ || parent_.valid(); }
+
+  // TransportHandler
+  void on_connection_up(net::ConnectionId conn, net::NodeId peer,
+                        bool initiated) override;
+  void on_connection_down(net::ConnectionId conn, net::NodeId peer,
+                          net::CloseReason reason) override;
+  void on_message(net::ConnectionId conn, net::NodeId from,
+                  net::MessagePtr message) override;
+
+  // DatagramHandler (join replies arrive connectionless)
+  void on_datagram(net::NodeId from, net::MessagePtr message) override;
+
+ private:
+  void deliver(std::uint64_t seq, std::size_t payload_bytes);
+  void forward_to_children(std::uint64_t seq, std::size_t payload_bytes);
+
+  net::Transport& transport_;
+  net::NodeId coordinator_;
+  bool is_root_ = false;
+  std::uint64_t next_seq_ = 0;
+
+  net::NodeId parent_;
+  net::ConnectionId parent_conn_ = net::kInvalidConnectionId;
+  std::set<net::ConnectionId> children_;
+
+  std::set<std::uint64_t> delivered_;
+  Stats stats_;
+};
+
+}  // namespace brisa::baselines

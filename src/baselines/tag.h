@@ -1,0 +1,184 @@
+// TAG baseline (Liu & Zhou 2006; §III-D c).
+//
+// TAG, like BRISA, pairs a tree with a gossip overlay — but with opposite
+// design choices that the paper's comparison highlights:
+//   * membership is a doubly linked list sorted by join time, with nodes
+//     knowing predecessors/successors up to two hops;
+//   * joining traverses the list backwards from the tail, opening a fresh
+//     connection per hop (the construction cost measured in Fig 13),
+//     collecting k random gossip peers and choosing a parent with free
+//     capacity along the way;
+//   * dissemination is pull-based: children poll their tree parent
+//     periodically and prefetch from gossip peers (the latency cost of
+//     Table II);
+//   * a broken list (two consecutive failures) forces re-insertion through
+//     the head — TAG's hard repair (Fig 14).
+//
+// The list head doubles as the bootstrap registry (tail pointer), matching
+// the centralized join entry point the paper attributes to TAG-like systems.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "baselines/messages.h"
+#include "net/network.h"
+#include "net/process.h"
+#include "net/transport.h"
+#include "sim/rng.h"
+
+namespace brisa::baselines {
+
+class TagNode final : public net::Process,
+                      public net::TransportHandler,
+                      public net::Network::DatagramHandler {
+ public:
+  struct Config {
+    std::uint32_t capacity = 4;   ///< max tree children (≈ view size)
+    std::size_t gossip_peers = 4;  ///< k random peers collected while joining
+    /// One message per pull, pulled at 2.5/s: TAG drains a 5 msg/s stream at
+    /// half rate, reproducing Table II's 2x dissemination latency.
+    sim::Duration pull_period = sim::Duration::milliseconds(400);
+    sim::Duration gossip_pull_period = sim::Duration::seconds(1);
+    std::size_t pull_batch = 1;   ///< payloads per pull reply
+    std::size_t probe_max = 6;    ///< traversal bound before forced accept
+    double accept_probability = 0.6;
+  };
+
+  struct Stats {
+    std::uint64_t delivered = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t pulls_sent = 0;
+    std::uint64_t probes_sent = 0;
+    std::uint64_t parents_lost = 0;
+    std::uint64_t soft_repairs = 0;   ///< parent found via local traversal
+    std::uint64_t hard_repairs = 0;   ///< list broken: re-insertion via head
+    std::vector<sim::Duration> soft_repair_delays;
+    std::vector<sim::Duration> hard_repair_delays;
+    /// Join start -> parent selected (Fig 13 construction time).
+    std::optional<sim::TimePoint> join_started_at;
+    std::optional<sim::TimePoint> parent_acquired_at;
+    std::map<std::uint64_t, sim::TimePoint> delivery_time;
+  };
+
+  TagNode(net::Network& network, net::Transport& transport, net::NodeId id,
+          net::NodeId head, Config config);
+
+  /// The first node: list head, tree root, stream source.
+  void start_as_head();
+
+  /// Full join: tail query -> append -> backward traversal.
+  void join();
+
+  /// Injects the next message (head only). Returns the sequence number.
+  std::uint64_t broadcast(std::size_t payload_bytes);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] net::NodeId parent() const { return parent_; }
+  [[nodiscard]] net::NodeId list_pred() const { return pred_; }
+  [[nodiscard]] net::NodeId list_succ() const { return succ_; }
+  [[nodiscard]] std::size_t child_count() const { return child_conns_.size(); }
+  [[nodiscard]] bool joined() const { return is_head_ || parent_.valid(); }
+  [[nodiscard]] std::uint64_t contiguous_upto() const {
+    return contiguous_upto_;
+  }
+  [[nodiscard]] const std::vector<net::NodeId>& gossip_view() const {
+    return gossip_peers_;
+  }
+
+  // TransportHandler
+  void on_connection_up(net::ConnectionId conn, net::NodeId peer,
+                        bool initiated) override;
+  void on_connection_down(net::ConnectionId conn, net::NodeId peer,
+                          net::CloseReason reason) override;
+  void on_message(net::ConnectionId conn, net::NodeId from,
+                  net::MessagePtr message) override;
+
+  // DatagramHandler (tail queries/replies + gossip prefetch)
+  void on_datagram(net::NodeId from, net::MessagePtr message) override;
+
+ private:
+  /// What we dialed a connection for; drives the first message sent on it.
+  enum class DialIntent : std::uint8_t {
+    kAppend,      ///< TagAppendRequest to the (believed) tail
+    kProbe,       ///< TagListProbe during a traversal
+    kAdoptParent, ///< keep as the parent link; start pulling
+    kBridge,      ///< reconnect to pred2 after our pred died
+  };
+
+  struct PendingDial {
+    DialIntent intent;
+    net::NodeId peer;
+  };
+
+  // Join / traversal state machine.
+  void query_tail();
+  void append_to(net::NodeId tail);
+  void begin_traversal(net::NodeId start, bool for_repair);
+  void probe(net::NodeId target);
+  void handle_probe_reply(net::ConnectionId conn, net::NodeId from,
+                          const TagListProbeReply& msg);
+  void adopt_parent(net::NodeId parent, net::ConnectionId conn);
+  void traversal_failed_hop(net::NodeId next_hint);
+
+  // List maintenance.
+  void handle_append_request(net::ConnectionId conn, net::NodeId from);
+  void handle_append_reply(net::ConnectionId conn, net::NodeId from,
+                           const TagAppendReply& msg);
+  void handle_list_update(net::ConnectionId conn, net::NodeId from,
+                          const TagListUpdate& msg);
+  void pred_died();
+  void succ_died();
+  void reinsert();
+
+  // Dissemination.
+  void on_pull_timer();
+  void on_gossip_pull_timer();
+  void handle_pull_request(net::ConnectionId conn, net::NodeId from,
+                           const TagPullRequest& msg, bool datagram);
+  void deliver(std::uint64_t seq, std::size_t payload_bytes);
+  void record_parent_recovery();
+
+  void add_gossip_peers(const std::vector<net::NodeId>& sample);
+  [[nodiscard]] std::vector<net::NodeId> peer_sample();
+  void start_timers();
+
+  net::Transport& transport_;
+  net::NodeId head_;
+  Config config_;
+  sim::Rng rng_;
+  bool is_head_ = false;
+  bool started_ = false;
+  std::uint64_t next_seq_ = 0;
+
+  // Linked list links (ids; pred/succ also hold persistent connections).
+  net::NodeId pred_;
+  net::NodeId pred2_;
+  net::NodeId succ_;
+  net::ConnectionId pred_conn_ = net::kInvalidConnectionId;
+  net::ConnectionId succ_conn_ = net::kInvalidConnectionId;
+  net::NodeId tail_;  ///< maintained by the head only
+
+  // Tree links.
+  net::NodeId parent_;
+  net::ConnectionId parent_conn_ = net::kInvalidConnectionId;
+  std::set<net::ConnectionId> child_conns_;
+
+  // Join / repair traversal state.
+  std::map<net::ConnectionId, PendingDial> pending_dials_;
+  bool traversing_ = false;
+  bool traversal_for_repair_ = false;
+  std::size_t probes_this_traversal_ = 0;
+  std::optional<sim::TimePoint> orphaned_at_;
+  bool repair_is_hard_ = false;
+
+  std::vector<net::NodeId> gossip_peers_;
+  std::map<std::uint64_t, std::size_t> store_;
+  std::uint64_t contiguous_upto_ = 0;
+  Stats stats_;
+};
+
+}  // namespace brisa::baselines

@@ -1,0 +1,847 @@
+#include "core/brisa.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace brisa::core {
+
+namespace {
+
+constexpr net::TrafficClass kData = net::TrafficClass::kData;
+constexpr net::TrafficClass kCtl = net::TrafficClass::kControl;
+
+}  // namespace
+
+Brisa::Brisa(net::Network& network, membership::PeerSamplingService& pss,
+             net::NodeId id, Config config)
+    : net::Process(network, id),
+      pss_(pss),
+      config_(config),
+      rng_(network.simulator().rng().split(0xB015AULL ^ id.index())),
+      started_at_(network.simulator().now()) {
+  BRISA_ASSERT_MSG(
+      config_.mode == StructureMode::kDag || config_.num_parents == 1,
+      "tree mode requires exactly one parent");
+  BRISA_ASSERT(config_.num_parents >= 1);
+  pss_.set_listener(this);
+  pss_.set_watermark_provider(
+      [this]() -> std::pair<std::uint64_t, std::uint64_t> {
+        const std::uint64_t watermark =
+            delivered_seqs_.empty() ? 0 : *delivered_seqs_.rbegin() + 1;
+        return {watermark, cum_delay_us_};
+      });
+  // Adopt any neighbors that existed before this protocol instance attached.
+  for (const net::NodeId peer : pss_.view()) links_.try_emplace(peer);
+  // Delay-aware refinement (§II-E): keep-alive piggybacked cumulative
+  // delays let a node periodically re-evaluate its parent choice against
+  // fresher estimates — the continuing optimization the paper attributes to
+  // measuring RTTs at the HyParView level.
+  if (config_.strategy == ParentSelectionStrategy::kDelayAware &&
+      config_.mode == StructureMode::kTree && config_.prune) {
+    every(config_.refine_period, [this]() {
+      if (is_source_ || !position_known_ || repair_.has_value()) return;
+      if (parents_.empty()) return;
+      const net::NodeId parent = *parents_.begin();
+      const double parent_cost =
+          candidate_cost(config_.strategy, make_candidate(parent, true));
+      net::NodeId best;
+      double best_cost = parent_cost;
+      for (const net::NodeId peer : pss_.view()) {
+        if (parents_.count(peer) > 0) continue;
+        const auto it = links_.find(peer);
+        if (it == links_.end()) continue;
+        // Rank by the keep-alive-fresh cumulative delay; cycle safety is
+        // confirmed by the resume/ack handshake, not the stale path cache.
+        if (!it->second.ka_cum_fresh && !it->second.position.known) continue;
+        const sim::Duration rtt = pss_.rtt_estimate(peer);
+        if (rtt == sim::Duration::max()) continue;
+        const double cost =
+            static_cast<double>(it->second.position.cum_delay_us) +
+            static_cast<double>(rtt.us());
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = peer;
+        }
+      }
+      BRISA_TRACE("brisa") << this->id() << " refine check: parent_cost="
+                           << parent_cost << " best_cost=" << best_cost
+                           << " best=" << best;
+      // Switch only for a clear win; hysteresis prevents oscillation.
+      if (best.valid() && best_cost < parent_cost * 0.9) {
+        start_repair_with_kind(RepairKind::kRefine, /*allow_soft=*/true,
+                               net::NodeId::invalid());
+        if (repair_.has_value()) {
+          repair_->pending_candidates = {best};
+          try_next_repair_candidate();
+        }
+      }
+    });
+  }
+
+  // Starvation surveillance (§II-F fallback): keep-alive watermarks reveal
+  // when the stream has advanced at our neighbors while our own parents feed
+  // us nothing — the signature of a stale structure (e.g. an adoption cycle
+  // of mutually-starved nodes). The remedy is a hard reset through the
+  // epidemic substrate.
+  every(config_.starvation_check_period, [this]() {
+    if (is_source_ || !position_known_ || repair_.has_value()) return;
+    if (stats_.delivered == 0 || parents_.empty()) return;
+    const std::uint64_t mine =
+        delivered_seqs_.empty() ? 0 : *delivered_seqs_.rbegin() + 1;
+    if (watermark_heard_ <= mine) return;  // nothing newer exists nearby
+    if (now() - last_delivery_at_ < config_.starvation_timeout) return;
+    stats_.starvation_resets += 1;
+    const std::vector<net::NodeId> stale(parents_.begin(), parents_.end());
+    for (const net::NodeId parent : stale) deactivate_inbound(parent);
+    start_repair_with_kind(RepairKind::kStarvation, /*allow_soft=*/false,
+                           net::NodeId::invalid());
+  });
+  // DAG nodes keep probing for missing parents: bootstrap order or depth
+  // false-negatives can leave a node below target even without failures
+  // (§II-G: "nodes always obtained the desired number of parents").
+  if (config_.mode == StructureMode::kDag && config_.num_parents > 1) {
+    every(config_.topup_period, [this]() {
+      if (is_source_ || !position_known_ || repair_.has_value()) return;
+      if (parents_.size() >= config_.num_parents) return;
+      start_repair_with_kind(RepairKind::kTopUp, /*allow_soft=*/true,
+                             net::NodeId::invalid());
+    });
+  }
+}
+
+// --- Source API --------------------------------------------------------------
+
+void Brisa::become_source() {
+  is_source_ = true;
+  position_known_ = true;
+  path_ = {id()};
+  depth_ = 0;
+}
+
+std::uint64_t Brisa::broadcast(std::size_t payload_bytes) {
+  BRISA_ASSERT_MSG(is_source_, "broadcast() requires become_source()");
+  const std::uint64_t seq = next_seq_++;
+  delivered_seqs_.insert(seq);
+  while (delivered_seqs_.count(contiguous_upto_) > 0) ++contiguous_upto_;
+  stats_.delivered += 1;
+  stats_.delivery_time[seq] = now();
+  payload_buffer_.emplace_back(seq, payload_bytes);
+  while (payload_buffer_.size() > config_.retransmit_buffer) {
+    payload_buffer_.pop_front();
+  }
+  const BrisaData msg(config_.stream, seq, payload_bytes, config_.mode,
+                      my_position(), /*retransmission=*/false);
+  relay(msg, net::NodeId::invalid());
+  if (delivery_handler_) delivery_handler_(seq, payload_bytes);
+  return seq;
+}
+
+// --- Introspection ------------------------------------------------------------
+
+std::vector<net::NodeId> Brisa::parents() const {
+  return {parents_.begin(), parents_.end()};
+}
+
+std::vector<net::NodeId> Brisa::children() const {
+  std::vector<net::NodeId> out;
+  for (const auto& [peer, link] : links_) {
+    if (link.outbound_active && parents_.count(peer) == 0 &&
+        pss_.is_neighbor(peer)) {
+      out.push_back(peer);
+    }
+  }
+  return out;
+}
+
+std::int32_t Brisa::depth() const {
+  if (!position_known_) return -1;
+  if (config_.mode == StructureMode::kTree) {
+    return static_cast<std::int32_t>(path_.size()) - 1;
+  }
+  return depth_;
+}
+
+std::uint64_t Brisa::max_contiguous_seq() const { return contiguous_upto_; }
+
+// --- PSS events ----------------------------------------------------------------
+
+void Brisa::on_neighbor_up(net::NodeId peer) {
+  links_.try_emplace(peer);  // both directions start active (§II-F)
+  // A node stuck in hard repair greets every new neighbor with a resume
+  // request — the PSS replenishing the view is what unblocks it.
+  if (repair_.has_value() && repair_->hard) {
+    send_to(peer, std::make_shared<BrisaResume>(config_.stream, true), kCtl);
+  }
+}
+
+void Brisa::on_neighbor_down(net::NodeId peer,
+                             membership::NeighborLossReason /*reason*/) {
+  const bool was_parent = parents_.erase(peer) > 0;
+  links_.erase(peer);
+  if (repair_.has_value()) {
+    auto& pending = repair_->pending_candidates;
+    pending.erase(std::remove(pending.begin(), pending.end(), peer),
+                  pending.end());
+    if (repair_->awaiting_ack == peer) try_next_repair_candidate();
+  }
+  if (!was_parent) return;
+  stats_.parents_lost += 1;
+  if (is_source_) return;
+  if (parents_.empty()) {
+    stats_.orphan_events += 1;
+    if (!repair_.has_value()) start_repair(/*allow_soft=*/true);
+    return;
+  }
+  // DAG with surviving parents: the stream keeps flowing; opportunistically
+  // top up to the target parent count.
+  if (config_.mode == StructureMode::kDag && !repair_.has_value() &&
+      parents_.size() < config_.num_parents) {
+    start_repair_with_kind(RepairKind::kTopUp, /*allow_soft=*/true,
+                           net::NodeId::invalid());
+  }
+}
+
+void Brisa::on_neighbor_watermark(net::NodeId peer, std::uint64_t watermark,
+                                  std::uint64_t aux) {
+  watermark_heard_ = std::max(watermark_heard_, watermark);
+  // The aux value is the neighbor's cumulative path delay (§III-B). Keeping
+  // the cache fresh is what lets the delay-aware strategy keep refining
+  // after the bootstrap duplicates dry up — even for neighbors whose full
+  // position (path) we never saw.
+  const auto it = links_.find(peer);
+  if (it != links_.end()) {
+    it->second.position.cum_delay_us =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(aux, 0xffffffff));
+    it->second.ka_cum_fresh = true;
+    it->second.position_updated_at = now();
+  }
+}
+
+void Brisa::on_app_message(net::NodeId from, net::MessagePtr message) {
+  switch (message->kind()) {
+    case net::MessageKind::kBrisaData:
+      handle_data(from, static_cast<const BrisaData&>(*message));
+      return;
+    case net::MessageKind::kBrisaDeactivate:
+      handle_deactivate(from, static_cast<const BrisaDeactivate&>(*message));
+      return;
+    case net::MessageKind::kBrisaResume:
+      handle_resume(from, static_cast<const BrisaResume&>(*message));
+      return;
+    case net::MessageKind::kBrisaResumeAck:
+      handle_resume_ack(from, static_cast<const BrisaResumeAck&>(*message));
+      return;
+    case net::MessageKind::kBrisaReactivateOrder:
+      handle_reactivate_order(from);
+      return;
+    case net::MessageKind::kBrisaRetransmitRequest:
+      handle_retransmit_request(
+          from, static_cast<const BrisaRetransmitRequest&>(*message));
+      return;
+    default:
+      return;
+  }
+}
+
+// --- Data path -----------------------------------------------------------------
+
+void Brisa::handle_data(net::NodeId from, const BrisaData& msg) {
+  if (msg.stream() != config_.stream) return;
+  auto [it, inserted] = links_.try_emplace(from);
+  Link& link = it->second;
+  record_position(from, msg.sender_position());
+  link.seen_data = true;
+
+  const bool duplicate = delivered_seqs_.count(msg.seq()) > 0;
+
+  if (msg.retransmission()) {
+    stats_.retransmissions_received += 1;
+    if (!duplicate) deliver_and_relay(from, msg);
+    return;
+  }
+
+  stats_.receptions_per_seq[msg.seq()] += 1;
+
+  // DAG depth maintenance (§II-G): receiving from a node at our own depth or
+  // deeper pushes us one level down. A parent that keeps forcing bumps is in
+  // a feedback loop with us (a depth-tag false negative turned cycle), so
+  // after a bounded number of bumps the link is treated as a detected cycle
+  // and deactivated — the DAG analogue of §II-D's steady-state detection.
+  if (config_.mode == StructureMode::kDag && position_known_ &&
+      parents_.count(from) > 0 && msg.sender_position().known &&
+      msg.sender_position().depth >= depth_) {
+    depth_ = msg.sender_position().depth + 1;
+    // Cumulative count: in a cycle the bumps may alternate with quiet
+    // receptions as the inflated depths circulate, so the counter must
+    // never reset.
+    if (++link.depth_bumps > kMaxDepthBumpsPerParent) {
+      stats_.cycle_rejections += 1;
+      deactivate_inbound(from);
+      if (parents_.empty() && !repair_.has_value() && !is_source_) {
+        start_repair(/*allow_soft=*/true);
+      }
+    }
+  }
+
+  if (!duplicate) {
+    // Tree steady-state cycle detection (§II-D): a parent whose path now
+    // includes us signals a stale structure — drop it and repair.
+    if (config_.prune && config_.mode == StructureMode::kTree &&
+        parents_.count(from) > 0 &&
+        !position_eligible(from, msg.sender_position())) {
+      stats_.cycle_rejections += 1;
+      deactivate_inbound(from);
+      deliver_and_relay(from, msg);
+      if (parents_.empty() && !repair_.has_value()) {
+        start_repair(/*allow_soft=*/true);
+      }
+      return;
+    }
+    if (config_.prune && parents_.count(from) == 0) {
+      if (parents_.size() < config_.num_parents) {
+        // Still collecting parents: the sender is a candidate (§II-C).
+        prune_with(from);
+      } else {
+        // Parents are full and someone else relays to us (repair spillover,
+        // a new joiner, an in-flight race). Strategy re-selection only
+        // happens on *duplicates* (§II-C) — fresh data from a non-parent
+        // just means its outbound link to us should be off.
+        deactivate_inbound(from);
+      }
+    } else if (parents_.count(from) > 0 &&
+               config_.mode == StructureMode::kTree &&
+               msg.sender_position().known) {
+      // Refresh our path: upstream repairs may have moved the parent.
+      adopt_position_from(from, msg.sender_position());
+    }
+    deliver_and_relay(from, msg);
+    if (repair_.has_value()) {
+      const std::size_t needed =
+          repair_kind_ == RepairKind::kTopUp ? config_.num_parents : 1;
+      if (parents_.size() >= needed) finish_repair(from);
+    }
+    return;
+  }
+
+  // Duplicate reception: the structure-emergence trigger (§II-C).
+  stats_.duplicates += 1;
+  if (!config_.prune) return;
+  if (parents_.count(from) > 0) return;  // expected copies from DAG parents
+  if (!link.inbound_active) return;      // deactivation already in flight
+  prune_with(from);
+}
+
+void Brisa::deliver_and_relay(net::NodeId from, const BrisaData& msg) {
+  // Flood mode never adopts parents, but Fig 9 still needs the cumulative
+  // path RTT of the delivery paths: accumulate it per first reception.
+  if (!config_.prune && !msg.retransmission()) {
+    const sim::Duration rtt = pss_.rtt_estimate(from);
+    const std::uint64_t hop_us =
+        rtt == sim::Duration::max()
+            ? 100'000
+            : static_cast<std::uint64_t>(rtt.us());
+    cum_delay_us_ = msg.sender_position().cum_delay_us + hop_us;
+  }
+  delivered_seqs_.insert(msg.seq());
+  while (delivered_seqs_.count(contiguous_upto_) > 0) ++contiguous_upto_;
+  stats_.delivered += 1;
+  stats_.delivery_time[msg.seq()] = now();
+  last_delivery_at_ = now();
+  buffer_payload(msg);
+  if (delivery_handler_) delivery_handler_(msg.seq(), msg.payload_bytes());
+  if (!msg.retransmission()) {
+    const BrisaData relayed(config_.stream, msg.seq(), msg.payload_bytes(),
+                            config_.mode, my_position(),
+                            /*retransmission=*/false);
+    relay(relayed, from);
+  }
+  // Gap surveillance: a hole below the newest delivery means some message
+  // was lost in a deactivation/swap race. Give in-flight copies a moment,
+  // then pull the hole from a parent's buffer (§II-F recovery, generalized
+  // beyond repairs).
+  if (contiguous_upto_ <= msg.seq() && !gap_probe_armed_) {
+    gap_probe_armed_ = true;
+    after(config_.gap_probe_delay, [this]() {
+      gap_probe_armed_ = false;
+      if (delivered_seqs_.empty()) return;
+      const std::uint64_t newest = *delivered_seqs_.rbegin();
+      if (contiguous_upto_ > newest) return;  // gap healed meanwhile
+      if (parents_.empty()) return;           // repair flow handles it
+      stats_.gap_recoveries += 1;
+      request_missing(*parents_.begin());
+    });
+  }
+}
+
+void Brisa::prune_with(net::NodeId duplicate_sender) {
+  Link& link = links_[duplicate_sender];
+  const PositionInfo& sender_pos = link.position;
+
+  if (!position_eligible(duplicate_sender, sender_pos)) {
+    stats_.cycle_rejections += 1;
+    deactivate_inbound(duplicate_sender);
+    return;
+  }
+
+  if (parents_.size() < config_.num_parents) {
+    // Still collecting parents (bootstrap, or DAG below target).
+    parents_.insert(duplicate_sender);
+    link.inbound_active = true;
+    if (!position_known_ || config_.mode == StructureMode::kTree) {
+      adopt_position_from(duplicate_sender, sender_pos);
+    } else if (config_.mode == StructureMode::kDag && sender_pos.known &&
+               sender_pos.depth >= depth_) {
+      depth_ = sender_pos.depth + 1;
+    }
+    note_structure_stability();
+    return;
+  }
+
+  // Full house: rank the challenger against the incumbents; evict the worst.
+  CandidateInfo challenger = make_candidate(duplicate_sender, false);
+  net::NodeId victim = duplicate_sender;
+  double worst_cost = candidate_cost(config_.strategy, challenger);
+  for (const net::NodeId parent : parents_) {
+    const CandidateInfo incumbent = make_candidate(parent, true);
+    const double cost = candidate_cost(config_.strategy, incumbent);
+    // Strictly-greater comparison: on ties the challenger loses, which is
+    // exactly first-come-first-picked semantics.
+    if (cost > worst_cost) {
+      worst_cost = cost;
+      victim = parent;
+    }
+  }
+
+  if (victim == duplicate_sender) {
+    deactivate_inbound(duplicate_sender);
+    // §II-E symmetric deactivation: the duplicate sender had the message
+    // before our relay could reach it, so we cannot be its parent either.
+    if (config_.symmetric_deactivation &&
+        allows_symmetric_deactivation(config_.strategy) &&
+        config_.mode == StructureMode::kTree) {
+      links_[duplicate_sender].outbound_active = false;
+    }
+    return;
+  }
+
+  // The challenger beats a current parent: swap.
+  deactivate_inbound(victim);
+  parents_.insert(duplicate_sender);
+  links_[duplicate_sender].inbound_active = true;
+  if (config_.mode == StructureMode::kTree) {
+    adopt_position_from(duplicate_sender, sender_pos);
+  }
+  note_structure_stability();
+}
+
+void Brisa::deactivate_inbound(net::NodeId peer) {
+  Link& link = links_[peer];
+  link.inbound_active = false;
+  parents_.erase(peer);
+  stats_.deactivations_sent += 1;
+  if (!stats_.first_deactivation_at.has_value()) {
+    stats_.first_deactivation_at = now();
+  }
+  send_to(peer,
+          std::make_shared<BrisaDeactivate>(config_.stream, config_.mode,
+                                            my_position()),
+          kCtl);
+  note_structure_stability();
+}
+
+bool Brisa::position_eligible(net::NodeId candidate,
+                              const PositionInfo& position) const {
+  if (!position.known) return false;
+  if (config_.mode == StructureMode::kTree) {
+    return std::find(position.path.begin(), position.path.end(), id()) ==
+           position.path.end();
+  }
+  // DAG (§II-G): candidates at a depth not greater than ours, with a
+  // deterministic id tie-break at equal depth. During the bootstrap flood a
+  // wave of equal-depth nodes relays the same message to each other; without
+  // the tie-break both sides of such a pair adopt each other simultaneously
+  // and their depth tags ratchet forever. With it, any would-be cycle of
+  // adoptions needs strictly decreasing ids around the loop — impossible.
+  if (depth_ < 0) return true;
+  if (position.depth < depth_) return true;
+  return position.depth == depth_ && candidate.index() < id().index();
+}
+
+void Brisa::adopt_position_from(net::NodeId parent,
+                                const PositionInfo& parent_pos) {
+  if (!parent_pos.known) return;
+  if (config_.mode == StructureMode::kTree) {
+    path_ = parent_pos.path;
+    path_.push_back(id());
+  } else {
+    depth_ = std::max(depth_, parent_pos.depth + 1);
+  }
+  // Accumulate the hop cost for the delay-aware metric. Units follow
+  // §III-B: *full* round-trip times summed per hop (the paper's Fig 9
+  // y-axis), measured from the PSS keep-alives.
+  const sim::Duration rtt = pss_.rtt_estimate(parent);
+  const std::uint64_t hop_us =
+      rtt == sim::Duration::max()
+          ? 100'000  // no estimate yet: assume a generic 100 ms RTT
+          : static_cast<std::uint64_t>(rtt.us());
+  cum_delay_us_ = parent_pos.cum_delay_us + hop_us;
+  position_known_ = true;
+}
+
+void Brisa::record_position(net::NodeId peer, const PositionInfo& position) {
+  Link& link = links_[peer];
+  if (!position.known) return;
+  link.position = position;
+  link.position_updated_at = now();
+}
+
+PositionInfo Brisa::my_position() const {
+  PositionInfo pos;
+  pos.known = position_known_;
+  if (config_.mode == StructureMode::kTree) {
+    pos.path = path_;
+  }
+  pos.depth = depth_;
+  pos.uptime_s = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(0, (now() - started_at_).us() / 1'000'000));
+  pos.degree = static_cast<std::uint16_t>(
+      std::min<std::size_t>(children().size(), 0xffff));
+  pos.cum_delay_us = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(cum_delay_us_, 0xffffffffULL));
+  return pos;
+}
+
+CandidateInfo Brisa::make_candidate(net::NodeId peer, bool incumbent) const {
+  CandidateInfo info;
+  info.node = peer;
+  info.rtt = pss_.rtt_estimate(peer);
+  const auto it = links_.find(peer);
+  if (it != links_.end()) info.position = it->second.position;
+  info.incumbent = incumbent;
+  return info;
+}
+
+void Brisa::note_structure_stability() {
+  if (stats_.structure_stable_at.has_value()) return;
+  if (!stats_.first_deactivation_at.has_value()) return;
+  std::size_t active_senders = 0;
+  for (const auto& [peer, link] : links_) {
+    if (link.seen_data && link.inbound_active) ++active_senders;
+  }
+  if (active_senders <= config_.num_parents) {
+    stats_.structure_stable_at = now();
+  }
+}
+
+// --- Control path ----------------------------------------------------------------
+
+void Brisa::handle_deactivate(net::NodeId from, const BrisaDeactivate& msg) {
+  if (msg.stream() != config_.stream) return;
+  record_position(from, msg.sender_position());
+  links_[from].outbound_active = false;
+  stats_.deactivations_received += 1;
+}
+
+void Brisa::handle_resume(net::NodeId from, const BrisaResume& msg) {
+  if (msg.stream() != config_.stream) return;
+  links_[from].outbound_active = true;
+  if (msg.want_ack()) {
+    // A node never serves its own parent: answering with a valid position
+    // would let the requester adopt us right back, closing a two-cycle.
+    PositionInfo pos = my_position();
+    if (parents_.count(from) > 0) pos.known = false;
+    send_to(from,
+            std::make_shared<BrisaResumeAck>(config_.stream, config_.mode,
+                                             std::move(pos)),
+            kCtl);
+  }
+}
+
+void Brisa::handle_resume_ack(net::NodeId from, const BrisaResumeAck& msg) {
+  if (msg.stream() != config_.stream) return;
+  record_position(from, msg.responder_position());
+  if (!repair_.has_value()) return;
+  // Soft repair awaits one specific candidate; hard repair broadcast resumes
+  // to every neighbor and adopts the first eligible responder.
+  const bool relevant = repair_->awaiting_ack == from || repair_->hard;
+  if (!relevant) return;
+  bool eligible = msg.responder_position().known &&
+                  position_eligible(from, msg.responder_position());
+  // A DAG repair may descend to serve under an equal-depth responder
+  // (an equal-depth node cannot be a descendant while depths are current).
+  // An *orphan* with nothing shallower left may even descend below a deeper
+  // responder — the §II-F soft repair lets the node take any active-view
+  // neighbor; the rare adoption of a true descendant forms a cycle that the
+  // bump guard / starvation reset dismantles within seconds.
+  if (!eligible && config_.mode == StructureMode::kDag &&
+      repair_kind_ != RepairKind::kRefine &&
+      msg.responder_position().known && position_known_) {
+    const std::int32_t responder_depth = msg.responder_position().depth;
+    const bool orphaned = parents_.empty();
+    if (responder_depth == depth_ || (orphaned && responder_depth > depth_)) {
+      depth_ = std::max(depth_, responder_depth) + 1;
+      eligible = true;
+    }
+  }
+  if (eligible) {
+    BRISA_TRACE("brisa") << id() << " adopts " << from << " via resume-ack";
+    // A tree holds exactly one parent: a refine adoption displaces the
+    // incumbent.
+    if (config_.mode == StructureMode::kTree) {
+      const std::vector<net::NodeId> old(parents_.begin(), parents_.end());
+      for (const net::NodeId prev : old) {
+        if (prev != from) deactivate_inbound(prev);
+      }
+    }
+    parents_.insert(from);
+    links_[from].inbound_active = true;
+    adopt_position_from(from, msg.responder_position());
+    finish_repair(from);
+    return;
+  }
+  BRISA_TRACE("brisa") << id() << " resume-ack from " << from
+                       << " ineligible (known="
+                       << msg.responder_position().known
+                       << " depth=" << msg.responder_position().depth
+                       << " mine=" << depth_ << ")";
+  if (repair_->hard) return;  // keep waiting for a better responder
+  if (repair_kind_ == RepairKind::kRefine) {
+    // The incumbent still serves us; the candidate just was not suitable.
+    repair_.reset();
+    return;
+  }
+  // Stale cache: the candidate cannot serve us. Undo and move on.
+  deactivate_inbound(from);
+  try_next_repair_candidate();
+}
+
+void Brisa::handle_reactivate_order(net::NodeId from) {
+  // Only meaningful coming from a node we depend on (§II-F: the order stops
+  // at nodes that can replace the sender).
+  if (parents_.count(from) == 0) return;
+  parents_.erase(from);
+  if (!parents_.empty()) return;  // DAG: other parents still feed us
+  if (repair_.has_value()) return;
+  stats_.reactivate_orders_received += 1;
+  start_repair_with_kind(RepairKind::kOrderRebuild, /*allow_soft=*/true,
+                         /*exclude=*/from);
+}
+
+void Brisa::handle_retransmit_request(net::NodeId from,
+                                      const BrisaRetransmitRequest& msg) {
+  if (msg.stream() != config_.stream) return;
+  links_[from].outbound_active = true;
+  for (const auto& [seq, payload_bytes] : payload_buffer_) {
+    if (seq < msg.from_seq()) continue;
+    stats_.retransmissions_served += 1;
+    send_to(from,
+            std::make_shared<BrisaData>(config_.stream, seq, payload_bytes,
+                                        config_.mode, my_position(),
+                                        /*retransmission=*/true),
+            kData);
+  }
+}
+
+// --- Repair (§II-F) -----------------------------------------------------------------
+
+void Brisa::start_repair(bool allow_soft) {
+  start_repair_with_kind(RepairKind::kOrphanFailure, allow_soft,
+                         net::NodeId::invalid());
+}
+
+void Brisa::start_repair_with_kind(RepairKind kind, bool allow_soft,
+                                   net::NodeId exclude) {
+  RepairState state;
+  state.started_at = now();
+  state.hard = false;
+  state.awaiting_ack = net::NodeId::invalid();
+  if (allow_soft) {
+    state.pending_candidates = soft_repair_candidates();
+    if (exclude.valid()) {
+      auto& cands = state.pending_candidates;
+      cands.erase(std::remove(cands.begin(), cands.end(), exclude),
+                  cands.end());
+    }
+  }
+  repair_ = state;
+  repair_kind_ = kind;
+  try_next_repair_candidate();
+}
+
+void Brisa::try_next_repair_candidate() {
+  if (!repair_.has_value()) return;
+  repair_->awaiting_ack = net::NodeId::invalid();
+  if (repair_->pending_candidates.empty()) {
+    BRISA_TRACE("brisa") << id() << " repair candidates exhausted";
+    escalate_to_hard_repair();
+    return;
+  }
+  const net::NodeId candidate = repair_->pending_candidates.front();
+  BRISA_TRACE("brisa") << id() << " repair: trying candidate " << candidate;
+  repair_->pending_candidates.erase(repair_->pending_candidates.begin());
+  repair_->awaiting_ack = candidate;
+  const std::uint64_t token = ++repair_token_counter_;
+  repair_->timeout_token = token;
+  send_to(candidate, std::make_shared<BrisaResume>(config_.stream, true),
+          kCtl);
+  after(config_.repair_ack_timeout, [this, token]() {
+    if (repair_.has_value() && repair_->timeout_token == token &&
+        repair_->awaiting_ack.valid()) {
+      try_next_repair_candidate();
+    }
+  });
+}
+
+void Brisa::escalate_to_hard_repair() {
+  if (!repair_.has_value()) return;
+  if (repair_kind_ == RepairKind::kRefine) {
+    repair_.reset();  // refinement is opportunistic; no fallback
+    return;
+  }
+  if (repair_kind_ == RepairKind::kTopUp) {
+    // Out of strictly-eligible candidates. A node may voluntarily descend
+    // one level to adopt an equal-depth neighbor (descendants are strictly
+    // deeper, so this cannot adopt its own subtree); the resume/ack
+    // handshake still verifies the candidate's current position. One
+    // demotion per attempt keeps depths from drifting.
+    if (config_.mode == StructureMode::kDag && !repair_->demoted &&
+        position_known_) {
+      std::vector<net::NodeId> equal_depth;
+      for (const net::NodeId peer : pss_.view()) {
+        if (parents_.count(peer) > 0) continue;
+        const auto it = links_.find(peer);
+        if (it == links_.end() || !it->second.position.known) continue;
+        if (it->second.position.depth == depth_) equal_depth.push_back(peer);
+      }
+      if (!equal_depth.empty()) {
+        repair_->demoted = true;
+        depth_ += 1;
+        repair_->pending_candidates = std::move(equal_depth);
+        try_next_repair_candidate();
+        return;
+      }
+    }
+    // Best-effort only: a DAG node that cannot find an extra parent keeps
+    // running on its remaining ones (observed in Fig 10's percentiles).
+    repair_.reset();
+    return;
+  }
+  repair_->hard = true;
+  repair_->pending_candidates.clear();
+  repair_->awaiting_ack = net::NodeId::invalid();
+
+  // Snapshot children before resetting state: the re-activation order goes
+  // to the subtree we were feeding.
+  const std::vector<net::NodeId> order_targets = children();
+
+  // Become a fresh node (§II-F): forget the position used by cycle
+  // detection and re-activate every inbound link.
+  position_known_ = false;
+  path_.clear();
+  depth_ = -1;
+  for (auto& [peer, link] : links_) link.inbound_active = true;
+
+  for (const net::NodeId peer : pss_.view()) {
+    send_to(peer, std::make_shared<BrisaResume>(config_.stream, true), kCtl);
+  }
+  for (const net::NodeId child : order_targets) {
+    stats_.reactivate_orders_sent += 1;
+    send_to(child, std::make_shared<BrisaReactivateOrder>(config_.stream),
+            kCtl);
+  }
+}
+
+void Brisa::finish_repair(net::NodeId new_parent) {
+  if (!repair_.has_value()) return;
+  const sim::Duration delay = now() - repair_->started_at;
+  if (repair_kind_ == RepairKind::kOrphanFailure) {
+    if (repair_->hard) {
+      stats_.hard_repairs += 1;
+      stats_.hard_repair_delays.push_back(delay);
+    } else {
+      stats_.soft_repairs += 1;
+      stats_.soft_repair_delays.push_back(delay);
+    }
+  } else if (repair_kind_ == RepairKind::kOrderRebuild) {
+    stats_.order_rebuilds += 1;
+  } else if (repair_kind_ == RepairKind::kTopUp) {
+    stats_.parent_topups += 1;
+  } else if (repair_kind_ == RepairKind::kRefine) {
+    stats_.refinements += 1;
+  }
+  repair_.reset();
+  request_missing(new_parent);
+}
+
+void Brisa::request_missing(net::NodeId parent) {
+  send_to(parent,
+          std::make_shared<BrisaRetransmitRequest>(config_.stream,
+                                                   contiguous_upto_),
+          kCtl);
+}
+
+std::vector<net::NodeId> Brisa::soft_repair_candidates() const {
+  // Candidate order (§II-F, with the keep-alive piggyback optimization that
+  // makes every neighbor a potential candidate):
+  //   1. neighbors whose cached position is known and eligible, ranked by
+  //      the parent-selection strategy;
+  //   2. DAG only: known equal-depth neighbors (the ack handshake adopts
+  //      them by descending one level);
+  //   3. neighbors with unknown position — the resume/ack round trip
+  //      fetches their current position and verifies eligibility.
+  // Known-ineligible neighbors are excluded outright.
+  std::vector<std::pair<double, net::NodeId>> ranked;
+  std::vector<net::NodeId> equal_depth;
+  std::vector<net::NodeId> unknown;
+  for (const net::NodeId peer : pss_.view()) {
+    const auto it = links_.find(peer);
+    if (it == links_.end()) continue;
+    if (parents_.count(peer) > 0) continue;
+    const PositionInfo& pos = it->second.position;
+    if (!pos.known) {
+      unknown.push_back(peer);
+      continue;
+    }
+    if (position_eligible(peer, pos)) {
+      const CandidateInfo info = make_candidate(peer, false);
+      ranked.emplace_back(candidate_cost(config_.strategy, info), peer);
+    } else if (config_.mode == StructureMode::kDag && position_known_ &&
+               pos.depth == depth_) {
+      equal_depth.push_back(peer);
+    }
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<net::NodeId> out;
+  out.reserve(ranked.size() + equal_depth.size() + unknown.size());
+  for (const auto& [cost, peer] : ranked) out.push_back(peer);
+  for (const net::NodeId peer : equal_depth) out.push_back(peer);
+  for (const net::NodeId peer : unknown) out.push_back(peer);
+  return out;
+}
+
+// --- Sending helpers ---------------------------------------------------------------
+
+void Brisa::send_to(net::NodeId peer, net::MessagePtr message,
+                    net::TrafficClass traffic_class) {
+  pss_.send_app(peer, std::move(message), traffic_class);
+}
+
+void Brisa::relay(const BrisaData& msg, net::NodeId except) {
+  for (const net::NodeId peer : pss_.view()) {
+    if (peer == except) continue;
+    const auto it = links_.find(peer);
+    if (it != links_.end() && !it->second.outbound_active) continue;
+    send_to(peer, std::make_shared<BrisaData>(msg), kData);
+  }
+}
+
+void Brisa::buffer_payload(const BrisaData& msg) {
+  payload_buffer_.emplace_back(msg.seq(), msg.payload_bytes());
+  while (payload_buffer_.size() > config_.retransmit_buffer) {
+    payload_buffer_.pop_front();
+  }
+}
+
+}  // namespace brisa::core

@@ -1,0 +1,276 @@
+// BRISA: epidemic dissemination with emergent tree/DAG structures (§II).
+//
+// One Brisa instance runs per node on top of a PeerSamplingService. The
+// protocol:
+//   * bootstraps by flooding the first stream message over the PSS overlay;
+//   * lets each node prune inbound links down to `num_parents` by sending
+//     DEACTIVATE messages to duplicate senders (parent selection, §II-C/E);
+//   * prevents cycles exactly via path embedding (trees, §II-D) or
+//     approximately via depth tags (DAGs, §II-G);
+//   * repairs parent failures through the PSS: soft repair re-activates a
+//     cached eligible neighbor with one message; hard repair re-floods a
+//     bounded region through re-activation orders (§II-F);
+//   * recovers messages missed during repair from the new parent's buffer.
+//
+// Setting `prune = false` disables deactivation entirely, yielding the pure
+// flooding baseline of Fig 2 / Fig 9.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/messages.h"
+#include "core/parent_selection.h"
+#include "membership/peer_sampling.h"
+#include "net/network.h"
+#include "net/process.h"
+#include "sim/rng.h"
+
+namespace brisa::core {
+
+class Brisa final : public net::Process, public membership::PssListener {
+ public:
+  struct Config {
+    StructureMode mode = StructureMode::kTree;
+    /// Target number of parents p; must be 1 in tree mode (§II-G).
+    std::size_t num_parents = 1;
+    ParentSelectionStrategy strategy =
+        ParentSelectionStrategy::kFirstComeFirstPicked;
+    /// false = never deactivate: pure flooding over the PSS (Fig 2 baseline).
+    bool prune = true;
+    /// §II-E symmetric deactivation (applied only when the strategy allows).
+    bool symmetric_deactivation = true;
+    /// How many recent payloads each node buffers for child recovery.
+    std::size_t retransmit_buffer = 128;
+    /// Patience for a BrisaResume acknowledgment before trying the next
+    /// candidate (or escalating to hard repair).
+    sim::Duration repair_ack_timeout = sim::Duration::milliseconds(500);
+    /// Stream identifier (multiple Brisa instances per node = multiple
+    /// streams, §IV).
+    std::uint32_t stream = 0;
+    /// How often a DAG node below its parent target probes for another
+    /// eligible parent (§II-G acquisition guarantee).
+    sim::Duration topup_period = sim::Duration::seconds(5);
+    /// Patience before pulling a sequence hole from a parent's buffer
+    /// (covers losses from deactivation/swap races).
+    sim::Duration gap_probe_delay = sim::Duration::milliseconds(750);
+    /// Starvation surveillance (§II-F fallback): when neighbors' keep-alive
+    /// watermarks advance past ours and nothing arrives for this long, the
+    /// structure above us is stale — reset hard through the substrate.
+    sim::Duration starvation_check_period = sim::Duration::seconds(2);
+    sim::Duration starvation_timeout = sim::Duration::seconds(4);
+    /// Period of the delay-aware parent re-evaluation (tree mode only).
+    sim::Duration refine_period = sim::Duration::seconds(5);
+  };
+
+  /// Per-node protocol statistics; the experiment harnesses aggregate these
+  /// across nodes into the paper's tables and figures.
+  struct Stats {
+    std::uint64_t delivered = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t deactivations_sent = 0;
+    std::uint64_t deactivations_received = 0;
+    std::uint64_t cycle_rejections = 0;  ///< senders rejected by cycle check
+    std::uint64_t parents_lost = 0;
+    std::uint64_t orphan_events = 0;
+    std::uint64_t soft_repairs = 0;
+    std::uint64_t hard_repairs = 0;
+    std::uint64_t retransmissions_served = 0;
+    std::uint64_t retransmissions_received = 0;
+    std::uint64_t reactivate_orders_sent = 0;
+    std::uint64_t reactivate_orders_received = 0;
+    std::uint64_t order_rebuilds = 0;  ///< repairs triggered by orders
+    std::uint64_t parent_topups = 0;   ///< DAG nodes regaining parent #p
+    std::uint64_t gap_recoveries = 0;  ///< sequence holes pulled from parents
+    std::uint64_t starvation_resets = 0;  ///< stale-structure hard resets
+    std::uint64_t refinements = 0;  ///< delay-aware parent improvements
+    /// Time from orphaning to regained parenthood, per repair kind.
+    std::vector<sim::Duration> soft_repair_delays;
+    std::vector<sim::Duration> hard_repair_delays;
+    /// Construction-time probes (Fig 13): when this node sent its first
+    /// deactivation, and when its inbound links first reached the target.
+    std::optional<sim::TimePoint> first_deactivation_at;
+    std::optional<sim::TimePoint> structure_stable_at;
+    /// Per-sequence reception counts (Fig 2) and delivery instants (Fig 9,
+    /// Table II).
+    std::map<std::uint64_t, std::uint32_t> receptions_per_seq;
+    std::map<std::uint64_t, sim::TimePoint> delivery_time;
+  };
+
+  using DeliveryHandler =
+      std::function<void(std::uint64_t seq, std::size_t payload_bytes)>;
+
+  Brisa(net::Network& network, membership::PeerSamplingService& pss,
+        net::NodeId id, Config config);
+
+  // --- Source API -----------------------------------------------------------
+
+  /// Marks this node as the stream source (depth 0 / path = {self}).
+  void become_source();
+  [[nodiscard]] bool is_source() const { return is_source_; }
+
+  /// Injects the next stream message; flooding bootstraps the structure on
+  /// the first call (§II-C). Returns the sequence number used.
+  std::uint64_t broadcast(std::size_t payload_bytes);
+
+  // --- Introspection ---------------------------------------------------------
+
+  [[nodiscard]] std::vector<net::NodeId> parents() const;
+  /// Neighbors we actively relay to (outbound-active, non-parent): the
+  /// node's out-degree in the emergent structure (Fig 7).
+  [[nodiscard]] std::vector<net::NodeId> children() const;
+  /// Structure depth: tree = |path|-1, DAG = depth tag; -1 before the first
+  /// delivery (Fig 6).
+  [[nodiscard]] std::int32_t depth() const;
+  [[nodiscard]] const std::vector<net::NodeId>& path() const { return path_; }
+  /// Cumulative per-hop RTT from the source (§III-B's routing-delay metric).
+  [[nodiscard]] sim::Duration cumulative_path_rtt() const {
+    return sim::Duration::microseconds(
+        static_cast<std::int64_t>(cum_delay_us_));
+  }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] std::uint64_t max_contiguous_seq() const;
+  [[nodiscard]] bool repair_in_progress() const {
+    return repair_.has_value();
+  }
+
+  void set_delivery_handler(DeliveryHandler handler) {
+    delivery_handler_ = std::move(handler);
+  }
+
+  // --- PssListener ------------------------------------------------------------
+
+  void on_neighbor_up(net::NodeId peer) override;
+  void on_neighbor_down(net::NodeId peer,
+                        membership::NeighborLossReason reason) override;
+  void on_app_message(net::NodeId from, net::MessagePtr message) override;
+  void on_neighbor_watermark(net::NodeId peer, std::uint64_t watermark,
+                             std::uint64_t aux) override;
+
+ private:
+  /// Per-neighbor dissemination link state (distinct from the PSS view
+  /// entry; §II-C: deactivation does not remove the HyParView link).
+  struct Link {
+    /// We accept stream traffic from this neighbor (they are a parent or a
+    /// not-yet-pruned bootstrap link).
+    bool inbound_active = true;
+    /// We relay stream traffic to this neighbor.
+    bool outbound_active = true;
+    /// This neighbor has relayed stream data to us at least once; drives the
+    /// Fig 13 construction-time probe.
+    bool seen_data = false;
+    /// Consecutive §II-G depth bumps this parent caused; a persistent
+    /// ratchet marks a depth-tag cycle (see handle_data).
+    std::uint32_t depth_bumps = 0;
+    /// Last position metadata seen from this neighbor (data messages,
+    /// deactivations, resume acks); drives soft repair and strategies.
+    PositionInfo position;
+    sim::TimePoint position_updated_at;
+    /// The cum_delay field has been refreshed by a keep-alive (§II-F
+    /// piggyback), even if the rest of the position is stale or unknown.
+    bool ka_cum_fresh = false;
+  };
+
+  /// Cumulative bumps a single parent may cause before being treated as a
+  /// cycle. A legitimate upstream reorganization causes one bump; a cycle
+  /// ratchets on every circulating message, so a handful of bumps from one
+  /// link is decisive. Low values heal stale-depth cycles within ~1 s at the
+  /// paper's 5 msg/s rate.
+  static constexpr std::uint32_t kMaxDepthBumpsPerParent = 5;
+
+  /// Repair flavors; only failure-orphans count toward Table I.
+  enum class RepairKind : std::uint8_t {
+    kOrphanFailure,  ///< lost every parent to failures (§II-F)
+    kOrderRebuild,   ///< upstream sent a re-activation order
+    kTopUp,          ///< DAG node regaining its p-th parent; best effort
+    kStarvation,     ///< live parents feeding nothing: stale structure
+    kRefine,         ///< delay-aware periodic parent improvement (§II-E)
+  };
+
+  struct RepairState {
+    sim::TimePoint started_at;
+    bool hard = false;
+    bool demoted = false;  ///< top-up already used its one self-demotion
+    std::vector<net::NodeId> pending_candidates;
+    net::NodeId awaiting_ack;  ///< invalid when none outstanding
+    std::uint64_t timeout_token = 0;
+  };
+
+  // Message handlers.
+  void handle_data(net::NodeId from, const BrisaData& msg);
+  void handle_deactivate(net::NodeId from, const BrisaDeactivate& msg);
+  void handle_resume(net::NodeId from, const BrisaResume& msg);
+  void handle_resume_ack(net::NodeId from, const BrisaResumeAck& msg);
+  void handle_reactivate_order(net::NodeId from);
+  void handle_retransmit_request(net::NodeId from,
+                                 const BrisaRetransmitRequest& msg);
+
+  // Structure emergence.
+  void deliver_and_relay(net::NodeId from, const BrisaData& msg);
+  void prune_with(net::NodeId duplicate_sender);
+  void deactivate_inbound(net::NodeId peer);
+  [[nodiscard]] bool position_eligible(net::NodeId candidate,
+                                       const PositionInfo& position) const;
+  void adopt_position_from(net::NodeId parent, const PositionInfo& parent_pos);
+  void record_position(net::NodeId peer, const PositionInfo& position);
+  [[nodiscard]] PositionInfo my_position() const;
+  [[nodiscard]] CandidateInfo make_candidate(net::NodeId peer,
+                                             bool incumbent) const;
+  void note_structure_stability();
+
+  // Repair (§II-F).
+  void start_repair(bool allow_soft);
+  void start_repair_with_kind(RepairKind kind, bool allow_soft,
+                              net::NodeId exclude);
+  void try_next_repair_candidate();
+  void escalate_to_hard_repair();
+  void finish_repair(net::NodeId new_parent);
+  void request_missing(net::NodeId parent);
+  [[nodiscard]] std::vector<net::NodeId> soft_repair_candidates() const;
+
+  // Sending helpers.
+  void send_to(net::NodeId peer, net::MessagePtr message,
+               net::TrafficClass traffic_class);
+  void relay(const BrisaData& msg, net::NodeId except);
+  void buffer_payload(const BrisaData& msg);
+
+  membership::PeerSamplingService& pss_;
+  Config config_;
+  sim::Rng rng_;
+  DeliveryHandler delivery_handler_;
+
+  bool is_source_ = false;
+  sim::TimePoint started_at_;
+  std::uint64_t next_seq_ = 0;
+
+  std::map<net::NodeId, Link> links_;
+  std::set<net::NodeId> parents_;
+
+  // Position in the structure.
+  std::vector<net::NodeId> path_;  ///< tree mode; includes self when known
+  std::int32_t depth_ = -1;        ///< DAG mode
+  std::uint64_t cum_delay_us_ = 0; ///< accumulated hop delay from the source
+  bool position_known_ = false;
+
+  // Delivery bookkeeping.
+  std::set<std::uint64_t> delivered_seqs_;
+  std::uint64_t contiguous_upto_ = 0;  ///< all seqs < this are delivered
+  std::deque<std::pair<std::uint64_t, std::size_t>> payload_buffer_;
+
+  std::optional<RepairState> repair_;
+  RepairKind repair_kind_ = RepairKind::kOrphanFailure;
+  bool gap_probe_armed_ = false;
+  std::uint64_t watermark_heard_ = 0;
+  sim::TimePoint last_delivery_at_;
+  std::uint64_t repair_token_counter_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace brisa::core

@@ -1,0 +1,72 @@
+#include "core/parent_selection.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace brisa::core {
+
+const char* to_string(ParentSelectionStrategy strategy) {
+  switch (strategy) {
+    case ParentSelectionStrategy::kFirstComeFirstPicked:
+      return "first-come";
+    case ParentSelectionStrategy::kDelayAware:
+      return "delay";
+    case ParentSelectionStrategy::kGerontocratic:
+      return "gerontocratic";
+    case ParentSelectionStrategy::kLoadBalancing:
+      return "load";
+  }
+  return "?";
+}
+
+ParentSelectionStrategy parse_strategy(const std::string& name) {
+  if (name == "first-come" || name == "first-pick") {
+    return ParentSelectionStrategy::kFirstComeFirstPicked;
+  }
+  if (name == "delay" || name == "delay-aware") {
+    return ParentSelectionStrategy::kDelayAware;
+  }
+  if (name == "gerontocratic" || name == "uptime") {
+    return ParentSelectionStrategy::kGerontocratic;
+  }
+  if (name == "load" || name == "load-balancing") {
+    return ParentSelectionStrategy::kLoadBalancing;
+  }
+  throw std::invalid_argument("unknown parent selection strategy: " + name);
+}
+
+double candidate_cost(ParentSelectionStrategy strategy,
+                      const CandidateInfo& candidate) {
+  switch (strategy) {
+    case ParentSelectionStrategy::kFirstComeFirstPicked:
+      // Incumbents always beat challengers; among non-incumbents all are
+      // equal (the caller's arrival order / id tie-break decides).
+      return candidate.incumbent ? 0.0 : 1.0;
+    case ParentSelectionStrategy::kDelayAware: {
+      // End-to-end objective: the candidate's accumulated delay from the
+      // source plus the half-RTT of the final hop. A pure last-hop-greedy
+      // rule degenerates into deep nearest-neighbor chains; accumulating
+      // per-hop RTTs (which is also how §III-B measures routing delay)
+      // makes the emerging tree approximate a shortest-delay tree.
+      if (candidate.rtt == sim::Duration::max()) {
+        return std::numeric_limits<double>::max();
+      }
+      const double last_hop = static_cast<double>(candidate.rtt.us());
+      if (!candidate.position.known) {
+        return 1e12 + last_hop;  // unknown upstream: worst but comparable
+      }
+      return static_cast<double>(candidate.position.cum_delay_us) + last_hop;
+    }
+    case ParentSelectionStrategy::kGerontocratic:
+      return -static_cast<double>(candidate.position.uptime_s);
+    case ParentSelectionStrategy::kLoadBalancing:
+      return static_cast<double>(candidate.position.degree);
+  }
+  return 0.0;
+}
+
+bool allows_symmetric_deactivation(ParentSelectionStrategy strategy) {
+  return strategy == ParentSelectionStrategy::kFirstComeFirstPicked;
+}
+
+}  // namespace brisa::core

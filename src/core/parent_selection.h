@@ -1,0 +1,56 @@
+// Parent selection strategies (§II-E and the §IV perspectives).
+//
+// A strategy ranks eligible parent candidates; lower cost wins. Eligibility
+// (cycle safety) is decided by the protocol before candidates reach the
+// strategy — strategies only express *preference*.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/messages.h"
+#include "net/node_id.h"
+#include "sim/time.h"
+
+namespace brisa::core {
+
+enum class ParentSelectionStrategy : std::uint8_t {
+  /// §II-E (1): the first sender wins; duplicates are deactivated.
+  kFirstComeFirstPicked,
+  /// §II-E (2): lowest keep-alive RTT wins.
+  kDelayAware,
+  /// §IV (i): highest uptime wins (longer-lived nodes are likelier to stay).
+  kGerontocratic,
+  /// §IV (iii): lowest out-degree wins (spread the dissemination effort).
+  kLoadBalancing,
+};
+
+[[nodiscard]] const char* to_string(ParentSelectionStrategy strategy);
+
+/// Parses "first-come", "delay", "gerontocratic", "load"; throws on others.
+[[nodiscard]] ParentSelectionStrategy parse_strategy(const std::string& name);
+
+/// Everything a strategy may consult about one candidate.
+struct CandidateInfo {
+  net::NodeId node;
+  /// Keep-alive RTT estimate from the PSS; Duration::max() when unknown.
+  sim::Duration rtt = sim::Duration::max();
+  /// Cached position metadata (uptime/degree attributes).
+  PositionInfo position;
+  /// True for the incumbent: a node that is already a parent. First-come
+  /// gives incumbents absolute priority.
+  bool incumbent = false;
+};
+
+/// Cost of adopting this candidate; strictly lower is better. Ties are
+/// broken by the caller (deterministically, by node id).
+[[nodiscard]] double candidate_cost(ParentSelectionStrategy strategy,
+                                    const CandidateInfo& candidate);
+
+/// True when the symmetric-deactivation optimization of §II-E is sound for
+/// this strategy (only first-come: under other strategies the duplicate
+/// sender may still legitimately pick us as its parent later).
+[[nodiscard]] bool allows_symmetric_deactivation(
+    ParentSelectionStrategy strategy);
+
+}  // namespace brisa::core

@@ -1,0 +1,144 @@
+#include "membership/cyclon.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace brisa::membership {
+
+namespace {
+constexpr net::TrafficClass kTc = net::TrafficClass::kMembership;
+}  // namespace
+
+Cyclon::Cyclon(net::Network& network, net::NodeId id, Config config)
+    : net::Process(network, id),
+      config_(config),
+      rng_(network.simulator().rng().split(0xCCC107ULL ^ id.index())) {
+  BRISA_ASSERT(config_.shuffle_length >= 1);
+  BRISA_ASSERT(config_.view_size >= config_.shuffle_length);
+}
+
+void Cyclon::bootstrap(const std::vector<net::NodeId>& initial) {
+  for (const net::NodeId node : initial) {
+    if (node == id() || in_view(node)) continue;
+    if (view_.size() >= config_.view_size) break;
+    view_.push_back(CyclonEntry{node, 0});
+  }
+  start_timer();
+}
+
+void Cyclon::join(net::NodeId contact) {
+  BRISA_ASSERT(contact != id());
+  if (!in_view(contact)) view_.push_back(CyclonEntry{contact, 0});
+  start_timer();
+}
+
+void Cyclon::start_timer() {
+  if (started_) return;
+  started_ = true;
+  const auto phase = sim::Duration::microseconds(
+      static_cast<std::int64_t>(rng_.uniform(static_cast<std::uint64_t>(
+          config_.shuffle_period.us()))));
+  after(phase, [this]() {
+    every(config_.shuffle_period, [this]() { on_shuffle_timer(); });
+  });
+}
+
+std::vector<net::NodeId> Cyclon::view() const {
+  std::vector<net::NodeId> out;
+  out.reserve(view_.size());
+  for (const CyclonEntry& entry : view_) out.push_back(entry.node);
+  return out;
+}
+
+std::vector<net::NodeId> Cyclon::random_peers(std::size_t k) {
+  return rng_.sample(view(), k);
+}
+
+bool Cyclon::in_view(net::NodeId node) const {
+  return std::any_of(view_.begin(), view_.end(), [node](const CyclonEntry& e) {
+    return e.node == node;
+  });
+}
+
+void Cyclon::on_shuffle_timer() {
+  if (view_.empty()) return;
+  ++counters_.shuffles_initiated;
+  // 1. Age all entries; pick the oldest as shuffle partner and remove it.
+  std::size_t oldest = 0;
+  for (std::size_t i = 0; i < view_.size(); ++i) {
+    ++view_[i].age;
+    if (view_[i].age > view_[oldest].age) oldest = i;
+  }
+  const net::NodeId partner = view_[oldest].node;
+  view_.erase(view_.begin() +
+              static_cast<std::vector<CyclonEntry>::difference_type>(oldest));
+  // 2. Sample l-1 other entries plus ourselves at age 0.
+  std::vector<CyclonEntry> sample = rng_.sample(view_, config_.shuffle_length - 1);
+  sample.push_back(CyclonEntry{id(), 0});
+  last_sent_ = sample;
+  network().send_datagram(id(), partner,
+                          std::make_shared<CyclonShuffle>(std::move(sample)),
+                          kTc);
+}
+
+void Cyclon::on_datagram(net::NodeId from, net::MessagePtr message) {
+  switch (message->kind()) {
+    case net::MessageKind::kCyclonShuffle:
+      handle_shuffle(from, static_cast<const CyclonShuffle&>(*message));
+      return;
+    case net::MessageKind::kCyclonShuffleReply:
+      handle_shuffle_reply(static_cast<const CyclonShuffleReply&>(*message));
+      return;
+    default:
+      return;
+  }
+}
+
+void Cyclon::handle_shuffle(net::NodeId from, const CyclonShuffle& msg) {
+  ++counters_.shuffles_answered;
+  const std::vector<CyclonEntry> reply_sample =
+      rng_.sample(view_, config_.shuffle_length);
+  network().send_datagram(
+      id(), from, std::make_shared<CyclonShuffleReply>(reply_sample), kTc);
+  integrate(msg.entries(), reply_sample);
+}
+
+void Cyclon::handle_shuffle_reply(const CyclonShuffleReply& msg) {
+  integrate(msg.entries(), last_sent_);
+  last_sent_.clear();
+}
+
+void Cyclon::integrate(const std::vector<CyclonEntry>& received,
+                       const std::vector<CyclonEntry>& sent) {
+  std::size_t sent_cursor = 0;
+  for (const CyclonEntry& entry : received) {
+    if (entry.node == id() || in_view(entry.node)) continue;
+    if (view_.size() < config_.view_size) {
+      view_.push_back(entry);
+      continue;
+    }
+    // View full: first replace entries that we shipped to the partner, then
+    // fall back to replacing the oldest entry.
+    bool replaced = false;
+    while (sent_cursor < sent.size() && !replaced) {
+      const net::NodeId victim = sent[sent_cursor++].node;
+      for (CyclonEntry& slot : view_) {
+        if (slot.node == victim) {
+          slot = entry;
+          replaced = true;
+          break;
+        }
+      }
+    }
+    if (!replaced) {
+      std::size_t oldest = 0;
+      for (std::size_t i = 1; i < view_.size(); ++i) {
+        if (view_[i].age > view_[oldest].age) oldest = i;
+      }
+      view_[oldest] = entry;
+    }
+  }
+}
+
+}  // namespace brisa::membership

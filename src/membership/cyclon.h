@@ -1,0 +1,75 @@
+// Cyclon proactive peer sampling (Voulgaris et al., JNSM 2005).
+//
+// Used as the PSS of the SimpleGossip baseline (§III-D) and available for
+// the §IV perspectives (proactive view refresh for better parent diversity).
+// Shuffles travel as datagrams: Cyclon does not keep connections open and
+// has no explicit failure detection — stale entries age out through the
+// shuffle mechanism, exactly the property the paper contrasts with
+// HyParView's reactive approach.
+//
+// Cyclon implements Network::DatagramHandler but does NOT bind itself to the
+// host: the owning protocol stack (e.g. SimpleGossip) is the host's single
+// datagram handler and forwards kCyclon* messages here. Tests that run
+// Cyclon standalone bind it directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "membership/messages.h"
+#include "net/network.h"
+#include "net/process.h"
+#include "sim/rng.h"
+
+namespace brisa::membership {
+
+class Cyclon final : public net::Process, public net::Network::DatagramHandler {
+ public:
+  struct Config {
+    std::size_t view_size = 8;       ///< c
+    std::size_t shuffle_length = 4;  ///< l
+    sim::Duration shuffle_period = sim::Duration::seconds(2);
+  };
+
+  Cyclon(net::Network& network, net::NodeId id, Config config);
+
+  /// Seeds the view directly (bootstrap population) and starts shuffling.
+  void bootstrap(const std::vector<net::NodeId>& initial);
+
+  /// Joins knowing a single contact; shuffles diffuse the rest.
+  void join(net::NodeId contact);
+
+  [[nodiscard]] std::vector<net::NodeId> view() const;
+
+  /// `k` distinct peers sampled uniformly from the current view.
+  [[nodiscard]] std::vector<net::NodeId> random_peers(std::size_t k);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  // Network::DatagramHandler
+  void on_datagram(net::NodeId from, net::MessagePtr message) override;
+
+  struct Counters {
+    std::uint64_t shuffles_initiated = 0;
+    std::uint64_t shuffles_answered = 0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  void start_timer();
+  void on_shuffle_timer();
+  void handle_shuffle(net::NodeId from, const CyclonShuffle& msg);
+  void handle_shuffle_reply(const CyclonShuffleReply& msg);
+  void integrate(const std::vector<CyclonEntry>& received,
+                 const std::vector<CyclonEntry>& sent);
+  [[nodiscard]] bool in_view(net::NodeId node) const;
+
+  Config config_;
+  sim::Rng rng_;
+  std::vector<CyclonEntry> view_;
+  std::vector<CyclonEntry> last_sent_;
+  bool started_ = false;
+  Counters counters_;
+};
+
+}  // namespace brisa::membership

@@ -1,0 +1,241 @@
+// Wire messages of the membership layer (HyParView §II-A, Cyclon).
+//
+// wire_size() figures charge the 48-bit node identifiers of §II-D plus small
+// fixed headers, so membership overhead in the bandwidth experiments matches
+// the paper's accounting.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/message.h"
+#include "net/node_id.h"
+
+namespace brisa::membership {
+
+/// Base for fixed-size control messages.
+template <net::MessageKind Kind, std::size_t Bytes>
+class FixedMessage : public net::Message {
+ public:
+  [[nodiscard]] net::MessageKind kind() const override { return Kind; }
+  [[nodiscard]] std::size_t wire_size() const override { return Bytes; }
+};
+
+// --- HyParView ------------------------------------------------------------
+
+class HpvJoin final
+    : public FixedMessage<net::MessageKind::kHpvJoin, 8> {
+ public:
+  [[nodiscard]] const char* name() const override { return "hpv-join"; }
+};
+
+class HpvForwardJoin final : public net::Message {
+ public:
+  HpvForwardJoin(net::NodeId joiner, int ttl) : joiner_(joiner), ttl_(ttl) {}
+
+  [[nodiscard]] net::MessageKind kind() const override {
+    return net::MessageKind::kHpvForwardJoin;
+  }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 8 + net::kWireIdBytes + 1;
+  }
+  [[nodiscard]] const char* name() const override { return "hpv-fwd-join"; }
+
+  [[nodiscard]] net::NodeId joiner() const { return joiner_; }
+  [[nodiscard]] int ttl() const { return ttl_; }
+
+ private:
+  net::NodeId joiner_;
+  int ttl_;
+};
+
+class HpvNeighbor final : public net::Message {
+ public:
+  explicit HpvNeighbor(bool high_priority) : high_priority_(high_priority) {}
+
+  [[nodiscard]] net::MessageKind kind() const override {
+    return net::MessageKind::kHpvNeighbor;
+  }
+  [[nodiscard]] std::size_t wire_size() const override { return 9; }
+  [[nodiscard]] const char* name() const override { return "hpv-neighbor"; }
+
+  [[nodiscard]] bool high_priority() const { return high_priority_; }
+
+ private:
+  bool high_priority_;
+};
+
+class HpvNeighborReply final : public net::Message {
+ public:
+  explicit HpvNeighborReply(bool accepted) : accepted_(accepted) {}
+
+  [[nodiscard]] net::MessageKind kind() const override {
+    return net::MessageKind::kHpvNeighborReply;
+  }
+  [[nodiscard]] std::size_t wire_size() const override { return 9; }
+  [[nodiscard]] const char* name() const override {
+    return "hpv-neighbor-reply";
+  }
+
+  [[nodiscard]] bool accepted() const { return accepted_; }
+
+ private:
+  bool accepted_;
+};
+
+class HpvDisconnect final
+    : public FixedMessage<net::MessageKind::kHpvDisconnect, 8> {
+ public:
+  [[nodiscard]] const char* name() const override { return "hpv-disconnect"; }
+};
+
+class HpvShuffle final : public net::Message {
+ public:
+  HpvShuffle(net::NodeId origin, int ttl, std::vector<net::NodeId> sample)
+      : origin_(origin), ttl_(ttl), sample_(std::move(sample)) {}
+
+  [[nodiscard]] net::MessageKind kind() const override {
+    return net::MessageKind::kHpvShuffle;
+  }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 8 + net::kWireIdBytes + 1 + sample_.size() * net::kWireIdBytes;
+  }
+  [[nodiscard]] const char* name() const override { return "hpv-shuffle"; }
+
+  [[nodiscard]] net::NodeId origin() const { return origin_; }
+  [[nodiscard]] int ttl() const { return ttl_; }
+  [[nodiscard]] const std::vector<net::NodeId>& sample() const {
+    return sample_;
+  }
+
+ private:
+  net::NodeId origin_;
+  int ttl_;
+  std::vector<net::NodeId> sample_;
+};
+
+class HpvShuffleReply final : public net::Message {
+ public:
+  explicit HpvShuffleReply(std::vector<net::NodeId> sample)
+      : sample_(std::move(sample)) {}
+
+  [[nodiscard]] net::MessageKind kind() const override {
+    return net::MessageKind::kHpvShuffleReply;
+  }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 8 + sample_.size() * net::kWireIdBytes;
+  }
+  [[nodiscard]] const char* name() const override {
+    return "hpv-shuffle-reply";
+  }
+
+  [[nodiscard]] const std::vector<net::NodeId>& sample() const {
+    return sample_;
+  }
+
+ private:
+  std::vector<net::NodeId> sample_;
+};
+
+/// Keep-alives double as RTT probes for the delay-aware parent selection
+/// (§II-E) and may piggyback repair metadata (§II-F); `payload_bytes` models
+/// that piggybacked content.
+class HpvKeepAlive final : public net::Message {
+ public:
+  HpvKeepAlive(std::uint64_t probe_id, std::uint64_t app_watermark,
+               std::uint64_t app_aux)
+      : probe_id_(probe_id), app_watermark_(app_watermark), app_aux_(app_aux) {}
+
+  [[nodiscard]] net::MessageKind kind() const override {
+    return net::MessageKind::kHpvKeepAlive;
+  }
+  [[nodiscard]] std::size_t wire_size() const override { return 32; }
+  [[nodiscard]] const char* name() const override { return "hpv-keepalive"; }
+
+  [[nodiscard]] std::uint64_t probe_id() const { return probe_id_; }
+  [[nodiscard]] std::uint64_t app_watermark() const { return app_watermark_; }
+  [[nodiscard]] std::uint64_t app_aux() const { return app_aux_; }
+
+ private:
+  std::uint64_t probe_id_;
+  std::uint64_t app_watermark_;
+  std::uint64_t app_aux_;
+};
+
+class HpvKeepAliveReply final : public net::Message {
+ public:
+  HpvKeepAliveReply(std::uint64_t probe_id, std::uint64_t app_watermark,
+                    std::uint64_t app_aux)
+      : probe_id_(probe_id), app_watermark_(app_watermark), app_aux_(app_aux) {}
+
+  [[nodiscard]] net::MessageKind kind() const override {
+    return net::MessageKind::kHpvKeepAliveReply;
+  }
+  [[nodiscard]] std::size_t wire_size() const override { return 32; }
+  [[nodiscard]] const char* name() const override {
+    return "hpv-keepalive-reply";
+  }
+
+  [[nodiscard]] std::uint64_t probe_id() const { return probe_id_; }
+  [[nodiscard]] std::uint64_t app_watermark() const { return app_watermark_; }
+  [[nodiscard]] std::uint64_t app_aux() const { return app_aux_; }
+
+ private:
+  std::uint64_t probe_id_;
+  std::uint64_t app_watermark_;
+  std::uint64_t app_aux_;
+};
+
+// --- Cyclon ----------------------------------------------------------------
+
+struct CyclonEntry {
+  net::NodeId node;
+  int age = 0;
+};
+
+class CyclonShuffle final : public net::Message {
+ public:
+  explicit CyclonShuffle(std::vector<CyclonEntry> entries)
+      : entries_(std::move(entries)) {}
+
+  [[nodiscard]] net::MessageKind kind() const override {
+    return net::MessageKind::kCyclonShuffle;
+  }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 8 + entries_.size() * (net::kWireIdBytes + 1);
+  }
+  [[nodiscard]] const char* name() const override { return "cyclon-shuffle"; }
+
+  [[nodiscard]] const std::vector<CyclonEntry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<CyclonEntry> entries_;
+};
+
+class CyclonShuffleReply final : public net::Message {
+ public:
+  explicit CyclonShuffleReply(std::vector<CyclonEntry> entries)
+      : entries_(std::move(entries)) {}
+
+  [[nodiscard]] net::MessageKind kind() const override {
+    return net::MessageKind::kCyclonShuffleReply;
+  }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 8 + entries_.size() * (net::kWireIdBytes + 1);
+  }
+  [[nodiscard]] const char* name() const override {
+    return "cyclon-shuffle-reply";
+  }
+
+  [[nodiscard]] const std::vector<CyclonEntry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<CyclonEntry> entries_;
+};
+
+}  // namespace brisa::membership

@@ -1,0 +1,72 @@
+// Peer sampling service abstraction (§II-A).
+//
+// BRISA is written against this interface so that the dissemination layer is
+// independent of the concrete PSS. HyParView implements it reactively (the
+// configuration evaluated in the paper); a proactive PSS such as Cyclon can
+// be substituted for the §IV "perspectives" experiments.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/message.h"
+#include "net/node_id.h"
+#include "sim/time.h"
+
+namespace brisa::membership {
+
+/// Why a neighbor left the view.
+enum class NeighborLossReason : std::uint8_t {
+  kFailed,   ///< crash detected (keep-alive / transport)
+  kEvicted,  ///< view management decision (graceful DISCONNECT)
+};
+
+class PssListener {
+ public:
+  virtual ~PssListener() = default;
+
+  /// A bidirectional link to `peer` is established and usable.
+  virtual void on_neighbor_up(net::NodeId peer) = 0;
+
+  /// The link to `peer` is gone.
+  virtual void on_neighbor_down(net::NodeId peer,
+                                NeighborLossReason reason) = 0;
+
+  /// A non-membership message arrived over a membership link.
+  virtual void on_app_message(net::NodeId from, net::MessagePtr message) = 0;
+
+  /// Application progress watermark piggybacked on a neighbor's keep-alive
+  /// (§II-F: keep-alives carry the metadata repair needs). `aux` is a second
+  /// application-defined value (BRISA: the cumulative path delay used by the
+  /// delay-aware strategy). Default: ignore.
+  virtual void on_neighbor_watermark(net::NodeId /*peer*/,
+                                     std::uint64_t /*watermark*/,
+                                     std::uint64_t /*aux*/) {}
+};
+
+class PeerSamplingService {
+ public:
+  virtual ~PeerSamplingService() = default;
+
+  /// The view exposed to the application (HyParView: the active view).
+  [[nodiscard]] virtual std::vector<net::NodeId> view() const = 0;
+
+  [[nodiscard]] virtual bool is_neighbor(net::NodeId peer) const = 0;
+
+  /// Sends an application message over the established link to `peer`.
+  /// Returns false if `peer` is not currently a usable neighbor.
+  virtual bool send_app(net::NodeId peer, net::MessagePtr message,
+                        net::TrafficClass traffic_class) = 0;
+
+  /// Smoothed RTT estimate from keep-alive probes; Duration::max() until the
+  /// first probe completes. Input to the delay-aware strategy (§II-E).
+  [[nodiscard]] virtual sim::Duration rtt_estimate(net::NodeId peer) const = 0;
+
+  virtual void set_listener(PssListener* listener) = 0;
+
+  /// Supplies the (watermark, aux) pair carried in outgoing keep-alives.
+  virtual void set_watermark_provider(
+      std::function<std::pair<std::uint64_t, std::uint64_t>()> provider) = 0;
+};
+
+}  // namespace brisa::membership

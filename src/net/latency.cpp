@@ -1,0 +1,81 @@
+#include "net/latency.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/bloom.h"  // mix64
+
+namespace brisa::net {
+
+namespace {
+
+/// Deterministic uniform double in [0,1) from a hash input.
+double hashed_uniform(std::uint64_t x) {
+  return static_cast<double>(util::mix64(x) >> 11) * 0x1.0p-53;
+}
+
+/// Deterministic standard normal from two hashed uniforms (Box–Muller).
+double hashed_normal(std::uint64_t x) {
+  double u1 = hashed_uniform(x);
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = hashed_uniform(x ^ 0xdeadbeefcafef00dULL);
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace
+
+sim::Duration ClusterLatencyModel::sample(NodeId /*from*/, NodeId /*to*/,
+                                          sim::Rng& rng) {
+  const double jitter_us = rng.exponential(config_.jitter_mean_us);
+  return config_.base_latency +
+         sim::Duration::microseconds(static_cast<std::int64_t>(jitter_us));
+}
+
+sim::Duration ClusterLatencyModel::base(NodeId /*from*/,
+                                        NodeId /*to*/) const {
+  return config_.base_latency;
+}
+
+PlanetLabLatencyModel::Placement PlanetLabLatencyModel::placement(
+    NodeId node) const {
+  const std::uint64_t h = config_.placement_seed ^
+                          (static_cast<std::uint64_t>(node.index()) + 1) *
+                              0x9e3779b97f4a7c15ULL;
+  Placement p;
+  p.x_ms = hashed_uniform(h) * config_.plane_ms;
+  p.y_ms = hashed_uniform(h ^ 0x1111111111111111ULL) * config_.plane_ms;
+  p.access_ms = std::exp(config_.access_mu +
+                         config_.access_sigma *
+                             hashed_normal(h ^ 0x2222222222222222ULL));
+  return p;
+}
+
+sim::Duration PlanetLabLatencyModel::base(NodeId from, NodeId to) const {
+  if (from == to) return sim::Duration::microseconds(50);
+  const Placement a = placement(from);
+  const Placement b = placement(to);
+  const double dx = a.x_ms - b.x_ms;
+  const double dy = a.y_ms - b.y_ms;
+  // Propagation scales with plane distance; 0.5 ms floor models the last-mile.
+  const double prop_ms = std::max(0.5, std::sqrt(dx * dx + dy * dy) * 0.5);
+  const double total_ms = prop_ms + a.access_ms + b.access_ms;
+  return sim::Duration::microseconds(static_cast<std::int64_t>(total_ms * 1e3));
+}
+
+sim::Duration PlanetLabLatencyModel::sample(NodeId from, NodeId to,
+                                            sim::Rng& rng) {
+  const double jitter_ms = rng.exponential(config_.jitter_mean_ms);
+  return base(from, to) +
+         sim::Duration::microseconds(static_cast<std::int64_t>(jitter_ms * 1e3));
+}
+
+std::unique_ptr<LatencyModel> make_cluster_latency() {
+  return std::make_unique<ClusterLatencyModel>();
+}
+
+std::unique_ptr<LatencyModel> make_planetlab_latency() {
+  return std::make_unique<PlanetLabLatencyModel>();
+}
+
+}  // namespace brisa::net

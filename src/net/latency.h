@@ -1,0 +1,99 @@
+// Point-to-point latency models.
+//
+// Substitutes for the paper's two testbeds (§III): a 1 Gbps switched cluster
+// and a PlanetLab slice. Latencies are a deterministic function of the node
+// pair (plus per-message jitter drawn from the caller's RNG stream), so the
+// same seed always produces the same network.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/node_id.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace brisa::net {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// One-way latency for a message from `from` to `to`, including jitter.
+  [[nodiscard]] virtual sim::Duration sample(NodeId from, NodeId to,
+                                             sim::Rng& rng) = 0;
+
+  /// The stable (jitter-free) component, used by tests and by the
+  /// point-to-point reference series in Fig 9.
+  [[nodiscard]] virtual sim::Duration base(NodeId from, NodeId to) const = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Switched-LAN model: uniform sub-millisecond base latency plus small
+/// exponential jitter. Matches the paper's 15-machine 1 Gbps cluster.
+class ClusterLatencyModel final : public LatencyModel {
+ public:
+  struct Config {
+    sim::Duration base_latency = sim::Duration::microseconds(150);
+    double jitter_mean_us = 30.0;
+  };
+
+  ClusterLatencyModel() : ClusterLatencyModel(Config{}) {}
+  explicit ClusterLatencyModel(Config config) : config_(config) {}
+
+  [[nodiscard]] sim::Duration sample(NodeId from, NodeId to,
+                                     sim::Rng& rng) override;
+  [[nodiscard]] sim::Duration base(NodeId from, NodeId to) const override;
+  [[nodiscard]] const char* name() const override { return "cluster"; }
+
+ private:
+  Config config_;
+};
+
+/// Wide-area model: each node gets a position on a 2-D "Internet plane" plus
+/// a heavy-tailed per-node access penalty (log-normal). One-way latency =
+/// propagation (distance) + both endpoints' access penalties + jitter.
+/// Reproduces PlanetLab's key traits: large spread (a few ms to hundreds of
+/// ms), consistent per-pair values, and a heavy tail of slow nodes.
+class PlanetLabLatencyModel final : public LatencyModel {
+ public:
+  struct Config {
+    /// Plane half-width in "milliseconds of propagation". Kept moderate:
+    /// real PlanetLab latency is dominated by per-node access/slivering
+    /// penalties rather than geography, which is what makes the delay-aware
+    /// strategy effective (it routes around slow *nodes*, not distances).
+    double plane_ms = 60.0;
+    /// Log-normal parameters of the per-node access penalty (ms).
+    double access_mu = 3.0;     // median e^3 ≈ 20 ms
+    double access_sigma = 1.0;  // heavy tail: p90 ≈ 72 ms, p99 ≈ 206 ms
+    /// Per-message jitter: exponential with this mean (ms).
+    double jitter_mean_ms = 2.0;
+    /// Seed for the deterministic node-placement stream.
+    std::uint64_t placement_seed = 0x91ab5eedULL;
+  };
+
+  PlanetLabLatencyModel() : PlanetLabLatencyModel(Config{}) {}
+  explicit PlanetLabLatencyModel(Config config) : config_(config) {}
+
+  [[nodiscard]] sim::Duration sample(NodeId from, NodeId to,
+                                     sim::Rng& rng) override;
+  [[nodiscard]] sim::Duration base(NodeId from, NodeId to) const override;
+  [[nodiscard]] const char* name() const override { return "planetlab"; }
+
+ private:
+  struct Placement {
+    double x_ms;
+    double y_ms;
+    double access_ms;
+  };
+  [[nodiscard]] Placement placement(NodeId node) const;
+
+  Config config_;
+};
+
+/// Factory helpers used by scenario configuration.
+std::unique_ptr<LatencyModel> make_cluster_latency();
+std::unique_ptr<LatencyModel> make_planetlab_latency();
+
+}  // namespace brisa::net

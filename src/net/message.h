@@ -1,0 +1,103 @@
+// Wire messages.
+//
+// Protocols exchange typed message objects; the simulator only needs their
+// size (for NIC serialization and bandwidth accounting) and their kind (for
+// demultiplexing inside a node's protocol stack). Payload bytes are never
+// materialized — the paper's payloads are opaque random bit strings, so only
+// their length matters.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace brisa::net {
+
+/// Every distinct protocol message in the system. Grouped by subsystem so a
+/// stack can route on ranges if it ever needs to.
+enum class MessageKind : std::uint16_t {
+  // Transport-internal (handshake); never surfaced to handlers.
+  kSyn,
+  kSynAck,
+  kFin,
+
+  // HyParView (§II-A)
+  kHpvJoin,
+  kHpvForwardJoin,
+  kHpvNeighbor,
+  kHpvNeighborReply,
+  kHpvDisconnect,
+  kHpvShuffle,
+  kHpvShuffleReply,
+  kHpvKeepAlive,
+  kHpvKeepAliveReply,
+
+  // Cyclon
+  kCyclonShuffle,
+  kCyclonShuffleReply,
+
+  // BRISA (§II-C to §II-G)
+  kBrisaData,
+  kBrisaDeactivate,
+  kBrisaResume,          ///< "re-activate your outbound link to me"
+  kBrisaResumeAck,       ///< carries the responder's position metadata
+  kBrisaReactivateOrder, ///< hard repair: flows down the broken subtree
+  kBrisaRetransmitRequest,
+
+  // SimpleGossip baseline
+  kGossipRumor,
+  kGossipAntiEntropyRequest,
+  kGossipAntiEntropyReply,
+
+  // SimpleTree baseline
+  kTreeJoinRequest,
+  kTreeJoinReply,
+  kTreeAttach,
+  kTreeData,
+
+  // TAG baseline
+  kTagTailQuery,
+  kTagTailReply,
+  kTagAppendRequest,
+  kTagAppendReply,
+  kTagListProbe,
+  kTagListProbeReply,
+  kTagListUpdate,
+  kTagPullRequest,
+  kTagPullReply,
+
+  // Tests / examples
+  kTestPing,
+  kTestPayload,
+};
+
+/// Fixed per-message framing overhead charged on the wire (Ethernet + IP +
+/// TCP headers, amortized). Keeping it explicit makes bandwidth numbers
+/// comparable with the paper's KB/s measurements.
+inline constexpr std::size_t kFrameOverheadBytes = 66;
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  [[nodiscard]] virtual MessageKind kind() const = 0;
+
+  /// Bytes of protocol content (headers + metadata + payload), excluding
+  /// kFrameOverheadBytes which the network adds once per message.
+  [[nodiscard]] virtual std::size_t wire_size() const = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// Traffic classes for bandwidth accounting (Fig 10–12 split management
+/// overhead from payload dissemination).
+enum class TrafficClass : std::uint8_t {
+  kMembership,  ///< PSS maintenance: joins, shuffles, keep-alives
+  kControl,     ///< dissemination-structure control: (de)activations, pulls
+  kData,        ///< stream payload messages
+};
+
+inline constexpr std::size_t kTrafficClassCount = 3;
+
+}  // namespace brisa::net

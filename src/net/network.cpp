@@ -1,0 +1,199 @@
+#include "net/network.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace brisa::net {
+
+Network::Config Network::cluster_config() {
+  Config config;
+  config.upload_Bps = 125e6;  // 1 Gbps
+  config.rx_process_mean = sim::Duration::microseconds(30);
+  config.rx_process_per_kb = sim::Duration::microseconds(50);
+  config.rx_process_sigma = 0.2;
+  config.failure_detect_base = sim::Duration::milliseconds(150);
+  config.failure_detect_jitter = sim::Duration::milliseconds(75);
+  return config;
+}
+
+Network::Config Network::planetlab_config() {
+  Config config;
+  // PlanetLab slivers see a small share of a 100 Mbps uplink.
+  config.upload_Bps = 2.5e6;  // 20 Mbps
+  // Resource-starved nodes: the paper's prototype runs on Splay/Lua on
+  // heavily shared machines, so parsing a payload costs milliseconds per
+  // KB while small control messages stay cheap. Duplicate-heavy flooding
+  // therefore queues visibly at the slower nodes (Fig 9's "heavy load"),
+  // without drowning keep-alives.
+  config.rx_process_mean = sim::Duration::milliseconds(1);
+  config.rx_process_per_kb = sim::Duration::milliseconds(15);
+  config.rx_process_sigma = 0.8;
+  config.failure_detect_base = sim::Duration::milliseconds(400);
+  config.failure_detect_jitter = sim::Duration::milliseconds(250);
+  return config;
+}
+
+Network::Network(sim::Simulator& simulator,
+                 std::unique_ptr<LatencyModel> latency)
+    : Network(simulator, std::move(latency), Config{}) {}
+
+Network::Network(sim::Simulator& simulator,
+                 std::unique_ptr<LatencyModel> latency, Config config)
+    : simulator_(simulator),
+      latency_(std::move(latency)),
+      config_(config),
+      rng_(simulator.rng().split(0x4e7f00d)) {
+  BRISA_ASSERT(latency_ != nullptr);
+  BRISA_ASSERT(config_.upload_Bps > 0);
+}
+
+NodeId Network::add_host() {
+  Host h;
+  // A host created mid-run starts with idle NIC/CPU *now*, not at origin.
+  h.nic_free_at = simulator_.now();
+  h.cpu_free_at = simulator_.now();
+  if (config_.rx_process_sigma > 0.0) {
+    h.cpu_cost_factor = rng_.lognormal(0.0, config_.rx_process_sigma);
+  }
+  hosts_.push_back(std::move(h));
+  ++alive_count_;
+  return NodeId(static_cast<std::uint32_t>(hosts_.size() - 1));
+}
+
+void Network::kill(NodeId node) {
+  Host& h = host(node);
+  if (!h.alive) return;
+  h.alive = false;
+  --alive_count_;
+  BRISA_DEBUG("net") << node << " killed";
+  for (DeathListener* listener : death_listeners_) {
+    listener->on_host_killed(node);
+  }
+}
+
+bool Network::alive(NodeId node) const {
+  if (!node.valid() || node.index() >= hosts_.size()) return false;
+  return hosts_[node.index()].alive;
+}
+
+std::vector<NodeId> Network::alive_hosts() const {
+  std::vector<NodeId> out;
+  out.reserve(alive_count_);
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    if (hosts_[i].alive) out.emplace_back(static_cast<std::uint32_t>(i));
+  }
+  return out;
+}
+
+void Network::bind_datagram_handler(NodeId node, DatagramHandler* handler) {
+  host(node).datagram_handler = handler;
+}
+
+void Network::send_datagram(NodeId from, NodeId to, MessagePtr message,
+                            TrafficClass traffic_class) {
+  BRISA_ASSERT(message != nullptr);
+  if (!alive(from)) return;
+  const std::size_t wire_bytes = message->wire_size();
+  const sim::TimePoint serialized = nic_send(from, wire_bytes, traffic_class);
+  const sim::Duration flight = latency_->sample(from, to, rng_);
+  const sim::TimePoint arrival = serialized + flight;
+  simulator_.at(arrival, [this, from, to, message = std::move(message),
+                          wire_bytes, traffic_class]() {
+    if (!alive(to)) return;
+    Host& h = host(to);
+    if (h.datagram_handler == nullptr) return;
+    charge_receive(to, wire_bytes, traffic_class);
+    const sim::TimePoint ready = cpu_deliver(to, simulator_.now(), wire_bytes);
+    if (ready == simulator_.now()) {
+      h.datagram_handler->on_datagram(from, message);
+    } else {
+      simulator_.at(ready, [this, from, to, message]() {
+        if (!alive(to)) return;
+        Host& inner = host(to);
+        if (inner.datagram_handler != nullptr) {
+          inner.datagram_handler->on_datagram(from, message);
+        }
+      });
+    }
+  });
+}
+
+sim::TimePoint Network::nic_send(NodeId from, std::size_t wire_bytes,
+                                 TrafficClass traffic_class) {
+  Host& h = host(from);
+  BRISA_ASSERT_MSG(h.alive, "dead host attempted to send");
+  const std::size_t total_bytes = wire_bytes + kFrameOverheadBytes;
+  const auto serialize_us = static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(total_bytes) * 1e6 / config_.upload_Bps));
+  const sim::TimePoint start =
+      std::max(simulator_.now(), h.nic_free_at);
+  const sim::TimePoint done =
+      start + sim::Duration::microseconds(serialize_us);
+  h.nic_free_at = done;
+  const auto tc = static_cast<std::size_t>(traffic_class);
+  h.stats.up_bytes[tc] += total_bytes;
+  h.stats.up_messages[tc] += 1;
+  ++messages_sent_;
+  return done;
+}
+
+void Network::charge_receive(NodeId to, std::size_t wire_bytes,
+                             TrafficClass traffic_class) {
+  Host& h = host(to);
+  const auto tc = static_cast<std::size_t>(traffic_class);
+  h.stats.down_bytes[tc] += wire_bytes + kFrameOverheadBytes;
+  h.stats.down_messages[tc] += 1;
+}
+
+sim::TimePoint Network::cpu_deliver(NodeId to, sim::TimePoint arrival,
+                                    std::size_t wire_bytes) {
+  if (config_.rx_process_mean == sim::Duration::zero() &&
+      config_.rx_process_per_kb == sim::Duration::zero()) {
+    return arrival;
+  }
+  Host& h = host(to);
+  const double size_us = static_cast<double>(config_.rx_process_per_kb.us()) *
+                         static_cast<double>(wire_bytes) / 1024.0;
+  const double mean_us =
+      (static_cast<double>(config_.rx_process_mean.us()) + size_us) *
+      h.cpu_cost_factor;
+  const auto cost = sim::Duration::microseconds(
+      static_cast<std::int64_t>(rng_.exponential(mean_us)) + 1);
+  const sim::TimePoint start = std::max(arrival, h.cpu_free_at);
+  const sim::TimePoint done = start + cost;
+  h.cpu_free_at = done;
+  return done;
+}
+
+sim::Duration Network::sample_failure_detect_delay() {
+  const double jitter_us = rng_.exponential(
+      static_cast<double>(config_.failure_detect_jitter.us()));
+  return config_.failure_detect_base +
+         sim::Duration::microseconds(static_cast<std::int64_t>(jitter_us));
+}
+
+BandwidthStats& Network::stats(NodeId node) { return host(node).stats; }
+
+const BandwidthStats& Network::stats(NodeId node) const {
+  return host(node).stats;
+}
+
+void Network::reset_stats() {
+  for (Host& h : hosts_) h.stats.reset();
+}
+
+Network::Host& Network::host(NodeId node) {
+  BRISA_ASSERT_MSG(node.valid() && node.index() < hosts_.size(),
+                   "unknown host");
+  return hosts_[node.index()];
+}
+
+const Network::Host& Network::host(NodeId node) const {
+  BRISA_ASSERT_MSG(node.valid() && node.index() < hosts_.size(),
+                   "unknown host");
+  return hosts_[node.index()];
+}
+
+}  // namespace brisa::net

@@ -1,0 +1,172 @@
+// The simulated network: host table, NIC serialization, receive-side CPU
+// queue, unreliable datagrams, and per-host bandwidth accounting.
+//
+// Two resources are modeled per host, because both matter for the paper's
+// results:
+//   * the NIC: outbound messages serialize FIFO at `upload_Bps`
+//     (Figs 10-12: bandwidth usage; flood vs tree load);
+//   * the CPU: inbound messages queue for a per-message processing cost
+//     (Fig 9: on PlanetLab, duplicate-heavy flooding inflates delays because
+//     resource-starved nodes pay for every reception).
+// Receive-side link contention is intentionally not modeled; at the paper's
+// rates the NIC and CPU are the binding resources.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/latency.h"
+#include "net/message.h"
+#include "net/node_id.h"
+#include "sim/simulator.h"
+
+namespace brisa::net {
+
+struct BandwidthStats {
+  std::array<std::uint64_t, kTrafficClassCount> up_bytes{};
+  std::array<std::uint64_t, kTrafficClassCount> down_bytes{};
+  std::array<std::uint64_t, kTrafficClassCount> up_messages{};
+  std::array<std::uint64_t, kTrafficClassCount> down_messages{};
+
+  [[nodiscard]] std::uint64_t total_up_bytes() const {
+    std::uint64_t total = 0;
+    for (auto b : up_bytes) total += b;
+    return total;
+  }
+  [[nodiscard]] std::uint64_t total_down_bytes() const {
+    std::uint64_t total = 0;
+    for (auto b : down_bytes) total += b;
+    return total;
+  }
+  void reset() { *this = BandwidthStats{}; }
+};
+
+class Network {
+ public:
+  struct Config {
+    /// NIC throughput. Default: 1 Gbps full duplex (the paper's cluster).
+    double upload_Bps = 125e6;
+    /// Mean per-message receive processing cost (fixed part); 0 with
+    /// rx_process_per_kb == 0 disables CPU modeling.
+    sim::Duration rx_process_mean = sim::Duration::zero();
+    /// Additional processing cost per KB of message body — large payloads
+    /// cost proportionally more to parse/copy (dominant on PlanetLab).
+    sim::Duration rx_process_per_kb = sim::Duration::zero();
+    /// Per-host CPU speed heterogeneity: each host's processing cost is
+    /// multiplied by lognormal(0, rx_process_sigma). 0 = homogeneous.
+    double rx_process_sigma = 0.0;
+    /// Transport-level failure detection (TCP reset / flow-control timeout):
+    /// peers of a dead node learn of broken connections after
+    /// `failure_detect_base` + Exp(`failure_detect_jitter`).
+    sim::Duration failure_detect_base = sim::Duration::milliseconds(200);
+    sim::Duration failure_detect_jitter = sim::Duration::milliseconds(100);
+  };
+
+  /// Presets matching the two testbeds of §III.
+  [[nodiscard]] static Config cluster_config();
+  [[nodiscard]] static Config planetlab_config();
+
+  Network(sim::Simulator& simulator, std::unique_ptr<LatencyModel> latency);
+  Network(sim::Simulator& simulator, std::unique_ptr<LatencyModel> latency,
+          Config config);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- Host lifecycle -----------------------------------------------------
+
+  /// Adds a host, alive immediately.
+  NodeId add_host();
+
+  /// Crash-stop failure: the host stops sending/receiving instantly; peers
+  /// learn through transport failure detection.
+  void kill(NodeId node);
+
+  [[nodiscard]] bool alive(NodeId node) const;
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+  [[nodiscard]] std::size_t alive_count() const { return alive_count_; }
+  [[nodiscard]] std::vector<NodeId> alive_hosts() const;
+
+  class DeathListener {
+   public:
+    virtual ~DeathListener() = default;
+    virtual void on_host_killed(NodeId node) = 0;
+  };
+  void add_death_listener(DeathListener* listener) {
+    death_listeners_.push_back(listener);
+  }
+
+  // --- Datagrams ----------------------------------------------------------
+
+  class DatagramHandler {
+   public:
+    virtual ~DatagramHandler() = default;
+    virtual void on_datagram(NodeId from, MessagePtr message) = 0;
+  };
+
+  void bind_datagram_handler(NodeId node, DatagramHandler* handler);
+
+  /// Fire-and-forget send; silently dropped if the destination is dead at
+  /// arrival (Cyclon-style protocols tolerate this by design).
+  void send_datagram(NodeId from, NodeId to, MessagePtr message,
+                     TrafficClass traffic_class);
+
+  // --- Resource model (used by Transport and datagrams) -------------------
+
+  /// Serializes `wire_bytes` (+frame overhead) at `from`'s NIC; charges
+  /// upload accounting; returns the serialization-completion time.
+  sim::TimePoint nic_send(NodeId from, std::size_t wire_bytes,
+                          TrafficClass traffic_class);
+
+  /// Charges download accounting at `to`.
+  void charge_receive(NodeId to, std::size_t wire_bytes,
+                      TrafficClass traffic_class);
+
+  /// Queues inbound processing at `to`'s CPU starting no earlier than
+  /// `arrival`; returns the instant the protocol handler should run.
+  sim::TimePoint cpu_deliver(NodeId to, sim::TimePoint arrival,
+                             std::size_t wire_bytes);
+
+  /// Sampled delay until a peer notices this host's death (transport level).
+  sim::Duration sample_failure_detect_delay();
+
+  // --- Accessors ----------------------------------------------------------
+
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] LatencyModel& latency() { return *latency_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  [[nodiscard]] BandwidthStats& stats(NodeId node);
+  [[nodiscard]] const BandwidthStats& stats(NodeId node) const;
+  /// Zeroes all per-host counters (phase boundaries in Fig 12).
+  void reset_stats();
+
+  /// Messages that finished NIC serialization, network-wide (tests).
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  struct Host {
+    bool alive = true;
+    sim::TimePoint nic_free_at = sim::TimePoint::origin();
+    sim::TimePoint cpu_free_at = sim::TimePoint::origin();
+    double cpu_cost_factor = 1.0;
+    DatagramHandler* datagram_handler = nullptr;
+    BandwidthStats stats;
+  };
+
+  Host& host(NodeId node);
+  const Host& host(NodeId node) const;
+
+  sim::Simulator& simulator_;
+  std::unique_ptr<LatencyModel> latency_;
+  Config config_;
+  sim::Rng rng_;
+  std::vector<Host> hosts_;
+  std::size_t alive_count_ = 0;
+  std::vector<DeathListener*> death_listeners_;
+  std::uint64_t messages_sent_ = 0;
+};
+
+}  // namespace brisa::net

@@ -1,0 +1,48 @@
+// Node identity.
+//
+// A NodeId is an opaque dense index into the network's host table. The paper
+// identifies nodes by 48-bit ip:port pairs; kWireIdBytes reflects that cost
+// wherever protocol messages embed identifiers (path embedding, view
+// exchanges), independent of the in-memory representation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace brisa::net {
+
+/// Size of one node identifier on the wire (ip:port, 48 bits — §II-D).
+inline constexpr std::size_t kWireIdBytes = 6;
+
+class NodeId {
+ public:
+  constexpr NodeId() = default;
+  explicit constexpr NodeId(std::uint32_t index) : index_(index) {}
+
+  [[nodiscard]] static constexpr NodeId invalid() { return NodeId(); }
+  [[nodiscard]] constexpr bool valid() const {
+    return index_ != std::numeric_limits<std::uint32_t>::max();
+  }
+  [[nodiscard]] constexpr std::uint32_t index() const { return index_; }
+
+  constexpr auto operator<=>(const NodeId&) const = default;
+
+ private:
+  std::uint32_t index_ = std::numeric_limits<std::uint32_t>::max();
+};
+
+inline std::ostream& operator<<(std::ostream& os, NodeId id) {
+  if (!id.valid()) return os << "n<invalid>";
+  return os << "n" << id.index();
+}
+
+}  // namespace brisa::net
+
+template <>
+struct std::hash<brisa::net::NodeId> {
+  std::size_t operator()(brisa::net::NodeId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.index());
+  }
+};

@@ -1,0 +1,32 @@
+#include "net/process.h"
+
+namespace brisa::net {
+
+sim::EventId Process::after(sim::Duration delay, std::function<void()> fn) {
+  return simulator().after(delay, [this, fn = std::move(fn)]() {
+    if (!alive()) return;
+    fn();
+  });
+}
+
+void Process::schedule_periodic_guarded(
+    sim::Duration period, std::function<void()> fn,
+    const std::shared_ptr<sim::Simulator::PeriodicHandle>& handle) {
+  handle->pending =
+      simulator().after(period, [this, period, fn = std::move(fn), handle]() {
+        if (handle->cancelled || !alive()) return;
+        fn();
+        if (!handle->cancelled && alive()) {
+          schedule_periodic_guarded(period, fn, handle);
+        }
+      });
+}
+
+std::shared_ptr<sim::Simulator::PeriodicHandle> Process::every(
+    sim::Duration period, std::function<void()> fn) {
+  auto handle = std::make_shared<sim::Simulator::PeriodicHandle>();
+  schedule_periodic_guarded(period, std::move(fn), handle);
+  return handle;
+}
+
+}  // namespace brisa::net

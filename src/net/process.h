@@ -1,0 +1,52 @@
+// Base class for a protocol stack running on one simulated host.
+//
+// Crash-stop failures happen at arbitrary instants, but the protocol objects
+// live until the end of the run (they own measurement state). Timers created
+// through Process therefore self-disarm when the host is dead, so no protocol
+// code ever runs "post mortem".
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/network.h"
+#include "net/node_id.h"
+#include "sim/simulator.h"
+
+namespace brisa::net {
+
+class Process {
+ public:
+  Process(Network& network, NodeId id) : network_(network), id_(id) {}
+  virtual ~Process() = default;
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] bool alive() const { return network_.alive(id_); }
+  [[nodiscard]] Network& network() { return network_; }
+  [[nodiscard]] sim::Simulator& simulator() { return network_.simulator(); }
+  [[nodiscard]] sim::TimePoint now() const {
+    return network_.simulator().now();
+  }
+
+  /// One-shot timer that silently drops if the host died meanwhile.
+  sim::EventId after(sim::Duration delay, std::function<void()> fn);
+
+  /// Periodic timer with the same liveness guard; cancelled automatically
+  /// when the host dies (the guard stops rescheduling).
+  std::shared_ptr<sim::Simulator::PeriodicHandle> every(
+      sim::Duration period, std::function<void()> fn);
+
+ private:
+  void schedule_periodic_guarded(
+      sim::Duration period, std::function<void()> fn,
+      const std::shared_ptr<sim::Simulator::PeriodicHandle>& handle);
+
+  Network& network_;
+  NodeId id_;
+};
+
+}  // namespace brisa::net

@@ -1,0 +1,256 @@
+#include "net/transport.h"
+
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace brisa::net {
+
+const char* to_string(CloseReason reason) {
+  switch (reason) {
+    case CloseReason::kLocalClose:
+      return "local-close";
+    case CloseReason::kRemoteClose:
+      return "remote-close";
+    case CloseReason::kPeerFailure:
+      return "peer-failure";
+    case CloseReason::kRefused:
+      return "refused";
+  }
+  return "?";
+}
+
+Transport::Transport(Network& network) : network_(network) {
+  network_.add_death_listener(this);
+}
+
+void Transport::bind(NodeId node, TransportHandler* handler) {
+  handlers_[node.index()] = handler;
+}
+
+TransportHandler* Transport::handler_of(NodeId node) {
+  const auto it = handlers_.find(node.index());
+  return it == handlers_.end() ? nullptr : it->second;
+}
+
+ConnectionId Transport::connect(NodeId from, NodeId to) {
+  BRISA_ASSERT_MSG(from != to, "self-connection");
+  BRISA_ASSERT_MSG(network_.alive(from), "dead host calling connect");
+  const ConnectionId conn = next_id_++;
+  connections_.emplace(conn, Connection{from, to, State::kConnecting,
+                                        sim::TimePoint::origin(),
+                                        sim::TimePoint::origin()});
+  by_host_[from.index()].insert(conn);
+  by_host_[to.index()].insert(conn);
+
+  sim::Simulator& simulator = network_.simulator();
+  // SYN: from -> to.
+  const sim::TimePoint syn_done =
+      network_.nic_send(from, kControlSegmentBytes, TrafficClass::kMembership);
+  const sim::TimePoint syn_arrival =
+      syn_done + network_.latency().sample(from, to, simulator.rng());
+  simulator.at(syn_arrival, [this, conn, from, to]() {
+    Connection* c = find(conn);
+    if (c == nullptr || c->state == State::kClosed) return;
+    sim::Simulator& sim2 = network_.simulator();
+    if (!network_.alive(to)) {
+      // Dead acceptor: initiator sees a refusal after its detection delay.
+      const sim::Duration detect = network_.sample_failure_detect_delay();
+      sim2.after(detect, [this, conn, from]() {
+        Connection* c2 = find(conn);
+        if (c2 == nullptr || c2->state == State::kClosed) return;
+        const NodeId acceptor = c2->acceptor;
+        mark_closed(conn);
+        if (network_.alive(from)) {
+          if (TransportHandler* h = handler_of(from)) {
+            h->on_connection_down(conn, acceptor, CloseReason::kRefused);
+          }
+        }
+        connections_.erase(conn);
+      });
+      return;
+    }
+    network_.charge_receive(to, kControlSegmentBytes,
+                            TrafficClass::kMembership);
+    // Acceptor considers the connection up as soon as it replies SYN-ACK.
+    c->state = State::kEstablished;
+    if (TransportHandler* h = handler_of(to)) {
+      h->on_connection_up(conn, from, /*initiated=*/false);
+    }
+    // SYN-ACK: to -> from.
+    Connection* c_after = find(conn);
+    if (c_after == nullptr || c_after->state == State::kClosed) return;
+    if (!network_.alive(to)) return;  // acceptor died inside the callback
+    const sim::TimePoint ack_done = network_.nic_send(
+        to, kControlSegmentBytes, TrafficClass::kMembership);
+    const sim::TimePoint ack_arrival =
+        ack_done + network_.latency().sample(to, from, sim2.rng());
+    sim2.at(ack_arrival, [this, conn, from, to]() {
+      Connection* c2 = find(conn);
+      if (c2 == nullptr || c2->state != State::kEstablished) return;
+      if (!network_.alive(from)) return;  // initiator died meanwhile
+      network_.charge_receive(from, kControlSegmentBytes,
+                              TrafficClass::kMembership);
+      if (TransportHandler* h = handler_of(from)) {
+        h->on_connection_up(conn, to, /*initiated=*/true);
+      }
+    });
+  });
+  return conn;
+}
+
+void Transport::close(ConnectionId conn, NodeId closer) {
+  Connection* c = find(conn);
+  if (c == nullptr || c->state == State::kClosed) return;
+  const NodeId peer = peer_of(conn, closer);
+  // FIN: closer -> peer. Must not overtake data already in flight on this
+  // direction, so it shares the per-direction FIFO clamp with send().
+  if (!network_.alive(closer)) {
+    mark_closed(conn);
+    return;
+  }
+  const sim::TimePoint fin_done =
+      network_.nic_send(closer, kControlSegmentBytes,
+                        TrafficClass::kMembership);
+  sim::TimePoint fin_arrival =
+      fin_done +
+      network_.latency().sample(closer, peer, network_.simulator().rng());
+  sim::TimePoint& last = (peer == c->initiator)
+                             ? c->last_delivery_to_initiator
+                             : c->last_delivery_to_acceptor;
+  if (fin_arrival <= last) fin_arrival = last + sim::Duration::microseconds(1);
+  last = fin_arrival;
+  mark_closed(conn);
+  network_.simulator().at(fin_arrival, [this, conn, peer]() {
+    if (!network_.alive(peer)) return;
+    network_.charge_receive(peer, kControlSegmentBytes,
+                            TrafficClass::kMembership);
+    Connection* c2 = find(conn);
+    // mark_closed already ran; notify the peer exactly once via the map of
+    // closed-but-not-yet-notified connections: the entry is erased after
+    // notification.
+    if (c2 == nullptr) return;
+    if (TransportHandler* h = handler_of(peer)) {
+      const NodeId other = peer_of(conn, peer);
+      h->on_connection_down(conn, other, CloseReason::kRemoteClose);
+    }
+    connections_.erase(conn);
+  });
+}
+
+bool Transport::send(ConnectionId conn, NodeId sender, MessagePtr message,
+                     TrafficClass traffic_class) {
+  BRISA_ASSERT(message != nullptr);
+  Connection* c = find(conn);
+  if (c == nullptr || c->state != State::kEstablished) return false;
+  if (sender != c->initiator && sender != c->acceptor) return false;
+  if (!network_.alive(sender)) return false;
+  const NodeId receiver = peer_of(conn, sender);
+
+  const std::size_t wire_bytes = message->wire_size();
+  const sim::TimePoint serialized =
+      network_.nic_send(sender, wire_bytes, traffic_class);
+  sim::Simulator& simulator = network_.simulator();
+  sim::TimePoint arrival =
+      serialized + network_.latency().sample(sender, receiver,
+                                             simulator.rng());
+  // FIFO per direction: a message may not overtake its predecessors.
+  sim::TimePoint& last = (receiver == c->initiator)
+                             ? c->last_delivery_to_initiator
+                             : c->last_delivery_to_acceptor;
+  if (arrival <= last) arrival = last + sim::Duration::microseconds(1);
+  last = arrival;
+
+  // In-flight data outlives a graceful close (TCP delivers bytes already on
+  // the wire), so delivery only checks that the connection record still
+  // exists and the receiver is alive — not that the state is established.
+  simulator.at(arrival, [this, conn, sender, receiver,
+                         message = std::move(message), wire_bytes,
+                         traffic_class]() {
+    if (find(conn) == nullptr) return;
+    if (!network_.alive(receiver)) return;
+    network_.charge_receive(receiver, wire_bytes, traffic_class);
+    const sim::TimePoint ready = network_.cpu_deliver(
+        receiver, network_.simulator().now(), wire_bytes);
+    if (ready == network_.simulator().now()) {
+      if (TransportHandler* h = handler_of(receiver)) {
+        h->on_message(conn, sender, message);
+      }
+    } else {
+      network_.simulator().at(ready, [this, conn, sender, receiver,
+                                      message]() {
+        if (find(conn) == nullptr) return;
+        if (!network_.alive(receiver)) return;
+        if (TransportHandler* h = handler_of(receiver)) {
+          h->on_message(conn, sender, message);
+        }
+      });
+    }
+  });
+  return true;
+}
+
+bool Transport::established(ConnectionId conn) const {
+  const Connection* c = find(conn);
+  return c != nullptr && c->state == State::kEstablished;
+}
+
+NodeId Transport::peer_of(ConnectionId conn, NodeId self) const {
+  const Connection* c = find(conn);
+  BRISA_ASSERT_MSG(c != nullptr, "peer_of on unknown connection");
+  BRISA_ASSERT_MSG(self == c->initiator || self == c->acceptor,
+                   "peer_of: not an endpoint");
+  return self == c->initiator ? c->acceptor : c->initiator;
+}
+
+std::size_t Transport::open_connections() const {
+  std::size_t open = 0;
+  for (const auto& [id, c] : connections_) {
+    if (c.state != State::kClosed) ++open;
+  }
+  return open;
+}
+
+void Transport::on_host_killed(NodeId node) {
+  const auto it = by_host_.find(node.index());
+  if (it == by_host_.end()) return;
+  // Copy: callbacks may mutate the set.
+  const std::vector<ConnectionId> conns(it->second.begin(), it->second.end());
+  for (const ConnectionId conn : conns) {
+    Connection* c = find(conn);
+    if (c == nullptr || c->state == State::kClosed) continue;
+    const NodeId peer = peer_of(conn, node);
+    mark_closed(conn);
+    if (!network_.alive(peer)) continue;
+    const sim::Duration detect = network_.sample_failure_detect_delay();
+    network_.simulator().after(detect, [this, conn, peer]() {
+      if (!network_.alive(peer)) return;
+      Connection* c2 = find(conn);
+      if (c2 == nullptr) return;
+      if (TransportHandler* h = handler_of(peer)) {
+        const NodeId other = peer_of(conn, peer);
+        h->on_connection_down(conn, other, CloseReason::kPeerFailure);
+      }
+      connections_.erase(conn);
+    });
+  }
+}
+
+void Transport::mark_closed(ConnectionId conn) {
+  Connection* c = find(conn);
+  if (c == nullptr) return;
+  c->state = State::kClosed;
+  by_host_[c->initiator.index()].erase(conn);
+  by_host_[c->acceptor.index()].erase(conn);
+}
+
+Transport::Connection* Transport::find(ConnectionId conn) {
+  const auto it = connections_.find(conn);
+  return it == connections_.end() ? nullptr : &it->second;
+}
+
+const Transport::Connection* Transport::find(ConnectionId conn) const {
+  const auto it = connections_.find(conn);
+  return it == connections_.end() ? nullptr : &it->second;
+}
+
+}  // namespace brisa::net

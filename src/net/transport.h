@@ -1,0 +1,106 @@
+// Connection-oriented reliable transport (the simulator's TCP stand-in).
+//
+// Provides what HyParView and the dissemination protocols need from TCP
+// (§II-A): connection establishment, reliable in-order delivery per
+// connection, graceful close, and eventual notification when the remote end
+// dies (modeling RST / flow-control timeouts via the network's
+// failure-detection delay).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/message.h"
+#include "net/network.h"
+#include "net/node_id.h"
+
+namespace brisa::net {
+
+using ConnectionId = std::uint64_t;
+inline constexpr ConnectionId kInvalidConnectionId = 0;
+
+enum class CloseReason : std::uint8_t {
+  kLocalClose,   ///< we called close()
+  kRemoteClose,  ///< peer closed gracefully (FIN)
+  kPeerFailure,  ///< peer crashed; detected by the transport
+  kRefused,      ///< connect() to a dead/unreachable node
+};
+
+[[nodiscard]] const char* to_string(CloseReason reason);
+
+class TransportHandler {
+ public:
+  virtual ~TransportHandler() = default;
+
+  /// Connection is usable. `initiated` tells which side called connect().
+  virtual void on_connection_up(ConnectionId conn, NodeId peer,
+                                bool initiated) = 0;
+  virtual void on_connection_down(ConnectionId conn, NodeId peer,
+                                  CloseReason reason) = 0;
+  virtual void on_message(ConnectionId conn, NodeId from,
+                          MessagePtr message) = 0;
+};
+
+class Transport final : public Network::DeathListener {
+ public:
+  explicit Transport(Network& network);
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Registers the (single) handler for a host's inbound transport events.
+  void bind(NodeId node, TransportHandler* handler);
+
+  /// Begins connection establishment; the result arrives asynchronously as
+  /// on_connection_up (both ends) or on_connection_down(kRefused) (initiator).
+  ConnectionId connect(NodeId from, NodeId to);
+
+  /// Graceful close by `closer`. The peer sees kRemoteClose after one-way
+  /// latency. No callback fires at the closer (it already knows).
+  void close(ConnectionId conn, NodeId closer);
+
+  /// Reliable in-order send. Returns false if the connection is not
+  /// established or `sender` is not one of its live endpoints.
+  bool send(ConnectionId conn, NodeId sender, MessagePtr message,
+            TrafficClass traffic_class);
+
+  [[nodiscard]] bool established(ConnectionId conn) const;
+  [[nodiscard]] NodeId peer_of(ConnectionId conn, NodeId self) const;
+
+  /// Number of non-closed connections (tests / leak checks).
+  [[nodiscard]] std::size_t open_connections() const;
+
+  // Network::DeathListener
+  void on_host_killed(NodeId node) override;
+
+ private:
+  enum class State : std::uint8_t { kConnecting, kEstablished, kClosed };
+
+  struct Connection {
+    NodeId initiator;
+    NodeId acceptor;
+    State state = State::kConnecting;
+    /// Enforces FIFO delivery per direction despite latency jitter.
+    sim::TimePoint last_delivery_to_initiator = sim::TimePoint::origin();
+    sim::TimePoint last_delivery_to_acceptor = sim::TimePoint::origin();
+  };
+
+  void mark_closed(ConnectionId conn);
+  Connection* find(ConnectionId conn);
+  const Connection* find(ConnectionId conn) const;
+  TransportHandler* handler_of(NodeId node);
+
+  /// Size of a handshake/teardown segment on the wire.
+  static constexpr std::size_t kControlSegmentBytes = 8;
+
+  Network& network_;
+  std::unordered_map<ConnectionId, Connection> connections_;
+  std::unordered_map<std::uint32_t, TransportHandler*> handlers_;
+  std::unordered_map<std::uint32_t, std::unordered_set<ConnectionId>>
+      by_host_;
+  ConnectionId next_id_ = 1;
+};
+
+}  // namespace brisa::net

@@ -1,0 +1,49 @@
+#include "sim/event_queue.h"
+
+#include "util/assert.h"
+
+namespace brisa::sim {
+
+EventId EventQueue::schedule(TimePoint when, Callback fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id});
+  callbacks_.emplace(id, std::move(fn));
+  ++live_count_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return;
+  callbacks_.erase(it);
+  --live_count_;
+}
+
+void EventQueue::drop_cancelled_head() {
+  while (!heap_.empty() && callbacks_.find(heap_.top().id) == callbacks_.end()) {
+    heap_.pop();
+  }
+}
+
+TimePoint EventQueue::next_time() const {
+  // `drop_cancelled_head` cannot run here (const); scan the heap top lazily.
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_cancelled_head();
+  if (heap_.empty()) return TimePoint::max();
+  return heap_.top().when;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled_head();
+  BRISA_ASSERT_MSG(!heap_.empty(), "pop() on empty event queue");
+  const Entry entry = heap_.top();
+  heap_.pop();
+  const auto it = callbacks_.find(entry.id);
+  BRISA_ASSERT(it != callbacks_.end());
+  Fired fired{entry.when, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_count_;
+  return fired;
+}
+
+}  // namespace brisa::sim

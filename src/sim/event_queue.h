@@ -1,0 +1,69 @@
+// Pending-event set of the discrete-event simulator.
+//
+// A binary heap keyed on (time, sequence number) gives deterministic FIFO
+// ordering among events scheduled for the same instant. Cancellation is lazy:
+// cancelled ids are skipped at pop time, which keeps cancel() O(1) — timers
+// for failure detection are cancelled far more often than they fire.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace brisa::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `when`; returns a cancellable id.
+  EventId schedule(TimePoint when, Callback fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or invalid id is a
+  /// harmless no-op (protocols race timers against message arrivals).
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest live event; TimePoint::max() when empty.
+  [[nodiscard]] TimePoint next_time() const;
+
+  struct Fired {
+    TimePoint time;
+    Callback fn;
+  };
+
+  /// Removes and returns the earliest live event. Queue must be non-empty.
+  Fired pop();
+
+  /// Total events ever scheduled (monotone; used by stats and tests).
+  [[nodiscard]] std::uint64_t scheduled_total() const { return next_id_ - 1; }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    EventId id;
+    // Min-heap: earliest time first; FIFO (lowest id) within one instant.
+    bool operator>(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return id > other.id;
+    }
+  };
+
+  void drop_cancelled_head();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::size_t live_count_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace brisa::sim

@@ -1,0 +1,128 @@
+// Deterministic random number generation.
+//
+// xoshiro256++ seeded through SplitMix64. Every component derives its own
+// stream with `split()`, so adding randomness to one protocol never perturbs
+// another — a requirement for comparing protocols on identical workloads.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/bloom.h"  // for mix64
+
+namespace brisa::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+      s += 0x9e3779b97f4a7c15ULL;
+      word = util::mix64(s);
+    }
+    // xoshiro must not start from the all-zero state.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  }
+
+  /// Derives an independent generator; `stream` distinguishes siblings.
+  [[nodiscard]] Rng split(std::uint64_t stream) {
+    return Rng(util::mix64(next_u64() ^ util::mix64(stream)));
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result =
+        rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound) {
+    BRISA_ASSERT(bound > 0);
+    // Debiased modulo via rejection sampling.
+    const std::uint64_t threshold = (-bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) {
+    BRISA_ASSERT(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    uniform(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool bernoulli(double p) { return uniform_double() < p; }
+
+  /// Exponential with the given mean (mean = 1/lambda).
+  double exponential(double mean) {
+    double u = uniform_double();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Box–Muller (no cached spare: determinism over speed).
+  double normal(double mu, double sigma) {
+    double u1 = uniform_double();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = uniform_double();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return mu + sigma * r * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Log-normal parameterized by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Uniformly picks one element; container must be non-empty.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    BRISA_ASSERT(!items.empty());
+    return items[static_cast<std::size_t>(uniform(items.size()))];
+  }
+
+  /// Samples `count` distinct elements (or all of them if fewer exist).
+  template <typename T>
+  std::vector<T> sample(const std::vector<T>& items, std::size_t count) {
+    std::vector<T> pool = items;
+    shuffle(pool);
+    if (pool.size() > count) pool.resize(count);
+    return pool;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace brisa::sim

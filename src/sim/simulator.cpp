@@ -1,0 +1,85 @@
+#include "sim/simulator.h"
+
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace brisa::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+Simulator::~Simulator() = default;
+
+EventId Simulator::at(TimePoint when, EventQueue::Callback fn) {
+  BRISA_ASSERT_MSG(when >= now_, "cannot schedule events in the past");
+  return queue_.schedule(when, std::move(fn));
+}
+
+EventId Simulator::after(Duration delay, EventQueue::Callback fn) {
+  BRISA_ASSERT_MSG(delay >= Duration::zero(), "negative delay");
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_periodic(Duration period, std::function<void()> fn,
+                                  const std::shared_ptr<PeriodicHandle>& handle) {
+  handle->pending = after(period, [this, period, fn = std::move(fn), handle]() {
+    if (handle->cancelled) return;
+    fn();
+    if (!handle->cancelled) schedule_periodic(period, fn, handle);
+  });
+}
+
+std::shared_ptr<Simulator::PeriodicHandle> Simulator::every(
+    Duration period, std::function<void()> fn) {
+  BRISA_ASSERT_MSG(period > Duration::zero(), "periodic timer needs period > 0");
+  auto handle = std::make_shared<PeriodicHandle>();
+  schedule_periodic(period, std::move(fn), handle);
+  return handle;
+}
+
+void Simulator::cancel_periodic(const std::shared_ptr<PeriodicHandle>& handle) {
+  if (!handle) return;
+  handle->cancelled = true;
+}
+
+std::uint64_t Simulator::run_until(TimePoint limit) {
+  std::uint64_t fired = 0;
+  while (!queue_.empty() && queue_.next_time() <= limit) {
+    EventQueue::Fired event = queue_.pop();
+    BRISA_ASSERT_MSG(event.time >= now_, "event queue went backwards");
+    now_ = event.time;
+    event.fn();
+    ++fired;
+  }
+  if (now_ < limit) now_ = limit;
+  events_fired_ += fired;
+  return fired;
+}
+
+std::uint64_t Simulator::run() {
+  // Unlike run_until, draining leaves the clock on the last event fired.
+  std::uint64_t fired = 0;
+  while (!queue_.empty()) {
+    EventQueue::Fired event = queue_.pop();
+    BRISA_ASSERT_MSG(event.time >= now_, "event queue went backwards");
+    now_ = event.time;
+    event.fn();
+    ++fired;
+  }
+  events_fired_ += fired;
+  return fired;
+}
+
+void Simulator::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+ScopedLogClock::ScopedLogClock(const Simulator& simulator) {
+  util::Logger::instance().set_time_source(
+      [&simulator]() { return simulator.now().us(); });
+}
+
+ScopedLogClock::~ScopedLogClock() {
+  util::Logger::instance().clear_time_source();
+}
+
+}  // namespace brisa::sim

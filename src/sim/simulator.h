@@ -1,0 +1,87 @@
+// The discrete-event simulator: a virtual clock driving an event queue.
+//
+// Single-threaded by design — determinism is the property every experiment
+// in the paper reproduction depends on. Parallelism in this project lives at
+// the level of independent experiment runs (see workload::Scenario), which is
+// the message-passing-style decomposition appropriate for simulation sweeps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace brisa::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Root RNG; components should `split()` their own stream from it.
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Schedules a callback at an absolute virtual time (must be >= now).
+  EventId at(TimePoint when, EventQueue::Callback fn);
+
+  /// Schedules a callback `delay` after the current time.
+  EventId after(Duration delay, EventQueue::Callback fn);
+
+  /// Schedules a repeating callback every `period`, first firing at
+  /// now + period. Returns a handle that cancels the *current* pending
+  /// occurrence when passed to `cancel_periodic`.
+  class PeriodicHandle;
+  std::shared_ptr<PeriodicHandle> every(Duration period,
+                                        std::function<void()> fn);
+  static void cancel_periodic(const std::shared_ptr<PeriodicHandle>& handle);
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs events until the queue is empty or `limit` is reached; the clock
+  /// ends at min(limit, last event time). Returns number of events fired.
+  std::uint64_t run_until(TimePoint limit);
+
+  /// Runs until the queue drains completely.
+  std::uint64_t run();
+
+  /// Drops every pending event (used between experiment phases).
+  void clear();
+
+  [[nodiscard]] std::uint64_t events_fired() const { return events_fired_; }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// A periodic timer's shared control block.
+  class PeriodicHandle {
+   public:
+    bool cancelled = false;
+    EventId pending = kInvalidEventId;
+  };
+
+ private:
+  void schedule_periodic(Duration period, std::function<void()> fn,
+                         const std::shared_ptr<PeriodicHandle>& handle);
+
+  TimePoint now_ = TimePoint::origin();
+  EventQueue queue_;
+  Rng rng_;
+  std::uint64_t events_fired_ = 0;
+};
+
+/// RAII guard that points the global logger at a simulator's clock.
+class ScopedLogClock {
+ public:
+  explicit ScopedLogClock(const Simulator& simulator);
+  ~ScopedLogClock();
+  ScopedLogClock(const ScopedLogClock&) = delete;
+  ScopedLogClock& operator=(const ScopedLogClock&) = delete;
+};
+
+}  // namespace brisa::sim

@@ -1,0 +1,114 @@
+// Virtual time types for the discrete-event simulator.
+//
+// All simulated time is integral microseconds. Strong types keep durations
+// and absolute points from being mixed up, and integral representation keeps
+// event ordering exact (no floating-point tie ambiguity), which is what makes
+// runs bit-for-bit reproducible from a seed.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+
+namespace brisa::sim {
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration microseconds(std::int64_t us) {
+    return Duration(us);
+  }
+  [[nodiscard]] static constexpr Duration milliseconds(std::int64_t ms) {
+    return Duration(ms * 1000);
+  }
+  [[nodiscard]] static constexpr Duration seconds(std::int64_t s) {
+    return Duration(s * 1'000'000);
+  }
+  [[nodiscard]] static constexpr Duration minutes(std::int64_t m) {
+    return Duration(m * 60'000'000);
+  }
+  /// Fractional seconds, rounded to the nearest microsecond.
+  [[nodiscard]] static constexpr Duration from_seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e6 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  [[nodiscard]] static constexpr Duration zero() { return Duration(0); }
+  [[nodiscard]] static constexpr Duration max() {
+    return Duration(std::numeric_limits<std::int64_t>::max());
+  }
+
+  [[nodiscard]] constexpr std::int64_t us() const { return us_; }
+  [[nodiscard]] constexpr double to_seconds() const {
+    return static_cast<double>(us_) / 1e6;
+  }
+  [[nodiscard]] constexpr double to_milliseconds() const {
+    return static_cast<double>(us_) / 1e3;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration other) const {
+    return Duration(us_ + other.us_);
+  }
+  constexpr Duration operator-(Duration other) const {
+    return Duration(us_ - other.us_);
+  }
+  constexpr Duration operator*(std::int64_t k) const {
+    return Duration(us_ * k);
+  }
+  constexpr Duration operator/(std::int64_t k) const {
+    return Duration(us_ / k);
+  }
+  constexpr Duration& operator+=(Duration other) {
+    us_ += other.us_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration other) {
+    us_ -= other.us_;
+    return *this;
+  }
+
+ private:
+  explicit constexpr Duration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  [[nodiscard]] static constexpr TimePoint from_us(std::int64_t us) {
+    return TimePoint(us);
+  }
+  [[nodiscard]] static constexpr TimePoint origin() { return TimePoint(0); }
+  [[nodiscard]] static constexpr TimePoint max() {
+    return TimePoint(std::numeric_limits<std::int64_t>::max());
+  }
+
+  [[nodiscard]] constexpr std::int64_t us() const { return us_; }
+  [[nodiscard]] constexpr double to_seconds() const {
+    return static_cast<double>(us_) / 1e6;
+  }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint(us_ + d.us());
+  }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint(us_ - d.us());
+  }
+  constexpr Duration operator-(TimePoint other) const {
+    return Duration::microseconds(us_ - other.us_);
+  }
+  constexpr TimePoint& operator+=(Duration d) {
+    us_ += d.us();
+    return *this;
+  }
+
+ private:
+  explicit constexpr TimePoint(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace brisa::sim

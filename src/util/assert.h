@@ -1,0 +1,31 @@
+// Assertion helpers used across the BRISA code base.
+//
+// BRISA_ASSERT is active in all build types: protocol invariants (cycle
+// freedom, view bounds, ...) are cheap relative to simulated network activity
+// and violating them silently would invalidate every downstream measurement.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace brisa::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "BRISA_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace brisa::util
+
+#define BRISA_ASSERT(expr)                                              \
+  ((expr) ? static_cast<void>(0)                                        \
+          : ::brisa::util::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define BRISA_ASSERT_MSG(expr, msg)                                  \
+  ((expr) ? static_cast<void>(0)                                     \
+          : ::brisa::util::assert_fail(#expr, __FILE__, __LINE__, (msg)))
+
+#define BRISA_UNREACHABLE(msg) \
+  ::brisa::util::assert_fail("unreachable", __FILE__, __LINE__, (msg))

@@ -1,0 +1,88 @@
+#include "util/bloom.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace brisa::util {
+
+BloomSizing optimal_bloom_sizing(std::size_t n, double p) {
+  BRISA_ASSERT_MSG(n > 0, "bloom sizing needs at least one element");
+  BRISA_ASSERT_MSG(p > 0.0 && p < 1.0, "false-positive rate must be in (0,1)");
+  const double ln2 = std::log(2.0);
+  const double m = -static_cast<double>(n) * std::log(p) / (ln2 * ln2);
+  const double k = m / static_cast<double>(n) * ln2;
+  BloomSizing sizing;
+  sizing.bits = static_cast<std::size_t>(std::ceil(m));
+  sizing.hash_count = static_cast<std::size_t>(std::round(k));
+  if (sizing.hash_count == 0) sizing.hash_count = 1;
+  // Achieved probability with the rounded parameters:
+  // p = (1 - e^{-kn/m})^k
+  const double kn_over_m = static_cast<double>(sizing.hash_count) *
+                           static_cast<double>(n) /
+                           static_cast<double>(sizing.bits);
+  sizing.false_positive =
+      std::pow(1.0 - std::exp(-kn_over_m),
+               static_cast<double>(sizing.hash_count));
+  return sizing;
+}
+
+BloomFilter::BloomFilter(std::size_t bits, std::size_t hash_count)
+    : bits_(bits), hash_count_(hash_count), words_((bits + 63) / 64, 0) {
+  BRISA_ASSERT(bits > 0);
+  BRISA_ASSERT(hash_count > 0);
+}
+
+BloomFilter BloomFilter::with_capacity(std::size_t n, double p) {
+  const BloomSizing sizing = optimal_bloom_sizing(n, p);
+  return BloomFilter(sizing.bits, sizing.hash_count);
+}
+
+std::pair<std::uint64_t, std::uint64_t> BloomFilter::base_hashes(
+    std::uint64_t key) const {
+  const std::uint64_t h1 = mix64(key);
+  // Second hash must be independent and odd-ish so the double-hash probe
+  // sequence covers the table; re-mix with a distinct constant.
+  const std::uint64_t h2 = mix64(key ^ 0xa5a5a5a5a5a5a5a5ULL) | 1ULL;
+  return {h1, h2};
+}
+
+void BloomFilter::insert(std::uint64_t key) {
+  const auto [h1, h2] = base_hashes(key);
+  for (std::size_t i = 0; i < hash_count_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % bits_;
+    words_[bit / 64] |= (1ULL << (bit % 64));
+  }
+  ++insertions_;
+}
+
+bool BloomFilter::may_contain(std::uint64_t key) const {
+  const auto [h1, h2] = base_hashes(key);
+  for (std::size_t i = 0; i < hash_count_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % bits_;
+    if ((words_[bit / 64] & (1ULL << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::clear() {
+  std::fill(words_.begin(), words_.end(), 0);
+  insertions_ = 0;
+}
+
+double BloomFilter::estimated_false_positive() const {
+  const double kn_over_m = static_cast<double>(hash_count_) *
+                           static_cast<double>(insertions_) /
+                           static_cast<double>(bits_);
+  return std::pow(1.0 - std::exp(-kn_over_m),
+                  static_cast<double>(hash_count_));
+}
+
+void BloomFilter::merge(const BloomFilter& other) {
+  BRISA_ASSERT_MSG(bits_ == other.bits_ && hash_count_ == other.hash_count_,
+                   "cannot merge bloom filters with different geometry");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  insertions_ += other.insertions_;
+}
+
+}  // namespace brisa::util

@@ -1,0 +1,106 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace brisa::util {
+
+namespace {
+
+bool looks_like_flag(const std::string& arg) {
+  return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+
+}  // namespace
+
+Flags Flags::parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      flags.help_ = true;
+      continue;
+    }
+    if (!looks_like_flag(arg)) {
+      flags.positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    if (body.rfind("no-", 0) == 0) {
+      flags.values_[body.substr(3)] = "false";
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag; otherwise a
+    // bare boolean `--name`.
+    if (i + 1 < argc && !looks_like_flag(argv[i + 1])) {
+      flags.values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      flags.values_[body] = "true";
+    }
+  }
+  return flags;
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& default_value) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return std::stoll(it->second);
+}
+
+double Flags::get_double(const std::string& name, double default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return std::stod(it->second);
+}
+
+bool Flags::get_bool(const std::string& name, bool default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("flag --" + name + " is not a boolean: " + v);
+}
+
+std::vector<std::int64_t> Flags::get_int_list(
+    const std::string& name, std::vector<std::int64_t> default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  std::vector<std::int64_t> out;
+  std::string token;
+  for (char c : it->second + ",") {
+    if (c == ',') {
+      if (!token.empty()) out.push_back(std::stoll(token));
+      token.clear();
+    } else {
+      token.push_back(c);
+    }
+  }
+  return out;
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::vector<std::string> Flags::names() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace brisa::util

@@ -1,0 +1,55 @@
+// Tiny command-line flag parser for examples and benchmark harnesses.
+//
+// Supports `--name=value`, `--name value` and boolean `--name` /
+// `--no-name` forms. Unknown flags are an error so typos in experiment
+// parameters cannot silently fall back to defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace brisa::util {
+
+class Flags {
+ public:
+  /// Parses argv. On `--help`, prints usage (built from the registered
+  /// lookups so far is impossible — usage is provided by the caller) and
+  /// returns an object with `help_requested() == true`.
+  static Flags parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool help_requested() const { return help_; }
+
+  /// Typed accessors; the default is returned when the flag is absent.
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& default_value) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t default_value) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double default_value) const;
+  [[nodiscard]] bool get_bool(const std::string& name,
+                              bool default_value) const;
+
+  /// Comma-separated list of integers, e.g. `--views=4,6,8,10`.
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& name, std::vector<std::int64_t> default_value) const;
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Names seen on the command line; benchmarks use this to reject typos.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  bool help_ = false;
+};
+
+}  // namespace brisa::util

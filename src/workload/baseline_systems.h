@@ -1,0 +1,140 @@
+// Deployment harnesses for the three comparison protocols of §III-D,
+// mirroring BrisaSystem's bootstrap / stream / churn interface so the
+// benchmark code treats all four protocols uniformly.
+#pragma once
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "baselines/simple_gossip.h"
+#include "baselines/simple_tree.h"
+#include "baselines/tag.h"
+#include "workload/churn.h"
+#include "workload/testbed.h"
+
+namespace brisa::workload {
+
+class SimpleTreeSystem final : public SystemBase {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+    std::size_t num_nodes = 512;
+    TestbedKind testbed = TestbedKind::kCluster;
+    sim::Duration join_spread = sim::Duration::seconds(50);
+    sim::Duration stabilization = sim::Duration::seconds(10);
+  };
+
+  explicit SimpleTreeSystem(Config config);
+
+  void bootstrap();
+  void run_stream(std::size_t count, double rate_per_s,
+                  std::size_t payload_bytes,
+                  sim::Duration grace = sim::Duration::seconds(10));
+
+  [[nodiscard]] net::NodeId source_id() const { return root_; }
+  [[nodiscard]] net::NodeId coordinator_id() const { return coordinator_id_; }
+  [[nodiscard]] baselines::SimpleTreeNode& node(net::NodeId id);
+  [[nodiscard]] std::vector<net::NodeId> all_ids() const;
+  [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
+  [[nodiscard]] bool complete_delivery() const;
+
+ private:
+  Config config_;
+  std::unique_ptr<baselines::SimpleTreeCoordinator> coordinator_;
+  net::NodeId coordinator_id_;
+  std::map<net::NodeId, std::unique_ptr<baselines::SimpleTreeNode>> nodes_;
+  net::NodeId root_;
+  std::uint64_t sent_ = 0;
+};
+
+class SimpleGossipSystem final : public SystemBase {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+    std::size_t num_nodes = 512;
+    TestbedKind testbed = TestbedKind::kCluster;
+    /// 0 = the paper's ln(N).
+    std::size_t fanout = 0;
+    baselines::SimpleGossip::Config gossip;
+    sim::Duration join_spread = sim::Duration::seconds(50);
+    sim::Duration stabilization = sim::Duration::seconds(20);
+    /// Size of the random seed view handed to bootstrap members.
+    std::size_t bootstrap_view = 8;
+  };
+
+  explicit SimpleGossipSystem(Config config);
+
+  void bootstrap();
+  void run_stream(std::size_t count, double rate_per_s,
+                  std::size_t payload_bytes,
+                  sim::Duration grace = sim::Duration::seconds(15));
+
+  net::NodeId spawn_node();
+  void kill_node(net::NodeId node);
+  [[nodiscard]] ChurnHooks churn_hooks();
+
+  [[nodiscard]] net::NodeId source_id() const { return source_; }
+  [[nodiscard]] baselines::SimpleGossip& node(net::NodeId id);
+  [[nodiscard]] std::vector<net::NodeId> all_ids() const;
+  [[nodiscard]] std::vector<net::NodeId> member_ids() const;
+  [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
+  [[nodiscard]] bool complete_delivery() const;
+
+ private:
+  net::NodeId create_node();
+
+  Config config_;
+  std::map<net::NodeId, std::unique_ptr<baselines::SimpleGossip>> nodes_;
+  net::NodeId source_;
+  std::uint64_t sent_ = 0;
+  sim::TimePoint stream_started_at_;
+};
+
+class TagSystem final : public SystemBase {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+    std::size_t num_nodes = 512;
+    TestbedKind testbed = TestbedKind::kCluster;
+    baselines::TagNode::Config tag;
+    sim::Duration join_spread = sim::Duration::seconds(50);
+    sim::Duration stabilization = sim::Duration::seconds(20);
+  };
+
+  explicit TagSystem(Config config);
+
+  void bootstrap();
+  void run_stream(std::size_t count, double rate_per_s,
+                  std::size_t payload_bytes,
+                  sim::Duration grace = sim::Duration::seconds(30));
+
+  net::NodeId spawn_node();
+  void kill_node(net::NodeId node);
+  [[nodiscard]] ChurnHooks churn_hooks();
+
+  [[nodiscard]] net::NodeId source_id() const { return head_; }
+  [[nodiscard]] baselines::TagNode& node(net::NodeId id);
+  [[nodiscard]] std::vector<net::NodeId> all_ids() const;
+  [[nodiscard]] std::vector<net::NodeId> member_ids() const;
+  [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
+  [[nodiscard]] bool complete_delivery() const;
+
+ private:
+  net::NodeId create_node();
+
+  Config config_;
+  std::map<net::NodeId, std::unique_ptr<baselines::TagNode>> nodes_;
+  net::NodeId head_;
+  std::uint64_t sent_ = 0;
+  sim::TimePoint stream_started_at_;
+};
+
+/// ceil(ln N): the paper's SimpleGossip fanout.
+[[nodiscard]] inline std::size_t gossip_fanout_for(std::size_t n) {
+  return static_cast<std::size_t>(
+      std::ceil(std::log(static_cast<double>(n))));
+}
+
+}  // namespace brisa::workload

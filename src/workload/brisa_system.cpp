@@ -1,0 +1,158 @@
+#include "workload/brisa_system.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace brisa::workload {
+
+BrisaSystem::BrisaSystem(Config config)
+    : SystemBase(config.seed, config.testbed), config_(config) {}
+
+net::NodeId BrisaSystem::create_node() {
+  const net::NodeId id = network_.add_host();
+  NodeRec rec;
+  rec.hyparview = std::make_unique<membership::HyParView>(
+      network_, transport_, id, config_.hyparview);
+  rec.brisa = std::make_unique<core::Brisa>(network_, *rec.hyparview, id,
+                                            config_.brisa);
+  rec.created_at = simulator_.now();
+  nodes_.emplace(id, std::move(rec));
+  return id;
+}
+
+void BrisaSystem::bootstrap() {
+  BRISA_ASSERT_MSG(!bootstrapped_, "bootstrap() called twice");
+  bootstrapped_ = true;
+  BRISA_ASSERT(config_.num_nodes >= 2);
+
+  // First node starts the overlay; the rest join through a random earlier
+  // node, spread over the join window.
+  std::vector<net::NodeId> population;
+  const net::NodeId first = create_node();
+  hyparview(first).start();
+  population.push_back(first);
+
+  sim::Rng boot_rng = simulator_.rng().split(0xB007);
+  for (std::size_t i = 1; i < config_.num_nodes; ++i) {
+    const auto offset = sim::Duration::microseconds(
+        static_cast<std::int64_t>(static_cast<double>(i) /
+                                  static_cast<double>(config_.num_nodes) *
+                                  static_cast<double>(config_.join_spread.us())));
+    const net::NodeId id = create_node();
+    const net::NodeId contact = boot_rng.pick(population);
+    population.push_back(id);
+    simulator_.after(offset, [this, id, contact]() {
+      if (network_.alive(id)) hyparview(id).join(contact);
+    });
+  }
+
+  // Pick the source.
+  if (config_.source_index >= 0) {
+    BRISA_ASSERT(static_cast<std::size_t>(config_.source_index) <
+                 population.size());
+    source_ = population[static_cast<std::size_t>(config_.source_index)];
+  } else {
+    source_ = boot_rng.pick(population);
+  }
+  brisa(source_).become_source();
+
+  simulator_.run_until(simulator_.now() + config_.join_spread +
+                       config_.stabilization);
+}
+
+void BrisaSystem::run_stream(std::size_t count, double rate_per_s,
+                             std::size_t payload_bytes, sim::Duration grace) {
+  BRISA_ASSERT_MSG(bootstrapped_, "run_stream before bootstrap");
+  stream_started_at_ = simulator_.now();
+  const auto gap = sim::Duration::from_seconds(1.0 / rate_per_s);
+  for (std::size_t i = 0; i < count; ++i) {
+    simulator_.after(gap * static_cast<std::int64_t>(i),
+                     [this, payload_bytes]() {
+                       if (!network_.alive(source_)) return;
+                       brisa(source_).broadcast(payload_bytes);
+                       ++sent_;
+                     });
+  }
+  simulator_.run_until(stream_started_at_ +
+                       gap * static_cast<std::int64_t>(count) + grace);
+}
+
+net::NodeId BrisaSystem::spawn_node() {
+  const std::vector<net::NodeId> members = member_ids();
+  BRISA_ASSERT_MSG(!members.empty(), "cannot join an empty system");
+  const net::NodeId id = create_node();
+  const net::NodeId contact = simulator_.rng().split(id.index()).pick(members);
+  hyparview(id).join(contact);
+  return id;
+}
+
+void BrisaSystem::kill_node(net::NodeId node) {
+  BRISA_ASSERT_MSG(node != source_, "experiments keep the source alive");
+  network_.kill(node);
+}
+
+ChurnHooks BrisaSystem::churn_hooks() {
+  ChurnHooks hooks;
+  hooks.spawn = [this]() { spawn_node(); };
+  hooks.population = [this]() {
+    std::vector<net::NodeId> members = member_ids();
+    members.erase(std::remove(members.begin(), members.end(), source_),
+                  members.end());
+    return members;
+  };
+  hooks.kill = [this](net::NodeId node) { kill_node(node); };
+  return hooks;
+}
+
+core::Brisa& BrisaSystem::brisa(net::NodeId node) {
+  const auto it = nodes_.find(node);
+  BRISA_ASSERT_MSG(it != nodes_.end(), "unknown node");
+  return *it->second.brisa;
+}
+
+membership::HyParView& BrisaSystem::hyparview(net::NodeId node) {
+  const auto it = nodes_.find(node);
+  BRISA_ASSERT_MSG(it != nodes_.end(), "unknown node");
+  return *it->second.hyparview;
+}
+
+std::vector<net::NodeId> BrisaSystem::all_ids() const {
+  std::vector<net::NodeId> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, rec] : nodes_) out.push_back(id);
+  return out;
+}
+
+std::vector<net::NodeId> BrisaSystem::member_ids() const {
+  std::vector<net::NodeId> out;
+  for (const auto& [id, rec] : nodes_) {
+    if (network_.alive(id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<analysis::StructureEdge> BrisaSystem::structure_edges() const {
+  std::vector<analysis::StructureEdge> edges;
+  for (const auto& [id, rec] : nodes_) {
+    if (!network_.alive(id)) continue;
+    for (const net::NodeId parent : rec.brisa->parents()) {
+      edges.push_back({parent, id});
+    }
+  }
+  return edges;
+}
+
+bool BrisaSystem::complete_delivery() const {
+  for (const auto& [id, rec] : nodes_) {
+    if (!network_.alive(id)) continue;
+    // Only nodes present for the entire stream are required to have
+    // everything (late joiners legitimately miss earlier messages).
+    if (rec.created_at > stream_started_at_) continue;
+    if (rec.brisa->stats().delivery_time.size() < sent_) return false;
+  }
+  return true;
+}
+
+}  // namespace brisa::workload

@@ -1,0 +1,89 @@
+// A full BRISA deployment: HyParView + Brisa on every simulated host, plus
+// the bootstrap, stream-injection, and churn plumbing every experiment in
+// §III shares.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "analysis/dot_export.h"
+#include "core/brisa.h"
+#include "membership/hyparview.h"
+#include "workload/churn.h"
+#include "workload/testbed.h"
+
+namespace brisa::workload {
+
+class BrisaSystem final : public SystemBase {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+    std::size_t num_nodes = 512;
+    TestbedKind testbed = TestbedKind::kCluster;
+    membership::HyParView::Config hyparview;
+    core::Brisa::Config brisa;
+    /// Bootstrap joins spread over this window (the paper's trace uses one
+    /// join per second; experiments without churn compress it).
+    sim::Duration join_spread = sim::Duration::seconds(50);
+    /// Settling time after the last join before measurements start.
+    sim::Duration stabilization = sim::Duration::seconds(30);
+    /// Stream source: index into the bootstrap population, or -1 for the
+    /// paper's "randomly chosen node".
+    std::int32_t source_index = -1;
+  };
+
+  explicit BrisaSystem(Config config);
+
+  /// Creates the bootstrap population, lets everyone join, and runs the
+  /// simulator until the overlay has settled.
+  void bootstrap();
+
+  /// Injects `count` messages at `rate_per_s` from the source and runs the
+  /// simulator until `grace` after the last injection.
+  void run_stream(std::size_t count, double rate_per_s,
+                  std::size_t payload_bytes,
+                  sim::Duration grace = sim::Duration::seconds(10));
+
+  /// Churn operations (usable directly or through churn_hooks()).
+  net::NodeId spawn_node();
+  void kill_node(net::NodeId node);
+  [[nodiscard]] ChurnHooks churn_hooks();
+
+  // --- Accessors ---------------------------------------------------------
+  [[nodiscard]] net::NodeId source_id() const { return source_; }
+  [[nodiscard]] core::Brisa& brisa(net::NodeId node);
+  [[nodiscard]] membership::HyParView& hyparview(net::NodeId node);
+  /// All protocol nodes ever created (including dead ones — their stats
+  /// survive for post-mortem aggregation).
+  [[nodiscard]] std::vector<net::NodeId> all_ids() const;
+  /// Alive members only.
+  [[nodiscard]] std::vector<net::NodeId> member_ids() const;
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
+
+  // --- Structure extraction (Figs 6-8) ------------------------------------
+  [[nodiscard]] std::vector<analysis::StructureEdge> structure_edges() const;
+
+  /// True when every alive member that was present for the whole stream
+  /// delivered every message.
+  [[nodiscard]] bool complete_delivery() const;
+
+ private:
+  struct NodeRec {
+    std::unique_ptr<membership::HyParView> hyparview;
+    std::unique_ptr<core::Brisa> brisa;
+    sim::TimePoint created_at;
+  };
+
+  net::NodeId create_node();
+
+  Config config_;
+  std::map<net::NodeId, NodeRec> nodes_;
+  net::NodeId source_;
+  std::uint64_t sent_ = 0;
+  sim::TimePoint stream_started_at_;
+  bool bootstrapped_ = false;
+};
+
+}  // namespace brisa::workload

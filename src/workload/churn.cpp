@@ -1,0 +1,230 @@
+#include "workload/churn.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.h"
+
+namespace brisa::workload {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (in >> token) {
+    if (token[0] == '#') break;
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& line,
+                       const std::string& why) {
+  throw std::invalid_argument("churn script line " + std::to_string(line_no) +
+                              ": " + why + " in \"" + line + "\"");
+}
+
+double parse_number(const std::string& token, std::size_t line_no,
+                    const std::string& line) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(token, &used);
+    if (used != token.size()) fail(line_no, line, "trailing characters");
+    return value;
+  } catch (const std::invalid_argument&) {
+    fail(line_no, line, "expected a number, got '" + token + "'");
+  }
+}
+
+/// Parses "<x>%" into a fraction.
+double parse_percent(const std::string& token, std::size_t line_no,
+                     const std::string& line) {
+  if (token.empty() || token.back() != '%') {
+    fail(line_no, line, "expected a percentage like 5%");
+  }
+  return parse_number(token.substr(0, token.size() - 1), line_no, line) /
+         100.0;
+}
+
+sim::TimePoint seconds_at(double s) {
+  return sim::TimePoint::origin() + sim::Duration::from_seconds(s);
+}
+
+}  // namespace
+
+ChurnScript ChurnScript::parse(const std::string& text) {
+  ChurnScript script;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::vector<std::string> t = tokenize(line);
+    if (t.empty()) continue;
+
+    if (t[0] == "from") {
+      // from <t1> s to <t2> s (join <n> | const churn <x>% each <d> s)
+      if (t.size() < 7 || t[2] != "s" || t[3] != "to" || t[5] != "s") {
+        fail(line_no, line, "expected 'from <t1> s to <t2> s ...'");
+      }
+      const sim::TimePoint from = seconds_at(parse_number(t[1], line_no, line));
+      const sim::TimePoint to = seconds_at(parse_number(t[4], line_no, line));
+      if (to < from) fail(line_no, line, "interval ends before it starts");
+      if (t[6] == "join") {
+        if (t.size() != 8) fail(line_no, line, "expected 'join <n>'");
+        JoinSpan span;
+        span.from = from;
+        span.to = to;
+        span.count = static_cast<std::size_t>(
+            std::llround(parse_number(t[7], line_no, line)));
+        script.actions_.emplace_back(span);
+      } else if (t[6] == "const") {
+        if (t.size() != 12 || t[7] != "churn" || t[9] != "each" ||
+            t[11] != "s") {
+          fail(line_no, line, "expected 'const churn <x>% each <d> s'");
+        }
+        ConstChurn churn;
+        churn.from = from;
+        churn.to = to;
+        churn.fraction = parse_percent(t[8], line_no, line);
+        churn.period =
+            sim::Duration::from_seconds(parse_number(t[10], line_no, line));
+        if (churn.period <= sim::Duration::zero()) {
+          fail(line_no, line, "churn period must be positive");
+        }
+        script.actions_.emplace_back(churn);
+      } else {
+        fail(line_no, line, "unknown interval action '" + t[6] + "'");
+      }
+      continue;
+    }
+
+    if (t[0] == "at") {
+      if (t.size() < 4 || t[2] != "s") {
+        fail(line_no, line, "expected 'at <t> s ...'");
+      }
+      const sim::TimePoint at = seconds_at(parse_number(t[1], line_no, line));
+      if (t[3] == "stop") {
+        Stop stop;
+        stop.at = at;
+        script.actions_.emplace_back(stop);
+        script.stop_time_ = std::min(script.stop_time_, at);
+      } else if (t[3] == "set") {
+        // at <t> s set replacement ratio to <p>%
+        if (t.size() != 8 || t[4] != "replacement" || t[5] != "ratio" ||
+            t[6] != "to") {
+          fail(line_no, line, "expected 'set replacement ratio to <p>%'");
+        }
+        SetReplacementRatio set;
+        set.at = at;
+        set.ratio = parse_percent(t[7], line_no, line);
+        script.actions_.emplace_back(set);
+      } else {
+        fail(line_no, line, "unknown instant action '" + t[3] + "'");
+      }
+      continue;
+    }
+
+    fail(line_no, line, "unknown statement '" + t[0] + "'");
+  }
+  return script;
+}
+
+ChurnScript ChurnScript::standard_trace(std::size_t nodes,
+                                        double churn_percent,
+                                        std::int64_t start_s,
+                                        std::int64_t stop_s) {
+  std::ostringstream script;
+  script << "from 1 s to " << nodes << " s join " << nodes << "\n";
+  script << "at " << start_s << " s set replacement ratio to 100%\n";
+  script << "from " << start_s << " s to " << stop_s << " s const churn "
+         << churn_percent << "% each 60 s\n";
+  script << "at " << stop_s << " s stop\n";
+  return parse(script.str());
+}
+
+ChurnDriver::ChurnDriver(sim::Simulator& simulator, ChurnScript script,
+                         ChurnHooks hooks)
+    : simulator_(simulator),
+      script_(std::move(script)),
+      hooks_(std::move(hooks)),
+      rng_(simulator.rng().split(0xC4021ULL)) {
+  BRISA_ASSERT(hooks_.spawn && hooks_.population && hooks_.kill);
+}
+
+void ChurnDriver::arm() {
+  BRISA_ASSERT_MSG(!armed_, "ChurnDriver::arm called twice");
+  armed_ = true;
+  // Script times are offsets from the experiment start, which is the arm()
+  // instant — systems typically bootstrap first and then start the trace.
+  const sim::TimePoint base = simulator_.now();
+  const auto shifted = [base](sim::TimePoint script_time) {
+    return base + (script_time - sim::TimePoint::origin());
+  };
+  for (const ChurnAction& action : script_.actions()) {
+    if (const auto* join = std::get_if<JoinSpan>(&action)) {
+      const std::int64_t window = (join->to - join->from).us();
+      for (std::size_t i = 0; i < join->count; ++i) {
+        // Uniform spread with deterministic per-index jitter.
+        const std::int64_t offset =
+            join->count <= 1
+                ? 0
+                : static_cast<std::int64_t>(
+                      (static_cast<double>(i) +
+                       rng_.uniform_double()) *
+                      static_cast<double>(window) /
+                      static_cast<double>(join->count));
+        simulator_.at(shifted(join->from) + sim::Duration::microseconds(offset),
+                      [this]() {
+                        hooks_.spawn();
+                        ++counters_.joins;
+                      });
+      }
+      continue;
+    }
+    if (const auto* set = std::get_if<SetReplacementRatio>(&action)) {
+      const double ratio = set->ratio;
+      simulator_.at(shifted(set->at),
+                    [this, ratio]() { replacement_ratio_ = ratio; });
+      continue;
+    }
+    if (const auto* churn = std::get_if<ConstChurn>(&action)) {
+      for (sim::TimePoint tick = churn->from + churn->period;
+           tick <= churn->to; tick += churn->period) {
+        const double fraction = churn->fraction;
+        simulator_.at(shifted(tick),
+                      [this, fraction]() { churn_tick(fraction); });
+      }
+      continue;
+    }
+    // Stop carries no scheduled behaviour; scenarios read stop_time().
+  }
+}
+
+void ChurnDriver::churn_tick(double fraction) {
+  const std::vector<net::NodeId> population = hooks_.population();
+  const auto kills = static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(population.size())));
+  const std::vector<net::NodeId> victims = rng_.sample(population, kills);
+  for (const net::NodeId victim : victims) {
+    hooks_.kill(victim);
+    ++counters_.kills;
+  }
+  const auto joins = static_cast<std::size_t>(
+      std::llround(static_cast<double>(kills) * replacement_ratio_));
+  for (std::size_t i = 0; i < joins; ++i) {
+    // Spread replacement joins across the period's first seconds so the
+    // contact points are not all hit in the same instant.
+    const auto offset = sim::Duration::microseconds(
+        static_cast<std::int64_t>(rng_.uniform(5'000'000)));
+    simulator_.after(offset, [this]() {
+      hooks_.spawn();
+      ++counters_.joins;
+    });
+  }
+}
+
+}  // namespace brisa::workload

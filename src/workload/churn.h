@@ -1,0 +1,114 @@
+// Churn trace DSL — the paper's Listing 1 (Splay churn module syntax).
+//
+// Supported statements, one per line ('#' starts a comment):
+//
+//   from <t1> s to <t2> s join <n>
+//   at <t> s set replacement ratio to <p>%
+//   from <t1> s to <t2> s const churn <x>% each <d> s
+//   at <t> s stop
+//
+// `join` spreads n joins uniformly over [t1, t2). `const churn x% each d`
+// kills x% of the current population at random every d seconds and joins
+// x% * replacement_ratio fresh nodes. `stop` marks the end of the measured
+// run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/node_id.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace brisa::workload {
+
+struct JoinSpan {
+  sim::TimePoint from;
+  sim::TimePoint to;
+  std::size_t count = 0;
+};
+
+struct SetReplacementRatio {
+  sim::TimePoint at;
+  double ratio = 1.0;  // 1.0 == 100%
+};
+
+struct ConstChurn {
+  sim::TimePoint from;
+  sim::TimePoint to;
+  double fraction = 0.0;  // 0.03 == 3% per period
+  sim::Duration period;
+};
+
+struct Stop {
+  sim::TimePoint at;
+};
+
+using ChurnAction =
+    std::variant<JoinSpan, SetReplacementRatio, ConstChurn, Stop>;
+
+class ChurnScript {
+ public:
+  /// Parses the DSL; throws std::invalid_argument with a line-numbered
+  /// message on syntax errors.
+  [[nodiscard]] static ChurnScript parse(const std::string& text);
+
+  /// Renders the paper's Listing 1 for the standard experiment: bootstrap
+  /// `nodes` joins over [1s, nodes/joins_per_second], then `churn_percent`%
+  /// churn each minute during [start, stop].
+  [[nodiscard]] static ChurnScript standard_trace(std::size_t nodes,
+                                                  double churn_percent,
+                                                  std::int64_t start_s = 1000,
+                                                  std::int64_t stop_s = 1600);
+
+  [[nodiscard]] const std::vector<ChurnAction>& actions() const {
+    return actions_;
+  }
+  [[nodiscard]] sim::TimePoint stop_time() const { return stop_time_; }
+
+ private:
+  std::vector<ChurnAction> actions_;
+  sim::TimePoint stop_time_ = sim::TimePoint::max();
+};
+
+/// Callbacks through which the driver manipulates the system under test.
+struct ChurnHooks {
+  /// Creates one fresh node and makes it join the running system.
+  std::function<void()> spawn;
+  /// Currently alive protocol nodes eligible for killing (the scenario
+  /// excludes the source, as the paper does in §III-C).
+  std::function<std::vector<net::NodeId>()> population;
+  std::function<void(net::NodeId)> kill;
+};
+
+/// Schedules a parsed script onto a simulator.
+class ChurnDriver {
+ public:
+  ChurnDriver(sim::Simulator& simulator, ChurnScript script, ChurnHooks hooks);
+
+  /// Registers all events with the simulator (idempotent; call once).
+  void arm();
+
+  struct Counters {
+    std::uint64_t joins = 0;
+    std::uint64_t kills = 0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] double replacement_ratio() const { return replacement_ratio_; }
+
+ private:
+  void churn_tick(double fraction);
+
+  sim::Simulator& simulator_;
+  ChurnScript script_;
+  ChurnHooks hooks_;
+  sim::Rng rng_;
+  double replacement_ratio_ = 1.0;
+  bool armed_ = false;
+  Counters counters_;
+};
+
+}  // namespace brisa::workload

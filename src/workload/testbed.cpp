@@ -1,0 +1,50 @@
+#include "workload/testbed.h"
+
+#include <stdexcept>
+
+namespace brisa::workload {
+
+const char* to_string(TestbedKind kind) {
+  switch (kind) {
+    case TestbedKind::kCluster:
+      return "cluster";
+    case TestbedKind::kPlanetLab:
+      return "planetlab";
+  }
+  return "?";
+}
+
+TestbedKind parse_testbed(const std::string& name) {
+  if (name == "cluster") return TestbedKind::kCluster;
+  if (name == "planetlab") return TestbedKind::kPlanetLab;
+  throw std::invalid_argument("unknown testbed: " + name);
+}
+
+net::Network::Config testbed_network_config(TestbedKind kind) {
+  switch (kind) {
+    case TestbedKind::kCluster:
+      return net::Network::cluster_config();
+    case TestbedKind::kPlanetLab:
+      return net::Network::planetlab_config();
+  }
+  return {};
+}
+
+std::unique_ptr<net::LatencyModel> testbed_latency(TestbedKind kind) {
+  switch (kind) {
+    case TestbedKind::kCluster:
+      return net::make_cluster_latency();
+    case TestbedKind::kPlanetLab:
+      return net::make_planetlab_latency();
+  }
+  return nullptr;
+}
+
+SystemBase::SystemBase(std::uint64_t seed, TestbedKind testbed)
+    : testbed_(testbed),
+      simulator_(seed),
+      network_(simulator_, testbed_latency(testbed),
+               testbed_network_config(testbed)),
+      transport_(network_) {}
+
+}  // namespace brisa::workload

@@ -1,0 +1,52 @@
+// Testbed presets: the paper's cluster (§III: 15 machines, 1 Gbps switched)
+// and PlanetLab (§III: ≤200 globally distributed, resource-starved nodes),
+// as simulator configurations. See DESIGN.md §3 for the substitution
+// rationale.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/latency.h"
+#include "net/network.h"
+#include "net/transport.h"
+
+namespace brisa::workload {
+
+enum class TestbedKind { kCluster, kPlanetLab };
+
+[[nodiscard]] const char* to_string(TestbedKind kind);
+[[nodiscard]] TestbedKind parse_testbed(const std::string& name);
+
+[[nodiscard]] net::Network::Config testbed_network_config(TestbedKind kind);
+[[nodiscard]] std::unique_ptr<net::LatencyModel> testbed_latency(
+    TestbedKind kind);
+
+/// Common base for the per-protocol system harnesses: owns the simulator,
+/// network and transport in construction order.
+class SystemBase {
+ public:
+  SystemBase(std::uint64_t seed, TestbedKind testbed);
+  virtual ~SystemBase() = default;
+
+  SystemBase(const SystemBase&) = delete;
+  SystemBase& operator=(const SystemBase&) = delete;
+
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] net::Transport& transport() { return transport_; }
+  [[nodiscard]] TestbedKind testbed() const { return testbed_; }
+
+  void run_for(sim::Duration duration) {
+    simulator_.run_until(simulator_.now() + duration);
+  }
+  void run_until(sim::TimePoint when) { simulator_.run_until(when); }
+
+ protected:
+  TestbedKind testbed_;
+  sim::Simulator simulator_;
+  net::Network network_;
+  net::Transport transport_;
+};
+
+}  // namespace brisa::workload

@@ -1,0 +1,285 @@
+// Baseline protocol tests (§III-D): SimpleTree, SimpleGossip, and TAG each
+// bootstrap, disseminate completely, and show their characteristic
+// efficiency/robustness trade-offs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/baseline_systems.h"
+
+namespace brisa::baselines {
+namespace {
+
+// --- SimpleTree ----------------------------------------------------------------
+
+workload::SimpleTreeSystem::Config tree_config(std::uint64_t seed = 3,
+                                               std::size_t nodes = 48) {
+  workload::SimpleTreeSystem::Config config;
+  config.seed = seed;
+  config.num_nodes = nodes;
+  config.join_spread = sim::Duration::seconds(10);
+  return config;
+}
+
+TEST(SimpleTree, AllNodesJoinThroughCoordinator) {
+  workload::SimpleTreeSystem system(tree_config());
+  system.bootstrap();
+  for (const net::NodeId id : system.all_ids()) {
+    EXPECT_TRUE(system.node(id).joined()) << id;
+  }
+}
+
+TEST(SimpleTree, DisseminationIsCompleteAndDuplicateFree) {
+  workload::SimpleTreeSystem system(tree_config());
+  system.bootstrap();
+  system.run_stream(50, 5.0, 1024);
+  EXPECT_TRUE(system.complete_delivery());
+  for (const net::NodeId id : system.all_ids()) {
+    EXPECT_EQ(system.node(id).stats().duplicates, 0u) << id;
+  }
+}
+
+TEST(SimpleTree, StructureIsAcyclicByJoinOrder) {
+  workload::SimpleTreeSystem system(tree_config());
+  system.bootstrap();
+  // Walk up from every node; must terminate at the root.
+  for (const net::NodeId start : system.all_ids()) {
+    std::set<std::uint32_t> seen{start.index()};
+    net::NodeId current = start;
+    while (current != system.source_id()) {
+      current = system.node(current).parent();
+      ASSERT_TRUE(current.valid());
+      ASSERT_TRUE(seen.insert(current.index()).second) << "cycle";
+    }
+  }
+}
+
+TEST(SimpleTree, NoRepairAfterParentFailure) {
+  workload::SimpleTreeSystem system(tree_config());
+  system.bootstrap();
+  system.run_stream(10, 5.0, 256);
+  // Find an interior node and kill it: its subtree silently stops.
+  net::NodeId victim;
+  for (const net::NodeId id : system.all_ids()) {
+    if (id != system.source_id() && system.node(id).child_count() > 0) {
+      victim = id;
+      break;
+    }
+  }
+  ASSERT_TRUE(victim.valid());
+  system.network().kill(victim);
+  system.run_for(sim::Duration::seconds(5));
+  system.run_stream(10, 5.0, 256);
+  EXPECT_FALSE(system.complete_delivery());
+}
+
+// --- SimpleGossip -----------------------------------------------------------------
+
+workload::SimpleGossipSystem::Config gossip_config(std::uint64_t seed = 5,
+                                                   std::size_t nodes = 48) {
+  workload::SimpleGossipSystem::Config config;
+  config.seed = seed;
+  config.num_nodes = nodes;
+  return config;
+}
+
+TEST(SimpleGossip, FanoutDefaultsToLnN) {
+  EXPECT_EQ(workload::gossip_fanout_for(512), 7u);   // ln 512 ~ 6.24
+  EXPECT_EQ(workload::gossip_fanout_for(128), 5u);   // ln 128 ~ 4.85
+  workload::SimpleGossipSystem system(gossip_config());
+  system.bootstrap();
+  EXPECT_EQ(system.node(system.source_id()).stats().delivered, 0u);
+}
+
+TEST(SimpleGossip, DisseminationCompletes) {
+  workload::SimpleGossipSystem system(gossip_config());
+  system.bootstrap();
+  system.run_stream(50, 5.0, 1024);
+  EXPECT_TRUE(system.complete_delivery());
+}
+
+TEST(SimpleGossip, ProducesDuplicates) {
+  workload::SimpleGossipSystem system(gossip_config());
+  system.bootstrap();
+  system.run_stream(50, 5.0, 1024);
+  std::uint64_t dups = 0;
+  for (const net::NodeId id : system.all_ids()) {
+    dups += system.node(id).stats().duplicates;
+  }
+  // Rumor mongering with fanout ln(N) floods heavily: expect roughly
+  // fanout-1 duplicates per delivery on average.
+  EXPECT_GT(dups, 50u * 48u);
+}
+
+TEST(SimpleGossip, AntiEntropyRecoversStragglers) {
+  // Tiny fanout cripples the push phase; anti-entropy must still complete
+  // the dissemination.
+  auto config = gossip_config(7);
+  config.fanout = 1;
+  workload::SimpleGossipSystem system(config);
+  system.bootstrap();
+  system.run_stream(30, 5.0, 256, sim::Duration::seconds(60));
+  EXPECT_TRUE(system.complete_delivery());
+  std::uint64_t recoveries = 0;
+  for (const net::NodeId id : system.all_ids()) {
+    recoveries += system.node(id).stats().anti_entropy_recoveries;
+  }
+  EXPECT_GT(recoveries, 0u);
+}
+
+TEST(SimpleGossip, SurvivesChurn) {
+  workload::SimpleGossipSystem system(gossip_config(9));
+  system.bootstrap();
+  workload::ChurnScript script = workload::ChurnScript::parse(
+      "from 0 s to 60 s const churn 3% each 10 s\nat 60 s stop\n");
+  workload::ChurnDriver driver(system.simulator(), script,
+                               system.churn_hooks());
+  driver.arm();
+  system.run_stream(100, 5.0, 256, sim::Duration::seconds(60));
+  EXPECT_GT(driver.counters().kills, 0u);
+  EXPECT_TRUE(system.complete_delivery());
+}
+
+// --- TAG ---------------------------------------------------------------------------
+
+workload::TagSystem::Config tag_config(std::uint64_t seed = 11,
+                                       std::size_t nodes = 48) {
+  workload::TagSystem::Config config;
+  config.seed = seed;
+  config.num_nodes = nodes;
+  config.join_spread = sim::Duration::seconds(20);
+  return config;
+}
+
+TEST(Tag, AllNodesJoinList) {
+  workload::TagSystem system(tag_config());
+  system.bootstrap();
+  std::size_t joined = 0;
+  for (const net::NodeId id : system.all_ids()) {
+    if (system.node(id).joined()) ++joined;
+  }
+  EXPECT_EQ(joined, system.all_ids().size());
+}
+
+TEST(Tag, ListLinksAreConsistent) {
+  workload::TagSystem system(tag_config());
+  system.bootstrap();
+  // Follow pred links from every node: must reach the head without cycles.
+  for (const net::NodeId start : system.all_ids()) {
+    std::set<std::uint32_t> seen{start.index()};
+    net::NodeId current = start;
+    std::size_t steps = 0;
+    while (current != system.source_id() &&
+           steps < system.all_ids().size() + 2) {
+      const net::NodeId pred = system.node(current).list_pred();
+      if (!pred.valid()) break;  // under churn a link may be mid-repair
+      ASSERT_TRUE(seen.insert(pred.index()).second)
+          << "list cycle at " << pred;
+      current = pred;
+      ++steps;
+    }
+  }
+}
+
+TEST(Tag, PullDisseminationCompletes) {
+  workload::TagSystem system(tag_config());
+  system.bootstrap();
+  system.run_stream(50, 5.0, 1024, sim::Duration::seconds(60));
+  EXPECT_TRUE(system.complete_delivery());
+}
+
+TEST(Tag, PullIsSlowerThanTreePush) {
+  workload::TagSystem tag(tag_config(13));
+  tag.bootstrap();
+  tag.run_stream(50, 5.0, 1024, sim::Duration::seconds(90));
+
+  workload::SimpleTreeSystem tree(tree_config(13));
+  tree.bootstrap();
+  tree.run_stream(50, 5.0, 1024);
+
+  // Dissemination window (first-to-last delivery) per node, averaged.
+  auto mean_window = [](const auto& get_stats,
+                        const std::vector<net::NodeId>& ids) {
+    double total = 0;
+    std::size_t count = 0;
+    for (const net::NodeId id : ids) {
+      const auto& times = get_stats(id);
+      if (times.size() < 2) continue;
+      total += (std::prev(times.end())->second - times.begin()->second)
+                   .to_seconds();
+      ++count;
+    }
+    return total / static_cast<double>(count);
+  };
+  const double tag_window = mean_window(
+      [&](net::NodeId id) -> const auto& {
+        return tag.node(id).stats().delivery_time;
+      },
+      tag.all_ids());
+  const double tree_window = mean_window(
+      [&](net::NodeId id) -> const auto& {
+        return tree.node(id).stats().delivery_time;
+      },
+      tree.all_ids());
+  // Table II: TAG's pull-based dissemination takes much longer end to end.
+  EXPECT_GT(tag_window, tree_window * 1.2);
+}
+
+TEST(Tag, ParentFailureRepairsThroughList) {
+  workload::TagSystem system(tag_config(15));
+  system.bootstrap();
+  system.run_stream(20, 5.0, 256, sim::Duration::seconds(30));
+  // Kill a node that serves children.
+  net::NodeId victim;
+  for (const net::NodeId id : system.all_ids()) {
+    if (id != system.source_id() && system.node(id).child_count() > 0) {
+      victim = id;
+      break;
+    }
+  }
+  ASSERT_TRUE(victim.valid());
+  system.kill_node(victim);
+  system.run_for(sim::Duration::seconds(20));
+  system.run_stream(30, 5.0, 256, sim::Duration::seconds(60));
+  EXPECT_TRUE(system.complete_delivery());
+  std::uint64_t lost = 0, soft = 0, hard = 0;
+  for (const net::NodeId id : system.all_ids()) {
+    if (!system.network().alive(id)) continue;
+    lost += system.node(id).stats().parents_lost;
+    soft += system.node(id).stats().soft_repairs;
+    hard += system.node(id).stats().hard_repairs;
+  }
+  EXPECT_GT(lost, 0u);
+  EXPECT_GT(soft + hard, 0u);
+}
+
+TEST(Tag, SurvivesChurn) {
+  workload::TagSystem system(tag_config(17));
+  system.bootstrap();
+  workload::ChurnScript script = workload::ChurnScript::parse(
+      "from 0 s to 60 s const churn 2% each 10 s\nat 60 s stop\n");
+  workload::ChurnDriver driver(system.simulator(), script,
+                               system.churn_hooks());
+  driver.arm();
+  system.run_stream(100, 5.0, 256, sim::Duration::seconds(120));
+  EXPECT_GT(driver.counters().kills, 0u);
+  EXPECT_TRUE(system.complete_delivery());
+}
+
+TEST(Tag, ConstructionProbesRecorded) {
+  workload::TagSystem system(tag_config(19));
+  system.bootstrap();
+  std::size_t with_probe = 0;
+  for (const net::NodeId id : system.all_ids()) {
+    if (id == system.source_id()) continue;
+    const auto& stats = system.node(id).stats();
+    if (stats.join_started_at && stats.parent_acquired_at) {
+      ++with_probe;
+      EXPECT_GE(*stats.parent_acquired_at, *stats.join_started_at);
+    }
+  }
+  EXPECT_GT(with_probe, system.all_ids().size() * 3 / 4);
+}
+
+}  // namespace
+}  // namespace brisa::baselines

@@ -1,0 +1,319 @@
+// BRISA tree-mode tests (§II-C/D/E): structure emergence, zero duplicates
+// after stabilization, path-embedding cycle prevention, parent-selection
+// strategies, and the symmetric-deactivation optimization.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/brisa_system.h"
+
+namespace brisa::core {
+namespace {
+
+workload::BrisaSystem::Config small_config(std::uint64_t seed = 7,
+                                           std::size_t nodes = 48) {
+  workload::BrisaSystem::Config config;
+  config.seed = seed;
+  config.num_nodes = nodes;
+  config.join_spread = sim::Duration::seconds(10);
+  config.stabilization = sim::Duration::seconds(20);
+  return config;
+}
+
+/// Asserts the parent edges form a forest rooted at the source covering all
+/// alive members (i.e. a spanning tree: acyclic + connected).
+void expect_spanning_tree(workload::BrisaSystem& system) {
+  std::map<net::NodeId, net::NodeId> parent_of;
+  for (const net::NodeId id : system.member_ids()) {
+    if (id == system.source_id()) continue;
+    const auto parents = system.brisa(id).parents();
+    ASSERT_EQ(parents.size(), 1u) << "node " << id;
+    parent_of[id] = parents[0];
+  }
+  // Walking up from any node must reach the source without revisiting.
+  for (const auto& [start, first_parent] : parent_of) {
+    std::set<net::NodeId> seen{start};
+    net::NodeId current = first_parent;
+    while (current != system.source_id()) {
+      ASSERT_TRUE(seen.insert(current).second)
+          << "cycle through " << current << " from " << start;
+      const auto it = parent_of.find(current);
+      ASSERT_NE(it, parent_of.end()) << "dangling parent " << current;
+      current = it->second;
+    }
+  }
+}
+
+TEST(BrisaTree, EmergesSpanningTree) {
+  workload::BrisaSystem system(small_config());
+  system.bootstrap();
+  system.run_stream(30, 5.0, 1024);
+  EXPECT_TRUE(system.complete_delivery());
+  expect_spanning_tree(system);
+}
+
+TEST(BrisaTree, NoDuplicatesAfterStabilization) {
+  workload::BrisaSystem system(small_config());
+  system.bootstrap();
+  // Phase 1: let the structure emerge on the first few messages.
+  system.run_stream(20, 5.0, 256);
+  // Phase 2: snapshot duplicates, stream more, expect no growth.
+  std::map<std::uint32_t, std::uint64_t> dups_before;
+  for (const net::NodeId id : system.member_ids()) {
+    dups_before[id.index()] = system.brisa(id).stats().duplicates;
+  }
+  system.run_stream(30, 5.0, 256);
+  EXPECT_TRUE(system.complete_delivery());
+  for (const net::NodeId id : system.member_ids()) {
+    EXPECT_EQ(system.brisa(id).stats().duplicates, dups_before[id.index()])
+        << "node " << id << " still receives duplicates";
+  }
+}
+
+TEST(BrisaTree, PathsMatchParentChain) {
+  workload::BrisaSystem system(small_config());
+  system.bootstrap();
+  system.run_stream(30, 5.0, 256);
+  for (const net::NodeId id : system.member_ids()) {
+    if (id == system.source_id()) continue;
+    const Brisa& node = system.brisa(id);
+    const std::vector<net::NodeId>& path = node.path();
+    ASSERT_GE(path.size(), 2u) << id;
+    EXPECT_EQ(path.front(), system.source_id());
+    EXPECT_EQ(path.back(), id);
+    EXPECT_EQ(path[path.size() - 2], node.parents()[0]);
+    // Paths never contain repeats (would indicate an undetected cycle).
+    const std::set<net::NodeId> unique(path.begin(), path.end());
+    EXPECT_EQ(unique.size(), path.size());
+  }
+}
+
+TEST(BrisaTree, DepthMatchesPathLength) {
+  workload::BrisaSystem system(small_config());
+  system.bootstrap();
+  system.run_stream(20, 5.0, 256);
+  for (const net::NodeId id : system.member_ids()) {
+    const Brisa& node = system.brisa(id);
+    EXPECT_EQ(node.depth(),
+              static_cast<std::int32_t>(node.path().size()) - 1);
+  }
+  EXPECT_EQ(system.brisa(system.source_id()).depth(), 0);
+}
+
+TEST(BrisaTree, SourceHasNoParents) {
+  workload::BrisaSystem system(small_config());
+  system.bootstrap();
+  system.run_stream(20, 5.0, 256);
+  EXPECT_TRUE(system.brisa(system.source_id()).parents().empty());
+  EXPECT_TRUE(system.brisa(system.source_id()).is_source());
+}
+
+TEST(BrisaTree, ChildrenMatchParentEdges) {
+  workload::BrisaSystem system(small_config());
+  system.bootstrap();
+  system.run_stream(30, 5.0, 256);
+  // children() of P should contain exactly the nodes whose parent is P
+  // (modulo nodes that never pruned an unused outbound link).
+  std::map<std::uint32_t, std::set<std::uint32_t>> expected;
+  for (const net::NodeId id : system.member_ids()) {
+    if (id == system.source_id()) continue;
+    expected[system.brisa(id).parents()[0].index()].insert(id.index());
+  }
+  for (const net::NodeId id : system.member_ids()) {
+    std::set<std::uint32_t> actual;
+    for (const net::NodeId child : system.brisa(id).children()) {
+      actual.insert(child.index());
+    }
+    for (const std::uint32_t child : expected[id.index()]) {
+      EXPECT_EQ(actual.count(child), 1u)
+          << "node " << id.index() << " missing child " << child;
+    }
+  }
+}
+
+TEST(BrisaTree, StabilizationProbesRecorded) {
+  workload::BrisaSystem system(small_config());
+  system.bootstrap();
+  system.run_stream(20, 5.0, 256);
+  std::size_t with_probe = 0;
+  for (const net::NodeId id : system.member_ids()) {
+    if (id == system.source_id()) continue;
+    const auto& stats = system.brisa(id).stats();
+    if (stats.first_deactivation_at.has_value()) {
+      ++with_probe;
+      ASSERT_TRUE(stats.structure_stable_at.has_value()) << id;
+      EXPECT_GE(*stats.structure_stable_at, *stats.first_deactivation_at);
+    }
+  }
+  // Most nodes receive duplicates during bootstrap and hence deactivate.
+  EXPECT_GT(with_probe, system.member_ids().size() / 2);
+}
+
+TEST(BrisaTree, FloodModeNeverDeactivates) {
+  auto config = small_config();
+  config.brisa.prune = false;
+  workload::BrisaSystem system(config);
+  system.bootstrap();
+  system.run_stream(20, 5.0, 256);
+  EXPECT_TRUE(system.complete_delivery());
+  std::uint64_t total_dups = 0;
+  for (const net::NodeId id : system.member_ids()) {
+    const auto& stats = system.brisa(id).stats();
+    EXPECT_EQ(stats.deactivations_sent, 0u);
+    total_dups += stats.duplicates;
+  }
+  EXPECT_GT(total_dups, 0u);
+}
+
+TEST(BrisaTree, PruningBeatsFloodingOnDuplicates) {
+  auto flood_config = small_config(11);
+  flood_config.brisa.prune = false;
+  workload::BrisaSystem flood(flood_config);
+  flood.bootstrap();
+  flood.run_stream(40, 5.0, 256);
+
+  workload::BrisaSystem tree(small_config(11));
+  tree.bootstrap();
+  tree.run_stream(40, 5.0, 256);
+
+  auto total_dups = [](workload::BrisaSystem& s) {
+    std::uint64_t total = 0;
+    for (const net::NodeId id : s.member_ids()) {
+      total += s.brisa(id).stats().duplicates;
+    }
+    return total;
+  };
+  EXPECT_LT(total_dups(tree), total_dups(flood) / 5);
+}
+
+TEST(BrisaTree, DelayAwareSelectsLowerRttParents) {
+  // On the PlanetLab model, delay-aware parents should have smaller RTTs
+  // than first-come parents on average.
+  auto first_config = small_config(13, 40);
+  first_config.testbed = workload::TestbedKind::kPlanetLab;
+  first_config.stabilization = sim::Duration::seconds(40);
+  workload::BrisaSystem first_system(first_config);
+  first_system.bootstrap();
+  first_system.run_stream(40, 5.0, 512);
+
+  auto delay_config = first_config;
+  delay_config.brisa.strategy = ParentSelectionStrategy::kDelayAware;
+  workload::BrisaSystem delay_system(delay_config);
+  delay_system.bootstrap();
+  delay_system.run_stream(40, 5.0, 512);
+
+  auto mean_parent_rtt = [](workload::BrisaSystem& s) {
+    double total = 0;
+    int count = 0;
+    for (const net::NodeId id : s.member_ids()) {
+      if (id == s.source_id()) continue;
+      for (const net::NodeId parent : s.brisa(id).parents()) {
+        const sim::Duration rtt = s.hyparview(id).rtt_estimate(parent);
+        if (rtt == sim::Duration::max()) continue;
+        total += rtt.to_milliseconds();
+        ++count;
+      }
+    }
+    return count > 0 ? total / count : 0.0;
+  };
+  EXPECT_LT(mean_parent_rtt(delay_system), mean_parent_rtt(first_system));
+  EXPECT_TRUE(delay_system.complete_delivery());
+}
+
+TEST(BrisaTree, StrategyParsing) {
+  EXPECT_EQ(parse_strategy("first-come"),
+            ParentSelectionStrategy::kFirstComeFirstPicked);
+  EXPECT_EQ(parse_strategy("delay-aware"),
+            ParentSelectionStrategy::kDelayAware);
+  EXPECT_EQ(parse_strategy("gerontocratic"),
+            ParentSelectionStrategy::kGerontocratic);
+  EXPECT_EQ(parse_strategy("load"), ParentSelectionStrategy::kLoadBalancing);
+  EXPECT_THROW(parse_strategy("bogus"), std::invalid_argument);
+  EXPECT_STREQ(to_string(ParentSelectionStrategy::kDelayAware), "delay");
+}
+
+TEST(BrisaTree, CandidateCosts) {
+  CandidateInfo incumbent;
+  incumbent.incumbent = true;
+  CandidateInfo challenger;
+  challenger.incumbent = false;
+  EXPECT_LT(candidate_cost(ParentSelectionStrategy::kFirstComeFirstPicked,
+                           incumbent),
+            candidate_cost(ParentSelectionStrategy::kFirstComeFirstPicked,
+                           challenger));
+
+  CandidateInfo fast;
+  fast.rtt = sim::Duration::milliseconds(10);
+  CandidateInfo slow;
+  slow.rtt = sim::Duration::milliseconds(100);
+  CandidateInfo unknown;  // no RTT estimate
+  EXPECT_LT(candidate_cost(ParentSelectionStrategy::kDelayAware, fast),
+            candidate_cost(ParentSelectionStrategy::kDelayAware, slow));
+  EXPECT_LT(candidate_cost(ParentSelectionStrategy::kDelayAware, slow),
+            candidate_cost(ParentSelectionStrategy::kDelayAware, unknown));
+
+  CandidateInfo old_node;
+  old_node.position.uptime_s = 1000;
+  CandidateInfo young;
+  young.position.uptime_s = 10;
+  EXPECT_LT(candidate_cost(ParentSelectionStrategy::kGerontocratic, old_node),
+            candidate_cost(ParentSelectionStrategy::kGerontocratic, young));
+
+  CandidateInfo loaded;
+  loaded.position.degree = 9;
+  CandidateInfo idle;
+  idle.position.degree = 1;
+  EXPECT_LT(candidate_cost(ParentSelectionStrategy::kLoadBalancing, idle),
+            candidate_cost(ParentSelectionStrategy::kLoadBalancing, loaded));
+}
+
+TEST(BrisaTree, SymmetricDeactivationOnlyForFirstCome) {
+  EXPECT_TRUE(allows_symmetric_deactivation(
+      ParentSelectionStrategy::kFirstComeFirstPicked));
+  EXPECT_FALSE(
+      allows_symmetric_deactivation(ParentSelectionStrategy::kDelayAware));
+  EXPECT_FALSE(
+      allows_symmetric_deactivation(ParentSelectionStrategy::kGerontocratic));
+}
+
+TEST(BrisaTree, SymmetricDeactivationReducesDeactivationTraffic) {
+  auto with_config = small_config(17);
+  with_config.brisa.symmetric_deactivation = true;
+  workload::BrisaSystem with_sym(with_config);
+  with_sym.bootstrap();
+  with_sym.run_stream(30, 5.0, 256);
+
+  auto without_config = small_config(17);
+  without_config.brisa.symmetric_deactivation = false;
+  workload::BrisaSystem without_sym(without_config);
+  without_sym.bootstrap();
+  without_sym.run_stream(30, 5.0, 256);
+
+  auto total_deactivations = [](workload::BrisaSystem& s) {
+    std::uint64_t total = 0;
+    for (const net::NodeId id : s.member_ids()) {
+      total += s.brisa(id).stats().deactivations_sent;
+    }
+    return total;
+  };
+  EXPECT_TRUE(with_sym.complete_delivery());
+  EXPECT_TRUE(without_sym.complete_delivery());
+  EXPECT_LE(total_deactivations(with_sym), total_deactivations(without_sym));
+}
+
+TEST(BrisaTree, LateJoinerIntegratesAndReceives) {
+  workload::BrisaSystem system(small_config());
+  system.bootstrap();
+  system.run_stream(20, 5.0, 256);
+  const net::NodeId late = system.spawn_node();
+  system.run_for(sim::Duration::seconds(10));
+  const std::uint64_t before = system.brisa(late).stats().delivered;
+  system.run_stream(20, 5.0, 256);
+  EXPECT_GT(system.brisa(late).stats().delivered, before);
+  // The late joiner settles on exactly one parent.
+  EXPECT_EQ(system.brisa(late).parents().size(), 1u);
+}
+
+}  // namespace
+}  // namespace brisa::core

@@ -1,0 +1,174 @@
+// Cyclon tests: bootstrap/join, shuffle mechanics (aging, partner choice,
+// view-size bounds), and mixing (views diversify over time).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "membership/cyclon.h"
+#include "net/latency.h"
+#include "sim/simulator.h"
+
+namespace brisa::membership {
+namespace {
+
+class CyclonMesh {
+ public:
+  CyclonMesh(std::size_t n, Cyclon::Config config, std::uint64_t seed = 5)
+      : simulator_(seed),
+        network_(simulator_, std::make_unique<net::ClusterLatencyModel>()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const net::NodeId id = network_.add_host();
+      auto node = std::make_unique<Cyclon>(network_, id, config);
+      network_.bind_datagram_handler(id, node.get());
+      nodes_.emplace(id, std::move(node));
+      ids_.push_back(id);
+    }
+  }
+
+  void bootstrap_ring() {
+    // Minimal connectivity: each node starts knowing only its ring successor;
+    // shuffles must spread knowledge from there.
+    for (std::size_t i = 0; i < ids_.size(); ++i) {
+      nodes_.at(ids_[i])->bootstrap({ids_[(i + 1) % ids_.size()]});
+    }
+  }
+
+  void run(sim::Duration duration) {
+    simulator_.run_until(simulator_.now() + duration);
+  }
+
+  [[nodiscard]] Cyclon& node(net::NodeId id) { return *nodes_.at(id); }
+  [[nodiscard]] const std::vector<net::NodeId>& ids() const { return ids_; }
+  [[nodiscard]] net::Network& network() { return network_; }
+
+ private:
+  sim::Simulator simulator_;
+  net::Network network_;
+  std::map<net::NodeId, std::unique_ptr<Cyclon>> nodes_;
+  std::vector<net::NodeId> ids_;
+};
+
+TEST(Cyclon, BootstrapSeedsView) {
+  CyclonMesh mesh(8, {});
+  mesh.node(mesh.ids()[0])
+      .bootstrap({mesh.ids()[1], mesh.ids()[2], mesh.ids()[0]});
+  const auto view = mesh.node(mesh.ids()[0]).view();
+  EXPECT_EQ(view.size(), 2u);  // self excluded
+}
+
+TEST(Cyclon, ViewSizeBounded) {
+  Cyclon::Config config;
+  config.view_size = 6;
+  config.shuffle_length = 3;
+  CyclonMesh mesh(32, config);
+  mesh.bootstrap_ring();
+  mesh.run(sim::Duration::seconds(120));
+  for (const net::NodeId id : mesh.ids()) {
+    EXPECT_LE(mesh.node(id).view().size(), 6u);
+    EXPECT_GE(mesh.node(id).view().size(), 1u);
+  }
+}
+
+TEST(Cyclon, ViewNeverContainsSelfOrDuplicates) {
+  CyclonMesh mesh(24, {});
+  mesh.bootstrap_ring();
+  mesh.run(sim::Duration::seconds(60));
+  for (const net::NodeId id : mesh.ids()) {
+    const auto view = mesh.node(id).view();
+    std::set<net::NodeId> unique(view.begin(), view.end());
+    EXPECT_EQ(unique.size(), view.size()) << "duplicates at " << id;
+    EXPECT_EQ(unique.count(id), 0u) << "self at " << id;
+  }
+}
+
+TEST(Cyclon, ShufflesMixViewsBeyondRing) {
+  CyclonMesh mesh(32, {});
+  mesh.bootstrap_ring();
+  mesh.run(sim::Duration::seconds(120));
+  // After mixing, most nodes should know someone other than their original
+  // ring successor.
+  std::size_t diversified = 0;
+  for (std::size_t i = 0; i < mesh.ids().size(); ++i) {
+    const net::NodeId successor = mesh.ids()[(i + 1) % mesh.ids().size()];
+    for (const net::NodeId peer : mesh.node(mesh.ids()[i]).view()) {
+      if (peer != successor) {
+        ++diversified;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(diversified, mesh.ids().size() * 3 / 4);
+}
+
+TEST(Cyclon, ShuffleCountersAdvance) {
+  CyclonMesh mesh(16, {});
+  mesh.bootstrap_ring();
+  mesh.run(sim::Duration::seconds(60));
+  std::uint64_t initiated = 0, answered = 0;
+  for (const net::NodeId id : mesh.ids()) {
+    initiated += mesh.node(id).counters().shuffles_initiated;
+    answered += mesh.node(id).counters().shuffles_answered;
+  }
+  EXPECT_GT(initiated, 16u * 10);
+  // Most shuffles find their partner alive in a static network.
+  EXPECT_GT(answered, initiated / 2);
+}
+
+TEST(Cyclon, JoinDiffusesThroughContact) {
+  CyclonMesh mesh(16, {});
+  mesh.bootstrap_ring();
+  mesh.run(sim::Duration::seconds(30));
+  // A 17th node joins knowing only node 0.
+  const net::NodeId joiner = mesh.network().add_host();
+  Cyclon::Config config;
+  Cyclon fresh(mesh.network(), joiner, config);
+  mesh.network().bind_datagram_handler(joiner, &fresh);
+  fresh.join(mesh.ids()[0]);
+  mesh.run(sim::Duration::seconds(60));
+  EXPECT_GE(fresh.view().size(), 2u);
+  // And some established node should now know the joiner.
+  std::size_t aware = 0;
+  for (const net::NodeId id : mesh.ids()) {
+    const auto view = mesh.node(id).view();
+    if (std::find(view.begin(), view.end(), joiner) != view.end()) ++aware;
+  }
+  EXPECT_GE(aware, 1u);
+}
+
+TEST(Cyclon, DeadEntriesAgeOut) {
+  CyclonMesh mesh(24, {});
+  mesh.bootstrap_ring();
+  mesh.run(sim::Duration::seconds(60));
+  const net::NodeId victim = mesh.ids()[3];
+  mesh.network().kill(victim);
+  mesh.run(sim::Duration::seconds(180));
+  // The dead node's entry should have been shuffled out of (most) views: a
+  // shuffle initiated toward it removes the entry and gets no reply.
+  std::size_t still_known = 0;
+  for (const net::NodeId id : mesh.ids()) {
+    if (id == victim) continue;
+    const auto view = mesh.node(id).view();
+    if (std::find(view.begin(), view.end(), victim) != view.end()) {
+      ++still_known;
+    }
+  }
+  EXPECT_LE(still_known, 3u);
+}
+
+TEST(Cyclon, RandomPeersSamplesFromView) {
+  CyclonMesh mesh(16, {});
+  mesh.bootstrap_ring();
+  mesh.run(sim::Duration::seconds(60));
+  Cyclon& node = mesh.node(mesh.ids()[0]);
+  const auto view = node.view();
+  const auto sample = node.random_peers(3);
+  EXPECT_LE(sample.size(), 3u);
+  for (const net::NodeId peer : sample) {
+    EXPECT_NE(std::find(view.begin(), view.end(), peer), view.end());
+  }
+}
+
+}  // namespace
+}  // namespace brisa::membership

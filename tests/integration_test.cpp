@@ -1,0 +1,241 @@
+// Cross-protocol integration tests: the relative behaviours the paper's
+// comparison section (§III-D) reports must hold between our implementations.
+#include <gtest/gtest.h>
+
+#include "workload/baseline_systems.h"
+#include "workload/brisa_system.h"
+
+namespace brisa {
+namespace {
+
+constexpr std::size_t kNodes = 64;
+constexpr std::size_t kMessages = 60;
+constexpr std::size_t kPayload = 1024;
+
+double mean_dissemination_window(
+    const std::vector<net::NodeId>& ids,
+    const std::function<const std::map<std::uint64_t, sim::TimePoint>&(
+        net::NodeId)>& times_of) {
+  double total = 0;
+  std::size_t count = 0;
+  for (const net::NodeId id : ids) {
+    const auto& times = times_of(id);
+    if (times.size() < 2) continue;
+    total +=
+        (std::prev(times.end())->second - times.begin()->second).to_seconds();
+    ++count;
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+TEST(Integration, LatencyOrderingMatchesTableII) {
+  // SimpleTree <= BRISA < SimpleGossip-ish < TAG (Table II ordering; the
+  // middle two are close, so only the extremes are asserted strictly).
+  workload::SimpleTreeSystem tree([]() {
+    workload::SimpleTreeSystem::Config config;
+    config.seed = 50;
+    config.num_nodes = kNodes;
+    config.join_spread = sim::Duration::seconds(10);
+    return config;
+  }());
+  tree.bootstrap();
+  tree.run_stream(kMessages, 5.0, kPayload);
+
+  workload::BrisaSystem brisa_system([]() {
+    workload::BrisaSystem::Config config;
+    config.seed = 50;
+    config.num_nodes = kNodes;
+    config.join_spread = sim::Duration::seconds(10);
+    config.stabilization = sim::Duration::seconds(20);
+    return config;
+  }());
+  brisa_system.bootstrap();
+  brisa_system.run_stream(kMessages, 5.0, kPayload);
+
+  workload::TagSystem tag([]() {
+    workload::TagSystem::Config config;
+    config.seed = 50;
+    config.num_nodes = kNodes;
+    config.join_spread = sim::Duration::seconds(20);
+    return config;
+  }());
+  tag.bootstrap();
+  tag.run_stream(kMessages, 5.0, kPayload, sim::Duration::seconds(90));
+
+  ASSERT_TRUE(tree.complete_delivery());
+  ASSERT_TRUE(brisa_system.complete_delivery());
+  ASSERT_TRUE(tag.complete_delivery());
+
+  const double tree_window = mean_dissemination_window(
+      tree.all_ids(), [&](net::NodeId id) -> const auto& {
+        return tree.node(id).stats().delivery_time;
+      });
+  const double brisa_window = mean_dissemination_window(
+      brisa_system.member_ids(), [&](net::NodeId id) -> const auto& {
+        return brisa_system.brisa(id).stats().delivery_time;
+      });
+  const double tag_window = mean_dissemination_window(
+      tag.all_ids(), [&](net::NodeId id) -> const auto& {
+        return tag.node(id).stats().delivery_time;
+      });
+
+  // BRISA within ~10% of SimpleTree (paper: +6%).
+  EXPECT_LT(brisa_window, tree_window * 1.15);
+  // TAG at least ~1.5x slower (paper: +100%).
+  EXPECT_GT(tag_window, tree_window * 1.5);
+}
+
+TEST(Integration, BrisaUsesFarLessBandwidthThanGossip) {
+  workload::BrisaSystem brisa_system([]() {
+    workload::BrisaSystem::Config config;
+    config.seed = 51;
+    config.num_nodes = kNodes;
+    config.join_spread = sim::Duration::seconds(10);
+    config.stabilization = sim::Duration::seconds(20);
+    return config;
+  }());
+  brisa_system.bootstrap();
+  brisa_system.network().reset_stats();
+  brisa_system.run_stream(kMessages, 5.0, kPayload);
+  std::uint64_t brisa_bytes = 0;
+  for (const net::NodeId id : brisa_system.member_ids()) {
+    brisa_bytes += brisa_system.network().stats(id).total_up_bytes();
+  }
+
+  workload::SimpleGossipSystem gossip([]() {
+    workload::SimpleGossipSystem::Config config;
+    config.seed = 51;
+    config.num_nodes = kNodes;
+    return config;
+  }());
+  gossip.bootstrap();
+  gossip.network().reset_stats();
+  gossip.run_stream(kMessages, 5.0, kPayload);
+  std::uint64_t gossip_bytes = 0;
+  for (const net::NodeId id : gossip.member_ids()) {
+    gossip_bytes += gossip.network().stats(id).total_up_bytes();
+  }
+
+  ASSERT_TRUE(brisa_system.complete_delivery());
+  ASSERT_TRUE(gossip.complete_delivery());
+  // Fig 12: SimpleGossip's duplicates blow its bandwidth up by multiples.
+  EXPECT_LT(brisa_bytes * 2, gossip_bytes);
+}
+
+TEST(Integration, TreeDownloadIsNearOptimal) {
+  workload::BrisaSystem system([]() {
+    workload::BrisaSystem::Config config;
+    config.seed = 52;
+    config.num_nodes = kNodes;
+    config.join_spread = sim::Duration::seconds(10);
+    config.stabilization = sim::Duration::seconds(20);
+    return config;
+  }());
+  system.bootstrap();
+  system.run_stream(20, 5.0, kPayload);  // emerge, then measure clean
+  system.network().reset_stats();
+  const std::uint64_t before = system.messages_sent();
+  system.run_stream(40, 5.0, kPayload);
+  const std::uint64_t fresh = system.messages_sent() - before;
+
+  // Fig 10: each node downloads each payload exactly once in a tree.
+  const auto data = static_cast<std::size_t>(net::TrafficClass::kData);
+  for (const net::NodeId id : system.member_ids()) {
+    if (id == system.source_id()) continue;
+    const auto& stats = system.network().stats(id);
+    EXPECT_LE(stats.down_messages[data], fresh + 4) << id;
+    EXPECT_GE(stats.down_messages[data], fresh) << id;
+  }
+}
+
+TEST(Integration, DagDownloadsRoughlyTwiceTree) {
+  auto run = [](core::StructureMode mode, std::size_t parents) {
+    workload::BrisaSystem::Config config;
+    config.seed = 53;
+    config.num_nodes = kNodes;
+    config.brisa.mode = mode;
+    config.brisa.num_parents = parents;
+    config.join_spread = sim::Duration::seconds(10);
+    config.stabilization = sim::Duration::seconds(20);
+    workload::BrisaSystem system(config);
+    system.bootstrap();
+    system.run_stream(20, 5.0, kPayload);
+    system.network().reset_stats();
+    system.run_stream(40, 5.0, kPayload);
+    const auto data = static_cast<std::size_t>(net::TrafficClass::kData);
+    std::uint64_t total = 0;
+    for (const net::NodeId id : system.member_ids()) {
+      total += system.network().stats(id).down_bytes[data];
+    }
+    return total;
+  };
+  const std::uint64_t tree_down = run(core::StructureMode::kTree, 1);
+  const std::uint64_t dag_down = run(core::StructureMode::kDag, 2);
+  // Fig 10: DAG-2 downloads land between 1.4x and 2.3x the tree's.
+  EXPECT_GT(dag_down, tree_down * 14 / 10);
+  EXPECT_LT(dag_down, tree_down * 23 / 10);
+}
+
+TEST(Integration, BrisaRecoversFasterThanTagUnderChurn) {
+  // Fig 14 shape: BRISA hard repairs complete faster than TAG re-insertions.
+  workload::BrisaSystem brisa_system([]() {
+    workload::BrisaSystem::Config config;
+    config.seed = 54;
+    config.num_nodes = kNodes;
+    config.join_spread = sim::Duration::seconds(10);
+    config.stabilization = sim::Duration::seconds(20);
+    return config;
+  }());
+  brisa_system.bootstrap();
+  workload::ChurnScript script = workload::ChurnScript::parse(
+      "from 0 s to 90 s const churn 3% each 10 s\nat 90 s stop\n");
+  workload::ChurnDriver brisa_driver(brisa_system.simulator(), script,
+                                     brisa_system.churn_hooks());
+  brisa_driver.arm();
+  brisa_system.run_stream(150, 5.0, 256, sim::Duration::seconds(40));
+
+  workload::TagSystem tag([]() {
+    workload::TagSystem::Config config;
+    config.seed = 54;
+    config.num_nodes = kNodes;
+    config.join_spread = sim::Duration::seconds(20);
+    return config;
+  }());
+  tag.bootstrap();
+  workload::ChurnDriver tag_driver(tag.simulator(), script,
+                                   tag.churn_hooks());
+  tag_driver.arm();
+  tag.run_stream(150, 5.0, 256, sim::Duration::seconds(90));
+
+  std::vector<double> brisa_repairs_ms;
+  for (const net::NodeId id : brisa_system.all_ids()) {
+    for (const sim::Duration d :
+         brisa_system.brisa(id).stats().soft_repair_delays) {
+      brisa_repairs_ms.push_back(d.to_milliseconds());
+    }
+    for (const sim::Duration d :
+         brisa_system.brisa(id).stats().hard_repair_delays) {
+      brisa_repairs_ms.push_back(d.to_milliseconds());
+    }
+  }
+  std::vector<double> tag_repairs_ms;
+  for (const net::NodeId id : tag.all_ids()) {
+    for (const sim::Duration d : tag.node(id).stats().soft_repair_delays) {
+      tag_repairs_ms.push_back(d.to_milliseconds());
+    }
+    for (const sim::Duration d : tag.node(id).stats().hard_repair_delays) {
+      tag_repairs_ms.push_back(d.to_milliseconds());
+    }
+  }
+  ASSERT_FALSE(brisa_repairs_ms.empty());
+  ASSERT_FALSE(tag_repairs_ms.empty());
+  double brisa_mean = 0, tag_mean = 0;
+  for (const double v : brisa_repairs_ms) brisa_mean += v;
+  for (const double v : tag_repairs_ms) tag_mean += v;
+  brisa_mean /= static_cast<double>(brisa_repairs_ms.size());
+  tag_mean /= static_cast<double>(tag_repairs_ms.size());
+  EXPECT_LT(brisa_mean, tag_mean);
+}
+
+}  // namespace
+}  // namespace brisa

@@ -1,0 +1,208 @@
+// Property-based sweeps (parameterized gtest): across seeds, network sizes,
+// view sizes, structure modes, and testbeds, the core invariants must hold:
+//   * the emergent structure spans all members and is acyclic;
+//   * every member present for the whole stream delivers every message;
+//   * steady-state duplicates are bounded by num_parents - 1 per message;
+//   * HyParView views stay within [1, capacity].
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/brisa_system.h"
+
+namespace brisa {
+namespace {
+
+struct PropertyParam {
+  std::uint64_t seed;
+  std::size_t nodes;
+  std::size_t view;
+  core::StructureMode mode;
+  std::size_t parents;
+  workload::TestbedKind testbed;
+
+  [[nodiscard]] std::string name() const {
+    std::string out = "s" + std::to_string(seed) + "_n" +
+                      std::to_string(nodes) + "_v" + std::to_string(view);
+    out += mode == core::StructureMode::kTree ? "_tree" : "_dag";
+    out += std::to_string(parents);
+    out += testbed == workload::TestbedKind::kCluster ? "_cluster" : "_pl";
+    return out;
+  }
+};
+
+class BrisaProperties : public ::testing::TestWithParam<PropertyParam> {
+ protected:
+  static workload::BrisaSystem::Config config_for(const PropertyParam& p) {
+    workload::BrisaSystem::Config config;
+    config.seed = p.seed;
+    config.num_nodes = p.nodes;
+    config.testbed = p.testbed;
+    config.hyparview.active_size = p.view;
+    config.hyparview.passive_size = p.view * 6;
+    config.brisa.mode = p.mode;
+    config.brisa.num_parents = p.parents;
+    config.join_spread = sim::Duration::seconds(10);
+    config.stabilization = sim::Duration::seconds(25);
+    return config;
+  }
+};
+
+TEST_P(BrisaProperties, StructureAndDeliveryInvariants) {
+  const PropertyParam param = GetParam();
+  workload::BrisaSystem system(config_for(param));
+  system.bootstrap();
+  system.run_stream(30, 5.0, 512,
+                    param.testbed == workload::TestbedKind::kPlanetLab
+                        ? sim::Duration::seconds(20)
+                        : sim::Duration::seconds(10));
+
+  // 1. Complete delivery.
+  EXPECT_TRUE(system.complete_delivery());
+
+  // 2. Parent bounds.
+  for (const net::NodeId id : system.member_ids()) {
+    if (id == system.source_id()) continue;
+    const auto parents = system.brisa(id).parents();
+    EXPECT_GE(parents.size(), 1u) << id;
+    EXPECT_LE(parents.size(), param.parents) << id;
+  }
+
+  // 3. Source coverage. Trees (exact path embedding) must be perfectly
+  // acyclic; DAG depth tags are approximate (§II-G), so a freshly formed
+  // stale-depth cycle may exist at any single snapshot — it self-heals via
+  // the bump guard. The operative guarantee is that (nearly) every node has
+  // an ancestor chain reaching the source.
+  std::map<net::NodeId, std::vector<net::NodeId>> parent_lists;
+  for (const net::NodeId id : system.member_ids()) {
+    parent_lists[id] = system.brisa(id).parents();
+  }
+  std::size_t unreachable = 0;
+  for (const auto& [start, list] : parent_lists) {
+    if (start == system.source_id()) continue;
+    bool reaches_source = false;
+    std::vector<net::NodeId> stack(list.begin(), list.end());
+    std::set<net::NodeId> visited;
+    bool cyclic = false;
+    while (!stack.empty()) {
+      const net::NodeId current = stack.back();
+      stack.pop_back();
+      if (current == system.source_id()) reaches_source = true;
+      if (current == start) cyclic = true;
+      if (!visited.insert(current).second) continue;
+      const auto it = parent_lists.find(current);
+      if (it == parent_lists.end()) continue;
+      for (const net::NodeId parent : it->second) stack.push_back(parent);
+    }
+    if (!reaches_source) ++unreachable;
+    if (param.mode == core::StructureMode::kTree) {
+      EXPECT_FALSE(cyclic) << "tree cycle through " << start;
+      EXPECT_TRUE(reaches_source) << start;
+    }
+  }
+  // DAG snapshots: at most a handful of nodes mid-heal.
+  EXPECT_LE(unreachable, parent_lists.size() / 20);
+
+  // 4. View bounds.
+  for (const net::NodeId id : system.member_ids()) {
+    EXPECT_GE(system.hyparview(id).active_count(), 1u) << id;
+    EXPECT_LE(system.hyparview(id).active_count(),
+              system.hyparview(id).capacity())
+        << id;
+  }
+
+  // 5. Steady-state duplicate bound: stream again and compare.
+  std::map<std::uint32_t, std::uint64_t> dups_before;
+  for (const net::NodeId id : system.member_ids()) {
+    dups_before[id.index()] = system.brisa(id).stats().duplicates;
+  }
+  const std::uint64_t sent_before = system.messages_sent();
+  system.run_stream(20, 5.0, 512);
+  const std::uint64_t fresh = system.messages_sent() - sent_before;
+  for (const net::NodeId id : system.member_ids()) {
+    if (id == system.source_id()) continue;
+    const std::uint64_t growth =
+        system.brisa(id).stats().duplicates - dups_before[id.index()];
+    EXPECT_LE(growth, fresh * (param.parents - 1) + 3) << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BrisaProperties,
+    ::testing::Values(
+        PropertyParam{101, 32, 4, core::StructureMode::kTree, 1,
+                      workload::TestbedKind::kCluster},
+        PropertyParam{102, 64, 4, core::StructureMode::kTree, 1,
+                      workload::TestbedKind::kCluster},
+        PropertyParam{103, 64, 8, core::StructureMode::kTree, 1,
+                      workload::TestbedKind::kCluster},
+        PropertyParam{104, 96, 5, core::StructureMode::kTree, 1,
+                      workload::TestbedKind::kCluster},
+        PropertyParam{105, 64, 4, core::StructureMode::kDag, 2,
+                      workload::TestbedKind::kCluster},
+        PropertyParam{106, 64, 8, core::StructureMode::kDag, 2,
+                      workload::TestbedKind::kCluster},
+        PropertyParam{107, 64, 6, core::StructureMode::kDag, 3,
+                      workload::TestbedKind::kCluster},
+        PropertyParam{108, 48, 4, core::StructureMode::kTree, 1,
+                      workload::TestbedKind::kPlanetLab},
+        PropertyParam{109, 48, 4, core::StructureMode::kDag, 2,
+                      workload::TestbedKind::kPlanetLab},
+        PropertyParam{110, 32, 4, core::StructureMode::kTree, 1,
+                      workload::TestbedKind::kPlanetLab}),
+    [](const ::testing::TestParamInfo<PropertyParam>& info) {
+      return info.param.name();
+    });
+
+/// Churn resilience sweep: under every configuration, scripted churn leaves
+/// all survivors fully served.
+class ChurnProperties : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(ChurnProperties, SurvivorsStayServed) {
+  const PropertyParam param = GetParam();
+  workload::BrisaSystem::Config config;
+  config.seed = param.seed;
+  config.num_nodes = param.nodes;
+  config.testbed = param.testbed;
+  config.hyparview.active_size = param.view;
+  config.brisa.mode = param.mode;
+  config.brisa.num_parents = param.parents;
+  config.join_spread = sim::Duration::seconds(10);
+  config.stabilization = sim::Duration::seconds(25);
+  workload::BrisaSystem system(config);
+  system.bootstrap();
+
+  workload::ChurnScript script = workload::ChurnScript::parse(
+      "from 0 s to 60 s const churn 3% each 10 s\nat 60 s stop\n");
+  workload::ChurnDriver driver(system.simulator(), script,
+                               system.churn_hooks());
+  driver.arm();
+  system.run_stream(100, 5.0, 256, sim::Duration::seconds(40));
+
+  EXPECT_GT(driver.counters().kills, 0u);
+  EXPECT_TRUE(system.complete_delivery());
+  // Orphan accounting is consistent.
+  for (const net::NodeId id : system.all_ids()) {
+    const auto& stats = system.brisa(id).stats();
+    EXPECT_LE(stats.soft_repairs + stats.hard_repairs, stats.orphan_events);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChurnProperties,
+    ::testing::Values(
+        PropertyParam{201, 64, 4, core::StructureMode::kTree, 1,
+                      workload::TestbedKind::kCluster},
+        PropertyParam{202, 64, 4, core::StructureMode::kDag, 2,
+                      workload::TestbedKind::kCluster},
+        PropertyParam{203, 96, 4, core::StructureMode::kTree, 1,
+                      workload::TestbedKind::kCluster},
+        PropertyParam{204, 64, 8, core::StructureMode::kDag, 2,
+                      workload::TestbedKind::kCluster}),
+    [](const ::testing::TestParamInfo<PropertyParam>& info) {
+      return info.param.name();
+    });
+
+}  // namespace
+}  // namespace brisa

@@ -1,0 +1,36 @@
+// End-to-end smoke test: a small BRISA deployment bootstraps, emerges a
+// tree, and delivers a stream with zero duplicates after stabilization.
+#include <gtest/gtest.h>
+
+#include "workload/brisa_system.h"
+
+namespace brisa {
+namespace {
+
+TEST(Smoke, SmallTreeDisseminates) {
+  workload::BrisaSystem::Config config;
+  config.seed = 42;
+  config.num_nodes = 32;
+  config.join_spread = sim::Duration::seconds(10);
+  config.stabilization = sim::Duration::seconds(20);
+  workload::BrisaSystem system(config);
+  system.bootstrap();
+
+  // Every node should have joined the overlay.
+  for (const net::NodeId id : system.member_ids()) {
+    EXPECT_GE(system.hyparview(id).active_count(), 1u) << "node " << id;
+  }
+
+  system.run_stream(50, 5.0, 1024);
+  EXPECT_EQ(system.messages_sent(), 50u);
+  EXPECT_TRUE(system.complete_delivery());
+
+  // The tree stabilized: every non-source member has exactly one parent.
+  for (const net::NodeId id : system.member_ids()) {
+    if (id == system.source_id()) continue;
+    EXPECT_EQ(system.brisa(id).parents().size(), 1u) << "node " << id;
+  }
+}
+
+}  // namespace
+}  // namespace brisa

@@ -1,0 +1,141 @@
+// Unit tests for the support library: Bloom filters (including the §II-D
+// sizing arithmetic the paper quotes), flag parsing, and logging.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/rng.h"
+#include "util/bloom.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace brisa::util {
+namespace {
+
+TEST(BloomSizing, MatchesPaperExample) {
+  // §II-D: 1e6 nodes at p = 1e-6 needs 28,755,176 bits.
+  const BloomSizing sizing = optimal_bloom_sizing(1'000'000, 1e-6);
+  EXPECT_NEAR(static_cast<double>(sizing.bits), 28'755'176.0, 5'000.0);
+  EXPECT_EQ(sizing.hash_count, 20u);
+  EXPECT_LE(sizing.false_positive, 1.1e-6);
+}
+
+TEST(BloomSizing, SmallerFalsePositiveNeedsMoreBits) {
+  const BloomSizing loose = optimal_bloom_sizing(1000, 1e-2);
+  const BloomSizing tight = optimal_bloom_sizing(1000, 1e-6);
+  EXPECT_LT(loose.bits, tight.bits);
+  EXPECT_LT(loose.hash_count, tight.hash_count);
+}
+
+TEST(BloomSizing, RejectsDegenerateInputs) {
+  EXPECT_DEATH(optimal_bloom_sizing(0, 0.01), "at least one element");
+  EXPECT_DEATH(optimal_bloom_sizing(10, 0.0), "in \\(0,1\\)");
+  EXPECT_DEATH(optimal_bloom_sizing(10, 1.0), "in \\(0,1\\)");
+}
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter filter = BloomFilter::with_capacity(1000, 0.01);
+  for (std::uint64_t key = 0; key < 1000; ++key) filter.insert(key * 7919);
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_TRUE(filter.may_contain(key * 7919)) << key;
+  }
+}
+
+TEST(BloomFilter, FalsePositiveRateNearTarget) {
+  constexpr double kTarget = 0.01;
+  BloomFilter filter = BloomFilter::with_capacity(10'000, kTarget);
+  for (std::uint64_t key = 0; key < 10'000; ++key) filter.insert(key);
+  std::size_t false_positives = 0;
+  constexpr std::size_t kProbes = 100'000;
+  for (std::uint64_t key = 1'000'000; key < 1'000'000 + kProbes; ++key) {
+    if (filter.may_contain(key)) ++false_positives;
+  }
+  const double rate =
+      static_cast<double>(false_positives) / static_cast<double>(kProbes);
+  EXPECT_LT(rate, kTarget * 3);
+  EXPECT_NEAR(filter.estimated_false_positive(), kTarget, kTarget);
+}
+
+TEST(BloomFilter, ClearResets) {
+  BloomFilter filter(1024, 3);
+  filter.insert(42);
+  ASSERT_TRUE(filter.may_contain(42));
+  filter.clear();
+  EXPECT_FALSE(filter.may_contain(42));
+  EXPECT_EQ(filter.insertions(), 0u);
+}
+
+TEST(BloomFilter, MergeIsUnion) {
+  BloomFilter a(4096, 4);
+  BloomFilter b(4096, 4);
+  a.insert(1);
+  b.insert(2);
+  a.merge(b);
+  EXPECT_TRUE(a.may_contain(1));
+  EXPECT_TRUE(a.may_contain(2));
+}
+
+TEST(BloomFilter, MergeRejectsMismatchedGeometry) {
+  BloomFilter a(4096, 4);
+  BloomFilter b(2048, 4);
+  EXPECT_DEATH(a.merge(b), "different geometry");
+}
+
+TEST(Mix64, IsBijectiveOnSample) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t x = 0; x < 10'000; ++x) outputs.insert(mix64(x));
+  EXPECT_EQ(outputs.size(), 10'000u);
+}
+
+TEST(Flags, ParsesAllForms) {
+  const char* argv[] = {"prog",       "--nodes=512", "--rate", "5.5",
+                        "--verbose",  "--no-color",  "pos1",   "--views=4,6,8"};
+  const Flags flags = Flags::parse(8, argv);
+  EXPECT_EQ(flags.get_int("nodes", 0), 512);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0), 5.5);
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_FALSE(flags.get_bool("color", true));
+  EXPECT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "pos1");
+  const auto views = flags.get_int_list("views", {});
+  ASSERT_EQ(views.size(), 3u);
+  EXPECT_EQ(views[0], 4);
+  EXPECT_EQ(views[2], 8);
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  const Flags flags = Flags::parse(1, argv);
+  EXPECT_EQ(flags.get_int("nodes", 128), 128);
+  EXPECT_EQ(flags.get_string("name", "x"), "x");
+  EXPECT_FALSE(flags.has("nodes"));
+  const auto list = flags.get_int_list("views", {1, 2});
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(Flags, HelpRequested) {
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_TRUE(Flags::parse(2, argv).help_requested());
+  const char* argv2[] = {"prog", "-h"};
+  EXPECT_TRUE(Flags::parse(2, argv2).help_requested());
+}
+
+TEST(Flags, BadBooleanThrows) {
+  const char* argv[] = {"prog", "--flag=maybe"};
+  const Flags flags = Flags::parse(2, argv);
+  EXPECT_THROW(flags.get_bool("flag", false), std::invalid_argument);
+}
+
+TEST(Logging, LevelsGate) {
+  Logger& logger = Logger::instance();
+  const LogLevel prior = logger.level();
+  logger.set_level(LogLevel::kWarn);
+  EXPECT_FALSE(logger.enabled(LogLevel::kDebug));
+  EXPECT_TRUE(logger.enabled(LogLevel::kWarn));
+  EXPECT_TRUE(logger.enabled(LogLevel::kError));
+  logger.set_level(prior);
+}
+
+}  // namespace
+}  // namespace brisa::util
