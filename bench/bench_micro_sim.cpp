@@ -5,6 +5,7 @@
 
 #include "membership/messages.h"
 #include "net/latency.h"
+#include "net/message_pool.h"
 #include "net/network.h"
 #include "net/transport.h"
 #include "sim/event_queue.h"
@@ -114,7 +115,7 @@ void BM_TransportMessageRoundtrip(benchmark::State& state) {
 
   for (auto _ : state) {
     transport.send(conn, a,
-                   std::make_shared<membership::HpvKeepAlive>(1, 0, 0),
+                   net::make_message<membership::HpvKeepAlive>(1, 0, 0),
                    net::TrafficClass::kMembership);
     simulator.run();
   }
@@ -122,6 +123,117 @@ void BM_TransportMessageRoundtrip(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TransportMessageRoundtrip);
+
+/// Timer-cancel-heavy churn at N pending events: the failure-detection
+/// pattern (timers armed per peer, cancelled on keep-alive, re-armed) that
+/// dominates membership-layer event traffic at scale.
+void BM_EventQueueTimerChurn(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sim::EventQueue queue;
+  sim::Rng rng(42);
+  std::vector<sim::EventId> ids(n);
+  std::int64_t now_us = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ids[i] = queue.schedule(
+        sim::TimePoint::from_us(
+            now_us + 1 + static_cast<std::int64_t>(rng.uniform(1'000'000))),
+        []() {});
+  }
+  for (auto _ : state) {
+    for (int k = 0; k < 64; ++k) {
+      const std::size_t j = rng.uniform(n);
+      queue.cancel(ids[j]);  // disarmed before firing: the common case
+      ids[j] = queue.schedule(
+          sim::TimePoint::from_us(
+              now_us + 1 +
+              static_cast<std::int64_t>(rng.uniform(1'000'000))),
+          []() {});
+    }
+    now_us += 64;
+    while (!queue.empty() &&
+           queue.next_time() <= sim::TimePoint::from_us(now_us)) {
+      auto fired = queue.pop();
+      benchmark::DoNotOptimize(fired.time);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueTimerChurn)->Arg(10'000)->Arg(100'000);
+
+/// End-to-end simulator event rate at N hosts: every host runs a periodic
+/// timer that fires a datagram at a random peer — periodic dispatch, message
+/// allocation, NIC/CPU modeling, and queue pressure in one number. This is
+/// the events-per-second figure that bounds sweep sizes.
+void BM_SimEventRate(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sim::Simulator simulator(1);
+  net::Network network(simulator, std::make_unique<net::ClusterLatencyModel>(),
+                       net::Network::cluster_config());
+  class Sink : public net::Network::DatagramHandler {
+   public:
+    void on_datagram(net::NodeId, net::MessagePtr) override { ++received; }
+    std::uint64_t received = 0;
+  };
+  Sink sink;
+  std::vector<net::NodeId> hosts;
+  hosts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::NodeId id = network.add_host();
+    network.bind_datagram_handler(id, &sink);
+    hosts.push_back(id);
+  }
+  sim::Rng rng = simulator.rng().split(99);
+  for (std::size_t i = 0; i < n; ++i) {
+    simulator.after(
+        sim::Duration::microseconds(static_cast<std::int64_t>(i % 100'000)),
+        [&simulator, &network, &hosts, &rng, i]() {
+          simulator.every(
+              sim::Duration::milliseconds(100),
+              [&network, &hosts, &rng, i]() {
+                const net::NodeId to = hosts[rng.uniform(hosts.size())];
+                network.send_datagram(
+                    hosts[i], to,
+                    net::make_message<membership::HpvKeepAlive>(1, 0, 0),
+                    net::TrafficClass::kMembership);
+              });
+        });
+  }
+  simulator.run_until(simulator.now() + sim::Duration::milliseconds(200));
+  const std::uint64_t fired_before = simulator.events_fired();
+  const std::uint64_t fallbacks_before = sim::InlineCallback::heap_fallbacks();
+  const std::uint64_t pool_alloc_before = net::message_pool_stats().allocated;
+  const std::uint64_t pool_made_before =
+      net::message_pool_stats().messages_created();
+  for (auto _ : state) {
+    simulator.run_until(simulator.now() + sim::Duration::milliseconds(10));
+  }
+  benchmark::DoNotOptimize(sink.received);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(simulator.events_fired() - fired_before));
+  // Allocation counters ride along in the JSON output so the perf
+  // trajectory records *why* a run got faster or slower.
+  const auto& pool = net::message_pool_stats();
+  state.counters["callback_heap_fallbacks"] = static_cast<double>(
+      sim::InlineCallback::heap_fallbacks() - fallbacks_before);
+  state.counters["message_heap_allocs"] =
+      static_cast<double>(pool.allocated - pool_alloc_before);
+  state.counters["messages_created"] =
+      static_cast<double>(pool.messages_created() - pool_made_before);
+  state.counters["event_slab_slots"] =
+      static_cast<double>(simulator.stats().event_slab_slots);
+}
+BENCHMARK(BM_SimEventRate)->Arg(1'000)->Arg(10'000)->Unit(benchmark::kMillisecond);
+
+/// Message arena throughput: steady-state make/release must be a pointer
+/// pop + placement-new, not an allocator round trip.
+void BM_MessagePoolMakeRelease(benchmark::State& state) {
+  for (auto _ : state) {
+    net::MessagePtr m = net::make_message<membership::HpvKeepAlive>(1, 2, 3);
+    benchmark::DoNotOptimize(m.get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MessagePoolMakeRelease);
 
 }  // namespace
 

@@ -88,5 +88,12 @@ int main(int argc, char** argv) {
   std::printf(" ], children = %zu, depth = %d\n",
               system.brisa(sample).children().size(),
               system.brisa(sample).depth());
+
+  // 4. Event-core profile of the run: how much simulator work the
+  //    deployment generated, and that the hot paths stayed pooled.
+  std::printf("%s", analysis::format_counters(
+                        "event core profile",
+                        analysis::sim_counter_rows(system.simulator()))
+                        .c_str());
   return 0;
 }

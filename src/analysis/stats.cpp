@@ -79,4 +79,52 @@ std::string format_cdf(const std::string& title,
   return out.str();
 }
 
+std::vector<CounterRow> sim_counter_rows(
+    const sim::Simulator& simulator,
+    const net::MessagePoolStats& pool_baseline) {
+  const sim::Simulator::Stats stats = simulator.stats();
+  net::MessagePoolStats pool = net::message_pool_stats();
+  pool.allocated -= pool_baseline.allocated;
+  pool.reused -= pool_baseline.reused;
+  pool.recycled -= pool_baseline.recycled;
+  return {
+      {"events_fired", stats.events_fired},
+      {"events_scheduled", stats.events_scheduled},
+      {"events_cancelled", stats.events_cancelled},
+      {"callback_heap_fallbacks", stats.callback_heap_fallbacks},
+      {"pending_events", stats.pending_events},
+      {"event_slab_slots", stats.event_slab_slots},
+      {"peak_pending_events", stats.peak_pending_events},
+      {"active_periodics", stats.active_periodics},
+      {"messages_created", pool.messages_created()},
+      {"message_blocks_allocated", pool.allocated},
+      {"message_blocks_reused", pool.reused},
+  };
+}
+
+std::string format_counters(const std::string& title,
+                            const std::vector<CounterRow>& rows) {
+  std::size_t width = 0;
+  for (const CounterRow& row : rows) width = std::max(width, row.label.size());
+  std::ostringstream out;
+  out << "# " << title << "\n";
+  for (const CounterRow& row : rows) {
+    out << row.label;
+    for (std::size_t i = row.label.size(); i < width + 2; ++i) out << ' ';
+    out << row.value << "\n";
+  }
+  return out.str();
+}
+
+std::string counters_json(const std::vector<CounterRow>& rows) {
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << '"' << rows[i].label << "\": " << rows[i].value;
+  }
+  out << "}";
+  return out.str();
+}
+
 }  // namespace brisa::analysis

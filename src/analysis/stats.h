@@ -4,8 +4,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
+
+#include "net/message_pool.h"
+#include "sim/simulator.h"
 
 namespace brisa::analysis {
 
@@ -44,5 +48,34 @@ struct PercentileSummary {
 /// prefixed by `# <title>`.
 [[nodiscard]] std::string format_cdf(const std::string& title,
                                      const std::vector<CdfPoint>& cdf);
+
+// --- Event-core / allocation counters ----------------------------------------
+//
+// Experiment harnesses report the simulator's event and allocation counters
+// next to the protocol metrics, so a perf regression (e.g. closures spilling
+// to the heap again) shows up in run reports, not only in microbenchmarks.
+
+/// One labeled counter (label → integral value).
+struct CounterRow {
+  std::string label;
+  std::uint64_t value = 0;
+};
+
+/// Builds the standard counter rows from a finished simulator run plus the
+/// thread's message-pool statistics. The pool counters are thread-cumulative;
+/// pass the value of net::message_pool_stats() captured before the run as
+/// `pool_baseline` to report per-run deltas (the default zero baseline is
+/// only correct for the first run on the thread).
+[[nodiscard]] std::vector<CounterRow> sim_counter_rows(
+    const sim::Simulator& simulator,
+    const net::MessagePoolStats& pool_baseline = net::MessagePoolStats{});
+
+/// Renders counters as aligned "label value" rows under `# <title>`.
+[[nodiscard]] std::string format_counters(const std::string& title,
+                                          const std::vector<CounterRow>& rows);
+
+/// Renders counters as a single-line JSON object (machine-readable
+/// perf-trajectory records).
+[[nodiscard]] std::string counters_json(const std::vector<CounterRow>& rows);
 
 }  // namespace brisa::analysis

@@ -1,5 +1,6 @@
 #include "baselines/simple_gossip.h"
 
+#include "net/message_pool.h"
 #include "util/assert.h"
 
 namespace brisa::baselines {
@@ -93,7 +94,7 @@ void SimpleGossip::push_rumor(std::uint64_t seq, std::size_t payload_bytes) {
   for (const net::NodeId peer : cyclon_.random_peers(config_.fanout)) {
     stats_.rumors_sent += 1;
     network().send_datagram(id(), peer,
-                            std::make_shared<GossipRumor>(seq, payload_bytes),
+                            net::make_message<GossipRumor>(seq, payload_bytes),
                             kData);
   }
 }
@@ -112,7 +113,7 @@ void SimpleGossip::on_anti_entropy_timer() {
   }
   network().send_datagram(
       id(), peers.front(),
-      std::make_shared<GossipAntiEntropyRequest>(contiguous_upto_,
+      net::make_message<GossipAntiEntropyRequest>(contiguous_upto_,
                                                  std::move(extras)),
       kCtl);
 }
@@ -130,7 +131,7 @@ void SimpleGossip::handle_anti_entropy_request(
   }
   if (updates.empty()) return;
   network().send_datagram(
-      id(), from, std::make_shared<GossipAntiEntropyReply>(std::move(updates)),
+      id(), from, net::make_message<GossipAntiEntropyReply>(std::move(updates)),
       kData);
 }
 

@@ -1,5 +1,6 @@
 #include "baselines/simple_tree.h"
 
+#include "net/message_pool.h"
 #include "util/assert.h"
 
 namespace brisa::baselines {
@@ -28,7 +29,7 @@ void SimpleTreeCoordinator::on_datagram(net::NodeId from,
   // Uniformly random parent among earlier joiners: acyclic by join order.
   const net::NodeId parent = rng_.pick(joined_);
   joined_.push_back(from);
-  network().send_datagram(id(), from, std::make_shared<TreeJoinReply>(parent),
+  network().send_datagram(id(), from, net::make_message<TreeJoinReply>(parent),
                           kCtl);
 }
 
@@ -43,7 +44,7 @@ SimpleTreeNode::SimpleTreeNode(net::Network& network, net::Transport& transport,
 void SimpleTreeNode::join() {
   BRISA_ASSERT(!is_root_);
   network().send_datagram(id(), coordinator_,
-                          std::make_shared<TreeJoinRequest>(), kCtl);
+                          net::make_message<TreeJoinRequest>(), kCtl);
 }
 
 std::uint64_t SimpleTreeNode::broadcast(std::size_t payload_bytes) {
@@ -64,7 +65,7 @@ void SimpleTreeNode::on_datagram(net::NodeId /*from*/,
 void SimpleTreeNode::on_connection_up(net::ConnectionId conn,
                                       net::NodeId /*peer*/, bool initiated) {
   if (!initiated || conn != parent_conn_) return;
-  transport_.send(conn, id(), std::make_shared<TreeAttach>(), kCtl);
+  transport_.send(conn, id(), net::make_message<TreeAttach>(), kCtl);
 }
 
 void SimpleTreeNode::on_connection_down(net::ConnectionId conn,
@@ -110,7 +111,7 @@ void SimpleTreeNode::deliver(std::uint64_t seq, std::size_t payload_bytes) {
 void SimpleTreeNode::forward_to_children(std::uint64_t seq,
                                          std::size_t payload_bytes) {
   for (const net::ConnectionId conn : children_) {
-    transport_.send(conn, id(), std::make_shared<TreeData>(seq, payload_bytes),
+    transport_.send(conn, id(), net::make_message<TreeData>(seq, payload_bytes),
                     kData);
   }
 }

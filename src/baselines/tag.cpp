@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/message_pool.h"
 #include "util/assert.h"
 #include "util/logging.h"
 
@@ -58,7 +59,7 @@ std::uint64_t TagNode::broadcast(std::size_t payload_bytes) {
 // --- Join: tail query, append, traversal ------------------------------------
 
 void TagNode::query_tail() {
-  network().send_datagram(id(), head_, std::make_shared<TagTailQuery>(), kMem);
+  network().send_datagram(id(), head_, net::make_message<TagTailQuery>(), kMem);
   // Retry in case the reply (or our request) raced a head-side tail change.
   after(sim::Duration::seconds(2), [this]() {
     if (!joined() && !traversing_ && pending_dials_.empty()) query_tail();
@@ -126,7 +127,7 @@ void TagNode::adopt_parent(net::NodeId parent, net::ConnectionId conn) {
   // First pull doubles as the attach signal for the parent's child count.
   ++stats_.pulls_sent;
   transport_.send(conn, id(),
-                  std::make_shared<TagPullRequest>(contiguous_upto_), kCtl);
+                  net::make_message<TagPullRequest>(contiguous_upto_), kCtl);
 }
 
 void TagNode::traversal_failed_hop(net::NodeId next_hint) {
@@ -146,7 +147,7 @@ void TagNode::handle_append_request(net::ConnectionId conn, net::NodeId from) {
   if (succ_.valid()) {
     // No longer the tail: redirect the joiner to our successor.
     transport_.send(conn, id(),
-                    std::make_shared<TagAppendReply>(
+                    net::make_message<TagAppendReply>(
                         false, succ_, net::NodeId::invalid(),
                         net::NodeId::invalid()),
                     kMem);
@@ -155,7 +156,7 @@ void TagNode::handle_append_request(net::ConnectionId conn, net::NodeId from) {
   succ_ = from;
   succ_conn_ = conn;
   transport_.send(conn, id(),
-                  std::make_shared<TagAppendReply>(true, id(), pred_,
+                  net::make_message<TagAppendReply>(true, id(), pred_,
                                                    net::NodeId::invalid()),
                   kMem);
   // Tell the head the tail moved, and our pred that `from` is now two hops
@@ -163,14 +164,14 @@ void TagNode::handle_append_request(net::ConnectionId conn, net::NodeId from) {
   if (head_ != id()) {
     network().send_datagram(
         id(), head_,
-        std::make_shared<TagListUpdate>(TagListUpdate::Role::kNewTail, from),
+        net::make_message<TagListUpdate>(TagListUpdate::Role::kNewTail, from),
         kMem);
   } else {
     tail_ = from;
   }
   if (pred_.valid() && pred_conn_ != net::kInvalidConnectionId) {
     transport_.send(pred_conn_, id(),
-                    std::make_shared<TagListUpdate>(
+                    net::make_message<TagListUpdate>(
                         TagListUpdate::Role::kYourPred2, from),
                     kMem);
   }
@@ -196,7 +197,7 @@ void TagNode::handle_append_reply(net::ConnectionId conn, net::NodeId from,
   traversal_for_repair_ = false;
   probes_this_traversal_ = 1;
   ++stats_.probes_sent;
-  transport_.send(conn, id(), std::make_shared<TagListProbe>(), kMem);
+  transport_.send(conn, id(), net::make_message<TagListProbe>(), kMem);
 }
 
 void TagNode::handle_list_update(net::ConnectionId conn, net::NodeId from,
@@ -215,7 +216,7 @@ void TagNode::handle_list_update(net::ConnectionId conn, net::NodeId from,
       succ_ = from;
       succ_conn_ = conn;
       transport_.send(conn, id(),
-                      std::make_shared<TagListUpdate>(
+                      net::make_message<TagListUpdate>(
                           TagListUpdate::Role::kYourPred2, pred_),
                       kMem);
       return;
@@ -257,14 +258,14 @@ void TagNode::on_pull_timer() {
   if (parent_conn_ == net::kInvalidConnectionId) return;
   ++stats_.pulls_sent;
   transport_.send(parent_conn_, id(),
-                  std::make_shared<TagPullRequest>(contiguous_upto_), kCtl);
+                  net::make_message<TagPullRequest>(contiguous_upto_), kCtl);
 }
 
 void TagNode::on_gossip_pull_timer() {
   if (gossip_peers_.empty()) return;
   const net::NodeId peer = rng_.pick(gossip_peers_);
   network().send_datagram(
-      id(), peer, std::make_shared<TagPullRequest>(contiguous_upto_), kCtl);
+      id(), peer, net::make_message<TagPullRequest>(contiguous_upto_), kCtl);
 }
 
 void TagNode::handle_pull_request(net::ConnectionId conn, net::NodeId from,
@@ -276,7 +277,7 @@ void TagNode::handle_pull_request(net::ConnectionId conn, net::NodeId from,
     updates.emplace_back(it->first, it->second);
   }
   if (updates.empty()) return;
-  auto reply = std::make_shared<TagPullReply>(std::move(updates));
+  auto reply = net::make_message<TagPullReply>(std::move(updates));
   if (datagram) {
     network().send_datagram(id(), from, std::move(reply), kData);
   } else {
@@ -345,10 +346,10 @@ void TagNode::on_connection_up(net::ConnectionId conn, net::NodeId peer,
   const DialIntent intent = it->second.intent;
   switch (intent) {
     case DialIntent::kAppend:
-      transport_.send(conn, id(), std::make_shared<TagAppendRequest>(), kMem);
+      transport_.send(conn, id(), net::make_message<TagAppendRequest>(), kMem);
       return;
     case DialIntent::kProbe:
-      transport_.send(conn, id(), std::make_shared<TagListProbe>(), kMem);
+      transport_.send(conn, id(), net::make_message<TagListProbe>(), kMem);
       return;
     case DialIntent::kAdoptParent:
       pending_dials_.erase(it);
@@ -360,7 +361,7 @@ void TagNode::on_connection_up(net::ConnectionId conn, net::NodeId peer,
       pred_conn_ = conn;
       pred2_ = net::NodeId::invalid();  // refreshed by the kYourPred2 reply
       transport_.send(conn, id(),
-                      std::make_shared<TagListUpdate>(
+                      net::make_message<TagListUpdate>(
                           TagListUpdate::Role::kYourSuccessor, id()),
                       kMem);
       // If our parent also died (it often was the same pred), repair the
@@ -437,7 +438,7 @@ void TagNode::on_message(net::ConnectionId conn, net::NodeId from,
     case net::MessageKind::kTagListProbe: {
       transport_.send(
           conn, id(),
-          std::make_shared<TagListProbeReply>(
+          net::make_message<TagListProbeReply>(
               pred_, pred2_, static_cast<std::uint32_t>(child_conns_.size()),
               config_.capacity, peer_sample()),
           kMem);
@@ -472,7 +473,7 @@ void TagNode::on_datagram(net::NodeId from, net::MessagePtr message) {
     case net::MessageKind::kTagTailQuery:
       if (is_head_) {
         network().send_datagram(id(), from,
-                                std::make_shared<TagTailReply>(tail_), kMem);
+                                net::make_message<TagTailReply>(tail_), kMem);
       }
       return;
     case net::MessageKind::kTagTailReply: {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/message_pool.h"
 #include "util/assert.h"
 #include "util/logging.h"
 
@@ -172,7 +173,7 @@ void Brisa::on_neighbor_up(net::NodeId peer) {
   // A node stuck in hard repair greets every new neighbor with a resume
   // request — the PSS replenishing the view is what unblocks it.
   if (repair_.has_value() && repair_->hard) {
-    send_to(peer, std::make_shared<BrisaResume>(config_.stream, true), kCtl);
+    send_to(peer, net::make_message<BrisaResume>(config_.stream, true), kCtl);
   }
 }
 
@@ -445,7 +446,7 @@ void Brisa::deactivate_inbound(net::NodeId peer) {
     stats_.first_deactivation_at = now();
   }
   send_to(peer,
-          std::make_shared<BrisaDeactivate>(config_.stream, config_.mode,
+          net::make_message<BrisaDeactivate>(config_.stream, config_.mode,
                                             my_position()),
           kCtl);
   note_structure_stability();
@@ -553,7 +554,7 @@ void Brisa::handle_resume(net::NodeId from, const BrisaResume& msg) {
     PositionInfo pos = my_position();
     if (parents_.count(from) > 0) pos.known = false;
     send_to(from,
-            std::make_shared<BrisaResumeAck>(config_.stream, config_.mode,
+            net::make_message<BrisaResumeAck>(config_.stream, config_.mode,
                                              std::move(pos)),
             kCtl);
   }
@@ -637,7 +638,7 @@ void Brisa::handle_retransmit_request(net::NodeId from,
     if (seq < msg.from_seq()) continue;
     stats_.retransmissions_served += 1;
     send_to(from,
-            std::make_shared<BrisaData>(config_.stream, seq, payload_bytes,
+            net::make_message<BrisaData>(config_.stream, seq, payload_bytes,
                                         config_.mode, my_position(),
                                         /*retransmission=*/true),
             kData);
@@ -672,6 +673,7 @@ void Brisa::start_repair_with_kind(RepairKind kind, bool allow_soft,
 
 void Brisa::try_next_repair_candidate() {
   if (!repair_.has_value()) return;
+  cancel(repair_->timeout_event);  // previous candidate's timer, if any
   repair_->awaiting_ack = net::NodeId::invalid();
   if (repair_->pending_candidates.empty()) {
     BRISA_TRACE("brisa") << id() << " repair candidates exhausted";
@@ -684,9 +686,11 @@ void Brisa::try_next_repair_candidate() {
   repair_->awaiting_ack = candidate;
   const std::uint64_t token = ++repair_token_counter_;
   repair_->timeout_token = token;
-  send_to(candidate, std::make_shared<BrisaResume>(config_.stream, true),
+  send_to(candidate, net::make_message<BrisaResume>(config_.stream, true),
           kCtl);
-  after(config_.repair_ack_timeout, [this, token]() {
+  // The token check stays as a second line of defense: a handle is only as
+  // fresh as the RepairState that stored it.
+  repair_->timeout_event = after(config_.repair_ack_timeout, [this, token]() {
     if (repair_.has_value() && repair_->timeout_token == token &&
         repair_->awaiting_ack.valid()) {
       try_next_repair_candidate();
@@ -743,18 +747,26 @@ void Brisa::escalate_to_hard_repair() {
   depth_ = -1;
   for (auto& [peer, link] : links_) link.inbound_active = true;
 
+  net::MessagePtr resume;
   for (const net::NodeId peer : pss_.view()) {
-    send_to(peer, std::make_shared<BrisaResume>(config_.stream, true), kCtl);
+    if (resume == nullptr) {
+      resume = net::make_message<BrisaResume>(config_.stream, true);
+    }
+    send_to(peer, resume, kCtl);
   }
+  net::MessagePtr order;
   for (const net::NodeId child : order_targets) {
     stats_.reactivate_orders_sent += 1;
-    send_to(child, std::make_shared<BrisaReactivateOrder>(config_.stream),
-            kCtl);
+    if (order == nullptr) {
+      order = net::make_message<BrisaReactivateOrder>(config_.stream);
+    }
+    send_to(child, order, kCtl);
   }
 }
 
 void Brisa::finish_repair(net::NodeId new_parent) {
   if (!repair_.has_value()) return;
+  cancel(repair_->timeout_event);
   const sim::Duration delay = now() - repair_->started_at;
   if (repair_kind_ == RepairKind::kOrphanFailure) {
     if (repair_->hard) {
@@ -777,7 +789,7 @@ void Brisa::finish_repair(net::NodeId new_parent) {
 
 void Brisa::request_missing(net::NodeId parent) {
   send_to(parent,
-          std::make_shared<BrisaRetransmitRequest>(config_.stream,
+          net::make_message<BrisaRetransmitRequest>(config_.stream,
                                                    contiguous_upto_),
           kCtl);
 }
@@ -829,11 +841,15 @@ void Brisa::send_to(net::NodeId peer, net::MessagePtr message,
 }
 
 void Brisa::relay(const BrisaData& msg, net::NodeId except) {
+  // One pooled copy shared by every receiver: fan-out is a refcount bump
+  // per child, not an allocation per child.
+  net::MessagePtr shared;
   for (const net::NodeId peer : pss_.view()) {
     if (peer == except) continue;
     const auto it = links_.find(peer);
     if (it != links_.end() && !it->second.outbound_active) continue;
-    send_to(peer, std::make_shared<BrisaData>(msg), kData);
+    if (shared == nullptr) shared = net::make_message<BrisaData>(msg);
+    send_to(peer, shared, kData);
   }
 }
 

@@ -200,6 +200,9 @@ class Brisa final : public net::Process, public membership::PssListener {
     std::vector<net::NodeId> pending_candidates;
     net::NodeId awaiting_ack;  ///< invalid when none outstanding
     std::uint64_t timeout_token = 0;
+    /// Pending ack-timeout timer; cancelled when the repair resolves first
+    /// (the common case — most repair timers never fire).
+    sim::EventId timeout_event;
   };
 
   // Message handlers.

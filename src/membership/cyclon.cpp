@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/message_pool.h"
 #include "util/assert.h"
 
 namespace brisa::membership {
@@ -78,7 +79,7 @@ void Cyclon::on_shuffle_timer() {
   sample.push_back(CyclonEntry{id(), 0});
   last_sent_ = sample;
   network().send_datagram(id(), partner,
-                          std::make_shared<CyclonShuffle>(std::move(sample)),
+                          net::make_message<CyclonShuffle>(std::move(sample)),
                           kTc);
 }
 
@@ -100,7 +101,7 @@ void Cyclon::handle_shuffle(net::NodeId from, const CyclonShuffle& msg) {
   const std::vector<CyclonEntry> reply_sample =
       rng_.sample(view_, config_.shuffle_length);
   network().send_datagram(
-      id(), from, std::make_shared<CyclonShuffleReply>(reply_sample), kTc);
+      id(), from, net::make_message<CyclonShuffleReply>(reply_sample), kTc);
   integrate(msg.entries(), reply_sample);
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "net/message_pool.h"
 #include "util/assert.h"
 #include "util/logging.h"
 
@@ -91,14 +92,14 @@ void HyParView::on_connection_up(net::ConnectionId conn, net::NodeId peer,
   link.state = LinkState::kAwaitReply;
   switch (link.purpose) {
     case DialPurpose::kJoin:
-      transport_.send(conn, id(), std::make_shared<HpvJoin>(), kTc);
+      transport_.send(conn, id(), net::make_message<HpvJoin>(), kTc);
       break;
     case DialPurpose::kNeighborHigh:
     case DialPurpose::kForwardJoinAccept:
-      transport_.send(conn, id(), std::make_shared<HpvNeighbor>(true), kTc);
+      transport_.send(conn, id(), net::make_message<HpvNeighbor>(true), kTc);
       break;
     case DialPurpose::kNeighborLow:
-      transport_.send(conn, id(), std::make_shared<HpvNeighbor>(false), kTc);
+      transport_.send(conn, id(), net::make_message<HpvNeighbor>(false), kTc);
       break;
   }
 }
@@ -187,12 +188,12 @@ void HyParView::handle_join(net::ConnectionId conn, net::NodeId from) {
   ++counters_.joins_handled;
   // The contact unconditionally accepts the joiner (§II-A / HyParView).
   establish(from, conn);
-  transport_.send(conn, id(), std::make_shared<HpvNeighborReply>(true), kTc);
+  transport_.send(conn, id(), net::make_message<HpvNeighborReply>(true), kTc);
   evict_if_needed(from, config_.active_size);
   // Propagate the joiner through forward-join random walks.
   for (const net::NodeId peer : established_peers()) {
     if (peer == from) continue;
-    send_control(peer, std::make_shared<HpvForwardJoin>(from,
+    send_control(peer, net::make_message<HpvForwardJoin>(from,
                                                         config_.active_rwl));
   }
 }
@@ -224,7 +225,7 @@ void HyParView::handle_forward_join(net::NodeId from,
   }
   const net::NodeId next = rng_.pick(candidates);
   send_control(next,
-               std::make_shared<HpvForwardJoin>(joiner, msg.ttl() - 1));
+               net::make_message<HpvForwardJoin>(joiner, msg.ttl() - 1));
 }
 
 void HyParView::handle_neighbor(net::ConnectionId conn, net::NodeId from,
@@ -237,7 +238,7 @@ void HyParView::handle_neighbor(net::ConnectionId conn, net::NodeId from,
       // connection on both sides: accept and retire the old one.
       const net::ConnectionId old_conn = existing.conn;
       existing.conn = conn;
-      transport_.send(conn, id(), std::make_shared<HpvNeighborReply>(true),
+      transport_.send(conn, id(), net::make_message<HpvNeighborReply>(true),
                       kTc);
       transport_.close(old_conn, id());
       return;
@@ -250,12 +251,12 @@ void HyParView::handle_neighbor(net::ConnectionId conn, net::NodeId from,
       transport_.close(mine, id());
       ++counters_.neighbor_accepts;
       establish(from, conn);
-      transport_.send(conn, id(), std::make_shared<HpvNeighborReply>(true),
+      transport_.send(conn, id(), net::make_message<HpvNeighborReply>(true),
                       kTc);
       evict_if_needed(from, capacity());
     } else {
       ++counters_.neighbor_rejects;
-      transport_.send(conn, id(), std::make_shared<HpvNeighborReply>(false),
+      transport_.send(conn, id(), net::make_message<HpvNeighborReply>(false),
                       kTc);
     }
     return;
@@ -267,13 +268,13 @@ void HyParView::handle_neighbor(net::ConnectionId conn, net::NodeId from,
   const bool accept = msg.high_priority() || established < capacity();
   if (!accept) {
     ++counters_.neighbor_rejects;
-    transport_.send(conn, id(), std::make_shared<HpvNeighborReply>(false),
+    transport_.send(conn, id(), net::make_message<HpvNeighborReply>(false),
                     kTc);
     return;
   }
   ++counters_.neighbor_accepts;
   establish(from, conn);
-  transport_.send(conn, id(), std::make_shared<HpvNeighborReply>(true), kTc);
+  transport_.send(conn, id(), net::make_message<HpvNeighborReply>(true), kTc);
   evict_if_needed(from, capacity());
 }
 
@@ -319,7 +320,7 @@ void HyParView::handle_shuffle(net::NodeId from, const HpvShuffle& msg) {
     }
     if (!candidates.empty()) {
       send_control(rng_.pick(candidates),
-                   std::make_shared<HpvShuffle>(msg.origin(), msg.ttl() - 1,
+                   net::make_message<HpvShuffle>(msg.origin(), msg.ttl() - 1,
                                                 msg.sample()));
       return;
     }
@@ -330,7 +331,7 @@ void HyParView::handle_shuffle(net::NodeId from, const HpvShuffle& msg) {
     const std::vector<net::NodeId> reply_sample =
         rng_.sample(passive_candidates(), msg.sample().size());
     network().send_datagram(
-        id(), msg.origin(), std::make_shared<HpvShuffleReply>(reply_sample),
+        id(), msg.origin(), net::make_message<HpvShuffleReply>(reply_sample),
         kTc);
     integrate_shuffle_sample(msg.sample(), {});
   }
@@ -375,7 +376,7 @@ void HyParView::handle_keepalive(net::ConnectionId conn, net::NodeId from,
   }
   const auto [watermark, aux] = current_watermark();
   transport_.send(conn, id(),
-                  std::make_shared<HpvKeepAliveReply>(msg.probe_id(),
+                  net::make_message<HpvKeepAliveReply>(msg.probe_id(),
                                                       watermark, aux),
                   kTc);
 }
@@ -436,7 +437,7 @@ void HyParView::evict_if_needed(net::NodeId keep, std::size_t threshold) {
       peers.erase(std::remove(peers.begin(), peers.end(), keep), peers.end());
     }
     const net::NodeId victim = rng_.pick(peers);
-    send_control(victim, std::make_shared<HpvDisconnect>());
+    send_control(victim, net::make_message<HpvDisconnect>());
     drop_active(victim, NeighborLossReason::kEvicted, /*close_conn=*/true);
     add_passive(victim);
   }
@@ -536,7 +537,7 @@ void HyParView::on_shuffle_timer() {
   }
   last_shuffle_sent_ = sample;
   send_control(rng_.pick(peers),
-               std::make_shared<HpvShuffle>(id(), config_.shuffle_ttl,
+               net::make_message<HpvShuffle>(id(), config_.shuffle_ttl,
                                             std::move(sample)));
 }
 
@@ -557,7 +558,7 @@ void HyParView::on_keepalive_timer() {
     link.probe_sent_at = now();
     const auto [watermark, aux] = current_watermark();
     transport_.send(link.conn, id(),
-                    std::make_shared<HpvKeepAlive>(probe, watermark, aux),
+                    net::make_message<HpvKeepAlive>(probe, watermark, aux),
                     kTc);
   }
   for (const net::NodeId peer : timed_out) fail_link(peer);

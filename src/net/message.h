@@ -5,10 +5,18 @@
 // demultiplexing inside a node's protocol stack). Payload bytes are never
 // materialized — the paper's payloads are opaque random bit strings, so only
 // their length matters.
+//
+// Messages are reference-counted intrusively (single-threaded: plain
+// integers, no atomics) and allocated from a per-type recycling pool (see
+// net/message_pool.h), so the steady-state send path performs no heap
+// allocation: a delivery holds a reference, fan-out shares one object across
+// receivers, and the storage returns to the pool when the last reference
+// drops.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <memory>
+#include <utility>
 
 namespace brisa::net {
 
@@ -86,9 +94,106 @@ class Message {
   [[nodiscard]] virtual std::size_t wire_size() const = 0;
 
   [[nodiscard]] virtual const char* name() const = 0;
+
+ private:
+  friend class MessageRef;
+  template <typename T>
+  friend class MessagePool;
+
+  /// Destroys the object and returns its storage wherever it came from.
+  using Recycler = void (*)(const Message*);
+
+  mutable std::uint32_t refs_ = 0;
+  mutable Recycler recycler_ = nullptr;
 };
 
-using MessagePtr = std::shared_ptr<const Message>;
+/// Intrusive smart pointer to an immutable message. Copies share the object
+/// (fan-out sends one allocation to every receiver); the last reference
+/// recycles the storage into the type's pool.
+class MessageRef {
+ public:
+  constexpr MessageRef() = default;
+  constexpr MessageRef(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  MessageRef(const MessageRef& other) : ptr_(other.ptr_) {
+    if (ptr_ != nullptr) ++ptr_->refs_;
+  }
+  MessageRef(MessageRef&& other) noexcept : ptr_(other.ptr_) {
+    other.ptr_ = nullptr;
+  }
+  MessageRef& operator=(const MessageRef& other) {
+    if (this != &other) {
+      release();
+      ptr_ = other.ptr_;
+      if (ptr_ != nullptr) ++ptr_->refs_;
+    }
+    return *this;
+  }
+  MessageRef& operator=(MessageRef&& other) noexcept {
+    if (this != &other) {
+      release();
+      ptr_ = other.ptr_;
+      other.ptr_ = nullptr;
+    }
+    return *this;
+  }
+  ~MessageRef() { release(); }
+
+  [[nodiscard]] const Message* get() const { return ptr_; }
+  [[nodiscard]] const Message& operator*() const { return *ptr_; }
+  [[nodiscard]] const Message* operator->() const { return ptr_; }
+  [[nodiscard]] explicit operator bool() const { return ptr_ != nullptr; }
+
+  friend bool operator==(const MessageRef& ref, std::nullptr_t) {
+    return ref.ptr_ == nullptr;
+  }
+  friend bool operator!=(const MessageRef& ref, std::nullptr_t) {
+    return ref.ptr_ != nullptr;
+  }
+
+  /// Hands this reference's ownership to the caller as a raw pointer (for
+  /// typed event payloads, which cannot hold smart pointers). Pair with
+  /// attach().
+  [[nodiscard]] const Message* detach() {
+    const Message* raw = ptr_;
+    ptr_ = nullptr;
+    return raw;
+  }
+
+  /// Resumes ownership of a reference previously detach()ed.
+  [[nodiscard]] static MessageRef attach(const Message* raw) {
+    MessageRef ref;
+    ref.ptr_ = raw;
+    return ref;
+  }
+
+ private:
+  template <typename T>
+  friend class MessagePool;
+
+  void release() {
+    if (ptr_ != nullptr && --ptr_->refs_ == 0) {
+      if (ptr_->recycler_ != nullptr) {
+        ptr_->recycler_(ptr_);
+      } else {
+        delete ptr_;
+      }
+    }
+    ptr_ = nullptr;
+  }
+
+  const Message* ptr_ = nullptr;
+};
+
+using MessagePtr = MessageRef;
+
+/// DeliverEvent::drop_token helper: releases the message reference carried
+/// in a typed delivery's opaque token. A plain function so it stays callable
+/// after the Network/Transport sink is gone (teardown with events pending).
+inline void release_message_token(void* token) {
+  static_cast<void>(
+      MessageRef::attach(static_cast<const Message*>(token)));
+}
 
 /// Traffic classes for bandwidth accounting (Fig 10–12 split management
 /// overhead from payload dissemination).

@@ -99,26 +99,44 @@ void Network::send_datagram(NodeId from, NodeId to, MessagePtr message,
   const sim::TimePoint serialized = nic_send(from, wire_bytes, traffic_class);
   const sim::Duration flight = latency_->sample(from, to, rng_);
   const sim::TimePoint arrival = serialized + flight;
-  simulator_.at(arrival, [this, from, to, message = std::move(message),
-                          wire_bytes, traffic_class]() {
-    if (!alive(to)) return;
-    Host& h = host(to);
-    if (h.datagram_handler == nullptr) return;
-    charge_receive(to, wire_bytes, traffic_class);
-    const sim::TimePoint ready = cpu_deliver(to, simulator_.now(), wire_bytes);
-    if (ready == simulator_.now()) {
-      h.datagram_handler->on_datagram(from, message);
-    } else {
-      simulator_.at(ready, [this, from, to, message]() {
-        if (!alive(to)) return;
-        Host& inner = host(to);
-        if (inner.datagram_handler != nullptr) {
-          inner.datagram_handler->on_datagram(from, message);
-        }
-      });
-    }
-  });
+  sim::DeliverEvent event;
+  event.sink = this;
+  event.token = const_cast<void*>(static_cast<const void*>(message.detach()));
+  event.drop_token = &release_message_token;
+  event.from = from.index();
+  event.to = to.index();
+  event.bytes = static_cast<std::uint32_t>(wire_bytes);
+  event.tag = kDatagramArrival;
+  event.tclass = static_cast<std::uint16_t>(traffic_class);
+  simulator_.at_deliver(arrival, event);
 }
+
+void Network::on_deliver(const sim::DeliverEvent& event) {
+  MessagePtr message =
+      MessageRef::attach(static_cast<const Message*>(event.token));
+  const NodeId from(event.from);
+  const NodeId to(event.to);
+  if (!alive(to)) return;
+  Host& h = host(to);
+  if (h.datagram_handler == nullptr) return;
+  if (event.tag == kDatagramArrival) {
+    charge_receive(to, event.bytes, static_cast<TrafficClass>(event.tclass));
+    const sim::TimePoint ready =
+        cpu_deliver(to, simulator_.now(), event.bytes);
+    if (ready == simulator_.now()) {
+      h.datagram_handler->on_datagram(from, std::move(message));
+    } else {
+      sim::DeliverEvent next = event;
+      next.tag = kDatagramCpuReady;
+      next.token = const_cast<void*>(
+          static_cast<const void*>(message.detach()));
+      simulator_.at_deliver(ready, next);
+    }
+    return;
+  }
+  h.datagram_handler->on_datagram(from, std::move(message));
+}
+
 
 sim::TimePoint Network::nic_send(NodeId from, std::size_t wire_bytes,
                                  TrafficClass traffic_class) {

@@ -43,7 +43,10 @@ struct BandwidthStats {
   void reset() { *this = BandwidthStats{}; }
 };
 
-class Network {
+/// The simulated network. Datagram deliveries are typed DeliverEvents (no
+/// closure, no allocation on the steady-state path); the Network is the sink
+/// that interprets them at arrival and CPU-ready time.
+class Network : public sim::DeliverEvent::Sink {
  public:
   struct Config {
     /// NIC throughput. Default: 1 Gbps full duplex (the paper's cluster).
@@ -147,6 +150,15 @@ class Network {
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
 
  private:
+  /// Delivery stages encoded in DeliverEvent::tag.
+  enum DatagramStage : std::uint16_t {
+    kDatagramArrival = 0,   ///< left the wire; charge receive, queue CPU
+    kDatagramCpuReady = 1,  ///< processing done; hand to the protocol
+  };
+
+  // sim::DeliverEvent::Sink
+  void on_deliver(const sim::DeliverEvent& event) override;
+
   struct Host {
     bool alive = true;
     sim::TimePoint nic_free_at = sim::TimePoint::origin();

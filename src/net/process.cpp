@@ -2,31 +2,18 @@
 
 namespace brisa::net {
 
-sim::EventId Process::after(sim::Duration delay, std::function<void()> fn) {
-  return simulator().after(delay, [this, fn = std::move(fn)]() {
-    if (!alive()) return;
-    fn();
-  });
+bool Process::alive_gate(const void* ctx, std::uint32_t arg) {
+  return static_cast<const Network*>(ctx)->alive(NodeId(arg));
 }
 
-void Process::schedule_periodic_guarded(
-    sim::Duration period, std::function<void()> fn,
-    const std::shared_ptr<sim::Simulator::PeriodicHandle>& handle) {
-  handle->pending =
-      simulator().after(period, [this, period, fn = std::move(fn), handle]() {
-        if (handle->cancelled || !alive()) return;
-        fn();
-        if (!handle->cancelled && alive()) {
-          schedule_periodic_guarded(period, fn, handle);
-        }
-      });
+sim::EventId Process::after(sim::Duration delay, sim::Callback fn) {
+  return simulator().after_gated(delay, &Process::alive_gate, &network_,
+                                 id_.index(), std::move(fn));
 }
 
-std::shared_ptr<sim::Simulator::PeriodicHandle> Process::every(
-    sim::Duration period, std::function<void()> fn) {
-  auto handle = std::make_shared<sim::Simulator::PeriodicHandle>();
-  schedule_periodic_guarded(period, std::move(fn), handle);
-  return handle;
+sim::PeriodicId Process::every(sim::Duration period, sim::Callback fn) {
+  return simulator().every_gated(period, &Process::alive_gate, &network_,
+                                 id_.index(), std::move(fn));
 }
 
 }  // namespace brisa::net

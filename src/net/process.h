@@ -3,12 +3,10 @@
 // Crash-stop failures happen at arbitrary instants, but the protocol objects
 // live until the end of the run (they own measurement state). Timers created
 // through Process therefore self-disarm when the host is dead, so no protocol
-// code ever runs "post mortem".
+// code ever runs "post mortem". The liveness check rides as a capture-free
+// gate on the event itself (no wrapper closure, no allocation): one-shot
+// timers are skipped, periodic timers are retired by the simulator.
 #pragma once
-
-#include <functional>
-#include <memory>
-#include <vector>
 
 #include "net/network.h"
 #include "net/node_id.h"
@@ -32,18 +30,24 @@ class Process {
     return network_.simulator().now();
   }
 
-  /// One-shot timer that silently drops if the host died meanwhile.
-  sim::EventId after(sim::Duration delay, std::function<void()> fn);
+  /// One-shot timer that silently drops if the host died meanwhile. The
+  /// returned handle is a value: store it freely, cancel() races are safe.
+  sim::EventId after(sim::Duration delay, sim::Callback fn);
 
-  /// Periodic timer with the same liveness guard; cancelled automatically
-  /// when the host dies (the guard stops rescheduling).
-  std::shared_ptr<sim::Simulator::PeriodicHandle> every(
-      sim::Duration period, std::function<void()> fn);
+  /// Cancels a timer created with after(). Stale handles are a no-op.
+  void cancel(sim::EventId id) { simulator().cancel(id); }
+
+  /// Periodic timer with the same liveness guard; retired automatically
+  /// when the host dies, or explicitly via cancel_periodic.
+  sim::PeriodicId every(sim::Duration period, sim::Callback fn);
+
+  void cancel_periodic(sim::PeriodicId id) {
+    simulator().cancel_periodic(id);
+  }
 
  private:
-  void schedule_periodic_guarded(
-      sim::Duration period, std::function<void()> fn,
-      const std::shared_ptr<sim::Simulator::PeriodicHandle>& handle);
+  /// Capture-free gate: "is host `arg` of this network still alive?"
+  static bool alive_gate(const void* ctx, std::uint32_t arg);
 
   Network& network_;
   NodeId id_;

@@ -163,31 +163,47 @@ bool Transport::send(ConnectionId conn, NodeId sender, MessagePtr message,
   // In-flight data outlives a graceful close (TCP delivers bytes already on
   // the wire), so delivery only checks that the connection record still
   // exists and the receiver is alive — not that the state is established.
-  simulator.at(arrival, [this, conn, sender, receiver,
-                         message = std::move(message), wire_bytes,
-                         traffic_class]() {
-    if (find(conn) == nullptr) return;
-    if (!network_.alive(receiver)) return;
-    network_.charge_receive(receiver, wire_bytes, traffic_class);
-    const sim::TimePoint ready = network_.cpu_deliver(
-        receiver, network_.simulator().now(), wire_bytes);
-    if (ready == network_.simulator().now()) {
-      if (TransportHandler* h = handler_of(receiver)) {
-        h->on_message(conn, sender, message);
-      }
-    } else {
-      network_.simulator().at(ready, [this, conn, sender, receiver,
-                                      message]() {
-        if (find(conn) == nullptr) return;
-        if (!network_.alive(receiver)) return;
-        if (TransportHandler* h = handler_of(receiver)) {
-          h->on_message(conn, sender, message);
-        }
-      });
-    }
-  });
+  sim::DeliverEvent event;
+  event.sink = this;
+  event.token = const_cast<void*>(static_cast<const void*>(message.detach()));
+  event.drop_token = &release_message_token;
+  event.id = conn;
+  event.from = sender.index();
+  event.to = receiver.index();
+  event.bytes = static_cast<std::uint32_t>(wire_bytes);
+  event.tag = kSegmentArrival;
+  event.tclass = static_cast<std::uint16_t>(traffic_class);
+  simulator.at_deliver(arrival, event);
   return true;
 }
+
+void Transport::on_deliver(const sim::DeliverEvent& event) {
+  MessagePtr message =
+      MessageRef::attach(static_cast<const Message*>(event.token));
+  const ConnectionId conn = event.id;
+  const NodeId sender(event.from);
+  const NodeId receiver(event.to);
+  if (find(conn) == nullptr) return;
+  if (!network_.alive(receiver)) return;
+  if (event.tag == kSegmentArrival) {
+    network_.charge_receive(receiver, event.bytes,
+                            static_cast<TrafficClass>(event.tclass));
+    const sim::TimePoint ready = network_.cpu_deliver(
+        receiver, network_.simulator().now(), event.bytes);
+    if (ready != network_.simulator().now()) {
+      sim::DeliverEvent next = event;
+      next.tag = kSegmentCpuReady;
+      next.token = const_cast<void*>(
+          static_cast<const void*>(message.detach()));
+      network_.simulator().at_deliver(ready, next);
+      return;
+    }
+  }
+  if (TransportHandler* h = handler_of(receiver)) {
+    h->on_message(conn, sender, std::move(message));
+  }
+}
+
 
 bool Transport::established(ConnectionId conn) const {
   const Connection* c = find(conn);

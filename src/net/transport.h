@@ -43,7 +43,8 @@ class TransportHandler {
                           MessagePtr message) = 0;
 };
 
-class Transport final : public Network::DeathListener {
+class Transport final : public Network::DeathListener,
+                        public sim::DeliverEvent::Sink {
  public:
   explicit Transport(Network& network);
 
@@ -77,6 +78,15 @@ class Transport final : public Network::DeathListener {
 
  private:
   enum class State : std::uint8_t { kConnecting, kEstablished, kClosed };
+
+  /// Delivery stages encoded in DeliverEvent::tag.
+  enum SegmentStage : std::uint16_t {
+    kSegmentArrival = 0,   ///< left the wire; charge receive, queue CPU
+    kSegmentCpuReady = 1,  ///< processing done; hand to the handler
+  };
+
+  // sim::DeliverEvent::Sink (data segments on established connections)
+  void on_deliver(const sim::DeliverEvent& event) override;
 
   struct Connection {
     NodeId initiator;

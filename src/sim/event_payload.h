@@ -1,0 +1,175 @@
+// Typed event payloads for the slab-backed event queue.
+//
+// The steady-state event mix of a dissemination experiment is (a) message
+// deliveries, (b) periodic protocol timers, and (c) one-shot timers. Cases
+// (a) and (b) used to be type-erased closures capturing shared_ptrs; here
+// they become plain structs that live inside the event slot, so the common
+// paths never allocate and never touch a vtable-per-closure.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "sim/inline_callback.h"
+#include "util/assert.h"
+
+namespace brisa::sim {
+
+/// Capture-free liveness predicate evaluated just before a callback runs;
+/// returning false skips the callback (e.g. "is this host still alive?").
+/// Being a plain function pointer plus context, it costs no allocation and
+/// no wrapper closure.
+using GatePredicate = bool (*)(const void* ctx, std::uint32_t arg);
+
+/// A network delivery: the simulator knows nothing about its meaning beyond
+/// "hand it to `sink` at the scheduled instant". The net layer packs node
+/// indices, wire size, connection ids, and a message reference into the
+/// opaque fields. `token` carries ownership: a fired event consumes it in
+/// on_deliver; a cancelled/cleared event releases it through `drop_token`.
+/// drop_token is a plain function (not a sink virtual) on purpose: pending
+/// events can outlive the sink object — harnesses routinely destroy the
+/// network before the simulator — and releasing a token must stay safe then.
+struct DeliverEvent {
+  class Sink {
+   public:
+    /// The event's instant arrived; consume `token`.
+    virtual void on_deliver(const DeliverEvent& event) = 0;
+
+   protected:
+    ~Sink() = default;
+  };
+
+  Sink* sink = nullptr;
+  void* token = nullptr;    ///< opaque owned payload (e.g. pooled message)
+  /// Releases `token` when the event is cancelled or cleared without firing.
+  void (*drop_token)(void* token) = nullptr;
+  std::uint64_t id = 0;     ///< sink-defined (connection id, ...)
+  std::uint32_t from = 0;   ///< sender host index
+  std::uint32_t to = 0;     ///< receiver host index
+  std::uint32_t bytes = 0;  ///< wire size
+  std::uint16_t tag = 0;    ///< sink-defined stage discriminator
+  std::uint16_t tclass = 0; ///< traffic class
+};
+
+/// One occurrence of a periodic timer: indexes the simulator's periodic
+/// slab. The generation tag makes ticks of a cancelled-and-reused slot
+/// harmless.
+struct PeriodicTick {
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;
+};
+
+/// Tagged union over the event kinds. Move-only; destroying an unconsumed
+/// kDeliver payload notifies the sink so owned references are not leaked.
+class EventPayload {
+ public:
+  enum class Kind : std::uint8_t { kNone, kCallback, kDeliver, kPeriodic };
+
+  EventPayload() {}
+  explicit EventPayload(Callback cb) : kind_(Kind::kCallback) {
+    new (&u_.cb) Callback(std::move(cb));
+  }
+  explicit EventPayload(const DeliverEvent& event) : kind_(Kind::kDeliver) {
+    new (&u_.deliver) DeliverEvent(event);
+  }
+  explicit EventPayload(PeriodicTick tick) : kind_(Kind::kPeriodic) {
+    new (&u_.tick) PeriodicTick(tick);
+  }
+
+  EventPayload(EventPayload&& other) noexcept { take(other); }
+  EventPayload& operator=(EventPayload&& other) noexcept {
+    if (this != &other) {
+      discard();
+      take(other);
+    }
+    return *this;
+  }
+
+  EventPayload(const EventPayload&) = delete;
+  EventPayload& operator=(const EventPayload&) = delete;
+
+  ~EventPayload() { discard(); }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+  /// Runs a kCallback payload (honoring `gate`) and consumes it.
+  void run_callback(GatePredicate gate, const void* gate_ctx,
+                    std::uint32_t gate_arg) {
+    BRISA_ASSERT(kind_ == Kind::kCallback);
+    // Move the closure onto the stack first: it may reschedule (growing the
+    // slab it lived in) while executing.
+    Callback cb = std::move(u_.cb);
+    discard();
+    if (gate == nullptr || gate(gate_ctx, gate_arg)) cb();
+  }
+
+  /// Dispatches a kDeliver payload to its sink and consumes it.
+  void run_deliver() {
+    BRISA_ASSERT(kind_ == Kind::kDeliver);
+    const DeliverEvent event = u_.deliver;
+    kind_ = Kind::kNone;  // ownership of event.token moved to the sink call
+    event.sink->on_deliver(event);
+  }
+
+  /// Reads and consumes a kPeriodic payload.
+  [[nodiscard]] PeriodicTick take_periodic() {
+    BRISA_ASSERT(kind_ == Kind::kPeriodic);
+    const PeriodicTick tick = u_.tick;
+    kind_ = Kind::kNone;
+    return tick;
+  }
+
+  /// Destroys the contents without firing; kDeliver payloads release their
+  /// owned token via drop_token (sink-independent: see DeliverEvent).
+  void discard() {
+    switch (kind_) {
+      case Kind::kNone:
+        return;
+      case Kind::kCallback:
+        u_.cb.~Callback();
+        break;
+      case Kind::kDeliver: {
+        const DeliverEvent event = u_.deliver;
+        kind_ = Kind::kNone;
+        if (event.drop_token != nullptr) event.drop_token(event.token);
+        return;
+      }
+      case Kind::kPeriodic:
+        break;
+    }
+    kind_ = Kind::kNone;
+  }
+
+ private:
+  void take(EventPayload& other) noexcept {
+    kind_ = other.kind_;
+    switch (kind_) {
+      case Kind::kNone:
+        break;
+      case Kind::kCallback:
+        new (&u_.cb) Callback(std::move(other.u_.cb));
+        other.u_.cb.~Callback();
+        break;
+      case Kind::kDeliver:
+        new (&u_.deliver) DeliverEvent(other.u_.deliver);
+        break;
+      case Kind::kPeriodic:
+        new (&u_.tick) PeriodicTick(other.u_.tick);
+        break;
+    }
+    other.kind_ = Kind::kNone;
+  }
+
+  union Storage {
+    Storage() {}
+    ~Storage() {}
+    Callback cb;
+    DeliverEvent deliver;
+    PeriodicTick tick;
+  };
+
+  Kind kind_ = Kind::kNone;
+  Storage u_;
+};
+
+}  // namespace brisa::sim

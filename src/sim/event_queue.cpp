@@ -4,46 +4,186 @@
 
 namespace brisa::sim {
 
-EventId EventQueue::schedule(TimePoint when, Callback fn) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{when, id});
-  callbacks_.emplace(id, std::move(fn));
-  ++live_count_;
-  return id;
+// --- Slab -------------------------------------------------------------------
+
+EventId EventQueue::acquire_slot(TimePoint when) {
+  std::uint32_t index;
+  if (free_head_ != kNullIndex) {
+    index = free_head_;
+    free_head_ = slots_[index].next_free;
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    BRISA_ASSERT_MSG(index != kNullIndex, "event slab exhausted");
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.when = when;
+  slot.seq = next_seq_++;
+  slot.gate = nullptr;
+  slot.gate_ctx = nullptr;
+  slot.gate_arg = 0;
+  slot.next_free = kNullIndex;
+  heap_insert(index);
+  if (heap_.size() > peak_pending_) peak_pending_ = heap_.size();
+  return EventId{index, slot.gen};
 }
 
-void EventQueue::cancel(EventId id) {
-  const auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return;
-  callbacks_.erase(it);
-  --live_count_;
+void EventQueue::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  // Bumping the generation invalidates every outstanding handle to this
+  // slot; 0 is reserved for kInvalidEventId, so skip it on wraparound.
+  slot.gen = slot.gen + 1 == 0 ? 1 : slot.gen + 1;
+  slot.heap_pos = kNullIndex;
+  slot.payload.discard();
+  slot.next_free = free_head_;
+  free_head_ = index;
 }
 
-void EventQueue::drop_cancelled_head() {
-  while (!heap_.empty() && callbacks_.find(heap_.top().id) == callbacks_.end()) {
-    heap_.pop();
+// --- 4-ary heap -------------------------------------------------------------
+//
+// A wider node brings the tree height down to log4(n) and keeps the four
+// child indices in at most two cache lines, which is the right trade for a
+// heap whose comparisons are two loads and an integer compare.
+
+void EventQueue::heap_insert(std::uint32_t index) {
+  slots_[index].heap_pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(index);
+  sift_up(slots_[index].heap_pos);
+}
+
+void EventQueue::heap_remove(std::uint32_t pos) {
+  BRISA_ASSERT(pos < heap_.size());
+  const std::uint32_t last = static_cast<std::uint32_t>(heap_.size()) - 1;
+  if (pos != last) {
+    heap_[pos] = heap_[last];
+    slots_[heap_[pos]].heap_pos = pos;
+  }
+  heap_.pop_back();
+  if (pos < heap_.size()) {
+    sift_down(pos);
+    sift_up(pos);
   }
 }
 
-TimePoint EventQueue::next_time() const {
-  // `drop_cancelled_head` cannot run here (const); scan the heap top lazily.
-  auto* self = const_cast<EventQueue*>(this);
-  self->drop_cancelled_head();
-  if (heap_.empty()) return TimePoint::max();
-  return heap_.top().when;
+void EventQueue::sift_up(std::uint32_t pos) {
+  const std::uint32_t index = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / 4;
+    if (!before(index, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slots_[heap_[pos]].heap_pos = pos;
+    pos = parent;
+  }
+  heap_[pos] = index;
+  slots_[index].heap_pos = pos;
+}
+
+void EventQueue::sift_down(std::uint32_t pos) {
+  const std::uint32_t index = heap_[pos];
+  const std::uint32_t size = static_cast<std::uint32_t>(heap_.size());
+  while (true) {
+    const std::uint32_t first_child = pos * 4 + 1;
+    if (first_child >= size) break;
+    std::uint32_t best = first_child;
+    const std::uint32_t last_child =
+        first_child + 3 < size ? first_child + 3 : size - 1;
+    for (std::uint32_t child = first_child + 1; child <= last_child; ++child) {
+      if (before(heap_[child], heap_[best])) best = child;
+    }
+    if (!before(heap_[best], index)) break;
+    heap_[pos] = heap_[best];
+    slots_[heap_[pos]].heap_pos = pos;
+    pos = best;
+  }
+  heap_[pos] = index;
+  slots_[index].heap_pos = pos;
+}
+
+// --- Public API -------------------------------------------------------------
+
+EventId EventQueue::schedule(TimePoint when, Callback fn) {
+  const EventId id = acquire_slot(when);
+  slots_[id.slot].payload = EventPayload(std::move(fn));
+  return id;
+}
+
+EventId EventQueue::schedule_gated(TimePoint when, GatePredicate gate,
+                                   const void* ctx, std::uint32_t arg,
+                                   Callback fn) {
+  const EventId id = acquire_slot(when);
+  Slot& slot = slots_[id.slot];
+  slot.payload = EventPayload(std::move(fn));
+  slot.gate = gate;
+  slot.gate_ctx = ctx;
+  slot.gate_arg = arg;
+  return id;
+}
+
+EventId EventQueue::schedule_deliver(TimePoint when,
+                                     const DeliverEvent& event) {
+  BRISA_ASSERT(event.sink != nullptr);
+  const EventId id = acquire_slot(when);
+  slots_[id.slot].payload = EventPayload(event);
+  return id;
+}
+
+EventId EventQueue::schedule_periodic_tick(TimePoint when, PeriodicTick tick) {
+  const EventId id = acquire_slot(when);
+  slots_[id.slot].payload = EventPayload(tick);
+  return id;
+}
+
+bool EventQueue::live(EventId id) const {
+  return id.gen != 0 && id.slot < slots_.size() &&
+         slots_[id.slot].gen == id.gen;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!live(id)) return false;
+  heap_remove(slots_[id.slot].heap_pos);
+  release_slot(id.slot);
+  ++cancelled_total_;
+  return true;
+}
+
+void EventQueue::Fired::run() {
+  switch (payload.kind()) {
+    case EventPayload::Kind::kCallback:
+      payload.run_callback(gate, gate_ctx, gate_arg);
+      return;
+    case EventPayload::Kind::kDeliver:
+      payload.run_deliver();
+      return;
+    case EventPayload::Kind::kPeriodic:
+      BRISA_UNREACHABLE("periodic ticks are dispatched by the Simulator");
+    case EventPayload::Kind::kNone:
+      BRISA_UNREACHABLE("run() on an empty event");
+  }
 }
 
 EventQueue::Fired EventQueue::pop() {
-  drop_cancelled_head();
   BRISA_ASSERT_MSG(!heap_.empty(), "pop() on empty event queue");
-  const Entry entry = heap_.top();
-  heap_.pop();
-  const auto it = callbacks_.find(entry.id);
-  BRISA_ASSERT(it != callbacks_.end());
-  Fired fired{entry.when, std::move(it->second)};
-  callbacks_.erase(it);
-  --live_count_;
+  const std::uint32_t index = heap_[0];
+  Slot& slot = slots_[index];
+  Fired fired;
+  fired.time = slot.when;
+  // Move the payload out before releasing: the caller runs it after pop()
+  // returns, and by then the slot may have been reused by a reschedule.
+  fired.payload = std::move(slot.payload);
+  fired.gate = slot.gate;
+  fired.gate_ctx = slot.gate_ctx;
+  fired.gate_arg = slot.gate_arg;
+  heap_remove(0);
+  release_slot(index);
   return fired;
+}
+
+void EventQueue::clear() {
+  // Releasing a slot only touches the slab and, for kDeliver payloads, the
+  // drop_token refcount release — neither re-enters the heap — so dropping
+  // every pending event is a straight sweep.
+  for (const std::uint32_t index : heap_) release_slot(index);
+  heap_.clear();
 }
 
 }  // namespace brisa::sim

@@ -1,69 +1,148 @@
 // Pending-event set of the discrete-event simulator.
 //
-// A binary heap keyed on (time, sequence number) gives deterministic FIFO
-// ordering among events scheduled for the same instant. Cancellation is lazy:
-// cancelled ids are skipped at pop time, which keeps cancel() O(1) — timers
-// for failure detection are cancelled far more often than they fire.
+// Events live in-place in a slab of reusable slots; a 4-ary min-heap of slot
+// indices keyed on (time, sequence number) gives deterministic FIFO ordering
+// among events scheduled for the same instant. An EventId is a
+// generation-tagged handle {slot, gen}: cancellation validates the handle
+// with one O(1) slot comparison (no hashing), removes the entry from the
+// heap, and recycles the slot immediately — so a schedule/cancel churn
+// workload (failure-detection timers are cancelled far more often than they
+// fire) runs in O(live events) memory, where the old lazy-tombstone design
+// grew its heap without bound.
 #pragma once
 
+#include <compare>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/event_payload.h"
+#include "sim/inline_callback.h"
 #include "sim/time.h"
 
 namespace brisa::sim {
 
-using EventId = std::uint64_t;
-inline constexpr EventId kInvalidEventId = 0;
+/// Generation-tagged event handle. Value type: cheap to copy, cheap to
+/// store, and stale copies are harmless (generation mismatch = no-op).
+struct EventId {
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;
+
+  /// False only for default-constructed / kInvalidEventId handles; an id
+  /// whose event already fired is still "valid" but no longer live.
+  [[nodiscard]] constexpr bool valid() const { return gen != 0; }
+
+  constexpr auto operator<=>(const EventId&) const = default;
+};
+
+inline constexpr EventId kInvalidEventId{};
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   /// Schedules `fn` at absolute time `when`; returns a cancellable id.
   EventId schedule(TimePoint when, Callback fn);
 
-  /// Cancels a pending event. Cancelling an already-fired or invalid id is a
-  /// harmless no-op (protocols race timers against message arrivals).
-  void cancel(EventId id);
+  /// Like schedule(), with a capture-free liveness gate checked at fire
+  /// time; a failing gate skips the callback (it still counts as fired).
+  EventId schedule_gated(TimePoint when, GatePredicate gate, const void* ctx,
+                         std::uint32_t arg, Callback fn);
 
-  [[nodiscard]] bool empty() const { return live_count_ == 0; }
-  [[nodiscard]] std::size_t size() const { return live_count_; }
+  /// Schedules a typed network delivery (no closure, no allocation).
+  EventId schedule_deliver(TimePoint when, const DeliverEvent& event);
+
+  /// Schedules one occurrence of a periodic timer (interpreted by the
+  /// simulator, which owns the periodic state).
+  EventId schedule_periodic_tick(TimePoint when, PeriodicTick tick);
+
+  /// Cancels a pending event. Cancelling an already-fired, stale, or invalid
+  /// id is a harmless no-op (protocols race timers against message
+  /// arrivals). Returns whether a live event was actually cancelled.
+  bool cancel(EventId id);
+
+  /// True while the event behind `id` is still pending.
+  [[nodiscard]] bool live(EventId id) const;
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
   /// Time of the earliest live event; TimePoint::max() when empty.
-  [[nodiscard]] TimePoint next_time() const;
+  [[nodiscard]] TimePoint next_time() const {
+    return heap_.empty() ? TimePoint::max() : slots_[heap_[0]].when;
+  }
 
   struct Fired {
     TimePoint time;
-    Callback fn;
+    EventPayload payload;
+    GatePredicate gate = nullptr;
+    const void* gate_ctx = nullptr;
+    std::uint32_t gate_arg = 0;
+
+    /// Executes a callback (honoring the gate) or delivery payload.
+    /// Periodic ticks are dispatched by the Simulator, not here.
+    void run();
   };
 
   /// Removes and returns the earliest live event. Queue must be non-empty.
   Fired pop();
 
-  /// Total events ever scheduled (monotone; used by stats and tests).
-  [[nodiscard]] std::uint64_t scheduled_total() const { return next_id_ - 1; }
+  /// Drops every pending event (owned delivery references are released).
+  void clear();
+
+  // --- Telemetry ------------------------------------------------------------
+
+  /// Total events ever scheduled. Monotone: survives slot reuse (it counts
+  /// sequence numbers handed out, not slots).
+  [[nodiscard]] std::uint64_t scheduled_total() const { return next_seq_ - 1; }
+
+  /// Events cancelled before firing (monotone).
+  [[nodiscard]] std::uint64_t cancelled_total() const {
+    return cancelled_total_;
+  }
+
+  /// Slots currently allocated in the slab — the memory high-water mark in
+  /// units of events. Bounded by peak concurrent events, not by churn.
+  [[nodiscard]] std::size_t slab_capacity() const { return slots_.size(); }
+
+  /// Highest number of simultaneously pending events seen.
+  [[nodiscard]] std::size_t peak_pending() const { return peak_pending_; }
 
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNullIndex = 0xffffffff;
+
+  struct Slot {
     TimePoint when;
-    EventId id;
-    // Min-heap: earliest time first; FIFO (lowest id) within one instant.
-    bool operator>(const Entry& other) const {
-      if (when != other.when) return when > other.when;
-      return id > other.id;
-    }
+    std::uint64_t seq = 0;
+    EventPayload payload;
+    GatePredicate gate = nullptr;
+    const void* gate_ctx = nullptr;
+    std::uint32_t gate_arg = 0;
+    std::uint32_t gen = 1;
+    std::uint32_t heap_pos = kNullIndex;
+    std::uint32_t next_free = kNullIndex;
   };
 
-  void drop_cancelled_head();
+  /// (time, seq) lexicographic order: the heap invariant.
+  [[nodiscard]] bool before(std::uint32_t a, std::uint32_t b) const {
+    const Slot& sa = slots_[a];
+    const Slot& sb = slots_[b];
+    if (sa.when != sb.when) return sa.when < sb.when;
+    return sa.seq < sb.seq;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_map<EventId, Callback> callbacks_;
-  std::size_t live_count_ = 0;
-  EventId next_id_ = 1;
+  EventId acquire_slot(TimePoint when);
+  void release_slot(std::uint32_t index);
+  void heap_insert(std::uint32_t index);
+  void heap_remove(std::uint32_t pos);
+  void sift_up(std::uint32_t pos);
+  void sift_down(std::uint32_t pos);
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> heap_;  ///< 4-ary min-heap of slot indices
+  std::uint32_t free_head_ = kNullIndex;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t cancelled_total_ = 0;
+  std::size_t peak_pending_ = 0;
 };
 
 }  // namespace brisa::sim

@@ -1,0 +1,136 @@
+// Small-buffer owning callable for the event hot path.
+//
+// std::function heap-allocates most protocol closures (libstdc++ inlines only
+// up to 16 bytes), which put one malloc/free pair on every scheduled event.
+// InlineCallback stores closures up to kInlineBytes in place — enough for
+// every steady-state capture in this codebase — and falls back to the heap
+// beyond that. Fallbacks are counted so benchmarks and tests can assert the
+// hot path stays allocation-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace brisa::sim {
+
+class InlineCallback {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  InlineCallback() = default;
+
+  template <typename F,
+            std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback>, int> = 0>
+  InlineCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      new (storage_) Fn(std::forward<F>(fn));
+      ops_ = inline_ops<Fn>();
+    } else {
+      new (storage_) Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = heap_ops<Fn>();
+      ++heap_fallbacks_;
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  void operator()() { ops_->call(storage_); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// Closures too large for the inline buffer since process start (the
+  /// steady-state event path is expected to keep this flat).
+  [[nodiscard]] static std::uint64_t heap_fallbacks() {
+    return heap_fallbacks_;
+  }
+
+ private:
+  struct Ops {
+    void (*call)(void* storage);
+    /// Move-constructs dst from src and destroys src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static const Ops* inline_ops() {
+    static constexpr Ops ops{
+        [](void* storage) { (*std::launder(reinterpret_cast<Fn*>(storage)))(); },
+        [](void* dst, void* src) {
+          Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+          new (dst) Fn(std::move(*from));
+          from->~Fn();
+        },
+        [](void* storage) {
+          std::launder(reinterpret_cast<Fn*>(storage))->~Fn();
+        }};
+    return &ops;
+  }
+
+  template <typename Fn>
+  static const Ops* heap_ops() {
+    static constexpr Ops ops{
+        [](void* storage) {
+          (**std::launder(reinterpret_cast<Fn**>(storage)))();
+        },
+        [](void* dst, void* src) {
+          // The source is just a raw pointer: copy it over, nothing to destroy.
+          new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+        },
+        [](void* storage) {
+          delete *std::launder(reinterpret_cast<Fn**>(storage));
+        }};
+    return &ops;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+
+  static inline thread_local std::uint64_t heap_fallbacks_ = 0;
+};
+
+/// The callback type accepted throughout the simulator API.
+using Callback = InlineCallback;
+
+}  // namespace brisa::sim

@@ -9,68 +9,180 @@ Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
 
 Simulator::~Simulator() = default;
 
-EventId Simulator::at(TimePoint when, EventQueue::Callback fn) {
+EventId Simulator::at(TimePoint when, Callback fn) {
   BRISA_ASSERT_MSG(when >= now_, "cannot schedule events in the past");
   return queue_.schedule(when, std::move(fn));
 }
 
-EventId Simulator::after(Duration delay, EventQueue::Callback fn) {
+EventId Simulator::after(Duration delay, Callback fn) {
   BRISA_ASSERT_MSG(delay >= Duration::zero(), "negative delay");
   return queue_.schedule(now_ + delay, std::move(fn));
 }
 
-void Simulator::schedule_periodic(Duration period, std::function<void()> fn,
-                                  const std::shared_ptr<PeriodicHandle>& handle) {
-  handle->pending = after(period, [this, period, fn = std::move(fn), handle]() {
-    if (handle->cancelled) return;
-    fn();
-    if (!handle->cancelled) schedule_periodic(period, fn, handle);
-  });
+EventId Simulator::at_gated(TimePoint when, GatePredicate gate,
+                            const void* ctx, std::uint32_t arg, Callback fn) {
+  BRISA_ASSERT_MSG(when >= now_, "cannot schedule events in the past");
+  return queue_.schedule_gated(when, gate, ctx, arg, std::move(fn));
 }
 
-std::shared_ptr<Simulator::PeriodicHandle> Simulator::every(
-    Duration period, std::function<void()> fn) {
+EventId Simulator::after_gated(Duration delay, GatePredicate gate,
+                               const void* ctx, std::uint32_t arg,
+                               Callback fn) {
+  BRISA_ASSERT_MSG(delay >= Duration::zero(), "negative delay");
+  return queue_.schedule_gated(now_ + delay, gate, ctx, arg, std::move(fn));
+}
+
+EventId Simulator::at_deliver(TimePoint when, const DeliverEvent& event) {
+  BRISA_ASSERT_MSG(when >= now_, "cannot schedule events in the past");
+  return queue_.schedule_deliver(when, event);
+}
+
+// --- Periodic timers ---------------------------------------------------------
+
+PeriodicId Simulator::acquire_periodic() {
+  std::uint32_t slot;
+  if (periodic_free_head_ != kNullIndex) {
+    slot = periodic_free_head_;
+    periodic_free_head_ = periodics_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(periodics_.size());
+    periodics_.emplace_back();
+  }
+  Periodic& p = periodics_[slot];
+  p.armed = true;
+  p.next_free = kNullIndex;
+  ++active_periodics_;
+  return PeriodicId{slot, p.gen};
+}
+
+void Simulator::release_periodic(std::uint32_t slot) {
+  Periodic& p = periodics_[slot];
+  BRISA_ASSERT(p.armed);
+  p.gen = p.gen + 1 == 0 ? 1 : p.gen + 1;
+  p.armed = false;
+  p.fn.reset();
+  p.gate = nullptr;
+  p.pending = kInvalidEventId;
+  p.next_free = periodic_free_head_;
+  periodic_free_head_ = slot;
+  --active_periodics_;
+}
+
+PeriodicId Simulator::every(Duration period, Callback fn) {
+  return every_gated(period, nullptr, nullptr, 0, std::move(fn));
+}
+
+PeriodicId Simulator::every_gated(Duration period, GatePredicate gate,
+                                  const void* ctx, std::uint32_t arg,
+                                  Callback fn) {
   BRISA_ASSERT_MSG(period > Duration::zero(), "periodic timer needs period > 0");
-  auto handle = std::make_shared<PeriodicHandle>();
-  schedule_periodic(period, std::move(fn), handle);
-  return handle;
+  const PeriodicId id = acquire_periodic();
+  Periodic& p = periodics_[id.slot];
+  p.period = period;
+  p.fn = std::move(fn);
+  p.gate = gate;
+  p.gate_ctx = ctx;
+  p.gate_arg = arg;
+  p.pending = queue_.schedule_periodic_tick(now_ + period,
+                                            PeriodicTick{id.slot, id.gen});
+  return id;
 }
 
-void Simulator::cancel_periodic(const std::shared_ptr<PeriodicHandle>& handle) {
-  if (!handle) return;
-  handle->cancelled = true;
+void Simulator::cancel_periodic(PeriodicId id) {
+  if (!periodic_live(id)) return;
+  queue_.cancel(periodics_[id.slot].pending);
+  release_periodic(id.slot);
+}
+
+bool Simulator::periodic_live(PeriodicId id) const {
+  return id.gen != 0 && id.slot < periodics_.size() &&
+         periodics_[id.slot].armed && periodics_[id.slot].gen == id.gen;
+}
+
+void Simulator::fire_periodic(PeriodicTick tick) {
+  if (tick.slot >= periodics_.size()) return;
+  Callback fn;
+  {
+    Periodic& p = periodics_[tick.slot];
+    if (!p.armed || p.gen != tick.gen) return;  // cancelled while in flight
+    p.pending = kInvalidEventId;
+    if (p.gate != nullptr && !p.gate(p.gate_ctx, p.gate_arg)) {
+      release_periodic(tick.slot);
+      return;
+    }
+    // Run the closure from the stack: it may create or cancel periodic
+    // timers, which can grow the slab or retire this very slot.
+    fn = std::move(p.fn);
+  }
+  fn();
+  Periodic& p = periodics_[tick.slot];
+  if (!p.armed || p.gen != tick.gen) return;  // cancelled itself inside fn
+  if (p.gate != nullptr && !p.gate(p.gate_ctx, p.gate_arg)) {
+    release_periodic(tick.slot);
+    return;
+  }
+  p.fn = std::move(fn);
+  p.pending = queue_.schedule_periodic_tick(now_ + p.period, tick);
+}
+
+// --- Run loop ----------------------------------------------------------------
+
+void Simulator::dispatch(EventQueue::Fired& fired) {
+  if (fired.payload.kind() == EventPayload::Kind::kPeriodic) {
+    fire_periodic(fired.payload.take_periodic());
+  } else {
+    fired.run();
+  }
 }
 
 std::uint64_t Simulator::run_until(TimePoint limit) {
-  std::uint64_t fired = 0;
+  std::uint64_t fired_count = 0;
   while (!queue_.empty() && queue_.next_time() <= limit) {
     EventQueue::Fired event = queue_.pop();
     BRISA_ASSERT_MSG(event.time >= now_, "event queue went backwards");
     now_ = event.time;
-    event.fn();
-    ++fired;
+    dispatch(event);
+    ++fired_count;
   }
   if (now_ < limit) now_ = limit;
-  events_fired_ += fired;
-  return fired;
+  events_fired_ += fired_count;
+  return fired_count;
 }
 
 std::uint64_t Simulator::run() {
   // Unlike run_until, draining leaves the clock on the last event fired.
-  std::uint64_t fired = 0;
+  std::uint64_t fired_count = 0;
   while (!queue_.empty()) {
     EventQueue::Fired event = queue_.pop();
     BRISA_ASSERT_MSG(event.time >= now_, "event queue went backwards");
     now_ = event.time;
-    event.fn();
-    ++fired;
+    dispatch(event);
+    ++fired_count;
   }
-  events_fired_ += fired;
-  return fired;
+  events_fired_ += fired_count;
+  return fired_count;
 }
 
 void Simulator::clear() {
-  while (!queue_.empty()) queue_.pop();
+  queue_.clear();
+  for (std::uint32_t slot = 0;
+       slot < static_cast<std::uint32_t>(periodics_.size()); ++slot) {
+    if (periodics_[slot].armed) release_periodic(slot);
+  }
+}
+
+Simulator::Stats Simulator::stats() const {
+  Stats s;
+  s.events_fired = events_fired_;
+  s.events_scheduled = queue_.scheduled_total();
+  s.events_cancelled = queue_.cancelled_total();
+  s.callback_heap_fallbacks =
+      InlineCallback::heap_fallbacks() - heap_fallbacks_at_ctor_;
+  s.pending_events = queue_.size();
+  s.event_slab_slots = queue_.slab_capacity();
+  s.peak_pending_events = queue_.peak_pending();
+  s.active_periodics = active_periodics_;
+  return s;
 }
 
 ScopedLogClock::ScopedLogClock(const Simulator& simulator) {

@@ -4,17 +4,33 @@
 // in the paper reproduction depends on. Parallelism in this project lives at
 // the level of independent experiment runs (see workload::Scenario), which is
 // the message-passing-style decomposition appropriate for simulation sweeps.
+//
+// Periodic timers are slab-allocated inside the simulator: each occurrence
+// is a typed tick event (no closure re-captured per tick), and the handle
+// returned by every() is a generation-tagged value — stale handles are
+// harmless, and cancellation is O(1) validation plus one heap removal.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
+#include <vector>
 
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "sim/time.h"
 
 namespace brisa::sim {
+
+/// Generation-tagged handle to a periodic timer (value type; see EventId).
+struct PeriodicId {
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;
+
+  [[nodiscard]] constexpr bool valid() const { return gen != 0; }
+
+  constexpr auto operator<=>(const PeriodicId&) const = default;
+};
+
+inline constexpr PeriodicId kInvalidPeriodicId{};
 
 class Simulator {
  public:
@@ -30,18 +46,37 @@ class Simulator {
   [[nodiscard]] Rng& rng() { return rng_; }
 
   /// Schedules a callback at an absolute virtual time (must be >= now).
-  EventId at(TimePoint when, EventQueue::Callback fn);
+  EventId at(TimePoint when, Callback fn);
 
   /// Schedules a callback `delay` after the current time.
-  EventId after(Duration delay, EventQueue::Callback fn);
+  EventId after(Duration delay, Callback fn);
+
+  /// Gated variants: `gate` is evaluated at fire time and a false result
+  /// skips the callback. Protocol timers use this for "host still alive?"
+  /// without wrapping the closure (see net::Process).
+  EventId at_gated(TimePoint when, GatePredicate gate, const void* ctx,
+                   std::uint32_t arg, Callback fn);
+  EventId after_gated(Duration delay, GatePredicate gate, const void* ctx,
+                      std::uint32_t arg, Callback fn);
+
+  /// Schedules a typed network delivery (see DeliverEvent).
+  EventId at_deliver(TimePoint when, const DeliverEvent& event);
 
   /// Schedules a repeating callback every `period`, first firing at
-  /// now + period. Returns a handle that cancels the *current* pending
-  /// occurrence when passed to `cancel_periodic`.
-  class PeriodicHandle;
-  std::shared_ptr<PeriodicHandle> every(Duration period,
-                                        std::function<void()> fn);
-  static void cancel_periodic(const std::shared_ptr<PeriodicHandle>& handle);
+  /// now + period. The returned handle cancels the whole timer when passed
+  /// to `cancel_periodic` (including from inside the callback itself).
+  PeriodicId every(Duration period, Callback fn);
+
+  /// Gated periodic timer: a failing gate permanently retires the timer
+  /// (a dead host's timers disappear rather than ticking forever).
+  PeriodicId every_gated(Duration period, GatePredicate gate, const void* ctx,
+                         std::uint32_t arg, Callback fn);
+
+  /// Cancels a periodic timer. Stale or invalid handles are a no-op.
+  void cancel_periodic(PeriodicId id);
+
+  /// True while the periodic timer behind `id` is still armed.
+  [[nodiscard]] bool periodic_live(PeriodicId id) const;
 
   void cancel(EventId id) { queue_.cancel(id); }
 
@@ -52,27 +87,60 @@ class Simulator {
   /// Runs until the queue drains completely.
   std::uint64_t run();
 
-  /// Drops every pending event (used between experiment phases).
+  /// Drops every pending event and periodic timer (used between experiment
+  /// phases).
   void clear();
 
   [[nodiscard]] std::uint64_t events_fired() const { return events_fired_; }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
-  /// A periodic timer's shared control block.
-  class PeriodicHandle {
-   public:
-    bool cancelled = false;
-    EventId pending = kInvalidEventId;
+  /// Event-core counters for benchmarks and experiment reports. Cheap to
+  /// collect; all counters are monotone except the instantaneous gauges.
+  struct Stats {
+    std::uint64_t events_fired = 0;
+    std::uint64_t events_scheduled = 0;   ///< monotone across slot reuse
+    std::uint64_t events_cancelled = 0;
+    /// Closures too big to inline since this simulator was constructed
+    /// (delta of the thread-wide InlineCallback counter).
+    std::uint64_t callback_heap_fallbacks = 0;
+    std::size_t pending_events = 0;       ///< gauge
+    std::size_t event_slab_slots = 0;     ///< gauge: peak concurrent footprint
+    std::size_t peak_pending_events = 0;
+    std::size_t active_periodics = 0;     ///< gauge
   };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] const EventQueue& queue() const { return queue_; }
 
  private:
-  void schedule_periodic(Duration period, std::function<void()> fn,
-                         const std::shared_ptr<PeriodicHandle>& handle);
+  static constexpr std::uint32_t kNullIndex = 0xffffffff;
+
+  struct Periodic {
+    Duration period;
+    Callback fn;
+    GatePredicate gate = nullptr;
+    const void* gate_ctx = nullptr;
+    std::uint32_t gate_arg = 0;
+    EventId pending;
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = kNullIndex;
+    bool armed = false;
+  };
+
+  PeriodicId acquire_periodic();
+  void release_periodic(std::uint32_t slot);
+  void fire_periodic(PeriodicTick tick);
+  void dispatch(EventQueue::Fired& fired);
 
   TimePoint now_ = TimePoint::origin();
   EventQueue queue_;
   Rng rng_;
   std::uint64_t events_fired_ = 0;
+  std::uint64_t heap_fallbacks_at_ctor_ = InlineCallback::heap_fallbacks();
+
+  std::vector<Periodic> periodics_;
+  std::uint32_t periodic_free_head_ = kNullIndex;
+  std::size_t active_periodics_ = 0;
 };
 
 /// RAII guard that points the global logger at a simulator's clock.

@@ -120,5 +120,35 @@ TEST(DotExport, HistogramIgnoresUnreachable) {
   EXPECT_EQ(histogram[0], 1u);  // just the root
 }
 
+TEST(Counters, FormatAndJson) {
+  const std::vector<CounterRow> rows{{"events_fired", 42},
+                                     {"messages_created", 7}};
+  EXPECT_EQ(format_counters("run", rows),
+            "# run\nevents_fired      42\nmessages_created  7\n");
+  EXPECT_EQ(counters_json(rows),
+            "{\"events_fired\": 42, \"messages_created\": 7}");
+}
+
+TEST(Counters, SimCounterRowsTrackTheRun) {
+  sim::Simulator simulator(3);
+  simulator.after(sim::Duration::seconds(1), []() {});
+  const sim::EventId cancelled =
+      simulator.after(sim::Duration::seconds(2), []() {});
+  simulator.cancel(cancelled);
+  simulator.run();
+  const std::vector<CounterRow> rows = sim_counter_rows(simulator);
+  const auto value_of = [&rows](const std::string& label) -> std::uint64_t {
+    for (const CounterRow& row : rows) {
+      if (row.label == label) return row.value;
+    }
+    ADD_FAILURE() << "missing counter " << label;
+    return 0;
+  };
+  EXPECT_EQ(value_of("events_fired"), 1u);
+  EXPECT_EQ(value_of("events_scheduled"), 2u);
+  EXPECT_EQ(value_of("events_cancelled"), 1u);
+  EXPECT_EQ(value_of("pending_events"), 0u);
+}
+
 }  // namespace
 }  // namespace brisa::analysis

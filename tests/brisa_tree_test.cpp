@@ -229,7 +229,8 @@ TEST(BrisaTree, StrategyParsing) {
   EXPECT_EQ(parse_strategy("gerontocratic"),
             ParentSelectionStrategy::kGerontocratic);
   EXPECT_EQ(parse_strategy("load"), ParentSelectionStrategy::kLoadBalancing);
-  EXPECT_THROW(parse_strategy("bogus"), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(parse_strategy("bogus")),
+               std::invalid_argument);
   EXPECT_STREQ(to_string(ParentSelectionStrategy::kDelayAware), "delay");
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "membership/hyparview.h"
+#include "net/message_pool.h"
 #include "net/latency.h"
 #include "sim/simulator.h"
 
@@ -223,7 +224,7 @@ TEST(HyParView, AppMessagesReachListener) {
   const net::NodeId b = overlay.node(a).view()[0];
   RecordingListener listener;
   overlay.node(b).set_listener(&listener);
-  EXPECT_TRUE(overlay.node(a).send_app(b, std::make_shared<TestPing>(7),
+  EXPECT_TRUE(overlay.node(a).send_app(b, net::make_message<TestPing>(7),
                                        net::TrafficClass::kData));
   overlay.settle(sim::Duration::seconds(1));
   ASSERT_EQ(listener.messages.size(), 1u);
@@ -236,7 +237,7 @@ TEST(HyParView, SendAppToNonNeighborFails) {
   Overlay overlay(8, {});
   overlay.settle();
   const net::NodeId a = overlay.ids()[0];
-  EXPECT_FALSE(overlay.node(a).send_app(a, std::make_shared<TestPing>(0),
+  EXPECT_FALSE(overlay.node(a).send_app(a, net::make_message<TestPing>(0),
                                         net::TrafficClass::kData));
 }
 

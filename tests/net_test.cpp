@@ -8,6 +8,7 @@
 
 #include "net/latency.h"
 #include "net/message.h"
+#include "net/message_pool.h"
 #include "net/network.h"
 #include "net/transport.h"
 #include "sim/simulator.h"
@@ -126,7 +127,7 @@ TEST_F(NetworkFixture, DatagramDelivery) {
   const NodeId b = network.add_host();
   Collector collector;
   network.bind_datagram_handler(b, &collector);
-  network.send_datagram(a, b, std::make_shared<TestPayload>(100, 1),
+  network.send_datagram(a, b, make_message<TestPayload>(100, 1),
                         TrafficClass::kData);
   simulator.run();
   ASSERT_EQ(collector.received.size(), 1u);
@@ -142,7 +143,7 @@ TEST_F(NetworkFixture, DatagramToDeadHostDropped) {
   Collector collector;
   network.bind_datagram_handler(b, &collector);
   network.kill(b);
-  network.send_datagram(a, b, std::make_shared<TestPayload>(100),
+  network.send_datagram(a, b, make_message<TestPayload>(100),
                         TrafficClass::kData);
   simulator.run();
   EXPECT_TRUE(collector.received.empty());
@@ -153,9 +154,9 @@ TEST_F(NetworkFixture, BandwidthAccounting) {
   const NodeId b = network.add_host();
   Collector collector;
   network.bind_datagram_handler(b, &collector);
-  network.send_datagram(a, b, std::make_shared<TestPayload>(1000),
+  network.send_datagram(a, b, make_message<TestPayload>(1000),
                         TrafficClass::kData);
-  network.send_datagram(a, b, std::make_shared<TestPayload>(50),
+  network.send_datagram(a, b, make_message<TestPayload>(50),
                         TrafficClass::kMembership);
   simulator.run();
   const BandwidthStats& up = network.stats(a);
@@ -194,7 +195,7 @@ TEST(NetworkCpu, ProcessingDelaysDelivery) {
   Collector collector;
   network.bind_datagram_handler(b, &collector);
   sim::TimePoint arrival;
-  network.send_datagram(a, b, std::make_shared<TestPayload>(10),
+  network.send_datagram(a, b, make_message<TestPayload>(10),
                         TrafficClass::kData);
   simulator.run();
   ASSERT_EQ(collector.received.size(), 1u);
@@ -279,7 +280,7 @@ TEST_F(TransportFixture, SendDeliversInOrder) {
   const ConnectionId conn = transport.connect(a, b);
   simulator.run();
   for (int i = 0; i < 20; ++i) {
-    transport.send(conn, a, std::make_shared<TestPayload>(100, i),
+    transport.send(conn, a, make_message<TestPayload>(100, i),
                    TrafficClass::kData);
   }
   simulator.run();
@@ -295,12 +296,12 @@ TEST_F(TransportFixture, SendDeliversInOrder) {
 TEST_F(TransportFixture, SendOnUnestablishedConnectionFails) {
   const ConnectionId conn = transport.connect(a, b);
   // Still connecting (no events processed yet).
-  EXPECT_FALSE(transport.send(conn, a, std::make_shared<TestPayload>(1),
+  EXPECT_FALSE(transport.send(conn, a, make_message<TestPayload>(1),
                               TrafficClass::kData));
   simulator.run();
-  EXPECT_TRUE(transport.send(conn, a, std::make_shared<TestPayload>(1),
+  EXPECT_TRUE(transport.send(conn, a, make_message<TestPayload>(1),
                              TrafficClass::kData));
-  EXPECT_FALSE(transport.send(999, a, std::make_shared<TestPayload>(1),
+  EXPECT_FALSE(transport.send(999, a, make_message<TestPayload>(1),
                               TrafficClass::kData));
 }
 
@@ -320,7 +321,7 @@ TEST_F(TransportFixture, InFlightMessagesSurviveGracefulClose) {
   simulator.run();
   // Send then immediately close: the message was "on the wire" first and
   // must still reach b before the FIN.
-  transport.send(conn, a, std::make_shared<TestPayload>(64, 42),
+  transport.send(conn, a, make_message<TestPayload>(64, 42),
                  TrafficClass::kData);
   transport.close(conn, a);
   simulator.run();
@@ -336,7 +337,7 @@ TEST_F(TransportFixture, InFlightMessagesSurviveGracefulClose) {
 }
 
 TEST_F(TransportFixture, PeerFailureDetected) {
-  const ConnectionId conn = transport.connect(a, b);
+  [[maybe_unused]] const ConnectionId conn = transport.connect(a, b);
   simulator.run();
   const sim::TimePoint killed_at = simulator.now();
   network.kill(b);
@@ -354,7 +355,7 @@ TEST_F(TransportFixture, SendAfterPeerDeathNotDelivered) {
   const ConnectionId conn = transport.connect(a, b);
   simulator.run();
   network.kill(b);
-  transport.send(conn, a, std::make_shared<TestPayload>(10),
+  transport.send(conn, a, make_message<TestPayload>(10),
                  TrafficClass::kData);
   simulator.run();
   EXPECT_EQ(hb.count(RecordingHandler::Event::kMessage), 0u);
@@ -364,7 +365,7 @@ TEST_F(TransportFixture, DeadHostCannotSend) {
   const ConnectionId conn = transport.connect(a, b);
   simulator.run();
   network.kill(a);
-  EXPECT_FALSE(transport.send(conn, a, std::make_shared<TestPayload>(10),
+  EXPECT_FALSE(transport.send(conn, a, make_message<TestPayload>(10),
                               TrafficClass::kData));
 }
 

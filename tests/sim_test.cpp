@@ -136,7 +136,7 @@ TEST(EventQueue, FifoWithinSameInstant) {
   queue.schedule(t, [&]() { order.push_back(1); });
   queue.schedule(t, [&]() { order.push_back(2); });
   queue.schedule(t, [&]() { order.push_back(3); });
-  while (!queue.empty()) queue.pop().fn();
+  while (!queue.empty()) queue.pop().run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
@@ -146,7 +146,7 @@ TEST(EventQueue, TimeOrdering) {
   queue.schedule(TimePoint::from_us(300), [&]() { order.push_back(3); });
   queue.schedule(TimePoint::from_us(100), [&]() { order.push_back(1); });
   queue.schedule(TimePoint::from_us(200), [&]() { order.push_back(2); });
-  while (!queue.empty()) queue.pop().fn();
+  while (!queue.empty()) queue.pop().run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
@@ -158,14 +158,14 @@ TEST(EventQueue, CancelPreventsExecution) {
   queue.schedule(TimePoint::from_us(20), []() {});
   queue.cancel(id);
   EXPECT_EQ(queue.size(), 1u);
-  while (!queue.empty()) queue.pop().fn();
+  while (!queue.empty()) queue.pop().run();
   EXPECT_FALSE(fired);
 }
 
 TEST(EventQueue, CancelUnknownIdIsNoop) {
   EventQueue queue;
-  queue.cancel(12345);
-  queue.cancel(kInvalidEventId);
+  EXPECT_FALSE(queue.cancel(EventId{12345, 7}));
+  EXPECT_FALSE(queue.cancel(kInvalidEventId));
   EXPECT_TRUE(queue.empty());
 }
 
@@ -216,20 +216,24 @@ TEST(Simulator, EventsCanScheduleEvents) {
 TEST(Simulator, PeriodicFiresUntilCancelled) {
   Simulator simulator(1);
   int count = 0;
-  auto handle = simulator.every(Duration::seconds(1), [&]() { ++count; });
+  const PeriodicId handle =
+      simulator.every(Duration::seconds(1), [&]() { ++count; });
+  EXPECT_TRUE(simulator.periodic_live(handle));
   simulator.run_until(TimePoint::origin() + Duration::seconds(10));
   EXPECT_EQ(count, 10);
-  Simulator::cancel_periodic(handle);
+  simulator.cancel_periodic(handle);
+  EXPECT_FALSE(simulator.periodic_live(handle));
   simulator.run_until(TimePoint::origin() + Duration::seconds(20));
   EXPECT_EQ(count, 10);
+  simulator.cancel_periodic(handle);  // double cancel is a no-op
 }
 
 TEST(Simulator, CancelPeriodicFromInsideCallback) {
   Simulator simulator(1);
   int count = 0;
-  std::shared_ptr<Simulator::PeriodicHandle> handle;
+  PeriodicId handle;
   handle = simulator.every(Duration::seconds(1), [&]() {
-    if (++count == 3) Simulator::cancel_periodic(handle);
+    if (++count == 3) simulator.cancel_periodic(handle);
   });
   simulator.run_until(TimePoint::origin() + Duration::seconds(10));
   EXPECT_EQ(count, 3);
@@ -241,6 +245,25 @@ TEST(Simulator, SchedulingInPastAborts) {
   simulator.run();
   EXPECT_DEATH(simulator.at(TimePoint::from_us(1), []() {}),
                "cannot schedule events in the past");
+}
+
+TEST(EventQueue, ScheduledTotalMonotoneAcrossSlotReuse) {
+  EventQueue queue;
+  EXPECT_EQ(queue.scheduled_total(), 0u);
+  // Schedule/cancel churn reuses the same slot over and over; the monotone
+  // counter must keep counting schedules, not live slots.
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const EventId id = queue.schedule(TimePoint::from_us(10), []() {});
+    EXPECT_EQ(queue.scheduled_total(), i + 1);
+    queue.cancel(id);
+    EXPECT_EQ(queue.scheduled_total(), i + 1);
+  }
+  EXPECT_EQ(queue.cancelled_total(), 100u);
+  EXPECT_TRUE(queue.empty());
+  // Firing also leaves the counter monotone.
+  queue.schedule(TimePoint::from_us(20), []() {});
+  queue.pop().run();
+  EXPECT_EQ(queue.scheduled_total(), 101u);
 }
 
 TEST(Simulator, DeterministicEventCountAcrossRuns) {

@@ -29,9 +29,12 @@ TEST(BloomSizing, SmallerFalsePositiveNeedsMoreBits) {
 }
 
 TEST(BloomSizing, RejectsDegenerateInputs) {
-  EXPECT_DEATH(optimal_bloom_sizing(0, 0.01), "at least one element");
-  EXPECT_DEATH(optimal_bloom_sizing(10, 0.0), "in \\(0,1\\)");
-  EXPECT_DEATH(optimal_bloom_sizing(10, 1.0), "in \\(0,1\\)");
+  EXPECT_DEATH(static_cast<void>(optimal_bloom_sizing(0, 0.01)),
+               "at least one element");
+  EXPECT_DEATH(static_cast<void>(optimal_bloom_sizing(10, 0.0)),
+               "in \\(0,1\\)");
+  EXPECT_DEATH(static_cast<void>(optimal_bloom_sizing(10, 1.0)),
+               "in \\(0,1\\)");
 }
 
 TEST(BloomFilter, NoFalseNegatives) {
@@ -124,7 +127,8 @@ TEST(Flags, HelpRequested) {
 TEST(Flags, BadBooleanThrows) {
   const char* argv[] = {"prog", "--flag=maybe"};
   const Flags flags = Flags::parse(2, argv);
-  EXPECT_THROW(flags.get_bool("flag", false), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(flags.get_bool("flag", false)),
+               std::invalid_argument);
 }
 
 TEST(Logging, LevelsGate) {
