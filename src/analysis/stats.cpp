@@ -5,6 +5,8 @@
 #include <limits>
 #include <sstream>
 
+#include "net/network.h"
+
 namespace brisa::analysis {
 
 std::vector<CdfPoint> make_cdf(std::vector<double> samples) {
@@ -99,6 +101,36 @@ std::vector<CounterRow> sim_counter_rows(
       {"messages_created", pool.messages_created()},
       {"message_blocks_allocated", pool.allocated},
       {"message_blocks_reused", pool.reused},
+  };
+}
+
+std::vector<CounterRow> fault_counter_rows(const net::Network& network) {
+  const net::Network::FaultTotals& totals = network.fault_totals();
+  std::array<std::uint64_t, net::kTrafficClassCount> dropped{};
+  std::array<std::uint64_t, net::kTrafficClassCount> blackholed{};
+  for (std::size_t i = 0; i < network.host_count(); ++i) {
+    const net::BandwidthStats& stats =
+        network.stats(net::NodeId(static_cast<std::uint32_t>(i)));
+    for (std::size_t tc = 0; tc < net::kTrafficClassCount; ++tc) {
+      dropped[tc] += stats.dropped_messages[tc];
+      blackholed[tc] += stats.blackholed_messages[tc];
+    }
+  }
+  return {
+      {"datagrams_dropped", totals.datagrams_dropped},
+      {"datagrams_blackholed", totals.datagrams_blackholed},
+      {"segments_dropped", totals.segments_dropped},
+      {"segments_blackholed", totals.segments_blackholed},
+      {"retransmissions", totals.retransmissions},
+      {"rx_suppressed", totals.rx_suppressed},
+      {"suspends", totals.suspends},
+      {"resumes", totals.resumes},
+      {"dropped_membership", dropped[0]},
+      {"dropped_control", dropped[1]},
+      {"dropped_data", dropped[2]},
+      {"blackholed_membership", blackholed[0]},
+      {"blackholed_control", blackholed[1]},
+      {"blackholed_data", blackholed[2]},
   };
 }
 

@@ -11,6 +11,10 @@
 #include "net/message_pool.h"
 #include "sim/simulator.h"
 
+namespace brisa::net {
+class Network;
+}  // namespace brisa::net
+
 namespace brisa::analysis {
 
 /// One point of an empirical CDF: `percent` % of samples are <= `value`.
@@ -77,5 +81,12 @@ struct CounterRow {
 /// Renders counters as a single-line JSON object (machine-readable
 /// perf-trajectory records).
 [[nodiscard]] std::string counters_json(const std::vector<CounterRow>& rows);
+
+/// Fault-layer counters for a finished run: network-wide totals (datagram
+/// and segment drops/blackholes, retransmissions, suppressed receives,
+/// suspend/resume events) plus per-traffic-class sums across all hosts.
+/// All-zero rows when no fault plan was installed.
+[[nodiscard]] std::vector<CounterRow> fault_counter_rows(
+    const net::Network& network);
 
 }  // namespace brisa::analysis

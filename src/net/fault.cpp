@@ -1,0 +1,92 @@
+#include "net/fault.h"
+
+#include "util/assert.h"
+
+namespace brisa::net {
+
+void FaultPlan::add_loss(LossRule rule) {
+  BRISA_ASSERT(rule.probability >= 0.0 && rule.probability <= 1.0);
+  BRISA_ASSERT(rule.from <= rule.to);
+  losses_.push_back(rule);
+}
+
+void FaultPlan::add_partition(PartitionRule rule) {
+  BRISA_ASSERT(rule.from <= rule.to);
+  partitions_.push_back(rule);
+}
+
+void FaultPlan::add_slow(SlowRule rule) {
+  BRISA_ASSERT(rule.factor >= 1.0);
+  BRISA_ASSERT(rule.from <= rule.to);
+  slows_.push_back(rule);
+}
+
+void FaultPlan::add_crash(CrashRule rule) {
+  BRISA_ASSERT(rule.count > 0);
+  BRISA_ASSERT(rule.duration > sim::Duration::zero());
+  crashes_.push_back(rule);
+}
+
+bool FaultPlan::matches(const NodeGroup& a, const NodeGroup& b, NodeId from,
+                        NodeId to) {
+  return (a.contains(from) && b.contains(to)) ||
+         (a.contains(to) && b.contains(from));
+}
+
+bool FaultPlan::active(sim::TimePoint from, sim::TimePoint to,
+                       sim::TimePoint now) {
+  return from <= now && now < to;
+}
+
+bool FaultPlan::partitioned(sim::TimePoint now, NodeId from, NodeId to) const {
+  for (const PartitionRule& rule : partitions_) {
+    if (active(rule.from, rule.to, now) && matches(rule.a, rule.b, from, to)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+LinkVerdict FaultPlan::link_verdict(sim::TimePoint now, NodeId from, NodeId to,
+                                    sim::Rng& rng) const {
+  if (partitioned(now, from, to)) return LinkVerdict::kBlackhole;
+  for (const LossRule& rule : losses_) {
+    if (!active(rule.from, rule.to, now)) continue;
+    if (!matches(rule.a, rule.b, from, to)) continue;
+    if (rng.bernoulli(rule.probability)) return LinkVerdict::kDrop;
+  }
+  return LinkVerdict::kDeliver;
+}
+
+double FaultPlan::latency_factor(sim::TimePoint now, NodeId from,
+                                 NodeId to) const {
+  double factor = 1.0;
+  for (const SlowRule& rule : slows_) {
+    if (active(rule.from, rule.to, now) && matches(rule.a, rule.b, from, to)) {
+      factor *= rule.factor;
+    }
+  }
+  return factor;
+}
+
+FaultPlan FaultPlan::shifted(sim::Duration offset) const {
+  FaultPlan out = *this;
+  for (LossRule& rule : out.losses_) {
+    rule.from = rule.from + offset;
+    rule.to = rule.to + offset;
+  }
+  for (PartitionRule& rule : out.partitions_) {
+    rule.from = rule.from + offset;
+    rule.to = rule.to + offset;
+  }
+  for (SlowRule& rule : out.slows_) {
+    rule.from = rule.from + offset;
+    rule.to = rule.to + offset;
+  }
+  for (CrashRule& rule : out.crashes_) {
+    rule.at = rule.at + offset;
+  }
+  return out;
+}
+
+}  // namespace brisa::net

@@ -1,0 +1,166 @@
+// Deterministic fault injection: a seed-reproducible schedule of network
+// fault directives, interpreted by Network (datagram path) and Transport
+// (segment path, connection breakage).
+//
+// A FaultPlan is a passive rule table — it never schedules events itself.
+// The Network consults it on every send while one is installed; with no plan
+// installed the hot path pays exactly one null check. Directives:
+//
+//   * loss: per-link drop probability inside a time window, optionally
+//     restricted to links between two node groups. Datagrams are dropped;
+//     reliable transport masks the loss as retransmission delay (and pays
+//     the retransmitted bytes), like TCP.
+//   * partition: a bidirectional blackhole between two groups for a window.
+//     Datagrams vanish; transport segments crossing the cut break their
+//     connection (both ends see kPeerFailure after their failure-detection
+//     delay, modeling RST / flow-control timeout).
+//   * slow: multiplies sampled link latency inside a window (congestion or
+//     rerouting spikes).
+//   * crash: interpreted by the workload layer (workload::ChurnDriver picks
+//     victims and calls Network::suspend/resume); carried here so one plan
+//     describes the whole scenario.
+//
+// Windows are half-open [from, to): a directive applies at `from` and stops
+// applying at `to`. Group matching is symmetric — rule (a, b) covers x->y
+// when x∈a, y∈b or x∈b, y∈a — so partitions are bidirectional by
+// construction.
+//
+// Determinism: loss decisions consume the Network's dedicated fault RNG
+// stream in send order, which the simulator makes deterministic; identical
+// seed + plan reproduces identical drops.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/node_id.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace brisa::net {
+
+/// Inclusive node-index interval; the default matches every node.
+struct NodeGroup {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0xffffffff;
+
+  [[nodiscard]] static constexpr NodeGroup all() { return NodeGroup{}; }
+  [[nodiscard]] static constexpr NodeGroup single(std::uint32_t index) {
+    return NodeGroup{index, index};
+  }
+  [[nodiscard]] static constexpr NodeGroup range(std::uint32_t lo,
+                                                 std::uint32_t hi) {
+    return NodeGroup{lo, hi};
+  }
+
+  [[nodiscard]] constexpr bool contains(NodeId node) const {
+    return node.index() >= lo && node.index() <= hi;
+  }
+  [[nodiscard]] constexpr bool is_all() const {
+    return lo == 0 && hi == 0xffffffff;
+  }
+
+  constexpr auto operator<=>(const NodeGroup&) const = default;
+};
+
+struct LossRule {
+  sim::TimePoint from;
+  sim::TimePoint to;
+  double probability = 0.0;  ///< per-message drop probability in [0, 1]
+  NodeGroup a = NodeGroup::all();
+  NodeGroup b = NodeGroup::all();
+
+  auto operator<=>(const LossRule&) const = default;
+};
+
+struct PartitionRule {
+  sim::TimePoint from;
+  sim::TimePoint to;
+  NodeGroup a;
+  NodeGroup b;
+
+  auto operator<=>(const PartitionRule&) const = default;
+};
+
+struct SlowRule {
+  sim::TimePoint from;
+  sim::TimePoint to;
+  double factor = 1.0;  ///< latency multiplier, >= 1
+  NodeGroup a = NodeGroup::all();
+  NodeGroup b = NodeGroup::all();
+
+  auto operator<=>(const SlowRule&) const = default;
+};
+
+/// Fail-recover crash of `count` random alive nodes for `duration`. Not
+/// interpreted by the Network (it has no victim-selection policy); the
+/// workload driver schedules suspend/resume from it.
+struct CrashRule {
+  sim::TimePoint at;
+  std::size_t count = 0;
+  sim::Duration duration;
+
+  auto operator<=>(const CrashRule&) const = default;
+};
+
+/// What the fault layer says about one message crossing one link now.
+enum class LinkVerdict : std::uint8_t {
+  kDeliver,    ///< unaffected
+  kDrop,       ///< probabilistic loss hit this message
+  kBlackhole,  ///< link is partitioned: nothing crosses
+};
+
+class FaultPlan {
+ public:
+  void add_loss(LossRule rule);
+  void add_partition(PartitionRule rule);
+  void add_slow(SlowRule rule);
+  void add_crash(CrashRule rule);
+
+  [[nodiscard]] bool empty() const {
+    return losses_.empty() && partitions_.empty() && slows_.empty() &&
+           crashes_.empty();
+  }
+
+  /// True when a partition window covering `now` separates the two nodes.
+  [[nodiscard]] bool partitioned(sim::TimePoint now, NodeId from,
+                                 NodeId to) const;
+
+  /// Rolls the loss dice for one message on `from`->`to`. Partition rules
+  /// win over loss rules; overlapping loss rules each roll independently.
+  /// Consumes `rng` only for loss rules active on this link right now.
+  [[nodiscard]] LinkVerdict link_verdict(sim::TimePoint now, NodeId from,
+                                         NodeId to, sim::Rng& rng) const;
+
+  /// Product of every active slow rule's factor on this link (1.0 when none).
+  [[nodiscard]] double latency_factor(sim::TimePoint now, NodeId from,
+                                      NodeId to) const;
+
+  /// Shifts every rule's times by `offset` (scripts are written relative to
+  /// the experiment start; the driver rebases them onto the arm instant).
+  [[nodiscard]] FaultPlan shifted(sim::Duration offset) const;
+
+  [[nodiscard]] const std::vector<LossRule>& losses() const { return losses_; }
+  [[nodiscard]] const std::vector<PartitionRule>& partitions() const {
+    return partitions_;
+  }
+  [[nodiscard]] const std::vector<SlowRule>& slows() const { return slows_; }
+  [[nodiscard]] const std::vector<CrashRule>& crashes() const {
+    return crashes_;
+  }
+
+  bool operator==(const FaultPlan&) const = default;
+
+ private:
+  static bool matches(const NodeGroup& a, const NodeGroup& b, NodeId from,
+                      NodeId to);
+  static bool active(sim::TimePoint from, sim::TimePoint to,
+                     sim::TimePoint now);
+
+  std::vector<LossRule> losses_;
+  std::vector<PartitionRule> partitions_;
+  std::vector<SlowRule> slows_;
+  std::vector<CrashRule> crashes_;
+};
+
+}  // namespace brisa::net

@@ -66,6 +66,10 @@ void Network::kill(NodeId node) {
   Host& h = host(node);
   if (!h.alive) return;
   h.alive = false;
+  if (h.is_suspended) {
+    h.is_suspended = false;
+    --suspended_count_;
+  }
   --alive_count_;
   BRISA_DEBUG("net") << node << " killed";
   for (DeathListener* listener : death_listeners_) {
@@ -73,9 +77,79 @@ void Network::kill(NodeId node) {
   }
 }
 
+void Network::suspend(NodeId node) {
+  Host& h = host(node);
+  if (!h.alive || h.is_suspended) return;
+  h.is_suspended = true;
+  ++suspended_count_;
+  ++fault_totals_.suspends;
+  BRISA_DEBUG("net") << node << " suspended";
+  for (DeathListener* listener : death_listeners_) {
+    listener->on_host_suspended(node);
+  }
+}
+
+void Network::resume(NodeId node) {
+  Host& h = host(node);
+  if (!h.alive || !h.is_suspended) return;
+  h.is_suspended = false;
+  --suspended_count_;
+  ++fault_totals_.resumes;
+  BRISA_DEBUG("net") << node << " resumed";
+  for (DeathListener* listener : death_listeners_) {
+    listener->on_host_resumed(node);
+  }
+}
+
+bool Network::suspended(NodeId node) const {
+  if (!node.valid() || node.index() >= hosts_.size()) return false;
+  return hosts_[node.index()].is_suspended;
+}
+
+bool Network::responsive(NodeId node) const {
+  if (!node.valid() || node.index() >= hosts_.size()) return false;
+  const Host& h = hosts_[node.index()];
+  return h.alive && !h.is_suspended;
+}
+
 bool Network::alive(NodeId node) const {
   if (!node.valid() || node.index() >= hosts_.size()) return false;
   return hosts_[node.index()].alive;
+}
+
+void Network::install_fault_plan(const FaultPlan* plan) {
+  fault_plan_ = plan;
+  if (plan != nullptr) fault_rng_ = rng_.split(0xFA017);
+}
+
+LinkVerdict Network::fault_verdict(NodeId from, NodeId to) {
+  if (fault_plan_ == nullptr) return LinkVerdict::kDeliver;
+  return fault_plan_->link_verdict(simulator_.now(), from, to, fault_rng_);
+}
+
+sim::Duration Network::fault_adjust(NodeId from, NodeId to,
+                                    sim::Duration flight) const {
+  if (fault_plan_ == nullptr) return flight;
+  const double factor =
+      fault_plan_->latency_factor(simulator_.now(), from, to);
+  if (factor == 1.0) return flight;
+  return sim::Duration::microseconds(
+      static_cast<std::int64_t>(static_cast<double>(flight.us()) * factor));
+}
+
+void Network::note_fault(NodeId at, TrafficClass traffic_class,
+                         LinkVerdict verdict, bool datagram) {
+  const auto tc = static_cast<std::size_t>(traffic_class);
+  Host& h = host(at);
+  if (verdict == LinkVerdict::kDrop) {
+    h.stats.dropped_messages[tc] += 1;
+    ++(datagram ? fault_totals_.datagrams_dropped
+                : fault_totals_.segments_dropped);
+  } else if (verdict == LinkVerdict::kBlackhole) {
+    h.stats.blackholed_messages[tc] += 1;
+    ++(datagram ? fault_totals_.datagrams_blackholed
+                : fault_totals_.segments_blackholed);
+  }
 }
 
 std::vector<NodeId> Network::alive_hosts() const {
@@ -95,9 +169,24 @@ void Network::send_datagram(NodeId from, NodeId to, MessagePtr message,
                             TrafficClass traffic_class) {
   BRISA_ASSERT(message != nullptr);
   if (!alive(from)) return;
+  if (suspended_count_ > 0 && host(from).is_suspended) [[unlikely]] {
+    // Frozen host: timer-driven sends go nowhere, without NIC charge.
+    note_fault(from, traffic_class, LinkVerdict::kBlackhole, /*datagram=*/true);
+    return;
+  }
   const std::size_t wire_bytes = message->wire_size();
   const sim::TimePoint serialized = nic_send(from, wire_bytes, traffic_class);
-  const sim::Duration flight = latency_->sample(from, to, rng_);
+  sim::Duration flight = latency_->sample(from, to, rng_);
+  if (fault_plan_ != nullptr) [[unlikely]] {
+    // The packet left the sender (NIC charged above); loss happens in the
+    // network.
+    const LinkVerdict verdict = fault_verdict(from, to);
+    if (verdict != LinkVerdict::kDeliver) {
+      note_fault(from, traffic_class, verdict, /*datagram=*/true);
+      return;
+    }
+    flight = fault_adjust(from, to, flight);
+  }
   const sim::TimePoint arrival = serialized + flight;
   sim::DeliverEvent event;
   event.sink = this;
@@ -118,6 +207,10 @@ void Network::on_deliver(const sim::DeliverEvent& event) {
   const NodeId to(event.to);
   if (!alive(to)) return;
   Host& h = host(to);
+  if (h.is_suspended) [[unlikely]] {
+    ++fault_totals_.rx_suppressed;
+    return;
+  }
   if (h.datagram_handler == nullptr) return;
   if (event.tag == kDatagramArrival) {
     charge_receive(to, event.bytes, static_cast<TrafficClass>(event.tclass));

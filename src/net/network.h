@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/fault.h"
 #include "net/latency.h"
 #include "net/message.h"
 #include "net/node_id.h"
@@ -29,6 +30,10 @@ struct BandwidthStats {
   std::array<std::uint64_t, kTrafficClassCount> down_bytes{};
   std::array<std::uint64_t, kTrafficClassCount> up_messages{};
   std::array<std::uint64_t, kTrafficClassCount> down_messages{};
+  /// Outbound messages eaten by the fault layer at this host: probabilistic
+  /// loss (`dropped`) vs partition/crash suppression (`blackholed`).
+  std::array<std::uint64_t, kTrafficClassCount> dropped_messages{};
+  std::array<std::uint64_t, kTrafficClassCount> blackholed_messages{};
 
   [[nodiscard]] std::uint64_t total_up_bytes() const {
     std::uint64_t total = 0;
@@ -40,7 +45,19 @@ struct BandwidthStats {
     for (auto b : down_bytes) total += b;
     return total;
   }
+  [[nodiscard]] std::uint64_t total_dropped() const {
+    std::uint64_t total = 0;
+    for (auto m : dropped_messages) total += m;
+    return total;
+  }
+  [[nodiscard]] std::uint64_t total_blackholed() const {
+    std::uint64_t total = 0;
+    for (auto m : blackholed_messages) total += m;
+    return total;
+  }
   void reset() { *this = BandwidthStats{}; }
+
+  bool operator==(const BandwidthStats&) const = default;
 };
 
 /// The simulated network. Datagram deliveries are typed DeliverEvents (no
@@ -65,6 +82,9 @@ class Network : public sim::DeliverEvent::Sink {
     /// `failure_detect_base` + Exp(`failure_detect_jitter`).
     sim::Duration failure_detect_base = sim::Duration::milliseconds(200);
     sim::Duration failure_detect_jitter = sim::Duration::milliseconds(100);
+    /// Transport retransmission timeout: each loss-rule hit on a reliable
+    /// segment delays it by one RTO (and re-charges the sender's NIC).
+    sim::Duration retransmit_timeout = sim::Duration::milliseconds(200);
   };
 
   /// Presets matching the two testbeds of §III.
@@ -87,6 +107,17 @@ class Network : public sim::DeliverEvent::Sink {
   /// learn through transport failure detection.
   void kill(NodeId node);
 
+  /// Fail-recover crash: the host freezes — it neither sends nor receives —
+  /// but keeps its protocol state and identity; resume() brings it back.
+  /// Distinct from kill(): a suspended host stays alive() (its timers keep
+  /// firing into a blocked network, like a machine with its NIC down) but is
+  /// not responsive(). No-op on dead or already-suspended hosts.
+  void suspend(NodeId node);
+  void resume(NodeId node);
+  [[nodiscard]] bool suspended(NodeId node) const;
+  /// alive and not suspended: can currently send and receive.
+  [[nodiscard]] bool responsive(NodeId node) const;
+
   [[nodiscard]] bool alive(NodeId node) const;
   [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
   [[nodiscard]] std::size_t alive_count() const { return alive_count_; }
@@ -96,10 +127,55 @@ class Network : public sim::DeliverEvent::Sink {
    public:
     virtual ~DeathListener() = default;
     virtual void on_host_killed(NodeId node) = 0;
+    /// Fail-recover events from the fault layer; default no-ops keep
+    /// kill-only listeners unchanged.
+    virtual void on_host_suspended(NodeId /*node*/) {}
+    virtual void on_host_resumed(NodeId /*node*/) {}
   };
   void add_death_listener(DeathListener* listener) {
     death_listeners_.push_back(listener);
   }
+
+  // --- Fault injection ------------------------------------------------------
+
+  /// Installs a fault plan (non-owning; nullptr uninstalls). While installed,
+  /// every datagram and transport segment consults it; without one the send
+  /// path pays a single null check. Installing seeds the dedicated fault RNG
+  /// stream, so un-faulted runs reproduce pre-fault-layer behavior exactly.
+  void install_fault_plan(const FaultPlan* plan);
+  [[nodiscard]] const FaultPlan* fault_plan() const { return fault_plan_; }
+
+  /// Fault decision for one message crossing `from`->`to` now (kDeliver when
+  /// no plan is installed). Consumes the fault RNG for active loss rules.
+  [[nodiscard]] LinkVerdict fault_verdict(NodeId from, NodeId to);
+
+  /// Applies active slow rules to a sampled flight latency.
+  [[nodiscard]] sim::Duration fault_adjust(NodeId from, NodeId to,
+                                           sim::Duration flight) const;
+
+  /// Accounting for a message the fault layer ate at `at` (sender side).
+  /// `datagram` splits the network-wide totals by path.
+  void note_fault(NodeId at, TrafficClass traffic_class, LinkVerdict verdict,
+                  bool datagram);
+
+  /// Network-wide fault counters (tests, analysis reports).
+  struct FaultTotals {
+    std::uint64_t datagrams_dropped = 0;
+    std::uint64_t datagrams_blackholed = 0;
+    std::uint64_t segments_dropped = 0;  ///< masked as retransmission delay
+    std::uint64_t segments_blackholed = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t rx_suppressed = 0;  ///< arrivals at suspended hosts
+    std::uint64_t suspends = 0;
+    std::uint64_t resumes = 0;
+
+    bool operator==(const FaultTotals&) const = default;
+  };
+  [[nodiscard]] const FaultTotals& fault_totals() const {
+    return fault_totals_;
+  }
+  void note_retransmission() { ++fault_totals_.retransmissions; }
+  void note_rx_suppressed() { ++fault_totals_.rx_suppressed; }
 
   // --- Datagrams ----------------------------------------------------------
 
@@ -161,6 +237,7 @@ class Network : public sim::DeliverEvent::Sink {
 
   struct Host {
     bool alive = true;
+    bool is_suspended = false;
     sim::TimePoint nic_free_at = sim::TimePoint::origin();
     sim::TimePoint cpu_free_at = sim::TimePoint::origin();
     double cpu_cost_factor = 1.0;
@@ -175,8 +252,14 @@ class Network : public sim::DeliverEvent::Sink {
   std::unique_ptr<LatencyModel> latency_;
   Config config_;
   sim::Rng rng_;
+  /// Seeded from rng_ at install_fault_plan time: faults get their own
+  /// stream, and runs without a plan never touch it.
+  sim::Rng fault_rng_{0};
+  const FaultPlan* fault_plan_ = nullptr;
+  FaultTotals fault_totals_;
   std::vector<Host> hosts_;
   std::size_t alive_count_ = 0;
+  std::size_t suspended_count_ = 0;
   std::vector<DeathListener*> death_listeners_;
   std::uint64_t messages_sent_ = 0;
 };

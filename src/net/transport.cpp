@@ -1,5 +1,7 @@
 #include "net/transport.h"
 
+#include <algorithm>
+
 #include "util/assert.h"
 #include "util/logging.h"
 
@@ -35,7 +37,26 @@ TransportHandler* Transport::handler_of(NodeId node) {
 ConnectionId Transport::connect(NodeId from, NodeId to) {
   BRISA_ASSERT_MSG(from != to, "self-connection");
   BRISA_ASSERT_MSG(network_.alive(from), "dead host calling connect");
+  if (network_.suspended(from)) {
+    // Frozen initiator: the SYN never leaves; resolve as a refusal once the
+    // host wakes. No connection record is needed — the id is never live.
+    const ConnectionId conn = next_id_++;
+    network_.note_fault(from, TrafficClass::kMembership,
+                        LinkVerdict::kBlackhole, /*datagram=*/false);
+    notify_endpoint_failure(conn, from, to, CloseReason::kRefused);
+    return conn;
+  }
   const ConnectionId conn = next_id_++;
+
+  // SYN: from -> to, subject to the fault layer.
+  const std::optional<sim::TimePoint> syn_arrival = transmit_segment(
+      from, to, kControlSegmentBytes, TrafficClass::kMembership);
+  if (!syn_arrival) {
+    // Partitioned link: SYN vanishes, initiator times out.
+    notify_endpoint_failure(conn, from, to, CloseReason::kRefused);
+    return conn;
+  }
+
   connections_.emplace(conn, Connection{from, to, State::kConnecting,
                                         sim::TimePoint::origin(),
                                         sim::TimePoint::origin()});
@@ -43,30 +64,16 @@ ConnectionId Transport::connect(NodeId from, NodeId to) {
   by_host_[to.index()].insert(conn);
 
   sim::Simulator& simulator = network_.simulator();
-  // SYN: from -> to.
-  const sim::TimePoint syn_done =
-      network_.nic_send(from, kControlSegmentBytes, TrafficClass::kMembership);
-  const sim::TimePoint syn_arrival =
-      syn_done + network_.latency().sample(from, to, simulator.rng());
-  simulator.at(syn_arrival, [this, conn, from, to]() {
+  simulator.at(*syn_arrival, [this, conn, from, to]() {
     Connection* c = find(conn);
     if (c == nullptr || c->state == State::kClosed) return;
     sim::Simulator& sim2 = network_.simulator();
-    if (!network_.alive(to)) {
-      // Dead acceptor: initiator sees a refusal after its detection delay.
-      const sim::Duration detect = network_.sample_failure_detect_delay();
-      sim2.after(detect, [this, conn, from]() {
-        Connection* c2 = find(conn);
-        if (c2 == nullptr || c2->state == State::kClosed) return;
-        const NodeId acceptor = c2->acceptor;
-        mark_closed(conn);
-        if (network_.alive(from)) {
-          if (TransportHandler* h = handler_of(from)) {
-            h->on_connection_down(conn, acceptor, CloseReason::kRefused);
-          }
-        }
-        connections_.erase(conn);
-      });
+    if (!network_.responsive(to)) {
+      // Dead or frozen acceptor: initiator sees a refusal after its
+      // detection delay.
+      mark_closed(conn);
+      connections_.erase(conn);
+      notify_endpoint_failure(conn, from, to, CloseReason::kRefused);
       return;
     }
     network_.charge_receive(to, kControlSegmentBytes,
@@ -79,15 +86,19 @@ ConnectionId Transport::connect(NodeId from, NodeId to) {
     // SYN-ACK: to -> from.
     Connection* c_after = find(conn);
     if (c_after == nullptr || c_after->state == State::kClosed) return;
-    if (!network_.alive(to)) return;  // acceptor died inside the callback
-    const sim::TimePoint ack_done = network_.nic_send(
-        to, kControlSegmentBytes, TrafficClass::kMembership);
-    const sim::TimePoint ack_arrival =
-        ack_done + network_.latency().sample(to, from, sim2.rng());
-    sim2.at(ack_arrival, [this, conn, from, to]() {
+    if (!network_.responsive(to)) return;  // acceptor died inside the callback
+    const std::optional<sim::TimePoint> ack_arrival = transmit_segment(
+        to, from, kControlSegmentBytes, TrafficClass::kMembership);
+    if (!ack_arrival) {
+      // SYN-ACK lost to a partition: the half-open connection breaks — the
+      // acceptor (already up) sees a failure, the initiator a failed dial.
+      break_connection(conn);
+      return;
+    }
+    sim2.at(*ack_arrival, [this, conn, from, to]() {
       Connection* c2 = find(conn);
       if (c2 == nullptr || c2->state != State::kEstablished) return;
-      if (!network_.alive(from)) return;  // initiator died meanwhile
+      if (!network_.responsive(from)) return;  // initiator died meanwhile
       network_.charge_receive(from, kControlSegmentBytes,
                               TrafficClass::kMembership);
       if (TransportHandler* h = handler_of(from)) {
@@ -104,24 +115,39 @@ void Transport::close(ConnectionId conn, NodeId closer) {
   const NodeId peer = peer_of(conn, closer);
   // FIN: closer -> peer. Must not overtake data already in flight on this
   // direction, so it shares the per-direction FIFO clamp with send().
-  if (!network_.alive(closer)) {
+  if (!network_.responsive(closer)) {
     mark_closed(conn);
     return;
   }
-  const sim::TimePoint fin_done =
-      network_.nic_send(closer, kControlSegmentBytes,
-                        TrafficClass::kMembership);
-  sim::TimePoint fin_arrival =
-      fin_done +
-      network_.latency().sample(closer, peer, network_.simulator().rng());
+  const std::optional<sim::TimePoint> fin_sent = transmit_segment(
+      closer, peer, kControlSegmentBytes, TrafficClass::kMembership);
+  if (!fin_sent) {
+    // FIN vanished into the partition: the peer sees a failure after its
+    // detection delay (RST-on-timeout) instead of a graceful close; the
+    // closer needs no callback (it already knows).
+    sever(conn, /*notify_initiator=*/peer == c->initiator,
+          /*notify_acceptor=*/peer == c->acceptor);
+    return;
+  }
+  sim::TimePoint fin_arrival = *fin_sent;
   sim::TimePoint& last = (peer == c->initiator)
                              ? c->last_delivery_to_initiator
                              : c->last_delivery_to_acceptor;
   if (fin_arrival <= last) fin_arrival = last + sim::Duration::microseconds(1);
   last = fin_arrival;
   mark_closed(conn);
-  network_.simulator().at(fin_arrival, [this, conn, peer]() {
+  network_.simulator().at(fin_arrival, [this, conn, peer, closer]() {
     if (!network_.alive(peer)) return;
+    if (network_.suspended(peer)) {
+      // Frozen receiver: the FIN is lost, but the close still happened —
+      // queue the notice so the peer learns at resume, and release the
+      // record now.
+      network_.note_rx_suppressed();
+      pending_resume_notices_[peer.index()].push_back(
+          {conn, closer, CloseReason::kRemoteClose});
+      connections_.erase(conn);
+      return;
+    }
     network_.charge_receive(peer, kControlSegmentBytes,
                             TrafficClass::kMembership);
     Connection* c2 = find(conn);
@@ -143,16 +169,25 @@ bool Transport::send(ConnectionId conn, NodeId sender, MessagePtr message,
   Connection* c = find(conn);
   if (c == nullptr || c->state != State::kEstablished) return false;
   if (sender != c->initiator && sender != c->acceptor) return false;
+  // No suspension check needed: suspending a host break_connection-closes
+  // every one of its connections, so the established check above already
+  // rejects sends involving frozen endpoints.
   if (!network_.alive(sender)) return false;
   const NodeId receiver = peer_of(conn, sender);
 
   const std::size_t wire_bytes = message->wire_size();
-  const sim::TimePoint serialized =
-      network_.nic_send(sender, wire_bytes, traffic_class);
+  const std::optional<sim::TimePoint> sent =
+      transmit_segment(sender, receiver, wire_bytes, traffic_class);
+  if (!sent) {
+    // The segment was transmitted into a partition: TCP gives up and the
+    // connection breaks, both ends learning after their detection delays.
+    // The send itself was accepted — failure is async, exactly like a real
+    // socket write.
+    break_connection(conn);
+    return true;
+  }
   sim::Simulator& simulator = network_.simulator();
-  sim::TimePoint arrival =
-      serialized + network_.latency().sample(sender, receiver,
-                                             simulator.rng());
+  sim::TimePoint arrival = *sent;
   // FIFO per direction: a message may not overtake its predecessors.
   sim::TimePoint& last = (receiver == c->initiator)
                              ? c->last_delivery_to_initiator
@@ -183,9 +218,16 @@ void Transport::on_deliver(const sim::DeliverEvent& event) {
   const ConnectionId conn = event.id;
   const NodeId sender(event.from);
   const NodeId receiver(event.to);
-  if (find(conn) == nullptr) return;
   if (!network_.alive(receiver)) return;
+  if (network_.suspended(receiver)) {
+    network_.note_rx_suppressed();
+    return;
+  }
   if (event.tag == kSegmentArrival) {
+    // The record gates only the wire stage: once the bytes have arrived
+    // (receive charged below), a subsequent record erase must not eat the
+    // message while it sits in the CPU queue.
+    if (find(conn) == nullptr) return;
     network_.charge_receive(receiver, event.bytes,
                             static_cast<TrafficClass>(event.tclass));
     const sim::TimePoint ready = network_.cpu_deliver(
@@ -226,7 +268,136 @@ std::size_t Transport::open_connections() const {
   return open;
 }
 
+std::optional<sim::TimePoint> Transport::transmit_segment(
+    NodeId sender, NodeId receiver, std::size_t wire_bytes,
+    TrafficClass traffic_class) {
+  sim::Duration penalty = sim::Duration::zero();
+  const LinkVerdict verdict = resolve_segment_verdict(
+      sender, receiver, wire_bytes, traffic_class, &penalty);
+  const sim::TimePoint done =
+      network_.nic_send(sender, wire_bytes, traffic_class);
+  if (verdict == LinkVerdict::kBlackhole) {
+    // The segment was transmitted (NIC charged) into a partition.
+    network_.note_fault(sender, traffic_class, LinkVerdict::kBlackhole,
+                        /*datagram=*/false);
+    return std::nullopt;
+  }
+  return done + penalty +
+         network_.fault_adjust(
+             sender, receiver,
+             network_.latency().sample(sender, receiver,
+                                       network_.simulator().rng()));
+}
+
+LinkVerdict Transport::resolve_segment_verdict(NodeId sender, NodeId receiver,
+                                               std::size_t wire_bytes,
+                                               TrafficClass traffic_class,
+                                               sim::Duration* extra_delay) {
+  LinkVerdict verdict = network_.fault_verdict(sender, receiver);
+  std::uint32_t losses = 0;
+  while (verdict == LinkVerdict::kDrop) {
+    ++losses;
+    if (losses >= kMaxConsecutiveLosses) {
+      // The path is dead: give up instead of retransmitting again. The
+      // fatal hit is counted as the blackhole (by the caller), not as yet
+      // another masked drop — segments_dropped stays equal to the
+      // retransmissions that actually recovered a loss.
+      return LinkVerdict::kBlackhole;
+    }
+    // Reliable transport masks the loss as one RTO of delay plus a
+    // retransmission (which costs real NIC time and upload bytes).
+    network_.note_fault(sender, traffic_class, LinkVerdict::kDrop,
+                        /*datagram=*/false);
+    network_.note_retransmission();
+    network_.nic_send(sender, wire_bytes, traffic_class);
+    *extra_delay = *extra_delay + network_.config().retransmit_timeout;
+    verdict = network_.fault_verdict(sender, receiver);
+  }
+  return verdict;
+}
+
+void Transport::break_connection(ConnectionId conn) {
+  sever(conn, /*notify_initiator=*/true, /*notify_acceptor=*/true);
+}
+
+void Transport::sever(ConnectionId conn, bool notify_initiator,
+                      bool notify_acceptor) {
+  Connection* c = find(conn);
+  if (c == nullptr || c->state == State::kClosed) return;
+  const NodeId initiator = c->initiator;
+  const NodeId acceptor = c->acceptor;
+  // Messages sent before the link broke are not retroactively affected:
+  // the record must outlive both the failure notices and every already-
+  // scheduled arrival (the FIFO clamps bound the latest one).
+  const sim::TimePoint drain = std::max(c->last_delivery_to_initiator,
+                                        c->last_delivery_to_acceptor);
+  mark_closed(conn);
+  sim::Duration linger = network_.config().failure_detect_base;
+  if (notify_initiator) {
+    linger = std::max(linger,
+                      notify_endpoint_failure(conn, initiator, acceptor,
+                                              CloseReason::kPeerFailure));
+  }
+  if (notify_acceptor) {
+    linger = std::max(linger,
+                      notify_endpoint_failure(conn, acceptor, initiator,
+                                              CloseReason::kPeerFailure));
+  }
+  sim::Simulator& simulator = network_.simulator();
+  const sim::TimePoint erase_at =
+      std::max(simulator.now() + linger, drain) +
+      sim::Duration::microseconds(1);
+  simulator.at(erase_at, [this, conn]() { connections_.erase(conn); });
+}
+
+sim::Duration Transport::notify_endpoint_failure(ConnectionId conn,
+                                                 NodeId endpoint, NodeId peer,
+                                                 CloseReason reason) {
+  if (!network_.alive(endpoint)) return sim::Duration::zero();
+  if (network_.suspended(endpoint)) {
+    pending_resume_notices_[endpoint.index()].push_back(
+        {conn, peer, reason});
+    return sim::Duration::zero();
+  }
+  const sim::Duration detect = network_.sample_failure_detect_delay();
+  network_.simulator().after(detect, [this, conn, endpoint, peer, reason]() {
+    if (!network_.alive(endpoint)) return;
+    if (network_.suspended(endpoint)) {
+      // Frozen during the detection window: deliver the notice at resume
+      // instead of dropping it.
+      pending_resume_notices_[endpoint.index()].push_back(
+          {conn, peer, reason});
+      return;
+    }
+    if (TransportHandler* h = handler_of(endpoint)) {
+      h->on_connection_down(conn, peer, reason);
+    }
+  });
+  return detect;
+}
+
+void Transport::on_host_suspended(NodeId node) {
+  // A freeze severs every connection (established or mid-handshake): peers
+  // detect the failure after their delay; the frozen host itself finds its
+  // sockets dead when it resumes.
+  const auto it = by_host_.find(node.index());
+  if (it == by_host_.end()) return;
+  const std::vector<ConnectionId> conns(it->second.begin(), it->second.end());
+  for (const ConnectionId conn : conns) break_connection(conn);
+}
+
+void Transport::on_host_resumed(NodeId node) {
+  const auto it = pending_resume_notices_.find(node.index());
+  if (it == pending_resume_notices_.end()) return;
+  const std::vector<PendingNotice> notices = std::move(it->second);
+  pending_resume_notices_.erase(it);
+  for (const PendingNotice& notice : notices) {
+    notify_endpoint_failure(notice.conn, node, notice.peer, notice.reason);
+  }
+}
+
 void Transport::on_host_killed(NodeId node) {
+  pending_resume_notices_.erase(node.index());
   const auto it = by_host_.find(node.index());
   if (it == by_host_.end()) return;
   // Copy: callbacks may mutate the set.

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -73,8 +74,21 @@ class Transport final : public Network::DeathListener,
   /// Number of non-closed connections (tests / leak checks).
   [[nodiscard]] std::size_t open_connections() const;
 
+  /// Severs a connection whose link the fault layer blackholed (partition,
+  /// frozen peer, or sustained loss): both endpoints see kPeerFailure after
+  /// their own failure-detection delay, modeling RST / flow-control timeout.
+  void break_connection(ConnectionId conn);
+
+  /// Contract note for handlers: a failure/refusal notice may arrive for a
+  /// connection the handler already closed or replaced locally (the record
+  /// can be gone before the detection delay elapses, so the notice cannot
+  /// be cancelled). Handlers must treat unknown/stale ids in
+  /// on_connection_down as a no-op, as HyParView does.
+
   // Network::DeathListener
   void on_host_killed(NodeId node) override;
+  void on_host_suspended(NodeId node) override;
+  void on_host_resumed(NodeId node) override;
 
  private:
   enum class State : std::uint8_t { kConnecting, kEstablished, kClosed };
@@ -97,19 +111,65 @@ class Transport final : public Network::DeathListener,
     sim::TimePoint last_delivery_to_acceptor = sim::TimePoint::origin();
   };
 
+  /// Shared teardown behind break_connection and the lost-FIN close path:
+  /// marks the record closed, schedules kPeerFailure at the selected
+  /// endpoints, and defers the erase until the notices and every in-flight
+  /// arrival have drained.
+  void sever(ConnectionId conn, bool notify_initiator, bool notify_acceptor);
+
   void mark_closed(ConnectionId conn);
   Connection* find(ConnectionId conn);
   const Connection* find(ConnectionId conn) const;
   TransportHandler* handler_of(NodeId node);
 
+  /// Schedules on_connection_down(conn, peer, reason) at `endpoint` after its
+  /// failure-detection delay, returned to the caller (zero when nothing was
+  /// scheduled). Dead endpoints are skipped; suspended ones get the notice
+  /// queued until resume (a frozen machine learns of its broken connections
+  /// when it wakes).
+  sim::Duration notify_endpoint_failure(ConnectionId conn, NodeId endpoint,
+                                        NodeId peer, CloseReason reason);
+
+  /// Resolves one fault verdict for a reliable segment: loss rules become
+  /// retransmissions (NIC re-charged, arrival delayed one RTO each), and
+  /// after kMaxConsecutiveLosses consecutive losses the path counts as dead.
+  /// Returns the surviving verdict (kDeliver or kBlackhole) and adds the
+  /// retransmission penalty to `*extra_delay`.
+  LinkVerdict resolve_segment_verdict(NodeId sender, NodeId receiver,
+                                      std::size_t wire_bytes,
+                                      TrafficClass traffic_class,
+                                      sim::Duration* extra_delay);
+
+  /// Transmits one segment through the fault layer: charges the sender's
+  /// NIC (including retransmissions) and returns the arrival instant, or
+  /// nullopt when the segment was blackholed (counted at the sender; the
+  /// caller decides how the connection reacts). Shared by SYN, SYN-ACK,
+  /// FIN, and data sends.
+  std::optional<sim::TimePoint> transmit_segment(NodeId sender,
+                                                 NodeId receiver,
+                                                 std::size_t wire_bytes,
+                                                 TrafficClass traffic_class);
+
   /// Size of a handshake/teardown segment on the wire.
   static constexpr std::size_t kControlSegmentBytes = 8;
+  /// TCP gives up after this many consecutive losses of one segment;
+  /// sustained 100% loss therefore behaves like a partition.
+  static constexpr std::uint32_t kMaxConsecutiveLosses = 6;
+
+  struct PendingNotice {
+    ConnectionId conn;
+    NodeId peer;
+    CloseReason reason;
+  };
 
   Network& network_;
   std::unordered_map<ConnectionId, Connection> connections_;
   std::unordered_map<std::uint32_t, TransportHandler*> handlers_;
   std::unordered_map<std::uint32_t, std::unordered_set<ConnectionId>>
       by_host_;
+  /// Connection failures a suspended host will learn about at resume.
+  std::unordered_map<std::uint32_t, std::vector<PendingNotice>>
+      pending_resume_notices_;
   ConnectionId next_id_ = 1;
 };
 

@@ -107,6 +107,9 @@ class Simulator {
     std::size_t event_slab_slots = 0;     ///< gauge: peak concurrent footprint
     std::size_t peak_pending_events = 0;
     std::size_t active_periodics = 0;     ///< gauge
+
+    /// Field-wise equality (determinism golden tests compare whole runs).
+    bool operator==(const Stats&) const = default;
   };
   [[nodiscard]] Stats stats() const;
 

@@ -104,9 +104,13 @@ void SimpleGossipSystem::bootstrap() {
   // simulator bootstrap for proactive PSS protocols); shuffles then mix the
   // views toward uniformity during the stabilization window.
   sim::Rng boot_rng = simulator_.rng().split(0x6B007);
+  // Tiny populations cannot fill the requested view with distinct non-self
+  // peers; clamp so the rejection loop below terminates.
+  const std::size_t view_target =
+      std::min(config_.bootstrap_view, population.size() - 1);
   for (const net::NodeId id : population) {
     std::vector<net::NodeId> seeds;
-    while (seeds.size() < config_.bootstrap_view) {
+    while (seeds.size() < view_target) {
       const net::NodeId candidate = boot_rng.pick(population);
       if (candidate == id) continue;
       if (std::find(seeds.begin(), seeds.end(), candidate) != seeds.end()) {
@@ -160,6 +164,7 @@ ChurnHooks SimpleGossipSystem::churn_hooks() {
     return members;
   };
   hooks.kill = [this](net::NodeId id) { kill_node(id); };
+  fill_fault_hooks(hooks);
   return hooks;
 }
 
@@ -261,6 +266,7 @@ ChurnHooks TagSystem::churn_hooks() {
     return members;
   };
   hooks.kill = [this](net::NodeId id) { kill_node(id); };
+  fill_fault_hooks(hooks);
   return hooks;
 }
 

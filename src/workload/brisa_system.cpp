@@ -103,6 +103,7 @@ ChurnHooks BrisaSystem::churn_hooks() {
     return members;
   };
   hooks.kill = [this](net::NodeId node) { kill_node(node); };
+  fill_fault_hooks(hooks);
   return hooks;
 }
 

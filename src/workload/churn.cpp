@@ -1,6 +1,8 @@
 #include "workload/churn.h"
 
+#include <algorithm>
 #include <cmath>
+#include <iomanip>
 #include <sstream>
 #include <stdexcept>
 
@@ -33,9 +35,15 @@ double parse_number(const std::string& token, std::size_t line_no,
     std::size_t used = 0;
     const double value = std::stod(token, &used);
     if (used != token.size()) fail(line_no, line, "trailing characters");
+    // stod happily parses "nan" and "inf"; no DSL quantity wants either.
+    if (!std::isfinite(value)) {
+      fail(line_no, line, "number out of range: '" + token + "'");
+    }
     return value;
   } catch (const std::invalid_argument&) {
     fail(line_no, line, "expected a number, got '" + token + "'");
+  } catch (const std::out_of_range&) {
+    fail(line_no, line, "number out of range: '" + token + "'");
   }
 }
 
@@ -49,8 +57,103 @@ double parse_percent(const std::string& token, std::size_t line_no,
          100.0;
 }
 
+/// Parses a drop/churn probability "<x>%", rejecting values outside
+/// [0, 100] before they can trip an assertion downstream.
+double parse_probability(const std::string& token, std::size_t line_no,
+                         const std::string& line) {
+  const double p = parse_percent(token, line_no, line);
+  if (p < 0.0 || p > 1.0) {
+    fail(line_no, line, "percentage must be within [0%, 100%]");
+  }
+  return p;
+}
+
+/// Parses a non-negative integer count.
+std::size_t parse_count(const std::string& token, std::size_t line_no,
+                        const std::string& line) {
+  const double value = parse_number(token, line_no, line);
+  if (value < 0.0 || value != std::floor(value)) {
+    fail(line_no, line, "expected a non-negative integer, got '" + token +
+                            "'");
+  }
+  // Beyond 2^53 doubles skip integers and llround overflows; no real
+  // script needs counts that large.
+  if (value > 9007199254740992.0) {
+    fail(line_no, line, "number out of range: '" + token + "'");
+  }
+  return static_cast<std::size_t>(std::llround(value));
+}
+
+/// Parses a positive duration in seconds.
+sim::Duration parse_duration_s(const std::string& token, std::size_t line_no,
+                               const std::string& line) {
+  const double s = parse_number(token, line_no, line);
+  if (s <= 0.0) fail(line_no, line, "duration must be positive");
+  return sim::Duration::from_seconds(s);
+}
+
+/// Parses one node index for a group spec, rejecting values a NodeId
+/// cannot hold (a silent uint32 wrap would target the wrong nodes).
+std::uint32_t parse_node_index(const std::string& token, std::size_t line_no,
+                               const std::string& line) {
+  const std::size_t value = parse_count(token, line_no, line);
+  if (value > 0xffffffffull) {
+    fail(line_no, line, "node index out of range: '" + token + "'");
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+/// Parses a node group: `all`, `<i>`, or `<lo>-<hi>`.
+net::NodeGroup parse_group(const std::string& token, std::size_t line_no,
+                           const std::string& line) {
+  if (token == "all") return net::NodeGroup::all();
+  const std::size_t dash = token.find('-');
+  if (dash == std::string::npos) {
+    return net::NodeGroup::single(parse_node_index(token, line_no, line));
+  }
+  const std::uint32_t lo =
+      parse_node_index(token.substr(0, dash), line_no, line);
+  const std::uint32_t hi =
+      parse_node_index(token.substr(dash + 1), line_no, line);
+  if (hi < lo) fail(line_no, line, "group range ends before it starts");
+  return net::NodeGroup::range(lo, hi);
+}
+
+/// Parses the optional "between <groupA> and <groupB>" suffix of drop/slow
+/// statements; `next` is the index of the first suffix token.
+std::pair<net::NodeGroup, net::NodeGroup> parse_between(
+    const std::vector<std::string>& t, std::size_t next, std::size_t line_no,
+    const std::string& line) {
+  if (t.size() == next) {
+    return {net::NodeGroup::all(), net::NodeGroup::all()};
+  }
+  if (t.size() != next + 4 || t[next] != "between" || t[next + 2] != "and") {
+    fail(line_no, line, "expected 'between <groupA> and <groupB>'");
+  }
+  return {parse_group(t[next + 1], line_no, line),
+          parse_group(t[next + 3], line_no, line)};
+}
+
 sim::TimePoint seconds_at(double s) {
   return sim::TimePoint::origin() + sim::Duration::from_seconds(s);
+}
+
+double relative_seconds(sim::TimePoint t) {
+  return (t - sim::TimePoint::origin()).to_seconds();
+}
+
+std::string format_group(const net::NodeGroup& group) {
+  if (group.is_all()) return "all";
+  if (group.lo == group.hi) return std::to_string(group.lo);
+  return std::to_string(group.lo) + "-" + std::to_string(group.hi);
+}
+
+std::string format_seconds(double s) {
+  // Max round-trip precision: DSL-expressible values re-parse to the same
+  // double.
+  std::ostringstream out;
+  out << std::setprecision(17) << s;
+  return out.str();
 }
 
 }  // namespace
@@ -78,8 +181,7 @@ ChurnScript ChurnScript::parse(const std::string& text) {
         JoinSpan span;
         span.from = from;
         span.to = to;
-        span.count = static_cast<std::size_t>(
-            std::llround(parse_number(t[7], line_no, line)));
+        span.count = parse_count(t[7], line_no, line);
         script.actions_.emplace_back(span);
       } else if (t[6] == "const") {
         if (t.size() != 12 || t[7] != "churn" || t[9] != "each" ||
@@ -96,6 +198,30 @@ ChurnScript ChurnScript::parse(const std::string& text) {
           fail(line_no, line, "churn period must be positive");
         }
         script.actions_.emplace_back(churn);
+      } else if (t[6] == "drop") {
+        // from <t1> s to <t2> s drop <p>% [between <a> and <b>]
+        if (t.size() < 8) fail(line_no, line, "expected 'drop <p>%'");
+        net::LossRule rule;
+        rule.from = from;
+        rule.to = to;
+        rule.probability = parse_probability(t[7], line_no, line);
+        std::tie(rule.a, rule.b) = parse_between(t, 8, line_no, line);
+        script.fault_plan_.add_loss(rule);
+      } else if (t[6] == "slow") {
+        // from <t1> s to <t2> s slow <x>x [between <a> and <b>]
+        if (t.size() < 8 || t[7].empty() || t[7].back() != 'x') {
+          fail(line_no, line, "expected 'slow <x>x'");
+        }
+        net::SlowRule rule;
+        rule.from = from;
+        rule.to = to;
+        rule.factor = parse_number(t[7].substr(0, t[7].size() - 1), line_no,
+                                   line);
+        if (rule.factor < 1.0) {
+          fail(line_no, line, "slow factor must be >= 1");
+        }
+        std::tie(rule.a, rule.b) = parse_between(t, 8, line_no, line);
+        script.fault_plan_.add_slow(rule);
       } else {
         fail(line_no, line, "unknown interval action '" + t[6] + "'");
       }
@@ -122,6 +248,30 @@ ChurnScript ChurnScript::parse(const std::string& text) {
         set.at = at;
         set.ratio = parse_percent(t[7], line_no, line);
         script.actions_.emplace_back(set);
+      } else if (t[3] == "partition") {
+        // at <t> s partition <groupA> from <groupB> for <d> s
+        if (t.size() != 10 || t[5] != "from" || t[7] != "for" ||
+            t[9] != "s") {
+          fail(line_no, line,
+               "expected 'partition <groupA> from <groupB> for <d> s'");
+        }
+        net::PartitionRule rule;
+        rule.a = parse_group(t[4], line_no, line);
+        rule.b = parse_group(t[6], line_no, line);
+        rule.from = at;
+        rule.to = at + parse_duration_s(t[8], line_no, line);
+        script.fault_plan_.add_partition(rule);
+      } else if (t[3] == "crash") {
+        // at <t> s crash <n> for <d> s
+        if (t.size() != 8 || t[5] != "for" || t[7] != "s") {
+          fail(line_no, line, "expected 'crash <n> for <d> s'");
+        }
+        net::CrashRule rule;
+        rule.at = at;
+        rule.count = parse_count(t[4], line_no, line);
+        if (rule.count == 0) fail(line_no, line, "crash count must be > 0");
+        rule.duration = parse_duration_s(t[6], line_no, line);
+        script.fault_plan_.add_crash(rule);
       } else {
         fail(line_no, line, "unknown instant action '" + t[3] + "'");
       }
@@ -131,6 +281,52 @@ ChurnScript ChurnScript::parse(const std::string& text) {
     fail(line_no, line, "unknown statement '" + t[0] + "'");
   }
   return script;
+}
+
+std::optional<ChurnScript> ChurnScript::try_parse(const std::string& text,
+                                                  std::string* diagnostic) {
+  try {
+    return parse(text);
+  } catch (const std::invalid_argument& error) {
+    if (diagnostic != nullptr) *diagnostic = error.what();
+    return std::nullopt;
+  }
+}
+
+std::string to_dsl(const net::FaultPlan& plan) {
+  std::ostringstream out;
+  for (const net::LossRule& rule : plan.losses()) {
+    out << "from " << format_seconds(relative_seconds(rule.from)) << " s to "
+        << format_seconds(relative_seconds(rule.to)) << " s drop "
+        << format_seconds(rule.probability * 100.0) << "%";
+    if (!rule.a.is_all() || !rule.b.is_all()) {
+      out << " between " << format_group(rule.a) << " and "
+          << format_group(rule.b);
+    }
+    out << "\n";
+  }
+  for (const net::PartitionRule& rule : plan.partitions()) {
+    out << "at " << format_seconds(relative_seconds(rule.from))
+        << " s partition " << format_group(rule.a) << " from "
+        << format_group(rule.b) << " for "
+        << format_seconds((rule.to - rule.from).to_seconds()) << " s\n";
+  }
+  for (const net::CrashRule& rule : plan.crashes()) {
+    out << "at " << format_seconds(relative_seconds(rule.at)) << " s crash "
+        << rule.count << " for " << format_seconds(rule.duration.to_seconds())
+        << " s\n";
+  }
+  for (const net::SlowRule& rule : plan.slows()) {
+    out << "from " << format_seconds(relative_seconds(rule.from)) << " s to "
+        << format_seconds(relative_seconds(rule.to)) << " s slow "
+        << format_seconds(rule.factor) << "x";
+    if (!rule.a.is_all() || !rule.b.is_all()) {
+      out << " between " << format_group(rule.a) << " and "
+          << format_group(rule.b);
+    }
+    out << "\n";
+  }
+  return out.str();
 }
 
 ChurnScript ChurnScript::standard_trace(std::size_t nodes,
@@ -201,6 +397,58 @@ void ChurnDriver::arm() {
       continue;
     }
     // Stop carries no scheduled behaviour; scenarios read stop_time().
+  }
+
+  const net::FaultPlan& plan = script_.fault_plan();
+  if (plan.empty()) return;
+  BRISA_ASSERT_MSG(hooks_.install_fault_plan != nullptr,
+                   "script has fault statements but the system provides no "
+                   "install_fault_plan hook");
+  // Loss/partition/slow rules go to the Network with times rebased onto the
+  // arm instant; crash rules are scheduled here (victim selection needs the
+  // population hook).
+  hooks_.install_fault_plan(
+      plan.shifted(base - sim::TimePoint::origin()));
+  if (!plan.crashes().empty()) {
+    BRISA_ASSERT_MSG(hooks_.suspend != nullptr && hooks_.resume != nullptr,
+                     "script has crash statements but the system provides no "
+                     "suspend/resume hooks");
+    for (const net::CrashRule& crash : plan.crashes()) {
+      const std::size_t count = crash.count;
+      const sim::Duration duration = crash.duration;
+      simulator_.at(shifted(crash.at), [this, count, duration]() {
+        crash_tick(count, duration);
+      });
+    }
+  }
+}
+
+void ChurnDriver::crash_tick(std::size_t count, sim::Duration duration) {
+  // Exclude nodes a previous crash rule still holds down: re-suspending is
+  // a no-op, but its resume timer would end the earlier (longer) outage
+  // prematurely.
+  std::vector<net::NodeId> population = hooks_.population();
+  population.erase(
+      std::remove_if(population.begin(), population.end(),
+                     [this](net::NodeId id) { return crashed_.count(id) > 0; }),
+      population.end());
+  const std::vector<net::NodeId> victims = rng_.sample(population, count);
+  for (const net::NodeId victim : victims) {
+    crashed_.insert(victim);
+    hooks_.suspend(victim);
+    ++counters_.crashes;
+    simulator_.after(duration, [this, victim]() {
+      crashed_.erase(victim);
+      // Kill during a suspension wins: a node churn removed while it was
+      // down does not recover (and must not count as a recovery).
+      const std::vector<net::NodeId> population = hooks_.population();
+      if (std::find(population.begin(), population.end(), victim) ==
+          population.end()) {
+        return;
+      }
+      hooks_.resume(victim);
+      ++counters_.recoveries;
+    });
   }
 }
 

@@ -1,4 +1,6 @@
-// Churn trace DSL — the paper's Listing 1 (Splay churn module syntax).
+// Churn trace DSL — the paper's Listing 1 (Splay churn module syntax),
+// extended with fault directives (loss, partitions, latency spikes,
+// fail-recover crashes).
 //
 // Supported statements, one per line ('#' starts a comment):
 //
@@ -6,19 +8,35 @@
 //   at <t> s set replacement ratio to <p>%
 //   from <t1> s to <t2> s const churn <x>% each <d> s
 //   at <t> s stop
+//   from <t1> s to <t2> s drop <p>% [between <groupA> and <groupB>]
+//   at <t> s partition <groupA> from <groupB> for <d> s
+//   at <t> s crash <n> for <d> s
+//   from <t1> s to <t2> s slow <x>x [between <groupA> and <groupB>]
+//
+// where a <group> is `all`, a single node index `<i>`, or an inclusive index
+// range `<lo>-<hi>`.
 //
 // `join` spreads n joins uniformly over [t1, t2). `const churn x% each d`
 // kills x% of the current population at random every d seconds and joins
 // x% * replacement_ratio fresh nodes. `stop` marks the end of the measured
-// run.
+// run. `drop` loses p% of messages on matching links inside the window
+// (reliable transport retransmits instead, paying delay and bandwidth);
+// `partition` blackholes both directions between the groups for d seconds
+// and breaks crossing connections; `crash` freezes n random nodes for d
+// seconds (fail-recover — they keep state and identity, unlike churn's
+// permanent kill); `slow` multiplies link latency by x. Fault windows are
+// half-open [t1, t2); all times are relative to ChurnDriver::arm().
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <set>
 #include <string>
 #include <variant>
 #include <vector>
 
+#include "net/fault.h"
 #include "net/node_id.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
@@ -56,6 +74,11 @@ class ChurnScript {
   /// message on syntax errors.
   [[nodiscard]] static ChurnScript parse(const std::string& text);
 
+  /// Non-throwing variant: std::nullopt on malformed input, with the
+  /// line-numbered diagnostic written to `*diagnostic` when non-null.
+  [[nodiscard]] static std::optional<ChurnScript> try_parse(
+      const std::string& text, std::string* diagnostic = nullptr);
+
   /// Renders the paper's Listing 1 for the standard experiment: bootstrap
   /// `nodes` joins over [1s, nodes/joins_per_second], then `churn_percent`%
   /// churn each minute during [start, stop].
@@ -69,10 +92,24 @@ class ChurnScript {
   }
   [[nodiscard]] sim::TimePoint stop_time() const { return stop_time_; }
 
+  /// Fault directives parsed from the script (times script-relative; the
+  /// driver rebases and installs them at arm()).
+  [[nodiscard]] const net::FaultPlan& fault_plan() const {
+    return fault_plan_;
+  }
+
  private:
   std::vector<ChurnAction> actions_;
+  net::FaultPlan fault_plan_;
   sim::TimePoint stop_time_ = sim::TimePoint::max();
 };
+
+/// Renders a fault plan back into canonical DSL statements. The canonical
+/// form is a fixed point: parse(to_dsl(plan)) reproduces `plan` for every
+/// DSL-expressible plan (percentages ride through a /100 conversion, so a
+/// probability that is not an exact multiple of a representable percentage
+/// may round-trip to the nearest such value).
+[[nodiscard]] std::string to_dsl(const net::FaultPlan& plan);
 
 /// Callbacks through which the driver manipulates the system under test.
 struct ChurnHooks {
@@ -82,6 +119,12 @@ struct ChurnHooks {
   /// excludes the source, as the paper does in §III-C).
   std::function<std::vector<net::NodeId>()> population;
   std::function<void(net::NodeId)> kill;
+  /// Fault wiring (required only when the script contains fault
+  /// statements): fail-recover freeze/wake of one node, and installation of
+  /// the rebased fault plan into the system's Network.
+  std::function<void(net::NodeId)> suspend;
+  std::function<void(net::NodeId)> resume;
+  std::function<void(net::FaultPlan)> install_fault_plan;
 };
 
 /// Schedules a parsed script onto a simulator.
@@ -95,12 +138,15 @@ class ChurnDriver {
   struct Counters {
     std::uint64_t joins = 0;
     std::uint64_t kills = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t recoveries = 0;
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
   [[nodiscard]] double replacement_ratio() const { return replacement_ratio_; }
 
  private:
   void churn_tick(double fraction);
+  void crash_tick(std::size_t count, sim::Duration duration);
 
   sim::Simulator& simulator_;
   ChurnScript script_;
@@ -109,6 +155,8 @@ class ChurnDriver {
   double replacement_ratio_ = 1.0;
   bool armed_ = false;
   Counters counters_;
+  /// Nodes currently held down by a crash rule (guards overlapping rules).
+  std::set<net::NodeId> crashed_;
 };
 
 }  // namespace brisa::workload

@@ -47,4 +47,17 @@ SystemBase::SystemBase(std::uint64_t seed, TestbedKind testbed)
                testbed_network_config(testbed)),
       transport_(network_) {}
 
+void SystemBase::install_fault_plan(net::FaultPlan plan) {
+  fault_plan_ = std::make_unique<net::FaultPlan>(std::move(plan));
+  network_.install_fault_plan(fault_plan_.get());
+}
+
+void SystemBase::fill_fault_hooks(ChurnHooks& hooks) {
+  hooks.suspend = [this](net::NodeId node) { network_.suspend(node); };
+  hooks.resume = [this](net::NodeId node) { network_.resume(node); };
+  hooks.install_fault_plan = [this](net::FaultPlan plan) {
+    install_fault_plan(std::move(plan));
+  };
+}
+
 }  // namespace brisa::workload

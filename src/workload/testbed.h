@@ -7,9 +7,11 @@
 #include <memory>
 #include <string>
 
+#include "net/fault.h"
 #include "net/latency.h"
 #include "net/network.h"
 #include "net/transport.h"
+#include "workload/churn.h"
 
 namespace brisa::workload {
 
@@ -42,11 +44,20 @@ class SystemBase {
   }
   void run_until(sim::TimePoint when) { simulator_.run_until(when); }
 
+  /// Takes ownership of a fault plan and installs it on the network (times
+  /// must already be absolute). Replaces any previous plan.
+  void install_fault_plan(net::FaultPlan plan);
+
+  /// Churn/fault driver callbacks every system shares: suspend/resume and
+  /// plan installation. Derived systems add spawn/population/kill.
+  void fill_fault_hooks(ChurnHooks& hooks);
+
  protected:
   TestbedKind testbed_;
   sim::Simulator simulator_;
   net::Network network_;
   net::Transport transport_;
+  std::unique_ptr<net::FaultPlan> fault_plan_;
 };
 
 }  // namespace brisa::workload

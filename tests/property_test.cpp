@@ -4,12 +4,16 @@
 //   * every member present for the whole stream delivers every message;
 //   * steady-state duplicates are bounded by num_parents - 1 per message;
 //   * HyParView views stay within [1, capacity].
+//
+// The faulted sweep re-checks the same invariants under uniform message loss
+// and a healed partition (the fault layer's acid test).
 #include <gtest/gtest.h>
 
 #include <map>
 #include <set>
 
 #include "workload/brisa_system.h"
+#include "workload/churn.h"
 
 namespace brisa {
 namespace {
@@ -199,6 +203,106 @@ INSTANTIATE_TEST_SUITE_P(
         PropertyParam{203, 96, 4, core::StructureMode::kTree, 1,
                       workload::TestbedKind::kCluster},
         PropertyParam{204, 64, 8, core::StructureMode::kDag, 2,
+                      workload::TestbedKind::kCluster}),
+    [](const ::testing::TestParamInfo<PropertyParam>& info) {
+      return info.param.name();
+    });
+
+/// Faulted sweep: under 20% uniform message loss plus a healed partition
+/// between two minority groups, the core invariants must still hold — the
+/// reliable transport masks loss as retransmission delay, repair routes
+/// around the cut, and stable members end fully served after the heal.
+class FaultedProperties : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(FaultedProperties, InvariantsHoldUnderLossAndHealedPartition) {
+  const PropertyParam param = GetParam();
+  workload::BrisaSystem::Config config;
+  config.seed = param.seed;
+  config.num_nodes = param.nodes;
+  config.testbed = param.testbed;
+  config.hyparview.active_size = param.view;
+  config.brisa.mode = param.mode;
+  config.brisa.num_parents = param.parents;
+  config.join_spread = sim::Duration::seconds(10);
+  config.stabilization = sim::Duration::seconds(25);
+  workload::BrisaSystem system(config);
+  system.bootstrap();
+
+  workload::ChurnDriver driver(
+      system.simulator(),
+      workload::ChurnScript::parse(
+          "from 0 s to 45 s drop 20%\n"
+          "at 2 s partition 0-7 from 8-15 for 8 s\n"
+          "at 60 s stop\n"),
+      system.churn_hooks());
+  driver.arm();
+  system.run_stream(30, 5.0, 512, sim::Duration::seconds(30));
+
+  // The scenario really injected faults.
+  const net::Network::FaultTotals& totals = system.network().fault_totals();
+  EXPECT_GT(totals.datagrams_dropped + totals.segments_dropped, 0u);
+
+  // 1. Eventual delivery to stable members after repair.
+  EXPECT_TRUE(system.complete_delivery());
+
+  // 2. Parent bounds.
+  for (const net::NodeId id : system.member_ids()) {
+    if (id == system.source_id()) continue;
+    const auto parents = system.brisa(id).parents();
+    EXPECT_GE(parents.size(), 1u) << id;
+    EXPECT_LE(parents.size(), param.parents) << id;
+  }
+
+  // 3. Span and acyclicity (exact for trees, approximate for DAG snapshots,
+  // matching the un-faulted sweep).
+  std::map<net::NodeId, std::vector<net::NodeId>> parent_lists;
+  for (const net::NodeId id : system.member_ids()) {
+    parent_lists[id] = system.brisa(id).parents();
+  }
+  std::size_t unreachable = 0;
+  for (const auto& [start, list] : parent_lists) {
+    if (start == system.source_id()) continue;
+    bool reaches_source = false;
+    std::vector<net::NodeId> stack(list.begin(), list.end());
+    std::set<net::NodeId> visited;
+    bool cyclic = false;
+    while (!stack.empty()) {
+      const net::NodeId current = stack.back();
+      stack.pop_back();
+      if (current == system.source_id()) reaches_source = true;
+      if (current == start) cyclic = true;
+      if (!visited.insert(current).second) continue;
+      const auto it = parent_lists.find(current);
+      if (it == parent_lists.end()) continue;
+      for (const net::NodeId parent : it->second) stack.push_back(parent);
+    }
+    if (!reaches_source) ++unreachable;
+    if (param.mode == core::StructureMode::kTree) {
+      EXPECT_FALSE(cyclic) << "tree cycle through " << start;
+      EXPECT_TRUE(reaches_source) << start;
+    }
+  }
+  EXPECT_LE(unreachable, parent_lists.size() / 20);
+
+  // 4. View bounds.
+  for (const net::NodeId id : system.member_ids()) {
+    EXPECT_GE(system.hyparview(id).active_count(), 1u) << id;
+    EXPECT_LE(system.hyparview(id).active_count(),
+              system.hyparview(id).capacity())
+        << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FaultedProperties,
+    ::testing::Values(
+        PropertyParam{301, 64, 4, core::StructureMode::kTree, 1,
+                      workload::TestbedKind::kCluster},
+        PropertyParam{302, 64, 4, core::StructureMode::kDag, 2,
+                      workload::TestbedKind::kCluster},
+        PropertyParam{303, 48, 4, core::StructureMode::kTree, 1,
+                      workload::TestbedKind::kCluster},
+        PropertyParam{304, 64, 6, core::StructureMode::kDag, 3,
                       workload::TestbedKind::kCluster}),
     [](const ::testing::TestParamInfo<PropertyParam>& info) {
       return info.param.name();
