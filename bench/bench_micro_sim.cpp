@@ -3,6 +3,9 @@
 // BRISA deployment the simulator can handle per wall-clock second.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
 #include "membership/messages.h"
 #include "net/latency.h"
 #include "net/message_pool.h"
@@ -115,7 +118,7 @@ void BM_TransportMessageRoundtrip(benchmark::State& state) {
 
   for (auto _ : state) {
     transport.send(conn, a,
-                   net::make_message<membership::HpvKeepAlive>(1, 0, 0),
+                   net::make_message<membership::HpvKeepAlive>(1, nullptr),
                    net::TrafficClass::kMembership);
     simulator.run();
   }
@@ -193,7 +196,7 @@ void BM_SimEventRate(benchmark::State& state) {
                 const net::NodeId to = hosts[rng.uniform(hosts.size())];
                 network.send_datagram(
                     hosts[i], to,
-                    net::make_message<membership::HpvKeepAlive>(1, 0, 0),
+                    net::make_message<membership::HpvKeepAlive>(1, nullptr),
                     net::TrafficClass::kMembership);
               });
         });
@@ -228,7 +231,10 @@ BENCHMARK(BM_SimEventRate)->Arg(1'000)->Arg(10'000)->Unit(benchmark::kMillisecon
 /// pop + placement-new, not an allocator round trip.
 void BM_MessagePoolMakeRelease(benchmark::State& state) {
   for (auto _ : state) {
-    net::MessagePtr m = net::make_message<membership::HpvKeepAlive>(1, 2, 3);
+    net::MessagePtr m = net::make_message<membership::HpvKeepAlive>(
+        1, std::make_shared<const std::vector<membership::AppWatermark>>(
+               std::vector<membership::AppWatermark>{
+                   {net::kDefaultStream, 2, 3}}));
     benchmark::DoNotOptimize(m.get());
   }
   state.SetItemsProcessed(state.iterations());

@@ -7,10 +7,75 @@
 #include <vector>
 
 #include "analysis/stats.h"
+#include "analysis/stream_report.h"
+#include "util/flags.h"
 #include "workload/baseline_systems.h"
 #include "workload/brisa_system.h"
+#include "workload/pubsub.h"
 
 namespace brisa::bench {
+
+// --- Multi-stream options ----------------------------------------------------
+
+/// The multi-stream CLI surface every bench/example parses identically:
+/// `--streams=K` concurrent topics and `--subscription-fraction=F` partial
+/// audiences (see workload::PubSubDriver).
+struct MultiStreamOptions {
+  std::size_t streams = 1;
+  double subscription_fraction = 1.0;
+};
+
+inline MultiStreamOptions parse_multi_stream_options(
+    const util::Flags& flags) {
+  MultiStreamOptions options;
+  options.streams =
+      static_cast<std::size_t>(flags.get_int("streams", 1));
+  options.subscription_fraction =
+      flags.get_fraction("subscription-fraction", 1.0);
+  return options;
+}
+
+/// Per-stream delivery rows from a finished BrisaSystem + PubSubDriver run:
+/// reliability and source-to-subscriber latency percentiles over each
+/// stream's subscriber set.
+inline std::vector<analysis::StreamRow> collect_stream_rows(
+    workload::BrisaSystem& system, const workload::PubSubDriver& driver) {
+  std::vector<analysis::StreamRow> rows;
+  for (const workload::PubSubStreamSpec& spec : driver.config().streams) {
+    analysis::StreamRow row;
+    row.stream = spec.stream;
+    row.sent = driver.sent(spec.stream);
+    const net::NodeId source = system.source_id(spec.stream);
+    const auto& source_times =
+        system.brisa(source, spec.stream).stats().delivery_time;
+    std::vector<double> delays_ms;
+    for (const net::NodeId id : system.member_ids()) {
+      if (id == source) continue;
+      if (!driver.subscribed(spec.stream, id)) continue;
+      ++row.subscribers;
+      const auto& stats = system.brisa(id, spec.stream).stats();
+      row.delivered += stats.delivery_time.size();
+      row.duplicates += stats.duplicates;
+      for (const auto& [seq, at] : stats.delivery_time) {
+        const auto it = source_times.find(seq);
+        if (it == source_times.end()) continue;
+        delays_ms.push_back((at - it->second).to_milliseconds());
+      }
+    }
+    const std::uint64_t expected =
+        static_cast<std::uint64_t>(row.subscribers) * row.sent;
+    row.reliability = expected == 0
+                          ? 0.0
+                          : static_cast<double>(row.delivered) /
+                                static_cast<double>(expected);
+    // percentile() of an empty set is NaN; zero keeps the JSON well-formed
+    // when a stream ends up with no subscribers.
+    row.p50_ms = delays_ms.empty() ? 0.0 : analysis::percentile(delays_ms, 50);
+    row.p99_ms = delays_ms.empty() ? 0.0 : analysis::percentile(delays_ms, 99);
+    rows.push_back(row);
+  }
+  return rows;
+}
 
 /// Structure depth of every non-source member (Fig 6).
 inline std::vector<double> collect_depths(workload::BrisaSystem& system) {

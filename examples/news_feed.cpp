@@ -4,9 +4,11 @@
 //
 //   $ ./news_feed [--nodes=96] [--publishers=3] [--items=60]
 //
-// Demonstrates the multi-stream extension the paper sketches: separate Brisa
-// instances share one PSS; each stream prunes its own tree, so a node can be
-// a leaf in one tree and interior in another (natural load spreading).
+// Demonstrates the multi-stream engine: one BrisaEngine per node multiplexes
+// a forest of per-stream trees over one PSS; each stream prunes its own
+// tree, so a node can be a leaf in one tree and interior in another
+// (natural load spreading).
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -21,40 +23,10 @@ using namespace brisa;
 
 namespace {
 
-/// A node stack with one HyParView and one Brisa instance per stream.
+/// A node stack: one HyParView, one BrisaEngine carrying all streams.
 struct FeedNode {
   std::unique_ptr<membership::HyParView> pss;
-  std::vector<std::unique_ptr<core::Brisa>> streams;
-};
-
-/// Fans one PSS out to several per-stream Brisa listeners.
-class StreamMux : public membership::PssListener {
- public:
-  explicit StreamMux(std::vector<core::Brisa*> streams)
-      : streams_(std::move(streams)) {}
-
-  void on_neighbor_up(net::NodeId peer) override {
-    for (core::Brisa* stream : streams_) stream->on_neighbor_up(peer);
-  }
-  void on_neighbor_down(net::NodeId peer,
-                        membership::NeighborLossReason reason) override {
-    for (core::Brisa* stream : streams_) {
-      stream->on_neighbor_down(peer, reason);
-    }
-  }
-  void on_app_message(net::NodeId from, net::MessagePtr message) override {
-    // Route by stream id where applicable; control messages carry it too.
-    for (core::Brisa* stream : streams_) stream->on_app_message(from, message);
-  }
-  void on_neighbor_watermark(net::NodeId peer, std::uint64_t watermark,
-                             std::uint64_t aux) override {
-    for (core::Brisa* stream : streams_) {
-      stream->on_neighbor_watermark(peer, watermark, aux);
-    }
-  }
-
- private:
-  std::vector<core::Brisa*> streams_;
+  std::unique_ptr<core::BrisaEngine> engine;
 };
 
 }  // namespace
@@ -75,7 +47,6 @@ int main(int argc, char** argv) {
 
   workload::SystemBase base(2026, workload::TestbedKind::kCluster);
   std::map<net::NodeId, FeedNode> stack;
-  std::vector<std::unique_ptr<StreamMux>> muxes;
   std::vector<net::NodeId> ids;
 
   for (std::size_t i = 0; i < nodes; ++i) {
@@ -83,18 +54,12 @@ int main(int argc, char** argv) {
     FeedNode node;
     node.pss = std::make_unique<membership::HyParView>(
         base.network(), base.transport(), id, membership::HyParView::Config{});
+    node.engine = std::make_unique<core::BrisaEngine>(base.network(),
+                                                      *node.pss, id);
     for (std::size_t stream = 0; stream < publishers; ++stream) {
-      core::Brisa::Config config;
-      config.stream = static_cast<std::uint32_t>(stream);
-      node.streams.push_back(std::make_unique<core::Brisa>(
-          base.network(), *node.pss, id, config));
+      node.engine->add_stream(static_cast<net::StreamId>(stream),
+                              core::Brisa::Config{});
     }
-    // One mux listener replaces the per-Brisa registration (each Brisa
-    // constructor set itself as listener; the mux supersedes them all).
-    std::vector<core::Brisa*> raw;
-    for (auto& stream : node.streams) raw.push_back(stream.get());
-    muxes.push_back(std::make_unique<StreamMux>(std::move(raw)));
-    node.pss->set_listener(muxes.back().get());
     stack.emplace(id, std::move(node));
     ids.push_back(id);
   }
@@ -114,14 +79,14 @@ int main(int argc, char** argv) {
   // Each publisher sources one stream from a different node.
   for (std::size_t stream = 0; stream < publishers; ++stream) {
     const net::NodeId publisher = ids[stream * (nodes / publishers)];
-    stack.at(publisher).streams[stream]->become_source();
+    auto& source =
+        stack.at(publisher).engine->stream(static_cast<net::StreamId>(stream));
+    source.become_source();
     for (std::size_t item = 0; item < items; ++item) {
       base.simulator().after(
           sim::Duration::milliseconds(static_cast<std::int64_t>(
               200 * item + 37 * stream)),
-          [&stack, publisher, stream]() {
-            stack.at(publisher).streams[stream]->broadcast(2048);
-          });
+          [&source]() { source.broadcast(2048); });
     }
   }
   base.run_for(sim::Duration::seconds(
@@ -132,7 +97,8 @@ int main(int argc, char** argv) {
     std::size_t complete = 0;
     std::vector<double> degrees;
     for (const net::NodeId id : ids) {
-      const auto& brisa_node = *stack.at(id).streams[stream];
+      const auto& brisa_node =
+          stack.at(id).engine->stream(static_cast<net::StreamId>(stream));
       if (brisa_node.stats().delivery_time.size() == items) ++complete;
       degrees.push_back(static_cast<double>(brisa_node.children().size()));
     }
@@ -151,7 +117,10 @@ int main(int argc, char** argv) {
   for (const net::NodeId id : ids) {
     bool leaf_somewhere = false, interior_somewhere = false;
     for (std::size_t stream = 0; stream < publishers; ++stream) {
-      if (stack.at(id).streams[stream]->children().empty()) {
+      if (stack.at(id)
+              .engine->stream(static_cast<net::StreamId>(stream))
+              .children()
+              .empty()) {
         leaf_somewhere = true;
       } else {
         interior_somewhere = true;

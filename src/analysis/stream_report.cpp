@@ -1,0 +1,74 @@
+#include "analysis/stream_report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace brisa::analysis {
+
+StreamRow aggregate_streams(const std::vector<StreamRow>& rows) {
+  StreamRow all;
+  std::uint64_t expected = 0;
+  for (const StreamRow& row : rows) {
+    all.subscribers += row.subscribers;
+    all.sent += row.sent;
+    all.delivered += row.delivered;
+    all.duplicates += row.duplicates;
+    expected += static_cast<std::uint64_t>(row.subscribers) * row.sent;
+    all.p50_ms = std::max(all.p50_ms, row.p50_ms);
+    all.p99_ms = std::max(all.p99_ms, row.p99_ms);
+  }
+  all.reliability = expected == 0 ? 0.0
+                                  : static_cast<double>(all.delivered) /
+                                        static_cast<double>(expected);
+  return all;
+}
+
+namespace {
+
+std::vector<std::string> cells(const StreamRow& row, const std::string& name) {
+  return {name,
+          std::to_string(row.subscribers),
+          std::to_string(row.sent),
+          std::to_string(row.delivered),
+          Table::num(row.reliability * 100.0, 2) + "%",
+          Table::num(row.p50_ms, 1),
+          Table::num(row.p99_ms, 1),
+          std::to_string(row.duplicates)};
+}
+
+}  // namespace
+
+std::string format_stream_table(const std::vector<StreamRow>& rows,
+                                bool with_aggregate) {
+  Table table({"stream", "subs", "sent", "delivered", "reliability",
+               "p50(ms)", "p99(ms)", "dups"});
+  for (const StreamRow& row : rows) {
+    table.add_row(cells(row, std::to_string(row.stream)));
+  }
+  if (with_aggregate && !rows.empty()) {
+    table.add_row(cells(aggregate_streams(rows), "all"));
+  }
+  return table.render();
+}
+
+std::string stream_row_json(const StreamRow& row, const std::string& label) {
+  char stream_field[32] = "";
+  if (label == "stream") {
+    std::snprintf(stream_field, sizeof(stream_field), "\"stream\":%u,",
+                  row.stream);
+  }
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"scope\":\"%s\",%s\"subscribers\":%zu,\"sent\":%llu,"
+      "\"delivered\":%llu,\"reliability\":%.6f,\"p50_ms\":%.3f,"
+      "\"p99_ms\":%.3f,\"duplicates\":%llu}",
+      label.c_str(), stream_field, row.subscribers,
+      static_cast<unsigned long long>(row.sent),
+      static_cast<unsigned long long>(row.delivered), row.reliability,
+      row.p50_ms, row.p99_ms,
+      static_cast<unsigned long long>(row.duplicates));
+  return buffer;
+}
+
+}  // namespace brisa::analysis

@@ -1,0 +1,50 @@
+// Per-stream workload reporting: one row per stream plus an aggregate,
+// rendered as an aligned table or machine-readable JSON lines. The multi-
+// topic benchmarks and examples all report through this, so per-stream
+// reliability/latency reads identically everywhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/table.h"
+#include "net/message.h"
+
+namespace brisa::analysis {
+
+/// One stream's delivery outcome over a finished workload. For a
+/// per-stream row, reliability = delivered / (subscribers * sent). In the
+/// row aggregate_streams() produces, subscribers/sent/delivered/duplicates
+/// are plain sums while reliability is delivered / sum_i(subscribers_i *
+/// sent_i) — do not recompute it from the summed fields.
+struct StreamRow {
+  net::StreamId stream = 0;     ///< meaningless on an aggregate row
+  std::size_t subscribers = 0;  ///< nodes counted for this stream
+  std::uint64_t sent = 0;       ///< messages injected at the source
+  std::uint64_t delivered = 0;  ///< sum of subscriber deliveries
+  double reliability = 0;
+  double p50_ms = 0;            ///< source-to-subscriber latency percentiles
+  double p99_ms = 0;
+  std::uint64_t duplicates = 0;
+};
+
+/// Sums/pools the per-stream rows into one line: totals for counts, a
+/// delivery-weighted reliability, and the extreme percentiles across
+/// streams (aggregate latency percentiles would need the raw samples; the
+/// max is the conservative summary the sweeps assert on).
+[[nodiscard]] StreamRow aggregate_streams(const std::vector<StreamRow>& rows);
+
+/// Renders per-stream rows (plus the aggregate as a final "all" row when
+/// `with_aggregate`) as an aligned table.
+[[nodiscard]] std::string format_stream_table(
+    const std::vector<StreamRow>& rows, bool with_aggregate = true);
+
+/// One JSON object (single line, no trailing newline) for a row; `label`
+/// becomes the "scope" field. Only scope:"stream" rows carry a "stream"
+/// key, so filtering on .stream alone can never conflate stream 0 with an
+/// aggregate row.
+[[nodiscard]] std::string stream_row_json(const StreamRow& row,
+                                          const std::string& label);
+
+}  // namespace brisa::analysis

@@ -49,44 +49,49 @@ class TreeAttach final : public net::Message {
   [[nodiscard]] const char* name() const override { return "tree-attach"; }
 };
 
-/// Stream payload pushed down the tree.
+/// Stream payload pushed down the tree, tagged with its stream (topic).
 class TreeData final : public net::Message {
  public:
-  TreeData(std::uint64_t seq, std::size_t payload_bytes)
-      : seq_(seq), payload_bytes_(payload_bytes) {}
+  TreeData(net::StreamId stream, std::uint64_t seq, std::size_t payload_bytes)
+      : stream_(stream), seq_(seq), payload_bytes_(payload_bytes) {}
   [[nodiscard]] net::MessageKind kind() const override {
     return net::MessageKind::kTreeData;
   }
   [[nodiscard]] std::size_t wire_size() const override {
-    return 16 + payload_bytes_;
+    return 16 + net::kWireStreamBytes + payload_bytes_;
   }
   [[nodiscard]] const char* name() const override { return "tree-data"; }
+  [[nodiscard]] net::StreamId stream() const { return stream_; }
   [[nodiscard]] std::uint64_t seq() const { return seq_; }
   [[nodiscard]] std::size_t payload_bytes() const { return payload_bytes_; }
 
  private:
+  net::StreamId stream_;
   std::uint64_t seq_;
   std::size_t payload_bytes_;
 };
 
 // --- SimpleGossip -----------------------------------------------------------
 
-/// Push rumor (infect-and-die).
+/// Push rumor (infect-and-die), tagged with its stream (topic).
 class GossipRumor final : public net::Message {
  public:
-  GossipRumor(std::uint64_t seq, std::size_t payload_bytes)
-      : seq_(seq), payload_bytes_(payload_bytes) {}
+  GossipRumor(net::StreamId stream, std::uint64_t seq,
+              std::size_t payload_bytes)
+      : stream_(stream), seq_(seq), payload_bytes_(payload_bytes) {}
   [[nodiscard]] net::MessageKind kind() const override {
     return net::MessageKind::kGossipRumor;
   }
   [[nodiscard]] std::size_t wire_size() const override {
-    return 16 + payload_bytes_;
+    return 16 + net::kWireStreamBytes + payload_bytes_;
   }
   [[nodiscard]] const char* name() const override { return "gossip-rumor"; }
+  [[nodiscard]] net::StreamId stream() const { return stream_; }
   [[nodiscard]] std::uint64_t seq() const { return seq_; }
   [[nodiscard]] std::size_t payload_bytes() const { return payload_bytes_; }
 
  private:
+  net::StreamId stream_;
   std::uint64_t seq_;
   std::size_t payload_bytes_;
 };
@@ -95,16 +100,19 @@ class GossipRumor final : public net::Message {
 /// `extra_known` newer ones" — a compact digest.
 class GossipAntiEntropyRequest final : public net::Message {
  public:
-  GossipAntiEntropyRequest(std::uint64_t contiguous_upto,
+  GossipAntiEntropyRequest(net::StreamId stream, std::uint64_t contiguous_upto,
                            std::vector<std::uint64_t> extra_known)
-      : contiguous_upto_(contiguous_upto), extra_known_(std::move(extra_known)) {}
+      : stream_(stream),
+        contiguous_upto_(contiguous_upto),
+        extra_known_(std::move(extra_known)) {}
   [[nodiscard]] net::MessageKind kind() const override {
     return net::MessageKind::kGossipAntiEntropyRequest;
   }
   [[nodiscard]] std::size_t wire_size() const override {
-    return 16 + extra_known_.size() * 8;
+    return 16 + net::kWireStreamBytes + extra_known_.size() * 8;
   }
   [[nodiscard]] const char* name() const override { return "gossip-ae-req"; }
+  [[nodiscard]] net::StreamId stream() const { return stream_; }
   [[nodiscard]] std::uint64_t contiguous_upto() const {
     return contiguous_upto_;
   }
@@ -113,6 +121,7 @@ class GossipAntiEntropyRequest final : public net::Message {
   }
 
  private:
+  net::StreamId stream_;
   std::uint64_t contiguous_upto_;
   std::vector<std::uint64_t> extra_known_;
 };
@@ -120,24 +129,27 @@ class GossipAntiEntropyRequest final : public net::Message {
 /// Anti-entropy reply: the payloads the requester was missing.
 class GossipAntiEntropyReply final : public net::Message {
  public:
-  explicit GossipAntiEntropyReply(
+  GossipAntiEntropyReply(
+      net::StreamId stream,
       std::vector<std::pair<std::uint64_t, std::size_t>> updates)
-      : updates_(std::move(updates)) {}
+      : stream_(stream), updates_(std::move(updates)) {}
   [[nodiscard]] net::MessageKind kind() const override {
     return net::MessageKind::kGossipAntiEntropyReply;
   }
   [[nodiscard]] std::size_t wire_size() const override {
-    std::size_t total = 8;
+    std::size_t total = 8 + net::kWireStreamBytes;
     for (const auto& [seq, bytes] : updates_) total += 12 + bytes;
     return total;
   }
   [[nodiscard]] const char* name() const override { return "gossip-ae-reply"; }
+  [[nodiscard]] net::StreamId stream() const { return stream_; }
   [[nodiscard]] const std::vector<std::pair<std::uint64_t, std::size_t>>&
   updates() const {
     return updates_;
   }
 
  private:
+  net::StreamId stream_;
   std::vector<std::pair<std::uint64_t, std::size_t>> updates_;
 };
 
@@ -278,39 +290,46 @@ class TagListUpdate final : public net::Message {
 /// parent over the persistent connection, or to a gossip peer as datagram).
 class TagPullRequest final : public net::Message {
  public:
-  explicit TagPullRequest(std::uint64_t from_seq) : from_seq_(from_seq) {}
+  TagPullRequest(net::StreamId stream, std::uint64_t from_seq)
+      : stream_(stream), from_seq_(from_seq) {}
   [[nodiscard]] net::MessageKind kind() const override {
     return net::MessageKind::kTagPullRequest;
   }
-  [[nodiscard]] std::size_t wire_size() const override { return 16; }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 16 + net::kWireStreamBytes;
+  }
   [[nodiscard]] const char* name() const override { return "tag-pull-req"; }
+  [[nodiscard]] net::StreamId stream() const { return stream_; }
   [[nodiscard]] std::uint64_t from_seq() const { return from_seq_; }
 
  private:
+  net::StreamId stream_;
   std::uint64_t from_seq_;
 };
 
 /// Pull reply: a bounded batch of payloads.
 class TagPullReply final : public net::Message {
  public:
-  explicit TagPullReply(
-      std::vector<std::pair<std::uint64_t, std::size_t>> updates)
-      : updates_(std::move(updates)) {}
+  TagPullReply(net::StreamId stream,
+               std::vector<std::pair<std::uint64_t, std::size_t>> updates)
+      : stream_(stream), updates_(std::move(updates)) {}
   [[nodiscard]] net::MessageKind kind() const override {
     return net::MessageKind::kTagPullReply;
   }
   [[nodiscard]] std::size_t wire_size() const override {
-    std::size_t total = 8;
+    std::size_t total = 8 + net::kWireStreamBytes;
     for (const auto& [seq, bytes] : updates_) total += 12 + bytes;
     return total;
   }
   [[nodiscard]] const char* name() const override { return "tag-pull-reply"; }
+  [[nodiscard]] net::StreamId stream() const { return stream_; }
   [[nodiscard]] const std::vector<std::pair<std::uint64_t, std::size_t>>&
   updates() const {
     return updates_;
   }
 
  private:
+  net::StreamId stream_;
   std::vector<std::pair<std::uint64_t, std::size_t>> updates_;
 };
 

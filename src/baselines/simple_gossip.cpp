@@ -15,7 +15,9 @@ SimpleGossip::SimpleGossip(net::Network& network, net::NodeId id,
     : net::Process(network, id),
       config_(config),
       rng_(network.simulator().rng().split(0x6055BULL ^ id.index())),
-      cyclon_(network, id, config.cyclon) {
+      cyclon_(network, id, config.cyclon),
+      streams_(config.num_streams) {
+  BRISA_ASSERT(config_.num_streams >= 1);
   network.bind_datagram_handler(id, this);
 }
 
@@ -40,9 +42,11 @@ void SimpleGossip::start_timers() {
   });
 }
 
-std::uint64_t SimpleGossip::broadcast(std::size_t payload_bytes) {
-  const std::uint64_t seq = next_seq_++;
-  deliver(seq, payload_bytes, /*push=*/true);
+std::uint64_t SimpleGossip::broadcast(net::StreamId stream,
+                                      std::size_t payload_bytes) {
+  BRISA_ASSERT(stream < streams_.size());
+  const std::uint64_t seq = streams_[stream].next_seq++;
+  deliver(stream, seq, payload_bytes, /*push=*/true);
   return seq;
 }
 
@@ -54,11 +58,14 @@ void SimpleGossip::on_datagram(net::NodeId from, net::MessagePtr message) {
       return;
     case net::MessageKind::kGossipRumor: {
       const auto& rumor = static_cast<const GossipRumor&>(*message);
-      if (store_.count(rumor.seq()) > 0) {
-        stats_.duplicates += 1;
+      if (rumor.stream() >= streams_.size()) return;
+      StreamState& state = streams_[rumor.stream()];
+      if (state.store.count(rumor.seq()) > 0) {
+        state.stats.duplicates += 1;
         return;  // infect-and-die: duplicates are dropped silently
       }
-      deliver(rumor.seq(), rumor.payload_bytes(), /*push=*/true);
+      deliver(rumor.stream(), rumor.seq(), rumor.payload_bytes(),
+              /*push=*/true);
       return;
     }
     case net::MessageKind::kGossipAntiEntropyRequest:
@@ -67,12 +74,14 @@ void SimpleGossip::on_datagram(net::NodeId from, net::MessagePtr message) {
       return;
     case net::MessageKind::kGossipAntiEntropyReply: {
       const auto& reply = static_cast<const GossipAntiEntropyReply&>(*message);
+      if (reply.stream() >= streams_.size()) return;
+      StreamState& state = streams_[reply.stream()];
       for (const auto& [seq, payload_bytes] : reply.updates()) {
-        if (store_.count(seq) > 0) continue;
-        stats_.anti_entropy_recoveries += 1;
+        if (state.store.count(seq) > 0) continue;
+        state.stats.anti_entropy_recoveries += 1;
         // Anti-entropy recoveries are not re-pushed: rumor mongering already
         // saturated; re-pushing old updates would only add duplicates.
-        deliver(seq, payload_bytes, /*push=*/false);
+        deliver(reply.stream(), seq, payload_bytes, /*push=*/false);
       }
       return;
     }
@@ -81,57 +90,70 @@ void SimpleGossip::on_datagram(net::NodeId from, net::MessagePtr message) {
   }
 }
 
-void SimpleGossip::deliver(std::uint64_t seq, std::size_t payload_bytes,
-                           bool push) {
-  store_[seq] = payload_bytes;
-  while (store_.count(contiguous_upto_) > 0) ++contiguous_upto_;
-  stats_.delivered += 1;
-  stats_.delivery_time[seq] = now();
-  if (push) push_rumor(seq, payload_bytes);
+void SimpleGossip::deliver(net::StreamId stream, std::uint64_t seq,
+                           std::size_t payload_bytes, bool push) {
+  StreamState& state = streams_[stream];
+  state.store[seq] = payload_bytes;
+  while (state.store.count(state.contiguous_upto) > 0) {
+    ++state.contiguous_upto;
+  }
+  state.stats.delivered += 1;
+  state.stats.delivery_time[seq] = now();
+  if (push) push_rumor(stream, seq, payload_bytes);
 }
 
-void SimpleGossip::push_rumor(std::uint64_t seq, std::size_t payload_bytes) {
+void SimpleGossip::push_rumor(net::StreamId stream, std::uint64_t seq,
+                              std::size_t payload_bytes) {
   for (const net::NodeId peer : cyclon_.random_peers(config_.fanout)) {
-    stats_.rumors_sent += 1;
-    network().send_datagram(id(), peer,
-                            net::make_message<GossipRumor>(seq, payload_bytes),
-                            kData);
+    streams_[stream].stats.rumors_sent += 1;
+    network().send_datagram(
+        id(), peer,
+        net::make_message<GossipRumor>(stream, seq, payload_bytes), kData);
   }
 }
 
 void SimpleGossip::on_anti_entropy_timer() {
   const std::vector<net::NodeId> peers = cyclon_.random_peers(1);
   if (peers.empty()) return;
-  stats_.anti_entropy_rounds += 1;
-  // Digest: everything below contiguous_upto_ plus the most recent
-  // out-of-order seqs.
-  std::vector<std::uint64_t> extras;
-  for (auto it = store_.rbegin();
-       it != store_.rend() && extras.size() < config_.digest_extras; ++it) {
-    if (it->first < contiguous_upto_) break;
-    extras.push_back(it->first);
+  // One digest per stream, all to the same partner this round.
+  for (net::StreamId stream = 0; stream < streams_.size(); ++stream) {
+    StreamState& state = streams_[stream];
+    state.stats.anti_entropy_rounds += 1;
+    // Digest: everything below contiguous_upto plus the most recent
+    // out-of-order seqs.
+    std::vector<std::uint64_t> extras;
+    for (auto it = state.store.rbegin();
+         it != state.store.rend() && extras.size() < config_.digest_extras;
+         ++it) {
+      if (it->first < state.contiguous_upto) break;
+      extras.push_back(it->first);
+    }
+    network().send_datagram(
+        id(), peers.front(),
+        net::make_message<GossipAntiEntropyRequest>(
+            stream, state.contiguous_upto, std::move(extras)),
+        kCtl);
   }
-  network().send_datagram(
-      id(), peers.front(),
-      net::make_message<GossipAntiEntropyRequest>(contiguous_upto_,
-                                                 std::move(extras)),
-      kCtl);
 }
 
 void SimpleGossip::handle_anti_entropy_request(
     net::NodeId from, const GossipAntiEntropyRequest& msg) {
+  if (msg.stream() >= streams_.size()) return;
+  StreamState& state = streams_[msg.stream()];
   std::vector<std::pair<std::uint64_t, std::size_t>> updates;
   const std::set<std::uint64_t> known(msg.extra_known().begin(),
                                       msg.extra_known().end());
-  for (auto it = store_.lower_bound(msg.contiguous_upto());
-       it != store_.end() && updates.size() < config_.anti_entropy_batch;
+  for (auto it = state.store.lower_bound(msg.contiguous_upto());
+       it != state.store.end() && updates.size() < config_.anti_entropy_batch;
        ++it) {
     if (known.count(it->first) > 0) continue;
     updates.emplace_back(it->first, it->second);
   }
   if (updates.empty()) return;
   network().send_datagram(
-      id(), from, net::make_message<GossipAntiEntropyReply>(std::move(updates)),
+      id(), from,
+      net::make_message<GossipAntiEntropyReply>(msg.stream(),
+                                               std::move(updates)),
       kData);
 }
 

@@ -7,6 +7,10 @@
 //   * anti-entropy pull with a single random partner at twice the message
 //     creation rate — guarantees completeness for the stragglers
 // (Demers et al. 1987, as configured by the paper).
+//
+// Multi-topic: one node instance carries `num_streams` independent sequence
+// spaces over the same Cyclon view. Rumors and anti-entropy exchanges are
+// stream-tagged; each anti-entropy round digests every stream.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +23,8 @@
 #include "net/network.h"
 #include "net/process.h"
 #include "sim/rng.h"
+#include "util/assert.h"
+#include "util/flat_seq_map.h"
 
 namespace brisa::baselines {
 
@@ -30,10 +36,12 @@ class SimpleGossip final : public net::Process,
     std::size_t fanout = 7;
     /// Anti-entropy period: 2x the message creation rate of 5/s -> 100 ms.
     sim::Duration anti_entropy_period = sim::Duration::milliseconds(100);
-    /// Max payloads shipped per anti-entropy reply.
+    /// Max payloads shipped per anti-entropy reply (per stream).
     std::size_t anti_entropy_batch = 8;
-    /// How many non-contiguous known seqs the digest lists.
+    /// How many non-contiguous known seqs the digest lists per stream.
     std::size_t digest_extras = 32;
+    /// Concurrent streams (topics) 0..num_streams-1 on this node.
+    std::size_t num_streams = 1;
     membership::Cyclon::Config cyclon;
   };
 
@@ -43,7 +51,7 @@ class SimpleGossip final : public net::Process,
     std::uint64_t rumors_sent = 0;
     std::uint64_t anti_entropy_rounds = 0;
     std::uint64_t anti_entropy_recoveries = 0;
-    std::map<std::uint64_t, sim::TimePoint> delivery_time;
+    util::FlatSeqMap<sim::TimePoint> delivery_time;
   };
 
   SimpleGossip(net::Network& network, net::NodeId id, Config config);
@@ -52,21 +60,44 @@ class SimpleGossip final : public net::Process,
   void bootstrap(const std::vector<net::NodeId>& seeds);
   void join(net::NodeId contact);
 
-  /// Injects the next message (source). Returns the sequence number.
-  std::uint64_t broadcast(std::size_t payload_bytes);
+  /// Injects the next message on `stream` (source). Returns the sequence.
+  std::uint64_t broadcast(net::StreamId stream, std::size_t payload_bytes);
+  std::uint64_t broadcast(std::size_t payload_bytes) {
+    return broadcast(net::kDefaultStream, payload_bytes);
+  }
 
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const Stats& stats(net::StreamId stream) const {
+    BRISA_ASSERT(stream < streams_.size());
+    return streams_[stream].stats;
+  }
+  [[nodiscard]] const Stats& stats() const {
+    return stats(net::kDefaultStream);
+  }
   [[nodiscard]] membership::Cyclon& cyclon() { return cyclon_; }
-  [[nodiscard]] std::uint64_t contiguous_upto() const {
-    return contiguous_upto_;
+  [[nodiscard]] std::uint64_t contiguous_upto(
+      net::StreamId stream = net::kDefaultStream) const {
+    BRISA_ASSERT(stream < streams_.size());
+    return streams_[stream].contiguous_upto;
   }
 
   void on_datagram(net::NodeId from, net::MessagePtr message) override;
 
  private:
+  /// Per-stream sequence space: payload sizes by sequence (doubles as the
+  /// anti-entropy store — ordered, lower_bound-driven), delivery watermark,
+  /// and statistics.
+  struct StreamState {
+    std::uint64_t next_seq = 0;
+    std::map<std::uint64_t, std::size_t> store;
+    std::uint64_t contiguous_upto = 0;
+    Stats stats;
+  };
+
   void start_timers();
-  void deliver(std::uint64_t seq, std::size_t payload_bytes, bool push);
-  void push_rumor(std::uint64_t seq, std::size_t payload_bytes);
+  void deliver(net::StreamId stream, std::uint64_t seq,
+               std::size_t payload_bytes, bool push);
+  void push_rumor(net::StreamId stream, std::uint64_t seq,
+                  std::size_t payload_bytes);
   void on_anti_entropy_timer();
   void handle_anti_entropy_request(net::NodeId from,
                                    const GossipAntiEntropyRequest& msg);
@@ -75,12 +106,9 @@ class SimpleGossip final : public net::Process,
   sim::Rng rng_;
   membership::Cyclon cyclon_;
   bool started_ = false;
-  std::uint64_t next_seq_ = 0;
 
-  /// Payload sizes by sequence; doubles as the anti-entropy store.
-  std::map<std::uint64_t, std::size_t> store_;
-  std::uint64_t contiguous_upto_ = 0;
-  Stats stats_;
+  /// Indexed by StreamId, sized num_streams at construction.
+  std::vector<StreamState> streams_;
 };
 
 }  // namespace brisa::baselines

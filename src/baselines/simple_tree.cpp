@@ -34,9 +34,11 @@ void SimpleTreeCoordinator::on_datagram(net::NodeId from,
 }
 
 SimpleTreeNode::SimpleTreeNode(net::Network& network, net::Transport& transport,
-                               net::NodeId id, net::NodeId coordinator)
+                               net::NodeId id, net::NodeId coordinator,
+                               std::size_t num_streams)
     : net::Process(network, id), transport_(transport),
-      coordinator_(coordinator) {
+      coordinator_(coordinator), streams_(num_streams) {
+  BRISA_ASSERT(num_streams >= 1);
   transport_.bind(id, this);
   network.bind_datagram_handler(id, this);
 }
@@ -47,10 +49,12 @@ void SimpleTreeNode::join() {
                           net::make_message<TreeJoinRequest>(), kCtl);
 }
 
-std::uint64_t SimpleTreeNode::broadcast(std::size_t payload_bytes) {
+std::uint64_t SimpleTreeNode::broadcast(net::StreamId stream,
+                                        std::size_t payload_bytes) {
   BRISA_ASSERT_MSG(is_root_, "broadcast requires the root");
-  const std::uint64_t seq = next_seq_++;
-  deliver(seq, payload_bytes);
+  BRISA_ASSERT(stream < streams_.size());
+  const std::uint64_t seq = streams_[stream].next_seq++;
+  deliver(stream, seq, payload_bytes);
   return seq;
 }
 
@@ -73,7 +77,7 @@ void SimpleTreeNode::on_connection_down(net::ConnectionId conn,
                                         net::CloseReason /*reason*/) {
   if (conn == parent_conn_) {
     // No repair by design: the subtree silently stops receiving.
-    stats_.parent_lost = true;
+    for (StreamState& state : streams_) state.stats.parent_lost = true;
     parent_conn_ = net::kInvalidConnectionId;
     parent_ = net::NodeId::invalid();
     return;
@@ -89,11 +93,13 @@ void SimpleTreeNode::on_message(net::ConnectionId conn, net::NodeId /*from*/,
       return;
     case net::MessageKind::kTreeData: {
       const auto& data = static_cast<const TreeData&>(*message);
-      if (delivered_.count(data.seq()) > 0) {
-        stats_.duplicates += 1;
+      if (data.stream() >= streams_.size()) return;
+      StreamState& state = streams_[data.stream()];
+      if (state.delivered.count(data.seq()) > 0) {
+        state.stats.duplicates += 1;
         return;
       }
-      deliver(data.seq(), data.payload_bytes());
+      deliver(data.stream(), data.seq(), data.payload_bytes());
       return;
     }
     default:
@@ -101,17 +107,21 @@ void SimpleTreeNode::on_message(net::ConnectionId conn, net::NodeId /*from*/,
   }
 }
 
-void SimpleTreeNode::deliver(std::uint64_t seq, std::size_t payload_bytes) {
-  delivered_.insert(seq);
-  stats_.delivered += 1;
-  stats_.delivery_time[seq] = now();
-  forward_to_children(seq, payload_bytes);
+void SimpleTreeNode::deliver(net::StreamId stream, std::uint64_t seq,
+                             std::size_t payload_bytes) {
+  StreamState& state = streams_[stream];
+  state.delivered.insert(seq);
+  state.stats.delivered += 1;
+  state.stats.delivery_time[seq] = now();
+  forward_to_children(stream, seq, payload_bytes);
 }
 
-void SimpleTreeNode::forward_to_children(std::uint64_t seq,
+void SimpleTreeNode::forward_to_children(net::StreamId stream,
+                                         std::uint64_t seq,
                                          std::size_t payload_bytes) {
   for (const net::ConnectionId conn : children_) {
-    transport_.send(conn, id(), net::make_message<TreeData>(seq, payload_bytes),
+    transport_.send(conn, id(),
+                    net::make_message<TreeData>(stream, seq, payload_bytes),
                     kData);
   }
 }

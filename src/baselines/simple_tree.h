@@ -17,6 +17,8 @@
 #include "net/process.h"
 #include "net/transport.h"
 #include "sim/rng.h"
+#include "util/assert.h"
+#include "util/flat_seq_map.h"
 
 namespace brisa::baselines {
 
@@ -46,12 +48,13 @@ class SimpleTreeNode final : public net::Process, public net::TransportHandler,
   struct Stats {
     std::uint64_t delivered = 0;
     std::uint64_t duplicates = 0;
-    std::map<std::uint64_t, sim::TimePoint> delivery_time;
+    util::FlatSeqMap<sim::TimePoint> delivery_time;
     bool parent_lost = false;
   };
 
   SimpleTreeNode(net::Network& network, net::Transport& transport,
-                 net::NodeId id, net::NodeId coordinator);
+                 net::NodeId id, net::NodeId coordinator,
+                 std::size_t num_streams = 1);
 
   /// Root bootstrap: no join round-trip, just registration with the
   /// coordinator (done by the scenario via register_root).
@@ -60,10 +63,20 @@ class SimpleTreeNode final : public net::Process, public net::TransportHandler,
   /// Contacts the coordinator for a parent assignment.
   void join();
 
-  /// Injects the next message (root only). Returns the sequence number.
-  std::uint64_t broadcast(std::size_t payload_bytes);
+  /// Injects the next message on `stream` (root only). Returns the
+  /// sequence number.
+  std::uint64_t broadcast(net::StreamId stream, std::size_t payload_bytes);
+  std::uint64_t broadcast(std::size_t payload_bytes) {
+    return broadcast(net::kDefaultStream, payload_bytes);
+  }
 
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const Stats& stats(net::StreamId stream) const {
+    BRISA_ASSERT(stream < streams_.size());
+    return streams_[stream].stats;
+  }
+  [[nodiscard]] const Stats& stats() const {
+    return stats(net::kDefaultStream);
+  }
   [[nodiscard]] net::NodeId parent() const { return parent_; }
   [[nodiscard]] std::size_t child_count() const { return children_.size(); }
   [[nodiscard]] bool joined() const { return is_root_ || parent_.valid(); }
@@ -80,20 +93,29 @@ class SimpleTreeNode final : public net::Process, public net::TransportHandler,
   void on_datagram(net::NodeId from, net::MessagePtr message) override;
 
  private:
-  void deliver(std::uint64_t seq, std::size_t payload_bytes);
-  void forward_to_children(std::uint64_t seq, std::size_t payload_bytes);
+  /// Per-stream sequence space; the tree topology itself is shared by every
+  /// stream (one set of child connections).
+  struct StreamState {
+    std::uint64_t next_seq = 0;
+    std::set<std::uint64_t> delivered;
+    Stats stats;
+  };
+
+  void deliver(net::StreamId stream, std::uint64_t seq,
+               std::size_t payload_bytes);
+  void forward_to_children(net::StreamId stream, std::uint64_t seq,
+                           std::size_t payload_bytes);
 
   net::Transport& transport_;
   net::NodeId coordinator_;
   bool is_root_ = false;
-  std::uint64_t next_seq_ = 0;
 
   net::NodeId parent_;
   net::ConnectionId parent_conn_ = net::kInvalidConnectionId;
   std::set<net::ConnectionId> children_;
 
-  std::set<std::uint64_t> delivered_;
-  Stats stats_;
+  /// Indexed by StreamId, sized num_streams at construction.
+  std::vector<StreamState> streams_;
 };
 
 }  // namespace brisa::baselines

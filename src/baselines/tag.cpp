@@ -20,7 +20,9 @@ TagNode::TagNode(net::Network& network, net::Transport& transport,
       transport_(transport),
       head_(head),
       config_(config),
-      rng_(network.simulator().rng().split(0x7A6ULL ^ id.index())) {
+      rng_(network.simulator().rng().split(0x7A6ULL ^ id.index())),
+      streams_(config.num_streams) {
+  BRISA_ASSERT(config_.num_streams >= 1);
   transport_.bind(id, this);
   network.bind_datagram_handler(id, this);
 }
@@ -32,7 +34,7 @@ void TagNode::start_as_head() {
 }
 
 void TagNode::join() {
-  stats_.join_started_at = now();
+  node_stats().join_started_at = now();
   query_tail();
   start_timers();
 }
@@ -49,10 +51,12 @@ void TagNode::start_timers() {
   });
 }
 
-std::uint64_t TagNode::broadcast(std::size_t payload_bytes) {
+std::uint64_t TagNode::broadcast(net::StreamId stream,
+                                 std::size_t payload_bytes) {
   BRISA_ASSERT_MSG(is_head_, "only the head injects the stream");
-  const std::uint64_t seq = next_seq_++;
-  deliver(seq, payload_bytes);
+  BRISA_ASSERT(stream < streams_.size());
+  const std::uint64_t seq = streams_[stream].next_seq++;
+  deliver(stream, seq, payload_bytes);
   return seq;
 }
 
@@ -89,7 +93,7 @@ void TagNode::probe(net::NodeId target) {
     traversing_ = false;
     return;
   }
-  ++stats_.probes_sent;
+  ++node_stats().probes_sent;
   ++probes_this_traversal_;
   const net::ConnectionId conn = transport_.connect(id(), target);
   pending_dials_[conn] = PendingDial{DialIntent::kProbe, target};
@@ -120,14 +124,12 @@ void TagNode::adopt_parent(net::NodeId parent, net::ConnectionId conn) {
   }
   parent_ = parent;
   parent_conn_ = conn;
-  if (!stats_.parent_acquired_at.has_value()) {
-    stats_.parent_acquired_at = now();
+  if (!node_stats().parent_acquired_at.has_value()) {
+    node_stats().parent_acquired_at = now();
   }
   record_parent_recovery();
   // First pull doubles as the attach signal for the parent's child count.
-  ++stats_.pulls_sent;
-  transport_.send(conn, id(),
-                  net::make_message<TagPullRequest>(contiguous_upto_), kCtl);
+  send_pull(conn, net::NodeId::invalid());
 }
 
 void TagNode::traversal_failed_hop(net::NodeId next_hint) {
@@ -196,7 +198,7 @@ void TagNode::handle_append_reply(net::ConnectionId conn, net::NodeId from,
   traversing_ = true;
   traversal_for_repair_ = false;
   probes_this_traversal_ = 1;
-  ++stats_.probes_sent;
+  ++node_stats().probes_sent;
   transport_.send(conn, id(), net::make_message<TagListProbe>(), kMem);
 }
 
@@ -245,7 +247,7 @@ void TagNode::succ_died() {
 }
 
 void TagNode::reinsert() {
-  ++stats_.hard_repairs;
+  ++node_stats().hard_repairs;
   repair_is_hard_ = true;
   pred_ = pred2_ = net::NodeId::invalid();
   pred_conn_ = net::kInvalidConnectionId;
@@ -256,28 +258,43 @@ void TagNode::reinsert() {
 
 void TagNode::on_pull_timer() {
   if (parent_conn_ == net::kInvalidConnectionId) return;
-  ++stats_.pulls_sent;
-  transport_.send(parent_conn_, id(),
-                  net::make_message<TagPullRequest>(contiguous_upto_), kCtl);
+  send_pull(parent_conn_, net::NodeId::invalid());
 }
 
 void TagNode::on_gossip_pull_timer() {
   if (gossip_peers_.empty()) return;
   const net::NodeId peer = rng_.pick(gossip_peers_);
-  network().send_datagram(
-      id(), peer, net::make_message<TagPullRequest>(contiguous_upto_), kCtl);
+  send_pull(net::kInvalidConnectionId, peer);
+}
+
+/// One TagPullRequest per stream, over a connection (parent) or as a
+/// datagram (gossip prefetch).
+void TagNode::send_pull(net::ConnectionId conn, net::NodeId datagram_peer) {
+  for (net::StreamId stream = 0; stream < streams_.size(); ++stream) {
+    ++node_stats().pulls_sent;
+    auto request = net::make_message<TagPullRequest>(
+        stream, streams_[stream].contiguous_upto);
+    if (datagram_peer.valid()) {
+      network().send_datagram(id(), datagram_peer, std::move(request), kCtl);
+    } else {
+      transport_.send(conn, id(), std::move(request), kCtl);
+    }
+  }
 }
 
 void TagNode::handle_pull_request(net::ConnectionId conn, net::NodeId from,
                                   const TagPullRequest& msg, bool datagram) {
   if (!datagram) child_conns_.insert(conn);
+  if (msg.stream() >= streams_.size()) return;
+  StreamState& state = streams_[msg.stream()];
   std::vector<std::pair<std::uint64_t, std::size_t>> updates;
-  for (auto it = store_.lower_bound(msg.from_seq());
-       it != store_.end() && updates.size() < config_.pull_batch; ++it) {
+  for (auto it = state.store.lower_bound(msg.from_seq());
+       it != state.store.end() && updates.size() < config_.pull_batch; ++it) {
     updates.emplace_back(it->first, it->second);
   }
   if (updates.empty()) return;
-  auto reply = net::make_message<TagPullReply>(std::move(updates));
+  auto reply = net::make_message<TagPullReply>(msg.stream(),
+                                              std::move(updates));
   if (datagram) {
     network().send_datagram(id(), from, std::move(reply), kData);
   } else {
@@ -285,25 +302,29 @@ void TagNode::handle_pull_request(net::ConnectionId conn, net::NodeId from,
   }
 }
 
-void TagNode::deliver(std::uint64_t seq, std::size_t payload_bytes) {
-  if (store_.count(seq) > 0) {
-    stats_.duplicates += 1;
+void TagNode::deliver(net::StreamId stream, std::uint64_t seq,
+                      std::size_t payload_bytes) {
+  StreamState& state = streams_[stream];
+  if (state.store.count(seq) > 0) {
+    state.stats.duplicates += 1;
     return;
   }
-  store_[seq] = payload_bytes;
-  while (store_.count(contiguous_upto_) > 0) ++contiguous_upto_;
-  stats_.delivered += 1;
-  stats_.delivery_time[seq] = now();
+  state.store[seq] = payload_bytes;
+  while (state.store.count(state.contiguous_upto) > 0) {
+    ++state.contiguous_upto;
+  }
+  state.stats.delivered += 1;
+  state.stats.delivery_time[seq] = now();
 }
 
 void TagNode::record_parent_recovery() {
   if (!orphaned_at_.has_value()) return;
   const sim::Duration delay = now() - *orphaned_at_;
   if (repair_is_hard_) {
-    stats_.hard_repair_delays.push_back(delay);
+    node_stats().hard_repair_delays.push_back(delay);
   } else {
-    ++stats_.soft_repairs;
-    stats_.soft_repair_delays.push_back(delay);
+    ++node_stats().soft_repairs;
+    node_stats().soft_repair_delays.push_back(delay);
   }
   orphaned_at_.reset();
   repair_is_hard_ = false;
@@ -400,7 +421,7 @@ void TagNode::on_connection_down(net::ConnectionId conn, net::NodeId peer,
     parent_ = net::NodeId::invalid();
     parent_conn_ = net::kInvalidConnectionId;
     if (reason == net::CloseReason::kPeerFailure) {
-      ++stats_.parents_lost;
+      ++node_stats().parents_lost;
       orphaned_at_ = now();
       repair_is_hard_ = false;
     }
@@ -460,7 +481,10 @@ void TagNode::on_message(net::ConnectionId conn, net::NodeId from,
       return;
     case net::MessageKind::kTagPullReply: {
       const auto& reply = static_cast<const TagPullReply&>(*message);
-      for (const auto& [seq, bytes] : reply.updates()) deliver(seq, bytes);
+      if (reply.stream() >= streams_.size()) return;
+      for (const auto& [seq, bytes] : reply.updates()) {
+        deliver(reply.stream(), seq, bytes);
+      }
       return;
     }
     default:
@@ -493,7 +517,10 @@ void TagNode::on_datagram(net::NodeId from, net::MessagePtr message) {
       return;
     case net::MessageKind::kTagPullReply: {
       const auto& reply = static_cast<const TagPullReply&>(*message);
-      for (const auto& [seq, bytes] : reply.updates()) deliver(seq, bytes);
+      if (reply.stream() >= streams_.size()) return;
+      for (const auto& [seq, bytes] : reply.updates()) {
+        deliver(reply.stream(), seq, bytes);
+      }
       return;
     }
     default:

@@ -29,6 +29,8 @@
 #include "net/process.h"
 #include "net/transport.h"
 #include "sim/rng.h"
+#include "util/assert.h"
+#include "util/flat_seq_map.h"
 
 namespace brisa::baselines {
 
@@ -46,6 +48,8 @@ class TagNode final : public net::Process,
     std::size_t pull_batch = 1;   ///< payloads per pull reply
     std::size_t probe_max = 6;    ///< traversal bound before forced accept
     double accept_probability = 0.6;
+    /// Concurrent streams (topics) 0..num_streams-1 on this node.
+    std::size_t num_streams = 1;
   };
 
   struct Stats {
@@ -61,7 +65,7 @@ class TagNode final : public net::Process,
     /// Join start -> parent selected (Fig 13 construction time).
     std::optional<sim::TimePoint> join_started_at;
     std::optional<sim::TimePoint> parent_acquired_at;
-    std::map<std::uint64_t, sim::TimePoint> delivery_time;
+    util::FlatSeqMap<sim::TimePoint> delivery_time;
   };
 
   TagNode(net::Network& network, net::Transport& transport, net::NodeId id,
@@ -73,17 +77,32 @@ class TagNode final : public net::Process,
   /// Full join: tail query -> append -> backward traversal.
   void join();
 
-  /// Injects the next message (head only). Returns the sequence number.
-  std::uint64_t broadcast(std::size_t payload_bytes);
+  /// Injects the next message on `stream` (head only). Returns the
+  /// sequence number.
+  std::uint64_t broadcast(net::StreamId stream, std::size_t payload_bytes);
+  std::uint64_t broadcast(std::size_t payload_bytes) {
+    return broadcast(net::kDefaultStream, payload_bytes);
+  }
 
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Per-stream delivery statistics. Structure-level events (probes, list
+  /// repairs, join timing) are recorded on stream 0: the list/tree is one
+  /// shared structure, not per-stream.
+  [[nodiscard]] const Stats& stats(net::StreamId stream) const {
+    BRISA_ASSERT(stream < streams_.size());
+    return streams_[stream].stats;
+  }
+  [[nodiscard]] const Stats& stats() const {
+    return stats(net::kDefaultStream);
+  }
   [[nodiscard]] net::NodeId parent() const { return parent_; }
   [[nodiscard]] net::NodeId list_pred() const { return pred_; }
   [[nodiscard]] net::NodeId list_succ() const { return succ_; }
   [[nodiscard]] std::size_t child_count() const { return child_conns_.size(); }
   [[nodiscard]] bool joined() const { return is_head_ || parent_.valid(); }
-  [[nodiscard]] std::uint64_t contiguous_upto() const {
-    return contiguous_upto_;
+  [[nodiscard]] std::uint64_t contiguous_upto(
+      net::StreamId stream = net::kDefaultStream) const {
+    BRISA_ASSERT(stream < streams_.size());
+    return streams_[stream].contiguous_upto;
   }
   [[nodiscard]] const std::vector<net::NodeId>& gossip_view() const {
     return gossip_peers_;
@@ -139,12 +158,26 @@ class TagNode final : public net::Process,
   void on_gossip_pull_timer();
   void handle_pull_request(net::ConnectionId conn, net::NodeId from,
                            const TagPullRequest& msg, bool datagram);
-  void deliver(std::uint64_t seq, std::size_t payload_bytes);
+  void deliver(net::StreamId stream, std::uint64_t seq,
+               std::size_t payload_bytes);
+  void send_pull(net::ConnectionId conn, net::NodeId datagram_peer);
   void record_parent_recovery();
 
   void add_gossip_peers(const std::vector<net::NodeId>& sample);
   [[nodiscard]] std::vector<net::NodeId> peer_sample();
   void start_timers();
+
+  /// Per-stream sequence space: the pull store (ordered, lower_bound-driven)
+  /// and delivery stats. The list/tree structure is shared by every stream.
+  struct StreamState {
+    std::uint64_t next_seq = 0;
+    std::map<std::uint64_t, std::size_t> store;
+    std::uint64_t contiguous_upto = 0;
+    Stats stats;
+  };
+
+  /// Structure-level stats live on stream 0.
+  [[nodiscard]] Stats& node_stats() { return streams_[0].stats; }
 
   net::Transport& transport_;
   net::NodeId head_;
@@ -152,7 +185,6 @@ class TagNode final : public net::Process,
   sim::Rng rng_;
   bool is_head_ = false;
   bool started_ = false;
-  std::uint64_t next_seq_ = 0;
 
   // Linked list links (ids; pred/succ also hold persistent connections).
   net::NodeId pred_;
@@ -176,9 +208,8 @@ class TagNode final : public net::Process,
   bool repair_is_hard_ = false;
 
   std::vector<net::NodeId> gossip_peers_;
-  std::map<std::uint64_t, std::size_t> store_;
-  std::uint64_t contiguous_upto_ = 0;
-  Stats stats_;
+  /// Indexed by StreamId, sized num_streams at construction.
+  std::vector<StreamState> streams_;
 };
 
 }  // namespace brisa::baselines

@@ -15,26 +15,24 @@ constexpr net::TrafficClass kCtl = net::TrafficClass::kControl;
 
 }  // namespace
 
-Brisa::Brisa(net::Network& network, membership::PeerSamplingService& pss,
-             net::NodeId id, Config config)
-    : net::Process(network, id),
-      pss_(pss),
+BrisaStream::BrisaStream(BrisaEngine& engine, net::StreamId stream,
+                         Config config)
+    : engine_(engine),
+      stream_(stream),
       config_(config),
-      rng_(network.simulator().rng().split(0xB015AULL ^ id.index())),
-      started_at_(network.simulator().now()) {
+      // Stream 0 splits exactly like the historical single-stream instance,
+      // so single-stream runs keep their RNG trajectory; further streams
+      // fold the id into the split key for independent randomness.
+      rng_(engine.simulator().rng().split(
+          0xB015AULL ^ engine.id().index() ^
+          (static_cast<std::uint64_t>(stream) << 32))),
+      started_at_(engine.simulator().now()) {
   BRISA_ASSERT_MSG(
       config_.mode == StructureMode::kDag || config_.num_parents == 1,
       "tree mode requires exactly one parent");
   BRISA_ASSERT(config_.num_parents >= 1);
-  pss_.set_listener(this);
-  pss_.set_watermark_provider(
-      [this]() -> std::pair<std::uint64_t, std::uint64_t> {
-        const std::uint64_t watermark =
-            delivered_seqs_.empty() ? 0 : *delivered_seqs_.rbegin() + 1;
-        return {watermark, cum_delay_us_};
-      });
-  // Adopt any neighbors that existed before this protocol instance attached.
-  for (const net::NodeId peer : pss_.view()) links_.try_emplace(peer);
+  // Adopt any neighbors that existed before this stream attached.
+  for (const net::NodeId peer : pss().view()) links_.try_emplace(peer);
   // Delay-aware refinement (§II-E): keep-alive piggybacked cumulative
   // delays let a node periodically re-evaluate its parent choice against
   // fresher estimates — the continuing optimization the paper attributes to
@@ -49,14 +47,14 @@ Brisa::Brisa(net::Network& network, membership::PeerSamplingService& pss,
           candidate_cost(config_.strategy, make_candidate(parent, true));
       net::NodeId best;
       double best_cost = parent_cost;
-      for (const net::NodeId peer : pss_.view()) {
+      for (const net::NodeId peer : pss().view()) {
         if (parents_.count(peer) > 0) continue;
         const auto it = links_.find(peer);
         if (it == links_.end()) continue;
         // Rank by the keep-alive-fresh cumulative delay; cycle safety is
         // confirmed by the resume/ack handshake, not the stale path cache.
         if (!it->second.ka_cum_fresh && !it->second.position.known) continue;
-        const sim::Duration rtt = pss_.rtt_estimate(peer);
+        const sim::Duration rtt = pss().rtt_estimate(peer);
         if (rtt == sim::Duration::max()) continue;
         const double cost =
             static_cast<double>(it->second.position.cum_delay_us) +
@@ -112,16 +110,31 @@ Brisa::Brisa(net::Network& network, membership::PeerSamplingService& pss,
   }
 }
 
+// --- Engine access shims ------------------------------------------------------
+
+net::NodeId BrisaStream::id() const { return engine_.id(); }
+sim::TimePoint BrisaStream::now() const { return engine_.now(); }
+membership::PeerSamplingService& BrisaStream::pss() const {
+  return engine_.pss();
+}
+sim::EventId BrisaStream::after(sim::Duration delay, sim::Callback fn) {
+  return engine_.after(delay, std::move(fn));
+}
+sim::PeriodicId BrisaStream::every(sim::Duration period, sim::Callback fn) {
+  return engine_.every(period, std::move(fn));
+}
+void BrisaStream::cancel(sim::EventId event) { engine_.cancel(event); }
+
 // --- Source API --------------------------------------------------------------
 
-void Brisa::become_source() {
+void BrisaStream::become_source() {
   is_source_ = true;
   position_known_ = true;
   path_ = {id()};
   depth_ = 0;
 }
 
-std::uint64_t Brisa::broadcast(std::size_t payload_bytes) {
+std::uint64_t BrisaStream::broadcast(std::size_t payload_bytes) {
   BRISA_ASSERT_MSG(is_source_, "broadcast() requires become_source()");
   const std::uint64_t seq = next_seq_++;
   delivered_seqs_.insert(seq);
@@ -132,7 +145,7 @@ std::uint64_t Brisa::broadcast(std::size_t payload_bytes) {
   while (payload_buffer_.size() > config_.retransmit_buffer) {
     payload_buffer_.pop_front();
   }
-  const BrisaData msg(config_.stream, seq, payload_bytes, config_.mode,
+  const BrisaData msg(stream_, seq, payload_bytes, config_.mode,
                       my_position(), /*retransmission=*/false);
   relay(msg, net::NodeId::invalid());
   if (delivery_handler_) delivery_handler_(seq, payload_bytes);
@@ -141,22 +154,22 @@ std::uint64_t Brisa::broadcast(std::size_t payload_bytes) {
 
 // --- Introspection ------------------------------------------------------------
 
-std::vector<net::NodeId> Brisa::parents() const {
+std::vector<net::NodeId> BrisaStream::parents() const {
   return {parents_.begin(), parents_.end()};
 }
 
-std::vector<net::NodeId> Brisa::children() const {
+std::vector<net::NodeId> BrisaStream::children() const {
   std::vector<net::NodeId> out;
   for (const auto& [peer, link] : links_) {
     if (link.outbound_active && parents_.count(peer) == 0 &&
-        pss_.is_neighbor(peer)) {
+        pss().is_neighbor(peer)) {
       out.push_back(peer);
     }
   }
   return out;
 }
 
-std::int32_t Brisa::depth() const {
+std::int32_t BrisaStream::depth() const {
   if (!position_known_) return -1;
   if (config_.mode == StructureMode::kTree) {
     return static_cast<std::int32_t>(path_.size()) - 1;
@@ -164,20 +177,26 @@ std::int32_t Brisa::depth() const {
   return depth_;
 }
 
-std::uint64_t Brisa::max_contiguous_seq() const { return contiguous_upto_; }
+std::uint64_t BrisaStream::max_contiguous_seq() const { return contiguous_upto_; }
+
+membership::AppWatermark BrisaStream::watermark_entry() const {
+  return {stream_,
+          delivered_seqs_.empty() ? 0 : *delivered_seqs_.rbegin() + 1,
+          cum_delay_us_};
+}
 
 // --- PSS events ----------------------------------------------------------------
 
-void Brisa::on_neighbor_up(net::NodeId peer) {
+void BrisaStream::on_neighbor_up(net::NodeId peer) {
   links_.try_emplace(peer);  // both directions start active (§II-F)
   // A node stuck in hard repair greets every new neighbor with a resume
   // request — the PSS replenishing the view is what unblocks it.
   if (repair_.has_value() && repair_->hard) {
-    send_to(peer, net::make_message<BrisaResume>(config_.stream, true), kCtl);
+    send_to(peer, net::make_message<BrisaResume>(stream_, true), kCtl);
   }
 }
 
-void Brisa::on_neighbor_down(net::NodeId peer,
+void BrisaStream::on_neighbor_down(net::NodeId peer,
                              membership::NeighborLossReason /*reason*/) {
   const bool was_parent = parents_.erase(peer) > 0;
   links_.erase(peer);
@@ -204,8 +223,9 @@ void Brisa::on_neighbor_down(net::NodeId peer,
   }
 }
 
-void Brisa::on_neighbor_watermark(net::NodeId peer, std::uint64_t watermark,
-                                  std::uint64_t aux) {
+void BrisaStream::on_neighbor_watermark(net::NodeId peer,
+                                        std::uint64_t watermark,
+                                        std::uint64_t aux) {
   watermark_heard_ = std::max(watermark_heard_, watermark);
   // The aux value is the neighbor's cumulative path delay (§III-B). Keeping
   // the cache fresh is what lets the delay-aware strategy keep refining
@@ -220,36 +240,9 @@ void Brisa::on_neighbor_watermark(net::NodeId peer, std::uint64_t watermark,
   }
 }
 
-void Brisa::on_app_message(net::NodeId from, net::MessagePtr message) {
-  switch (message->kind()) {
-    case net::MessageKind::kBrisaData:
-      handle_data(from, static_cast<const BrisaData&>(*message));
-      return;
-    case net::MessageKind::kBrisaDeactivate:
-      handle_deactivate(from, static_cast<const BrisaDeactivate&>(*message));
-      return;
-    case net::MessageKind::kBrisaResume:
-      handle_resume(from, static_cast<const BrisaResume&>(*message));
-      return;
-    case net::MessageKind::kBrisaResumeAck:
-      handle_resume_ack(from, static_cast<const BrisaResumeAck&>(*message));
-      return;
-    case net::MessageKind::kBrisaReactivateOrder:
-      handle_reactivate_order(from);
-      return;
-    case net::MessageKind::kBrisaRetransmitRequest:
-      handle_retransmit_request(
-          from, static_cast<const BrisaRetransmitRequest&>(*message));
-      return;
-    default:
-      return;
-  }
-}
-
 // --- Data path -----------------------------------------------------------------
 
-void Brisa::handle_data(net::NodeId from, const BrisaData& msg) {
-  if (msg.stream() != config_.stream) return;
+void BrisaStream::handle_data(net::NodeId from, const BrisaData& msg) {
   auto [it, inserted] = links_.try_emplace(from);
   Link& link = it->second;
   record_position(from, msg.sender_position());
@@ -334,11 +327,11 @@ void Brisa::handle_data(net::NodeId from, const BrisaData& msg) {
   prune_with(from);
 }
 
-void Brisa::deliver_and_relay(net::NodeId from, const BrisaData& msg) {
+void BrisaStream::deliver_and_relay(net::NodeId from, const BrisaData& msg) {
   // Flood mode never adopts parents, but Fig 9 still needs the cumulative
   // path RTT of the delivery paths: accumulate it per first reception.
   if (!config_.prune && !msg.retransmission()) {
-    const sim::Duration rtt = pss_.rtt_estimate(from);
+    const sim::Duration rtt = pss().rtt_estimate(from);
     const std::uint64_t hop_us =
         rtt == sim::Duration::max()
             ? 100'000
@@ -353,7 +346,7 @@ void Brisa::deliver_and_relay(net::NodeId from, const BrisaData& msg) {
   buffer_payload(msg);
   if (delivery_handler_) delivery_handler_(msg.seq(), msg.payload_bytes());
   if (!msg.retransmission()) {
-    const BrisaData relayed(config_.stream, msg.seq(), msg.payload_bytes(),
+    const BrisaData relayed(stream_, msg.seq(), msg.payload_bytes(),
                             config_.mode, my_position(),
                             /*retransmission=*/false);
     relay(relayed, from);
@@ -362,21 +355,44 @@ void Brisa::deliver_and_relay(net::NodeId from, const BrisaData& msg) {
   // was lost in a deactivation/swap race. Give in-flight copies a moment,
   // then pull the hole from a parent's buffer (§II-F recovery, generalized
   // beyond repairs).
-  if (contiguous_upto_ <= msg.seq() && !gap_probe_armed_) {
-    gap_probe_armed_ = true;
-    after(config_.gap_probe_delay, [this]() {
-      gap_probe_armed_ = false;
-      if (delivered_seqs_.empty()) return;
-      const std::uint64_t newest = *delivered_seqs_.rbegin();
-      if (contiguous_upto_ > newest) return;  // gap healed meanwhile
-      if (parents_.empty()) return;           // repair flow handles it
-      stats_.gap_recoveries += 1;
-      request_missing(*parents_.begin());
-    });
-  }
+  if (contiguous_upto_ <= msg.seq() && !gap_probe_armed_) arm_gap_probe();
 }
 
-void Brisa::prune_with(net::NodeId duplicate_sender) {
+void BrisaStream::arm_gap_probe() {
+  // Re-arms itself until the hole closes: the first pull can legitimately
+  // fail when the parent is missing the same suffix (it heals from *its*
+  // parent one probe period earlier), and an interior hole is invisible to
+  // starvation surveillance — keep-alive watermarks advertise the newest
+  // delivery, which the hole sits below. Retrying at the probe cadence
+  // walks the recovery down the tree one level per period.
+  gap_probe_armed_ = true;
+  after(config_.gap_probe_delay, [this]() {
+    gap_probe_armed_ = false;
+    if (delivered_seqs_.empty()) return;
+    const std::uint64_t newest = *delivered_seqs_.rbegin();
+    if (contiguous_upto_ > newest) return;  // gap healed meanwhile
+    if (parents_.empty()) return;           // repair flow handles it
+    // Sequences more than one retention window below the newest delivery
+    // are unrecoverable by design: no parent's bounded retransmit buffer
+    // still holds them (a late joiner's pre-join prefix). Pursue only the
+    // in-window part of the hole, and stop probing — rather than pulling a
+    // full buffer of duplicates every period forever — once that part has
+    // closed.
+    const std::uint64_t floor =
+        newest + 1 >= config_.retransmit_buffer
+            ? newest + 1 - config_.retransmit_buffer
+            : 0;
+    std::uint64_t target = std::max(contiguous_upto_, floor);
+    while (target <= newest && delivered_seqs_.count(target) > 0) ++target;
+    if (target > newest) return;  // in-window hole closed
+    stats_.gap_recoveries += 1;
+    send_to(*parents_.begin(),
+            net::make_message<BrisaRetransmitRequest>(stream_, target), kCtl);
+    arm_gap_probe();
+  });
+}
+
+void BrisaStream::prune_with(net::NodeId duplicate_sender) {
   Link& link = links_[duplicate_sender];
   const PositionInfo& sender_pos = link.position;
 
@@ -437,7 +453,7 @@ void Brisa::prune_with(net::NodeId duplicate_sender) {
   note_structure_stability();
 }
 
-void Brisa::deactivate_inbound(net::NodeId peer) {
+void BrisaStream::deactivate_inbound(net::NodeId peer) {
   Link& link = links_[peer];
   link.inbound_active = false;
   parents_.erase(peer);
@@ -446,13 +462,13 @@ void Brisa::deactivate_inbound(net::NodeId peer) {
     stats_.first_deactivation_at = now();
   }
   send_to(peer,
-          net::make_message<BrisaDeactivate>(config_.stream, config_.mode,
+          net::make_message<BrisaDeactivate>(stream_, config_.mode,
                                             my_position()),
           kCtl);
   note_structure_stability();
 }
 
-bool Brisa::position_eligible(net::NodeId candidate,
+bool BrisaStream::position_eligible(net::NodeId candidate,
                               const PositionInfo& position) const {
   if (!position.known) return false;
   if (config_.mode == StructureMode::kTree) {
@@ -470,7 +486,7 @@ bool Brisa::position_eligible(net::NodeId candidate,
   return position.depth == depth_ && candidate.index() < id().index();
 }
 
-void Brisa::adopt_position_from(net::NodeId parent,
+void BrisaStream::adopt_position_from(net::NodeId parent,
                                 const PositionInfo& parent_pos) {
   if (!parent_pos.known) return;
   if (config_.mode == StructureMode::kTree) {
@@ -482,7 +498,7 @@ void Brisa::adopt_position_from(net::NodeId parent,
   // Accumulate the hop cost for the delay-aware metric. Units follow
   // §III-B: *full* round-trip times summed per hop (the paper's Fig 9
   // y-axis), measured from the PSS keep-alives.
-  const sim::Duration rtt = pss_.rtt_estimate(parent);
+  const sim::Duration rtt = pss().rtt_estimate(parent);
   const std::uint64_t hop_us =
       rtt == sim::Duration::max()
           ? 100'000  // no estimate yet: assume a generic 100 ms RTT
@@ -491,14 +507,14 @@ void Brisa::adopt_position_from(net::NodeId parent,
   position_known_ = true;
 }
 
-void Brisa::record_position(net::NodeId peer, const PositionInfo& position) {
+void BrisaStream::record_position(net::NodeId peer, const PositionInfo& position) {
   Link& link = links_[peer];
   if (!position.known) return;
   link.position = position;
   link.position_updated_at = now();
 }
 
-PositionInfo Brisa::my_position() const {
+PositionInfo BrisaStream::my_position() const {
   PositionInfo pos;
   pos.known = position_known_;
   if (config_.mode == StructureMode::kTree) {
@@ -514,17 +530,17 @@ PositionInfo Brisa::my_position() const {
   return pos;
 }
 
-CandidateInfo Brisa::make_candidate(net::NodeId peer, bool incumbent) const {
+CandidateInfo BrisaStream::make_candidate(net::NodeId peer, bool incumbent) const {
   CandidateInfo info;
   info.node = peer;
-  info.rtt = pss_.rtt_estimate(peer);
+  info.rtt = pss().rtt_estimate(peer);
   const auto it = links_.find(peer);
   if (it != links_.end()) info.position = it->second.position;
   info.incumbent = incumbent;
   return info;
 }
 
-void Brisa::note_structure_stability() {
+void BrisaStream::note_structure_stability() {
   if (stats_.structure_stable_at.has_value()) return;
   if (!stats_.first_deactivation_at.has_value()) return;
   std::size_t active_senders = 0;
@@ -538,15 +554,13 @@ void Brisa::note_structure_stability() {
 
 // --- Control path ----------------------------------------------------------------
 
-void Brisa::handle_deactivate(net::NodeId from, const BrisaDeactivate& msg) {
-  if (msg.stream() != config_.stream) return;
+void BrisaStream::handle_deactivate(net::NodeId from, const BrisaDeactivate& msg) {
   record_position(from, msg.sender_position());
   links_[from].outbound_active = false;
   stats_.deactivations_received += 1;
 }
 
-void Brisa::handle_resume(net::NodeId from, const BrisaResume& msg) {
-  if (msg.stream() != config_.stream) return;
+void BrisaStream::handle_resume(net::NodeId from, const BrisaResume& msg) {
   links_[from].outbound_active = true;
   if (msg.want_ack()) {
     // A node never serves its own parent: answering with a valid position
@@ -554,14 +568,13 @@ void Brisa::handle_resume(net::NodeId from, const BrisaResume& msg) {
     PositionInfo pos = my_position();
     if (parents_.count(from) > 0) pos.known = false;
     send_to(from,
-            net::make_message<BrisaResumeAck>(config_.stream, config_.mode,
+            net::make_message<BrisaResumeAck>(stream_, config_.mode,
                                              std::move(pos)),
             kCtl);
   }
 }
 
-void Brisa::handle_resume_ack(net::NodeId from, const BrisaResumeAck& msg) {
-  if (msg.stream() != config_.stream) return;
+void BrisaStream::handle_resume_ack(net::NodeId from, const BrisaResumeAck& msg) {
   record_position(from, msg.responder_position());
   if (!repair_.has_value()) return;
   // Soft repair awaits one specific candidate; hard repair broadcast resumes
@@ -618,7 +631,7 @@ void Brisa::handle_resume_ack(net::NodeId from, const BrisaResumeAck& msg) {
   try_next_repair_candidate();
 }
 
-void Brisa::handle_reactivate_order(net::NodeId from) {
+void BrisaStream::handle_reactivate_order(net::NodeId from) {
   // Only meaningful coming from a node we depend on (§II-F: the order stops
   // at nodes that can replace the sender).
   if (parents_.count(from) == 0) return;
@@ -630,15 +643,14 @@ void Brisa::handle_reactivate_order(net::NodeId from) {
                          /*exclude=*/from);
 }
 
-void Brisa::handle_retransmit_request(net::NodeId from,
+void BrisaStream::handle_retransmit_request(net::NodeId from,
                                       const BrisaRetransmitRequest& msg) {
-  if (msg.stream() != config_.stream) return;
   links_[from].outbound_active = true;
   for (const auto& [seq, payload_bytes] : payload_buffer_) {
     if (seq < msg.from_seq()) continue;
     stats_.retransmissions_served += 1;
     send_to(from,
-            net::make_message<BrisaData>(config_.stream, seq, payload_bytes,
+            net::make_message<BrisaData>(stream_, seq, payload_bytes,
                                         config_.mode, my_position(),
                                         /*retransmission=*/true),
             kData);
@@ -647,12 +659,12 @@ void Brisa::handle_retransmit_request(net::NodeId from,
 
 // --- Repair (§II-F) -----------------------------------------------------------------
 
-void Brisa::start_repair(bool allow_soft) {
+void BrisaStream::start_repair(bool allow_soft) {
   start_repair_with_kind(RepairKind::kOrphanFailure, allow_soft,
                          net::NodeId::invalid());
 }
 
-void Brisa::start_repair_with_kind(RepairKind kind, bool allow_soft,
+void BrisaStream::start_repair_with_kind(RepairKind kind, bool allow_soft,
                                    net::NodeId exclude) {
   RepairState state;
   state.started_at = now();
@@ -671,7 +683,7 @@ void Brisa::start_repair_with_kind(RepairKind kind, bool allow_soft,
   try_next_repair_candidate();
 }
 
-void Brisa::try_next_repair_candidate() {
+void BrisaStream::try_next_repair_candidate() {
   if (!repair_.has_value()) return;
   cancel(repair_->timeout_event);  // previous candidate's timer, if any
   repair_->awaiting_ack = net::NodeId::invalid();
@@ -686,7 +698,7 @@ void Brisa::try_next_repair_candidate() {
   repair_->awaiting_ack = candidate;
   const std::uint64_t token = ++repair_token_counter_;
   repair_->timeout_token = token;
-  send_to(candidate, net::make_message<BrisaResume>(config_.stream, true),
+  send_to(candidate, net::make_message<BrisaResume>(stream_, true),
           kCtl);
   // The token check stays as a second line of defense: a handle is only as
   // fresh as the RepairState that stored it.
@@ -698,7 +710,7 @@ void Brisa::try_next_repair_candidate() {
   });
 }
 
-void Brisa::escalate_to_hard_repair() {
+void BrisaStream::escalate_to_hard_repair() {
   if (!repair_.has_value()) return;
   if (repair_kind_ == RepairKind::kRefine) {
     repair_.reset();  // refinement is opportunistic; no fallback
@@ -713,7 +725,7 @@ void Brisa::escalate_to_hard_repair() {
     if (config_.mode == StructureMode::kDag && !repair_->demoted &&
         position_known_) {
       std::vector<net::NodeId> equal_depth;
-      for (const net::NodeId peer : pss_.view()) {
+      for (const net::NodeId peer : pss().view()) {
         if (parents_.count(peer) > 0) continue;
         const auto it = links_.find(peer);
         if (it == links_.end() || !it->second.position.known) continue;
@@ -748,9 +760,9 @@ void Brisa::escalate_to_hard_repair() {
   for (auto& [peer, link] : links_) link.inbound_active = true;
 
   net::MessagePtr resume;
-  for (const net::NodeId peer : pss_.view()) {
+  for (const net::NodeId peer : pss().view()) {
     if (resume == nullptr) {
-      resume = net::make_message<BrisaResume>(config_.stream, true);
+      resume = net::make_message<BrisaResume>(stream_, true);
     }
     send_to(peer, resume, kCtl);
   }
@@ -758,13 +770,39 @@ void Brisa::escalate_to_hard_repair() {
   for (const net::NodeId child : order_targets) {
     stats_.reactivate_orders_sent += 1;
     if (order == nullptr) {
-      order = net::make_message<BrisaReactivateOrder>(config_.stream);
+      order = net::make_message<BrisaReactivateOrder>(stream_);
     }
     send_to(child, order, kCtl);
   }
+  arm_hard_repair_retry();
 }
 
-void Brisa::finish_repair(net::NodeId new_parent) {
+void BrisaStream::arm_hard_repair_retry() {
+  // Liveness guard: the hard-repair resume broadcast is a one-shot, and
+  // every neighbor may legitimately answer "unknown position" if it still
+  // counted us as a parent when the resume arrived (it refuses to serve its
+  // own parent, §II-F). The re-activation orders break that dependency a
+  // round trip later — so a node whose first broadcast raced the orders
+  // would wait forever. Re-probe the view until a parent is found; each
+  // retry is one small control message per neighbor.
+  const std::uint64_t token = ++repair_token_counter_;
+  repair_->timeout_token = token;
+  repair_->timeout_event = after(config_.repair_ack_timeout, [this, token]() {
+    if (!repair_.has_value() || !repair_->hard) return;
+    if (repair_->timeout_token != token) return;
+    stats_.hard_repair_retries += 1;
+    net::MessagePtr resume;
+    for (const net::NodeId peer : pss().view()) {
+      if (resume == nullptr) {
+        resume = net::make_message<BrisaResume>(stream_, true);
+      }
+      send_to(peer, resume, kCtl);
+    }
+    arm_hard_repair_retry();
+  });
+}
+
+void BrisaStream::finish_repair(net::NodeId new_parent) {
   if (!repair_.has_value()) return;
   cancel(repair_->timeout_event);
   const sim::Duration delay = now() - repair_->started_at;
@@ -787,14 +825,14 @@ void Brisa::finish_repair(net::NodeId new_parent) {
   request_missing(new_parent);
 }
 
-void Brisa::request_missing(net::NodeId parent) {
+void BrisaStream::request_missing(net::NodeId parent) {
   send_to(parent,
-          net::make_message<BrisaRetransmitRequest>(config_.stream,
+          net::make_message<BrisaRetransmitRequest>(stream_,
                                                    contiguous_upto_),
           kCtl);
 }
 
-std::vector<net::NodeId> Brisa::soft_repair_candidates() const {
+std::vector<net::NodeId> BrisaStream::soft_repair_candidates() const {
   // Candidate order (§II-F, with the keep-alive piggyback optimization that
   // makes every neighbor a potential candidate):
   //   1. neighbors whose cached position is known and eligible, ranked by
@@ -807,7 +845,7 @@ std::vector<net::NodeId> Brisa::soft_repair_candidates() const {
   std::vector<std::pair<double, net::NodeId>> ranked;
   std::vector<net::NodeId> equal_depth;
   std::vector<net::NodeId> unknown;
-  for (const net::NodeId peer : pss_.view()) {
+  for (const net::NodeId peer : pss().view()) {
     const auto it = links_.find(peer);
     if (it == links_.end()) continue;
     if (parents_.count(peer) > 0) continue;
@@ -835,25 +873,40 @@ std::vector<net::NodeId> Brisa::soft_repair_candidates() const {
 
 // --- Sending helpers ---------------------------------------------------------------
 
-void Brisa::send_to(net::NodeId peer, net::MessagePtr message,
+void BrisaStream::send_to(net::NodeId peer, net::MessagePtr message,
                     net::TrafficClass traffic_class) {
-  pss_.send_app(peer, std::move(message), traffic_class);
+  pss().send_app(peer, std::move(message), traffic_class);
 }
 
-void Brisa::relay(const BrisaData& msg, net::NodeId except) {
+void BrisaStream::relay(const BrisaData& msg, net::NodeId except) {
   // One pooled copy shared by every receiver: fan-out is a refcount bump
   // per child, not an allocation per child.
   net::MessagePtr shared;
-  for (const net::NodeId peer : pss_.view()) {
+  for (const net::NodeId peer : pss().view()) {
     if (peer == except) continue;
     const auto it = links_.find(peer);
     if (it != links_.end() && !it->second.outbound_active) continue;
     if (shared == nullptr) shared = net::make_message<BrisaData>(msg);
     send_to(peer, shared, kData);
   }
+  // Source liveness guard: if every neighbor deactivated us (they all
+  // bootstrapped onto other parents — increasingly likely with many
+  // concurrent sources sharing one substrate), the stream would be severed
+  // at its origin with nobody noticing: receivers cannot gap-probe data
+  // they never heard about. The origin may always flood (§II-C): receivers
+  // deliver and relay fresh data regardless of their parent set, at the
+  // cost of one repeated deactivation per neighbor per message while the
+  // out-degree stays zero.
+  if (shared == nullptr && is_source_) {
+    for (const net::NodeId peer : pss().view()) {
+      if (peer == except) continue;
+      if (shared == nullptr) shared = net::make_message<BrisaData>(msg);
+      send_to(peer, shared, kData);
+    }
+  }
 }
 
-void Brisa::buffer_payload(const BrisaData& msg) {
+void BrisaStream::buffer_payload(const BrisaData& msg) {
   payload_buffer_.emplace_back(msg.seq(), msg.payload_bytes());
   while (payload_buffer_.size() > config_.retransmit_buffer) {
     payload_buffer_.pop_front();

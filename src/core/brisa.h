@@ -1,7 +1,24 @@
-// BRISA: epidemic dissemination with emergent tree/DAG structures (§II).
+// BRISA: epidemic dissemination with emergent tree/DAG structures (§II),
+// multiplexed as a forest of per-stream structures over one shared PSS.
 //
-// One Brisa instance runs per node on top of a PeerSamplingService. The
-// protocol:
+// Two classes split the work:
+//
+//   * BrisaStream holds everything that is per-stream: parents/children
+//     links, path/depth position, dedup and delivery bookkeeping, repair
+//     state machines, and Stats. It is a plain state machine — not a
+//     net::Process — driven by its engine.
+//   * BrisaEngine is the single net::Process + PssListener per node. It owns
+//     N BrisaStream instances in a flat vector indexed by StreamId,
+//     demultiplexes incoming messages by their stream id, fans membership
+//     events out to every stream, and aggregates the per-stream keep-alive
+//     watermark entries.
+//
+// This is the paper's §IV "Multiple Trees" argument made structural: because
+// the tree *emerges* from the epidemic substrate, additional trees cost only
+// their per-stream state — the membership layer, failure detection, and
+// keep-alive probing are shared across the whole forest.
+//
+// The protocol per stream is unchanged from the single-stream original:
 //   * bootstraps by flooding the first stream message over the PSS overlay;
 //   * lets each node prune inbound links down to `num_parents` by sending
 //     DEACTIVATE messages to duplicate senders (parent selection, §II-C/E);
@@ -20,6 +37,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <vector>
@@ -30,10 +48,13 @@
 #include "net/network.h"
 #include "net/process.h"
 #include "sim/rng.h"
+#include "util/flat_seq_map.h"
 
 namespace brisa::core {
 
-class Brisa final : public net::Process, public membership::PssListener {
+class BrisaEngine;
+
+class BrisaStream final {
  public:
   struct Config {
     StructureMode mode = StructureMode::kTree;
@@ -50,9 +71,6 @@ class Brisa final : public net::Process, public membership::PssListener {
     /// Patience for a BrisaResume acknowledgment before trying the next
     /// candidate (or escalating to hard repair).
     sim::Duration repair_ack_timeout = sim::Duration::milliseconds(500);
-    /// Stream identifier (multiple Brisa instances per node = multiple
-    /// streams, §IV).
-    std::uint32_t stream = 0;
     /// How often a DAG node below its parent target probes for another
     /// eligible parent (§II-G acquisition guarantee).
     sim::Duration topup_period = sim::Duration::seconds(5);
@@ -68,8 +86,8 @@ class Brisa final : public net::Process, public membership::PssListener {
     sim::Duration refine_period = sim::Duration::seconds(5);
   };
 
-  /// Per-node protocol statistics; the experiment harnesses aggregate these
-  /// across nodes into the paper's tables and figures.
+  /// Per-(node, stream) protocol statistics; the experiment harnesses
+  /// aggregate these across nodes into the paper's tables and figures.
   struct Stats {
     std::uint64_t delivered = 0;
     std::uint64_t duplicates = 0;
@@ -80,6 +98,7 @@ class Brisa final : public net::Process, public membership::PssListener {
     std::uint64_t orphan_events = 0;
     std::uint64_t soft_repairs = 0;
     std::uint64_t hard_repairs = 0;
+    std::uint64_t hard_repair_retries = 0;  ///< resume re-broadcasts
     std::uint64_t retransmissions_served = 0;
     std::uint64_t retransmissions_received = 0;
     std::uint64_t reactivate_orders_sent = 0;
@@ -97,16 +116,17 @@ class Brisa final : public net::Process, public membership::PssListener {
     std::optional<sim::TimePoint> first_deactivation_at;
     std::optional<sim::TimePoint> structure_stable_at;
     /// Per-sequence reception counts (Fig 2) and delivery instants (Fig 9,
-    /// Table II).
-    std::map<std::uint64_t, std::uint32_t> receptions_per_seq;
-    std::map<std::uint64_t, sim::TimePoint> delivery_time;
+    /// Table II). Flat vectors indexed by sequence: these two are written on
+    /// every delivery, and a tree walk per stream message is measurable at
+    /// sweep sizes.
+    util::FlatSeqMap<std::uint32_t> receptions_per_seq;
+    util::FlatSeqMap<sim::TimePoint> delivery_time;
   };
 
   using DeliveryHandler =
       std::function<void(std::uint64_t seq, std::size_t payload_bytes)>;
 
-  Brisa(net::Network& network, membership::PeerSamplingService& pss,
-        net::NodeId id, Config config);
+  BrisaStream(BrisaEngine& engine, net::StreamId stream, Config config);
 
   // --- Source API -----------------------------------------------------------
 
@@ -120,6 +140,7 @@ class Brisa final : public net::Process, public membership::PssListener {
 
   // --- Introspection ---------------------------------------------------------
 
+  [[nodiscard]] net::StreamId stream_id() const { return stream_; }
   [[nodiscard]] std::vector<net::NodeId> parents() const;
   /// Neighbors we actively relay to (outbound-active, non-parent): the
   /// node's out-degree in the emergent structure (Fig 7).
@@ -144,16 +165,20 @@ class Brisa final : public net::Process, public membership::PssListener {
     delivery_handler_ = std::move(handler);
   }
 
-  // --- PssListener ------------------------------------------------------------
+  // --- Events from the engine -------------------------------------------------
 
-  void on_neighbor_up(net::NodeId peer) override;
+  void on_neighbor_up(net::NodeId peer);
   void on_neighbor_down(net::NodeId peer,
-                        membership::NeighborLossReason reason) override;
-  void on_app_message(net::NodeId from, net::MessagePtr message) override;
+                        membership::NeighborLossReason reason);
   void on_neighbor_watermark(net::NodeId peer, std::uint64_t watermark,
-                             std::uint64_t aux) override;
+                             std::uint64_t aux);
+
+  /// This stream's keep-alive piggyback entry.
+  [[nodiscard]] membership::AppWatermark watermark_entry() const;
 
  private:
+  friend class BrisaEngine;  // routes demultiplexed messages to handle_*
+
   /// Per-neighbor dissemination link state (distinct from the PSS view
   /// entry; §II-C: deactivation does not remove the HyParView link).
   struct Link {
@@ -205,7 +230,16 @@ class Brisa final : public net::Process, public membership::PssListener {
     sim::EventId timeout_event;
   };
 
-  // Message handlers.
+  // Engine access shims: the stream borrows its engine's identity, clock,
+  // timers, and PSS. Defined out of line (BrisaEngine is incomplete here).
+  [[nodiscard]] net::NodeId id() const;
+  [[nodiscard]] sim::TimePoint now() const;
+  [[nodiscard]] membership::PeerSamplingService& pss() const;
+  sim::EventId after(sim::Duration delay, sim::Callback fn);
+  sim::PeriodicId every(sim::Duration period, sim::Callback fn);
+  void cancel(sim::EventId event);
+
+  // Message handlers (invoked by the engine after stream demux).
   void handle_data(net::NodeId from, const BrisaData& msg);
   void handle_deactivate(net::NodeId from, const BrisaDeactivate& msg);
   void handle_resume(net::NodeId from, const BrisaResume& msg);
@@ -216,6 +250,7 @@ class Brisa final : public net::Process, public membership::PssListener {
 
   // Structure emergence.
   void deliver_and_relay(net::NodeId from, const BrisaData& msg);
+  void arm_gap_probe();
   void prune_with(net::NodeId duplicate_sender);
   void deactivate_inbound(net::NodeId peer);
   [[nodiscard]] bool position_eligible(net::NodeId candidate,
@@ -233,6 +268,7 @@ class Brisa final : public net::Process, public membership::PssListener {
                               net::NodeId exclude);
   void try_next_repair_candidate();
   void escalate_to_hard_repair();
+  void arm_hard_repair_retry();
   void finish_repair(net::NodeId new_parent);
   void request_missing(net::NodeId parent);
   [[nodiscard]] std::vector<net::NodeId> soft_repair_candidates() const;
@@ -243,7 +279,8 @@ class Brisa final : public net::Process, public membership::PssListener {
   void relay(const BrisaData& msg, net::NodeId except);
   void buffer_payload(const BrisaData& msg);
 
-  membership::PeerSamplingService& pss_;
+  BrisaEngine& engine_;
+  net::StreamId stream_;
   Config config_;
   sim::Rng rng_;
   DeliveryHandler delivery_handler_;
@@ -274,6 +311,53 @@ class Brisa final : public net::Process, public membership::PssListener {
   std::uint64_t repair_token_counter_ = 0;
 
   Stats stats_;
+};
+
+/// Single-stream deployments read naturally with the historical name.
+using Brisa = BrisaStream;
+
+/// One BRISA endpoint per node: the net::Process and PssListener that a
+/// forest of BrisaStream instances shares. Streams are stored in a flat
+/// vector indexed by StreamId (ids are expected to be small and dense), so
+/// the per-message demux is one bounds check + one pointer load and the
+/// single-stream hot path pays no multiplexing tax.
+class BrisaEngine final : public net::Process, public membership::PssListener {
+ public:
+  BrisaEngine(net::Network& network, membership::PeerSamplingService& pss,
+              net::NodeId id);
+
+  /// Creates and owns the state machine for `stream`. Ids must be unique;
+  /// keep them dense from 0 (the demux vector grows to the largest id).
+  BrisaStream& add_stream(net::StreamId stream, BrisaStream::Config config);
+
+  /// The stream's state machine; asserts it exists.
+  [[nodiscard]] BrisaStream& stream(net::StreamId stream);
+  [[nodiscard]] const BrisaStream& stream(net::StreamId stream) const;
+  /// nullptr when `stream` is not locally active.
+  [[nodiscard]] BrisaStream* find_stream(net::StreamId stream);
+  [[nodiscard]] const BrisaStream* find_stream(net::StreamId stream) const;
+
+  [[nodiscard]] std::size_t stream_count() const { return stream_count_; }
+  /// Ids of the locally active streams, ascending.
+  [[nodiscard]] std::vector<net::StreamId> stream_ids() const;
+
+  [[nodiscard]] membership::PeerSamplingService& pss() { return pss_; }
+
+  // --- PssListener ------------------------------------------------------------
+
+  void on_neighbor_up(net::NodeId peer) override;
+  void on_neighbor_down(net::NodeId peer,
+                        membership::NeighborLossReason reason) override;
+  void on_app_message(net::NodeId from, net::MessagePtr message) override;
+  void on_neighbor_watermark(net::NodeId peer, net::StreamId stream,
+                             std::uint64_t watermark,
+                             std::uint64_t aux) override;
+
+ private:
+  membership::PeerSamplingService& pss_;
+  /// Index = StreamId; nullptr for ids never added (sparse use).
+  std::vector<std::unique_ptr<BrisaStream>> streams_;
+  std::size_t stream_count_ = 0;
 };
 
 }  // namespace brisa::core

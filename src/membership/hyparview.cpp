@@ -364,28 +364,33 @@ void HyParView::integrate_shuffle_sample(
   }
 }
 
-std::pair<std::uint64_t, std::uint64_t> HyParView::current_watermark() const {
-  return watermark_provider_ ? watermark_provider_()
-                             : std::pair<std::uint64_t, std::uint64_t>{0, 0};
+WatermarkSnapshot HyParView::current_watermarks() const {
+  if (!watermark_provider_) return nullptr;
+  return std::make_shared<const std::vector<AppWatermark>>(
+      watermark_provider_());
+}
+
+void HyParView::notify_watermarks(net::NodeId from,
+                                  const std::vector<AppWatermark>& entries) {
+  if (listener_ == nullptr) return;
+  for (const AppWatermark& entry : entries) {
+    listener_->on_neighbor_watermark(from, entry.stream, entry.watermark,
+                                     entry.aux);
+  }
 }
 
 void HyParView::handle_keepalive(net::ConnectionId conn, net::NodeId from,
                                  const HpvKeepAlive& msg) {
-  if (listener_ != nullptr) {
-    listener_->on_neighbor_watermark(from, msg.app_watermark(), msg.app_aux());
-  }
-  const auto [watermark, aux] = current_watermark();
+  notify_watermarks(from, msg.watermarks());
   transport_.send(conn, id(),
                   net::make_message<HpvKeepAliveReply>(msg.probe_id(),
-                                                      watermark, aux),
+                                                      current_watermarks()),
                   kTc);
 }
 
 void HyParView::handle_keepalive_reply(net::NodeId from,
                                        const HpvKeepAliveReply& msg) {
-  if (listener_ != nullptr) {
-    listener_->on_neighbor_watermark(from, msg.app_watermark(), msg.app_aux());
-  }
+  notify_watermarks(from, msg.watermarks());
   const auto it = links_.find(from);
   if (it == links_.end()) return;
   Link& link = it->second;
@@ -542,6 +547,9 @@ void HyParView::on_shuffle_timer() {
 }
 
 void HyParView::on_keepalive_timer() {
+  // One provider call per tick; each link's probe shares the snapshot by
+  // refcount instead of copying the entries.
+  const WatermarkSnapshot watermarks = current_watermarks();
   // Collect first: fail_link mutates links_.
   std::vector<net::NodeId> timed_out;
   for (auto& [peer, link] : links_) {
@@ -556,9 +564,8 @@ void HyParView::on_keepalive_timer() {
     const std::uint64_t probe = next_probe_id_++;
     link.outstanding_probe = probe;
     link.probe_sent_at = now();
-    const auto [watermark, aux] = current_watermark();
     transport_.send(link.conn, id(),
-                    net::make_message<HpvKeepAlive>(probe, watermark, aux),
+                    net::make_message<HpvKeepAlive>(probe, watermarks),
                     kTc);
   }
   for (const net::NodeId peer : timed_out) fail_link(peer);

@@ -62,9 +62,7 @@ class HyParView final : public PeerSamplingService,
                 net::TrafficClass traffic_class) override;
   [[nodiscard]] sim::Duration rtt_estimate(net::NodeId peer) const override;
   void set_listener(PssListener* listener) override { listener_ = listener; }
-  void set_watermark_provider(
-      std::function<std::pair<std::uint64_t, std::uint64_t>()> provider)
-      override {
+  void set_watermark_provider(WatermarkProvider provider) override {
     watermark_provider_ = std::move(provider);
   }
 
@@ -135,8 +133,9 @@ class HyParView final : public PeerSamplingService,
   void handle_shuffle(net::NodeId from, const HpvShuffle& msg);
   void integrate_shuffle_sample(const std::vector<net::NodeId>& sample,
                                 const std::vector<net::NodeId>& sent);
-  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> current_watermark()
-      const;
+  [[nodiscard]] WatermarkSnapshot current_watermarks() const;
+  void notify_watermarks(net::NodeId from,
+                         const std::vector<AppWatermark>& entries);
   void handle_keepalive(net::ConnectionId conn, net::NodeId from,
                         const HpvKeepAlive& msg);
   void handle_keepalive_reply(net::NodeId from, const HpvKeepAliveReply& msg);
@@ -163,8 +162,7 @@ class HyParView final : public PeerSamplingService,
   Config config_;
   sim::Rng rng_;
   PssListener* listener_ = nullptr;
-  std::function<std::pair<std::uint64_t, std::uint64_t>()>
-      watermark_provider_;
+  WatermarkProvider watermark_provider_;
 
   std::map<net::NodeId, Link> links_;  ///< active view + in-progress links
   std::set<net::NodeId> passive_;

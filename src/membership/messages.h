@@ -6,11 +6,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "net/message.h"
 #include "net/node_id.h"
+#include "membership/peer_sampling.h"
 
 namespace brisa::membership {
 
@@ -138,53 +140,66 @@ class HpvShuffleReply final : public net::Message {
   std::vector<net::NodeId> sample_;
 };
 
+/// Shared immutable per-stream watermark snapshot: one keep-alive tick
+/// builds the entries once, and every outgoing probe that tick bumps a
+/// refcount instead of copying the vector (keep-alives are steady-state
+/// hot-path traffic; see WatermarkSnapshot uses in hyparview.cpp).
+using WatermarkSnapshot =
+    std::shared_ptr<const std::vector<AppWatermark>>;
+
 /// Keep-alives double as RTT probes for the delay-aware parent selection
-/// (§II-E) and may piggyback repair metadata (§II-F); `payload_bytes` models
-/// that piggybacked content.
+/// (§II-E) and piggyback per-stream repair metadata (§II-F): one
+/// AppWatermark entry per locally active stream. Wire cost: 16 bytes header
+/// + 20 bytes per entry (stream id + watermark + aux), so the keep-alive tax
+/// of an additional multiplexed stream is 20 bytes per probe.
 class HpvKeepAlive final : public net::Message {
  public:
-  HpvKeepAlive(std::uint64_t probe_id, std::uint64_t app_watermark,
-               std::uint64_t app_aux)
-      : probe_id_(probe_id), app_watermark_(app_watermark), app_aux_(app_aux) {}
+  HpvKeepAlive(std::uint64_t probe_id, WatermarkSnapshot watermarks)
+      : probe_id_(probe_id), watermarks_(std::move(watermarks)) {}
 
   [[nodiscard]] net::MessageKind kind() const override {
     return net::MessageKind::kHpvKeepAlive;
   }
-  [[nodiscard]] std::size_t wire_size() const override { return 32; }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 16 + watermarks().size() * (net::kWireStreamBytes + 16);
+  }
   [[nodiscard]] const char* name() const override { return "hpv-keepalive"; }
 
   [[nodiscard]] std::uint64_t probe_id() const { return probe_id_; }
-  [[nodiscard]] std::uint64_t app_watermark() const { return app_watermark_; }
-  [[nodiscard]] std::uint64_t app_aux() const { return app_aux_; }
+  [[nodiscard]] const std::vector<AppWatermark>& watermarks() const {
+    static const std::vector<AppWatermark> kEmpty;
+    return watermarks_ ? *watermarks_ : kEmpty;
+  }
 
  private:
   std::uint64_t probe_id_;
-  std::uint64_t app_watermark_;
-  std::uint64_t app_aux_;
+  WatermarkSnapshot watermarks_;
 };
 
 class HpvKeepAliveReply final : public net::Message {
  public:
-  HpvKeepAliveReply(std::uint64_t probe_id, std::uint64_t app_watermark,
-                    std::uint64_t app_aux)
-      : probe_id_(probe_id), app_watermark_(app_watermark), app_aux_(app_aux) {}
+  HpvKeepAliveReply(std::uint64_t probe_id, WatermarkSnapshot watermarks)
+      : probe_id_(probe_id), watermarks_(std::move(watermarks)) {}
 
   [[nodiscard]] net::MessageKind kind() const override {
     return net::MessageKind::kHpvKeepAliveReply;
   }
-  [[nodiscard]] std::size_t wire_size() const override { return 32; }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 16 + watermarks().size() * (net::kWireStreamBytes + 16);
+  }
   [[nodiscard]] const char* name() const override {
     return "hpv-keepalive-reply";
   }
 
   [[nodiscard]] std::uint64_t probe_id() const { return probe_id_; }
-  [[nodiscard]] std::uint64_t app_watermark() const { return app_watermark_; }
-  [[nodiscard]] std::uint64_t app_aux() const { return app_aux_; }
+  [[nodiscard]] const std::vector<AppWatermark>& watermarks() const {
+    static const std::vector<AppWatermark> kEmpty;
+    return watermarks_ ? *watermarks_ : kEmpty;
+  }
 
  private:
   std::uint64_t probe_id_;
-  std::uint64_t app_watermark_;
-  std::uint64_t app_aux_;
+  WatermarkSnapshot watermarks_;
 };
 
 // --- Cyclon ----------------------------------------------------------------

@@ -21,6 +21,20 @@ enum class NeighborLossReason : std::uint8_t {
   kEvicted,  ///< view management decision (graceful DISCONNECT)
 };
 
+/// One stream's application progress, piggybacked on keep-alives (§II-F:
+/// keep-alives carry the metadata repair needs). With a forest of streams
+/// multiplexed over one substrate, each stream contributes one entry; the
+/// keep-alive wire cost therefore grows linearly with the number of locally
+/// active streams (20 bytes per stream, see DESIGN.md §8).
+struct AppWatermark {
+  net::StreamId stream = net::kDefaultStream;
+  /// Next sequence this node still needs (max delivered + 1).
+  std::uint64_t watermark = 0;
+  /// Second application-defined value; BRISA carries the stream's cumulative
+  /// path delay (µs) feeding the delay-aware parent selection.
+  std::uint64_t aux = 0;
+};
+
 class PssListener {
  public:
   virtual ~PssListener() = default;
@@ -35,11 +49,11 @@ class PssListener {
   /// A non-membership message arrived over a membership link.
   virtual void on_app_message(net::NodeId from, net::MessagePtr message) = 0;
 
-  /// Application progress watermark piggybacked on a neighbor's keep-alive
-  /// (§II-F: keep-alives carry the metadata repair needs). `aux` is a second
-  /// application-defined value (BRISA: the cumulative path delay used by the
-  /// delay-aware strategy). Default: ignore.
+  /// One stream's progress watermark piggybacked on a neighbor's keep-alive;
+  /// called once per AppWatermark entry the keep-alive carried. Default:
+  /// ignore.
   virtual void on_neighbor_watermark(net::NodeId /*peer*/,
+                                     net::StreamId /*stream*/,
                                      std::uint64_t /*watermark*/,
                                      std::uint64_t /*aux*/) {}
 };
@@ -64,9 +78,10 @@ class PeerSamplingService {
 
   virtual void set_listener(PssListener* listener) = 0;
 
-  /// Supplies the (watermark, aux) pair carried in outgoing keep-alives.
-  virtual void set_watermark_provider(
-      std::function<std::pair<std::uint64_t, std::uint64_t>()> provider) = 0;
+  /// Supplies the per-stream watermark entries carried in outgoing
+  /// keep-alives (one AppWatermark per locally active stream).
+  using WatermarkProvider = std::function<std::vector<AppWatermark>()>;
+  virtual void set_watermark_provider(WatermarkProvider provider) = 0;
 };
 
 }  // namespace brisa::membership

@@ -83,6 +83,16 @@ enum class MessageKind : std::uint16_t {
 /// comparable with the paper's KB/s measurements.
 inline constexpr std::size_t kFrameOverheadBytes = 66;
 
+/// Identifies one dissemination stream (topic). Every data-bearing protocol
+/// message carries the stream it belongs to, so N independent streams can be
+/// multiplexed over one membership substrate and demultiplexed at the
+/// receiving node. Stream ids are expected to be small dense integers
+/// (0..K-1): per-stream state lives in flat vectors indexed by them.
+using StreamId = std::uint32_t;
+inline constexpr StreamId kDefaultStream = 0;
+/// Bytes a stream id occupies on the wire.
+inline constexpr std::size_t kWireStreamBytes = 4;
+
 class Message {
  public:
   virtual ~Message() = default;

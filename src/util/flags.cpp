@@ -66,6 +66,17 @@ double Flags::get_double(const std::string& name, double default_value) const {
   return std::stod(it->second);
 }
 
+double Flags::get_fraction(const std::string& name,
+                           double default_value) const {
+  const double value = get_double(name, default_value);
+  if (value < 0.0 || value > 1.0) {
+    throw std::invalid_argument("flag --" + name +
+                                " must be a fraction in [0, 1], got " +
+                                std::to_string(value));
+  }
+  return value;
+}
+
 bool Flags::get_bool(const std::string& name, bool default_value) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return default_value;

@@ -29,6 +29,10 @@ class Flags {
                                      std::int64_t default_value) const;
   [[nodiscard]] double get_double(const std::string& name,
                                   double default_value) const;
+  /// get_double with a [0, 1] range check (subscription fractions, loss
+  /// probabilities); throws std::invalid_argument outside the range.
+  [[nodiscard]] double get_fraction(const std::string& name,
+                                    double default_value) const;
   [[nodiscard]] bool get_bool(const std::string& name,
                               bool default_value) const;
 

@@ -1,0 +1,169 @@
+// Flat map keyed by dense sequence numbers.
+//
+// Per-message bookkeeping (delivery instants, reception counts) is keyed by
+// stream sequence numbers, which a single source allocates contiguously from
+// zero. A red-black tree per lookup is pure overhead for that key
+// distribution; this container stores values in a vector indexed by the
+// sequence itself and keeps just enough of the std::map surface (ordered
+// iteration as (seq, value) pairs, find/size/empty) that analysis and test
+// code reads the same either way. Holes — sequences a node never saw — cost
+// one presence bit each and are skipped during iteration.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace brisa::util {
+
+template <typename V>
+class FlatSeqMap {
+ public:
+  using key_type = std::uint64_t;
+  using mapped_type = V;
+
+  template <bool Const>
+  class Iterator {
+   public:
+    using Container =
+        std::conditional_t<Const, const FlatSeqMap, FlatSeqMap>;
+    using Ref = std::conditional_t<Const, const V&, V&>;
+    using iterator_category = std::bidirectional_iterator_tag;
+    using value_type = std::pair<std::uint64_t, V>;
+    using difference_type = std::ptrdiff_t;
+    using reference = std::pair<std::uint64_t, Ref>;
+    using pointer = void;
+
+    Iterator() = default;
+    Iterator(Container* map, std::size_t index) : map_(map), index_(index) {}
+
+    /// Conversion iterator -> const_iterator.
+    operator Iterator<true>() const {  // NOLINT(google-explicit-constructor)
+      return {map_, index_};
+    }
+
+    [[nodiscard]] std::pair<std::uint64_t, Ref> operator*() const {
+      return {static_cast<std::uint64_t>(index_), map_->values_[index_]};
+    }
+
+    /// operator-> support for `it->first` / `it->second`: the arrow-proxy
+    /// idiom (the pair lives in the proxy, not the container).
+    struct ArrowProxy {
+      std::pair<std::uint64_t, Ref> pair;
+      [[nodiscard]] const std::pair<std::uint64_t, Ref>* operator->() const {
+        return &pair;
+      }
+    };
+    [[nodiscard]] ArrowProxy operator->() const { return ArrowProxy{**this}; }
+
+    Iterator& operator++() {
+      index_ = map_->next_present(index_ + 1);
+      return *this;
+    }
+    Iterator operator++(int) {
+      Iterator copy = *this;
+      ++*this;
+      return copy;
+    }
+    Iterator& operator--() {
+      index_ = map_->prev_present(index_);
+      return *this;
+    }
+    Iterator operator--(int) {
+      Iterator copy = *this;
+      --*this;
+      return copy;
+    }
+
+    friend bool operator==(const Iterator& a, const Iterator& b) {
+      return a.index_ == b.index_;
+    }
+
+   private:
+    friend class FlatSeqMap;
+    Container* map_ = nullptr;
+    std::size_t index_ = 0;
+  };
+
+  using iterator = Iterator<false>;
+  using const_iterator = Iterator<true>;
+
+  /// Returns the slot for `seq`, default-constructing it on first touch.
+  V& operator[](std::uint64_t seq) {
+    const auto index = static_cast<std::size_t>(seq);
+    if (index >= present_.size()) {
+      present_.resize(index + 1, false);
+      values_.resize(index + 1);
+    }
+    if (!present_[index]) {
+      present_[index] = true;
+      ++size_;
+    }
+    return values_[index];
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t seq) const {
+    const auto index = static_cast<std::size_t>(seq);
+    return index < present_.size() && present_[index];
+  }
+
+  [[nodiscard]] std::size_t count(std::uint64_t seq) const {
+    return contains(seq) ? 1 : 0;
+  }
+
+  [[nodiscard]] iterator find(std::uint64_t seq) {
+    return contains(seq) ? iterator(this, static_cast<std::size_t>(seq))
+                         : end();
+  }
+  [[nodiscard]] const_iterator find(std::uint64_t seq) const {
+    return contains(seq) ? const_iterator(this, static_cast<std::size_t>(seq))
+                         : end();
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] iterator begin() { return {this, next_present(0)}; }
+  [[nodiscard]] iterator end() { return {this, present_.size()}; }
+  [[nodiscard]] const_iterator begin() const { return {this, next_present(0)}; }
+  [[nodiscard]] const_iterator end() const { return {this, present_.size()}; }
+
+  bool operator==(const FlatSeqMap& other) const {
+    if (size_ != other.size_) return false;
+    auto it = begin();
+    auto jt = other.begin();
+    for (; it != end(); ++it, ++jt) {
+      if ((*it).first != (*jt).first || !((*it).second == (*jt).second)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  template <bool Const>
+  friend class Iterator;
+
+  [[nodiscard]] std::size_t next_present(std::size_t from) const {
+    while (from < present_.size() && !present_[from]) ++from;
+    return from;
+  }
+  [[nodiscard]] std::size_t prev_present(std::size_t from) const {
+    BRISA_ASSERT_MSG(size_ > 0, "-- past begin of empty FlatSeqMap");
+    do {
+      BRISA_ASSERT_MSG(from > 0, "-- past begin of FlatSeqMap");
+      --from;
+    } while (!present_[from]);
+    return from;
+  }
+
+  std::vector<V> values_;
+  std::vector<bool> present_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace brisa::util

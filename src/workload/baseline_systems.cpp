@@ -19,7 +19,7 @@ void SimpleTreeSystem::bootstrap() {
 
   root_ = network_.add_host();
   auto root_node = std::make_unique<baselines::SimpleTreeNode>(
-      network_, transport_, root_, coordinator_id_);
+      network_, transport_, root_, coordinator_id_, config_.num_streams);
   root_node->start_as_root();
   coordinator_->register_root(root_);
   nodes_.emplace(root_, std::move(root_node));
@@ -27,7 +27,7 @@ void SimpleTreeSystem::bootstrap() {
   for (std::size_t i = 1; i < config_.num_nodes; ++i) {
     const net::NodeId id = network_.add_host();
     auto node_ptr = std::make_unique<baselines::SimpleTreeNode>(
-        network_, transport_, id, coordinator_id_);
+        network_, transport_, id, coordinator_id_, config_.num_streams);
     baselines::SimpleTreeNode* raw = node_ptr.get();
     nodes_.emplace(id, std::move(node_ptr));
     const auto offset = sim::Duration::microseconds(
@@ -53,6 +53,13 @@ void SimpleTreeSystem::run_stream(std::size_t count, double rate_per_s,
                      });
   }
   simulator_.run_until(start + gap * static_cast<std::int64_t>(count) + grace);
+}
+
+bool SimpleTreeSystem::publish(net::StreamId stream,
+                               std::size_t payload_bytes) {
+  if (!network_.alive(root_)) return false;
+  node(root_).broadcast(stream, payload_bytes);
+  return true;
 }
 
 baselines::SimpleTreeNode& SimpleTreeSystem::node(net::NodeId id) {
@@ -88,6 +95,7 @@ net::NodeId SimpleGossipSystem::create_node() {
   const net::NodeId id = network_.add_host();
   baselines::SimpleGossip::Config cfg = config_.gossip;
   cfg.fanout = config_.fanout;
+  cfg.num_streams = config_.num_streams;
   nodes_.emplace(id, std::make_unique<baselines::SimpleGossip>(network_, id,
                                                                cfg));
   return id;
@@ -139,6 +147,13 @@ void SimpleGossipSystem::run_stream(std::size_t count, double rate_per_s,
   }
   simulator_.run_until(stream_started_at_ +
                        gap * static_cast<std::int64_t>(count) + grace);
+}
+
+bool SimpleGossipSystem::publish(net::StreamId stream,
+                                 std::size_t payload_bytes) {
+  if (!network_.alive(source_)) return false;
+  node(source_).broadcast(stream, payload_bytes);
+  return true;
 }
 
 net::NodeId SimpleGossipSystem::spawn_node() {
@@ -200,7 +215,9 @@ bool SimpleGossipSystem::complete_delivery() const {
 // --- TagSystem ----------------------------------------------------------------------
 
 TagSystem::TagSystem(Config config)
-    : SystemBase(config.seed, config.testbed), config_(config) {}
+    : SystemBase(config.seed, config.testbed), config_(config) {
+  config_.tag.num_streams = config_.num_streams;
+}
 
 net::NodeId TagSystem::create_node() {
   const net::NodeId id = network_.add_host();
@@ -243,6 +260,12 @@ void TagSystem::run_stream(std::size_t count, double rate_per_s,
   }
   simulator_.run_until(stream_started_at_ +
                        gap * static_cast<std::int64_t>(count) + grace);
+}
+
+bool TagSystem::publish(net::StreamId stream, std::size_t payload_bytes) {
+  if (!network_.alive(head_)) return false;
+  node(head_).broadcast(stream, payload_bytes);
+  return true;
 }
 
 net::NodeId TagSystem::spawn_node() {

@@ -22,6 +22,8 @@ class SimpleTreeSystem final : public SystemBase {
     std::uint64_t seed = 1;
     std::size_t num_nodes = 512;
     TestbedKind testbed = TestbedKind::kCluster;
+    /// Concurrent streams (topics), all rooted at the tree root.
+    std::size_t num_streams = 1;
     sim::Duration join_spread = sim::Duration::seconds(50);
     sim::Duration stabilization = sim::Duration::seconds(10);
   };
@@ -32,6 +34,8 @@ class SimpleTreeSystem final : public SystemBase {
   void run_stream(std::size_t count, double rate_per_s,
                   std::size_t payload_bytes,
                   sim::Duration grace = sim::Duration::seconds(10));
+  /// Injects one message on `stream` at the root; false if the root died.
+  bool publish(net::StreamId stream, std::size_t payload_bytes);
 
   [[nodiscard]] net::NodeId source_id() const { return root_; }
   [[nodiscard]] net::NodeId coordinator_id() const { return coordinator_id_; }
@@ -57,6 +61,8 @@ class SimpleGossipSystem final : public SystemBase {
     TestbedKind testbed = TestbedKind::kCluster;
     /// 0 = the paper's ln(N).
     std::size_t fanout = 0;
+    /// Concurrent streams (topics), all injected at the source node.
+    std::size_t num_streams = 1;
     baselines::SimpleGossip::Config gossip;
     sim::Duration join_spread = sim::Duration::seconds(50);
     sim::Duration stabilization = sim::Duration::seconds(20);
@@ -70,6 +76,8 @@ class SimpleGossipSystem final : public SystemBase {
   void run_stream(std::size_t count, double rate_per_s,
                   std::size_t payload_bytes,
                   sim::Duration grace = sim::Duration::seconds(15));
+  /// Injects one message on `stream` at the source; false if it is down.
+  bool publish(net::StreamId stream, std::size_t payload_bytes);
 
   net::NodeId spawn_node();
   void kill_node(net::NodeId node);
@@ -98,6 +106,8 @@ class TagSystem final : public SystemBase {
     std::uint64_t seed = 1;
     std::size_t num_nodes = 512;
     TestbedKind testbed = TestbedKind::kCluster;
+    /// Concurrent streams (topics), all injected at the list head.
+    std::size_t num_streams = 1;
     baselines::TagNode::Config tag;
     sim::Duration join_spread = sim::Duration::seconds(50);
     sim::Duration stabilization = sim::Duration::seconds(20);
@@ -109,6 +119,8 @@ class TagSystem final : public SystemBase {
   void run_stream(std::size_t count, double rate_per_s,
                   std::size_t payload_bytes,
                   sim::Duration grace = sim::Duration::seconds(30));
+  /// Injects one message on `stream` at the head; false if it is down.
+  bool publish(net::StreamId stream, std::size_t payload_bytes);
 
   net::NodeId spawn_node();
   void kill_node(net::NodeId node);

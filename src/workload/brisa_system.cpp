@@ -8,15 +8,20 @@
 namespace brisa::workload {
 
 BrisaSystem::BrisaSystem(Config config)
-    : SystemBase(config.seed, config.testbed), config_(config) {}
+    : SystemBase(config.seed, config.testbed), config_(config) {
+  BRISA_ASSERT(config_.num_streams >= 1);
+}
 
 net::NodeId BrisaSystem::create_node() {
   const net::NodeId id = network_.add_host();
   NodeRec rec;
   rec.hyparview = std::make_unique<membership::HyParView>(
       network_, transport_, id, config_.hyparview);
-  rec.brisa = std::make_unique<core::Brisa>(network_, *rec.hyparview, id,
-                                            config_.brisa);
+  rec.engine = std::make_unique<core::BrisaEngine>(network_, *rec.hyparview,
+                                                   id);
+  for (std::size_t s = 0; s < config_.num_streams; ++s) {
+    rec.engine->add_stream(static_cast<net::StreamId>(s), config_.brisa);
+  }
   rec.created_at = simulator_.now();
   nodes_.emplace(id, std::move(rec));
   return id;
@@ -26,6 +31,8 @@ void BrisaSystem::bootstrap() {
   BRISA_ASSERT_MSG(!bootstrapped_, "bootstrap() called twice");
   bootstrapped_ = true;
   BRISA_ASSERT(config_.num_nodes >= 2);
+  BRISA_ASSERT_MSG(config_.num_streams <= config_.num_nodes,
+                   "need at least one node per stream source");
 
   // First node starts the overlay; the rest join through a random earlier
   // node, spread over the join window.
@@ -48,15 +55,29 @@ void BrisaSystem::bootstrap() {
     });
   }
 
-  // Pick the source.
+  // Pick the stream-0 source.
+  sources_.clear();
   if (config_.source_index >= 0) {
     BRISA_ASSERT(static_cast<std::size_t>(config_.source_index) <
                  population.size());
-    source_ = population[static_cast<std::size_t>(config_.source_index)];
+    sources_.push_back(population[static_cast<std::size_t>(
+        config_.source_index)]);
   } else {
-    source_ = boot_rng.pick(population);
+    sources_.push_back(boot_rng.pick(population));
   }
-  brisa(source_).become_source();
+  // Further streams source at distinct randomly chosen nodes: the K
+  // concurrent publishers of a multi-topic workload.
+  while (sources_.size() < config_.num_streams) {
+    const net::NodeId candidate = boot_rng.pick(population);
+    if (std::find(sources_.begin(), sources_.end(), candidate) !=
+        sources_.end()) {
+      continue;
+    }
+    sources_.push_back(candidate);
+  }
+  for (std::size_t s = 0; s < sources_.size(); ++s) {
+    brisa(sources_[s], static_cast<net::StreamId>(s)).become_source();
+  }
 
   simulator_.run_until(simulator_.now() + config_.join_spread +
                        config_.stabilization);
@@ -70,13 +91,21 @@ void BrisaSystem::run_stream(std::size_t count, double rate_per_s,
   for (std::size_t i = 0; i < count; ++i) {
     simulator_.after(gap * static_cast<std::int64_t>(i),
                      [this, payload_bytes]() {
-                       if (!network_.alive(source_)) return;
-                       brisa(source_).broadcast(payload_bytes);
+                       if (!network_.alive(sources_[0])) return;
+                       brisa(sources_[0]).broadcast(payload_bytes);
                        ++sent_;
                      });
   }
   simulator_.run_until(stream_started_at_ +
                        gap * static_cast<std::int64_t>(count) + grace);
+}
+
+bool BrisaSystem::publish(net::StreamId stream, std::size_t payload_bytes) {
+  BRISA_ASSERT_MSG(bootstrapped_, "publish before bootstrap");
+  BRISA_ASSERT(stream < sources_.size());
+  if (!network_.alive(sources_[stream])) return false;
+  brisa(sources_[stream], stream).broadcast(payload_bytes);
+  return true;
 }
 
 net::NodeId BrisaSystem::spawn_node() {
@@ -89,7 +118,9 @@ net::NodeId BrisaSystem::spawn_node() {
 }
 
 void BrisaSystem::kill_node(net::NodeId node) {
-  BRISA_ASSERT_MSG(node != source_, "experiments keep the source alive");
+  BRISA_ASSERT_MSG(std::find(sources_.begin(), sources_.end(), node) ==
+                       sources_.end(),
+                   "experiments keep the sources alive");
   network_.kill(node);
 }
 
@@ -98,8 +129,13 @@ ChurnHooks BrisaSystem::churn_hooks() {
   hooks.spawn = [this]() { spawn_node(); };
   hooks.population = [this]() {
     std::vector<net::NodeId> members = member_ids();
-    members.erase(std::remove(members.begin(), members.end(), source_),
-                  members.end());
+    members.erase(
+        std::remove_if(members.begin(), members.end(),
+                       [this](net::NodeId id) {
+                         return std::find(sources_.begin(), sources_.end(),
+                                          id) != sources_.end();
+                       }),
+        members.end());
     return members;
   };
   hooks.kill = [this](net::NodeId node) { kill_node(node); };
@@ -108,9 +144,17 @@ ChurnHooks BrisaSystem::churn_hooks() {
 }
 
 core::Brisa& BrisaSystem::brisa(net::NodeId node) {
+  return brisa(node, net::kDefaultStream);
+}
+
+core::Brisa& BrisaSystem::brisa(net::NodeId node, net::StreamId stream) {
+  return engine(node).stream(stream);
+}
+
+core::BrisaEngine& BrisaSystem::engine(net::NodeId node) {
   const auto it = nodes_.find(node);
   BRISA_ASSERT_MSG(it != nodes_.end(), "unknown node");
-  return *it->second.brisa;
+  return *it->second.engine;
 }
 
 membership::HyParView& BrisaSystem::hyparview(net::NodeId node) {
@@ -134,11 +178,12 @@ std::vector<net::NodeId> BrisaSystem::member_ids() const {
   return out;
 }
 
-std::vector<analysis::StructureEdge> BrisaSystem::structure_edges() const {
+std::vector<analysis::StructureEdge> BrisaSystem::structure_edges(
+    net::StreamId stream) const {
   std::vector<analysis::StructureEdge> edges;
   for (const auto& [id, rec] : nodes_) {
     if (!network_.alive(id)) continue;
-    for (const net::NodeId parent : rec.brisa->parents()) {
+    for (const net::NodeId parent : rec.engine->stream(stream).parents()) {
       edges.push_back({parent, id});
     }
   }
@@ -151,7 +196,10 @@ bool BrisaSystem::complete_delivery() const {
     // Only nodes present for the entire stream are required to have
     // everything (late joiners legitimately miss earlier messages).
     if (rec.created_at > stream_started_at_) continue;
-    if (rec.brisa->stats().delivery_time.size() < sent_) return false;
+    if (rec.engine->stream(net::kDefaultStream).stats().delivery_time.size() <
+        sent_) {
+      return false;
+    }
   }
   return true;
 }

@@ -1,6 +1,6 @@
-// A full BRISA deployment: HyParView + Brisa on every simulated host, plus
-// the bootstrap, stream-injection, and churn plumbing every experiment in
-// §III shares.
+// A full BRISA deployment: HyParView + a BrisaEngine (forest of per-stream
+// BRISA instances) on every simulated host, plus the bootstrap,
+// stream-injection, and churn plumbing every experiment in §III shares.
 #pragma once
 
 #include <map>
@@ -22,14 +22,20 @@ class BrisaSystem final : public SystemBase {
     std::size_t num_nodes = 512;
     TestbedKind testbed = TestbedKind::kCluster;
     membership::HyParView::Config hyparview;
+    /// Per-stream protocol configuration, applied to every stream.
     core::Brisa::Config brisa;
+    /// Concurrent streams (topics) 0..num_streams-1, every node active on
+    /// all of them; each stream gets its own source node and emerges its own
+    /// structure over the one shared overlay.
+    std::size_t num_streams = 1;
     /// Bootstrap joins spread over this window (the paper's trace uses one
     /// join per second; experiments without churn compress it).
     sim::Duration join_spread = sim::Duration::seconds(50);
     /// Settling time after the last join before measurements start.
     sim::Duration stabilization = sim::Duration::seconds(30);
-    /// Stream source: index into the bootstrap population, or -1 for the
-    /// paper's "randomly chosen node".
+    /// Stream-0 source: index into the bootstrap population, or -1 for the
+    /// paper's "randomly chosen node". Further streams source at distinct
+    /// randomly chosen nodes.
     std::int32_t source_index = -1;
   };
 
@@ -39,11 +45,16 @@ class BrisaSystem final : public SystemBase {
   /// simulator until the overlay has settled.
   void bootstrap();
 
-  /// Injects `count` messages at `rate_per_s` from the source and runs the
-  /// simulator until `grace` after the last injection.
+  /// Injects `count` messages at `rate_per_s` from the stream-0 source and
+  /// runs the simulator until `grace` after the last injection. (Multi-stream
+  /// workloads drive all sources through a PubSubDriver instead.)
   void run_stream(std::size_t count, double rate_per_s,
                   std::size_t payload_bytes,
                   sim::Duration grace = sim::Duration::seconds(10));
+
+  /// Injects one message on `stream` at its source; false when the source
+  /// host is currently down.
+  bool publish(net::StreamId stream, std::size_t payload_bytes);
 
   /// Churn operations (usable directly or through churn_hooks()).
   net::NodeId spawn_node();
@@ -51,8 +62,18 @@ class BrisaSystem final : public SystemBase {
   [[nodiscard]] ChurnHooks churn_hooks();
 
   // --- Accessors ---------------------------------------------------------
-  [[nodiscard]] net::NodeId source_id() const { return source_; }
+  [[nodiscard]] net::NodeId source_id() const { return sources_[0]; }
+  [[nodiscard]] net::NodeId source_id(net::StreamId stream) const {
+    return sources_[stream];
+  }
+  [[nodiscard]] const std::vector<net::NodeId>& source_ids() const {
+    return sources_;
+  }
+  /// Stream 0 of the node's forest (the single-stream view every paper
+  /// experiment uses).
   [[nodiscard]] core::Brisa& brisa(net::NodeId node);
+  [[nodiscard]] core::Brisa& brisa(net::NodeId node, net::StreamId stream);
+  [[nodiscard]] core::BrisaEngine& engine(net::NodeId node);
   [[nodiscard]] membership::HyParView& hyparview(net::NodeId node);
   /// All protocol nodes ever created (including dead ones — their stats
   /// survive for post-mortem aggregation).
@@ -63,16 +84,17 @@ class BrisaSystem final : public SystemBase {
   [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
 
   // --- Structure extraction (Figs 6-8) ------------------------------------
-  [[nodiscard]] std::vector<analysis::StructureEdge> structure_edges() const;
+  [[nodiscard]] std::vector<analysis::StructureEdge> structure_edges(
+      net::StreamId stream = net::kDefaultStream) const;
 
-  /// True when every alive member that was present for the whole stream
-  /// delivered every message.
+  /// True when every alive member that was present for the whole
+  /// run_stream() stream delivered every message (stream 0).
   [[nodiscard]] bool complete_delivery() const;
 
  private:
   struct NodeRec {
     std::unique_ptr<membership::HyParView> hyparview;
-    std::unique_ptr<core::Brisa> brisa;
+    std::unique_ptr<core::BrisaEngine> engine;
     sim::TimePoint created_at;
   };
 
@@ -80,7 +102,8 @@ class BrisaSystem final : public SystemBase {
 
   Config config_;
   std::map<net::NodeId, NodeRec> nodes_;
-  net::NodeId source_;
+  /// Per-stream source nodes, indexed by StreamId.
+  std::vector<net::NodeId> sources_;
   std::uint64_t sent_ = 0;
   sim::TimePoint stream_started_at_;
   bool bootstrapped_ = false;

@@ -1,0 +1,80 @@
+#include "workload/pubsub.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace brisa::workload {
+
+std::vector<PubSubStreamSpec> uniform_streams(std::size_t count,
+                                              std::size_t messages,
+                                              double rate_per_s,
+                                              std::size_t payload_bytes) {
+  std::vector<PubSubStreamSpec> specs;
+  specs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    specs.push_back({static_cast<net::StreamId>(i), messages, rate_per_s,
+                     payload_bytes});
+  }
+  return specs;
+}
+
+PubSubDriver::PubSubDriver(sim::Simulator& simulator, Config config,
+                           PublishFn publish)
+    : simulator_(simulator),
+      config_(std::move(config)),
+      publish_(std::move(publish)),
+      sent_(config_.streams.size(), 0) {
+  BRISA_ASSERT_MSG(!config_.streams.empty(), "no streams configured");
+  BRISA_ASSERT(config_.subscription_fraction >= 0.0 &&
+               config_.subscription_fraction <= 1.0);
+  BRISA_ASSERT(publish_ != nullptr);
+}
+
+void PubSubDriver::run(sim::Duration grace) {
+  BRISA_ASSERT_MSG(!ran_, "PubSubDriver::run called twice");
+  ran_ = true;
+  started_at_ = simulator_.now();
+  sim::TimePoint last_injection = started_at_;
+  for (std::size_t index = 0; index < config_.streams.size(); ++index) {
+    const PubSubStreamSpec& spec = config_.streams[index];
+    BRISA_ASSERT(spec.rate_per_s > 0.0);
+    const auto gap = sim::Duration::from_seconds(1.0 / spec.rate_per_s);
+    // Stagger stream starts within one injection gap so K sources do not
+    // fire in lockstep (real topics are not phase-aligned).
+    const auto phase = sim::Duration::microseconds(
+        static_cast<std::int64_t>(index) * gap.us() /
+        static_cast<std::int64_t>(std::max<std::size_t>(
+            1, config_.streams.size())));
+    for (std::size_t i = 0; i < spec.messages; ++i) {
+      const auto at = phase + gap * static_cast<std::int64_t>(i);
+      simulator_.after(at, [this, index]() {
+        const PubSubStreamSpec& s = config_.streams[index];
+        if (publish_(s.stream, s.payload_bytes)) ++sent_[index];
+      });
+      if (started_at_ + at > last_injection) {
+        last_injection = started_at_ + at;
+      }
+    }
+  }
+  simulator_.run_until(last_injection + grace);
+}
+
+std::uint64_t PubSubDriver::sent(net::StreamId stream) const {
+  for (std::size_t index = 0; index < config_.streams.size(); ++index) {
+    if (config_.streams[index].stream == stream) return sent_[index];
+  }
+  return 0;
+}
+
+bool PubSubDriver::subscribed(net::StreamId stream, net::NodeId node) const {
+  if (config_.subscription_fraction >= 1.0) return true;
+  // Deterministic per (stream, node): a split of the salt, not the
+  // simulator RNG, so subscription sets are stable across runs and do not
+  // perturb protocol randomness.
+  sim::Rng rng(config_.subscription_seed ^
+               (static_cast<std::uint64_t>(stream) << 32) ^ node.index());
+  return rng.bernoulli(config_.subscription_fraction);
+}
+
+}  // namespace brisa::workload

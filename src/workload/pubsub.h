@@ -1,0 +1,82 @@
+// Multi-topic publish/subscribe workload driver.
+//
+// Drives K concurrent streams — each with its own source, payload size,
+// rate, and message count — through any system harness that can inject a
+// message on a given stream (BrisaSystem and the three baseline systems all
+// expose a publish(stream, bytes) with that shape). Optionally thins the
+// audience: with subscription_fraction < 1, each (stream, node) pair is
+// deterministically in or out of the stream's subscriber set; unsubscribed
+// nodes still participate in the emergent structure as forwarders (the
+// overlay stays connected), but the workload does not count them toward
+// delivery — see DESIGN.md §8.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/message.h"
+#include "net/node_id.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace brisa::workload {
+
+/// One stream's injection schedule.
+struct PubSubStreamSpec {
+  net::StreamId stream = net::kDefaultStream;
+  std::size_t messages = 100;
+  double rate_per_s = 5.0;
+  std::size_t payload_bytes = 512;
+};
+
+/// K identical streams (the common sweep shape).
+[[nodiscard]] std::vector<PubSubStreamSpec> uniform_streams(
+    std::size_t count, std::size_t messages, double rate_per_s,
+    std::size_t payload_bytes);
+
+class PubSubDriver {
+ public:
+  struct Config {
+    std::vector<PubSubStreamSpec> streams;
+    /// Probability that a non-source node subscribes to any given stream;
+    /// 1.0 = everyone subscribes to everything.
+    double subscription_fraction = 1.0;
+    /// Salt for the deterministic (stream, node) subscription choice.
+    std::uint64_t subscription_seed = 0x5B5C21BEULL;
+  };
+
+  /// `publish(stream, payload_bytes)` injects one message at the stream's
+  /// source; returns false when the source is currently down (the message
+  /// is skipped, mirroring run_stream semantics).
+  using PublishFn = std::function<bool(net::StreamId, std::size_t)>;
+
+  PubSubDriver(sim::Simulator& simulator, Config config, PublishFn publish);
+
+  /// Schedules every stream's injections (interleaved by rate, starting
+  /// now) and runs the simulator until `grace` after the last one.
+  void run(sim::Duration grace);
+
+  /// Messages actually injected on `stream` (publishes at a dead source are
+  /// skipped, mirroring run_stream semantics).
+  [[nodiscard]] std::uint64_t sent(net::StreamId stream) const;
+  [[nodiscard]] sim::TimePoint started_at() const { return started_at_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Deterministic subscriber-set membership for (stream, node). The
+  /// driver does not know which node sources a stream, so the predicate is
+  /// the plain per-pair draw even for sources — callers that iterate nodes
+  /// should skip a stream's source explicitly (it trivially holds its own
+  /// messages), as bench::collect_stream_rows does.
+  [[nodiscard]] bool subscribed(net::StreamId stream, net::NodeId node) const;
+
+ private:
+  sim::Simulator& simulator_;
+  Config config_;
+  PublishFn publish_;
+  std::vector<std::uint64_t> sent_;  ///< indexed by position in config_.streams
+  sim::TimePoint started_at_;
+  bool ran_ = false;
+};
+
+}  // namespace brisa::workload

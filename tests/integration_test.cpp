@@ -12,10 +12,9 @@ constexpr std::size_t kNodes = 64;
 constexpr std::size_t kMessages = 60;
 constexpr std::size_t kPayload = 1024;
 
-double mean_dissemination_window(
-    const std::vector<net::NodeId>& ids,
-    const std::function<const std::map<std::uint64_t, sim::TimePoint>&(
-        net::NodeId)>& times_of) {
+template <typename TimesOf>
+double mean_dissemination_window(const std::vector<net::NodeId>& ids,
+                                 const TimesOf& times_of) {
   double total = 0;
   std::size_t count = 0;
   for (const net::NodeId id : ids) {
