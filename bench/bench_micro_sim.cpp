@@ -225,7 +225,11 @@ void BM_SimEventRate(benchmark::State& state) {
   state.counters["event_slab_slots"] =
       static_cast<double>(simulator.stats().event_slab_slots);
 }
-BENCHMARK(BM_SimEventRate)->Arg(1'000)->Arg(10'000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimEventRate)
+    ->Arg(1'000)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Unit(benchmark::kMillisecond);
 
 /// Message arena throughput: steady-state make/release must be a pointer
 /// pop + placement-new, not an allocator round trip.

@@ -1,5 +1,7 @@
 #include "baselines/simple_gossip.h"
 
+#include <algorithm>
+
 #include "net/message_pool.h"
 #include "util/assert.h"
 
@@ -120,13 +122,22 @@ void SimpleGossip::on_anti_entropy_timer() {
     StreamState& state = streams_[stream];
     state.stats.anti_entropy_rounds += 1;
     // Digest: everything below contiguous_upto plus the most recent
-    // out-of-order seqs.
+    // out-of-order seqs, newest first. Walk the *present* entries above the
+    // watermark keeping a trailing window, then reverse — O(stored entries),
+    // where a per-integer reverse scan would degrade to O(max_seq) on a
+    // store that is sparse above the watermark (fresh rejoiner).
     std::vector<std::uint64_t> extras;
-    for (auto it = state.store.rbegin();
-         it != state.store.rend() && extras.size() < config_.digest_extras;
-         ++it) {
-      if (it->first < state.contiguous_upto) break;
-      extras.push_back(it->first);
+    if (config_.digest_extras > 0) {
+      for (auto it = state.store.lower_bound(state.contiguous_upto);
+           it != state.store.end(); ++it) {
+        extras.push_back(it->first);
+      }
+      if (extras.size() > config_.digest_extras) {
+        extras.erase(extras.begin(),
+                     extras.end() - static_cast<std::ptrdiff_t>(
+                                        config_.digest_extras));
+      }
+      std::reverse(extras.begin(), extras.end());
     }
     network().send_datagram(
         id(), peers.front(),
@@ -141,12 +152,15 @@ void SimpleGossip::handle_anti_entropy_request(
   if (msg.stream() >= streams_.size()) return;
   StreamState& state = streams_[msg.stream()];
   std::vector<std::pair<std::uint64_t, std::size_t>> updates;
-  const std::set<std::uint64_t> known(msg.extra_known().begin(),
-                                      msg.extra_known().end());
+  // The digest lists at most digest_extras entries: a linear scan beats
+  // materializing a search tree per request.
+  const std::vector<std::uint64_t>& known = msg.extra_known();
   for (auto it = state.store.lower_bound(msg.contiguous_upto());
        it != state.store.end() && updates.size() < config_.anti_entropy_batch;
        ++it) {
-    if (known.count(it->first) > 0) continue;
+    if (std::find(known.begin(), known.end(), it->first) != known.end()) {
+      continue;
+    }
     updates.emplace_back(it->first, it->second);
   }
   if (updates.empty()) return;

@@ -14,8 +14,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
 #include <vector>
 
 #include "baselines/messages.h"
@@ -85,10 +83,11 @@ class SimpleGossip final : public net::Process,
  private:
   /// Per-stream sequence space: payload sizes by sequence (doubles as the
   /// anti-entropy store — ordered, lower_bound-driven), delivery watermark,
-  /// and statistics.
+  /// and statistics. The store shares util's flat seq-window representation
+  /// with every other protocol: a vector indexed by the sequence itself.
   struct StreamState {
     std::uint64_t next_seq = 0;
-    std::map<std::uint64_t, std::size_t> store;
+    util::FlatSeqMap<std::size_t> store;
     std::uint64_t contiguous_upto = 0;
     Stats stats;
   };

@@ -8,8 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
 #include <vector>
 
 #include "baselines/messages.h"
@@ -18,6 +16,7 @@
 #include "net/transport.h"
 #include "sim/rng.h"
 #include "util/assert.h"
+#include "util/flat_map.h"
 #include "util/flat_seq_map.h"
 
 namespace brisa::baselines {
@@ -94,10 +93,11 @@ class SimpleTreeNode final : public net::Process, public net::TransportHandler,
 
  private:
   /// Per-stream sequence space; the tree topology itself is shared by every
-  /// stream (one set of child connections).
+  /// stream (one set of child connections). Dedup shares the flat
+  /// seq-window representation with the other protocols.
   struct StreamState {
     std::uint64_t next_seq = 0;
-    std::set<std::uint64_t> delivered;
+    util::SeqSet delivered;
     Stats stats;
   };
 
@@ -112,7 +112,7 @@ class SimpleTreeNode final : public net::Process, public net::TransportHandler,
 
   net::NodeId parent_;
   net::ConnectionId parent_conn_ = net::kInvalidConnectionId;
-  std::set<net::ConnectionId> children_;
+  util::FlatSet<net::ConnectionId, 8> children_;
 
   /// Indexed by StreamId, sized num_streams at construction.
   std::vector<StreamState> streams_;

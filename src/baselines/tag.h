@@ -19,9 +19,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "baselines/messages.h"
@@ -30,6 +28,7 @@
 #include "net/transport.h"
 #include "sim/rng.h"
 #include "util/assert.h"
+#include "util/flat_map.h"
 #include "util/flat_seq_map.h"
 
 namespace brisa::baselines {
@@ -169,9 +168,10 @@ class TagNode final : public net::Process,
 
   /// Per-stream sequence space: the pull store (ordered, lower_bound-driven)
   /// and delivery stats. The list/tree structure is shared by every stream.
+  /// The store shares util's flat seq-window representation.
   struct StreamState {
     std::uint64_t next_seq = 0;
-    std::map<std::uint64_t, std::size_t> store;
+    util::FlatSeqMap<std::size_t> store;
     std::uint64_t contiguous_upto = 0;
     Stats stats;
   };
@@ -197,10 +197,10 @@ class TagNode final : public net::Process,
   // Tree links.
   net::NodeId parent_;
   net::ConnectionId parent_conn_ = net::kInvalidConnectionId;
-  std::set<net::ConnectionId> child_conns_;
+  util::FlatSet<net::ConnectionId, 8> child_conns_;
 
   // Join / repair traversal state.
-  std::map<net::ConnectionId, PendingDial> pending_dials_;
+  util::FlatMap<net::ConnectionId, PendingDial, 4> pending_dials_;
   bool traversing_ = false;
   bool traversal_for_repair_ = false;
   std::size_t probes_this_traversal_ = 0;

@@ -32,7 +32,7 @@ BrisaStream::BrisaStream(BrisaEngine& engine, net::StreamId stream,
       "tree mode requires exactly one parent");
   BRISA_ASSERT(config_.num_parents >= 1);
   // Adopt any neighbors that existed before this stream attached.
-  for (const net::NodeId peer : pss().view()) links_.try_emplace(peer);
+  for (const net::NodeId peer : pss().view_ref()) links_.try_emplace(peer);
   // Delay-aware refinement (§II-E): keep-alive piggybacked cumulative
   // delays let a node periodically re-evaluate its parent choice against
   // fresher estimates — the continuing optimization the paper attributes to
@@ -47,7 +47,7 @@ BrisaStream::BrisaStream(BrisaEngine& engine, net::StreamId stream,
           candidate_cost(config_.strategy, make_candidate(parent, true));
       net::NodeId best;
       double best_cost = parent_cost;
-      for (const net::NodeId peer : pss().view()) {
+      for (const net::NodeId peer : pss().view_ref()) {
         if (parents_.count(peer) > 0) continue;
         const auto it = links_.find(peer);
         if (it == links_.end()) continue;
@@ -88,7 +88,7 @@ BrisaStream::BrisaStream(BrisaEngine& engine, net::StreamId stream,
     if (is_source_ || !position_known_ || repair_.has_value()) return;
     if (stats_.delivered == 0 || parents_.empty()) return;
     const std::uint64_t mine =
-        delivered_seqs_.empty() ? 0 : *delivered_seqs_.rbegin() + 1;
+        delivered_seqs_.empty() ? 0 : delivered_seqs_.max() + 1;
     if (watermark_heard_ <= mine) return;  // nothing newer exists nearby
     if (now() - last_delivery_at_ < config_.starvation_timeout) return;
     stats_.starvation_resets += 1;
@@ -158,15 +158,25 @@ std::vector<net::NodeId> BrisaStream::parents() const {
   return {parents_.begin(), parents_.end()};
 }
 
+bool BrisaStream::is_child(net::NodeId peer, const Link& link) const {
+  return link.outbound_active && parents_.count(peer) == 0 &&
+         pss().is_neighbor(peer);
+}
+
 std::vector<net::NodeId> BrisaStream::children() const {
   std::vector<net::NodeId> out;
   for (const auto& [peer, link] : links_) {
-    if (link.outbound_active && parents_.count(peer) == 0 &&
-        pss().is_neighbor(peer)) {
-      out.push_back(peer);
-    }
+    if (is_child(peer, link)) out.push_back(peer);
   }
   return out;
+}
+
+std::size_t BrisaStream::out_degree() const {
+  std::size_t degree = 0;
+  for (const auto& [peer, link] : links_) {
+    if (is_child(peer, link)) ++degree;
+  }
+  return degree;
 }
 
 std::int32_t BrisaStream::depth() const {
@@ -181,7 +191,7 @@ std::uint64_t BrisaStream::max_contiguous_seq() const { return contiguous_upto_;
 
 membership::AppWatermark BrisaStream::watermark_entry() const {
   return {stream_,
-          delivered_seqs_.empty() ? 0 : *delivered_seqs_.rbegin() + 1,
+          delivered_seqs_.empty() ? 0 : delivered_seqs_.max() + 1,
           cum_delay_us_};
 }
 
@@ -274,6 +284,10 @@ void BrisaStream::handle_data(net::NodeId from, const BrisaData& msg) {
       stats_.cycle_rejections += 1;
       deactivate_inbound(from);
       if (parents_.empty() && !repair_.has_value() && !is_source_) {
+        // Orphaned by the cycle guard rather than by a failure; still an
+        // orphan event, so the Table I accounting (repairs <= orphanings)
+        // stays consistent on every trajectory.
+        stats_.orphan_events += 1;
         start_repair(/*allow_soft=*/true);
       }
     }
@@ -289,6 +303,7 @@ void BrisaStream::handle_data(net::NodeId from, const BrisaData& msg) {
       deactivate_inbound(from);
       deliver_and_relay(from, msg);
       if (parents_.empty() && !repair_.has_value()) {
+        stats_.orphan_events += 1;  // cycle-orphaned (see the DAG guard)
         start_repair(/*allow_soft=*/true);
       }
       return;
@@ -369,7 +384,7 @@ void BrisaStream::arm_gap_probe() {
   after(config_.gap_probe_delay, [this]() {
     gap_probe_armed_ = false;
     if (delivered_seqs_.empty()) return;
-    const std::uint64_t newest = *delivered_seqs_.rbegin();
+    const std::uint64_t newest = delivered_seqs_.max();
     if (contiguous_upto_ > newest) return;  // gap healed meanwhile
     if (parents_.empty()) return;           // repair flow handles it
     // Sequences more than one retention window below the newest delivery
@@ -524,7 +539,7 @@ PositionInfo BrisaStream::my_position() const {
   pos.uptime_s = static_cast<std::uint32_t>(
       std::max<std::int64_t>(0, (now() - started_at_).us() / 1'000'000));
   pos.degree = static_cast<std::uint16_t>(
-      std::min<std::size_t>(children().size(), 0xffff));
+      std::min<std::size_t>(out_degree(), 0xffff));
   pos.cum_delay_us = static_cast<std::uint32_t>(
       std::min<std::uint64_t>(cum_delay_us_, 0xffffffffULL));
   return pos;
@@ -725,7 +740,7 @@ void BrisaStream::escalate_to_hard_repair() {
     if (config_.mode == StructureMode::kDag && !repair_->demoted &&
         position_known_) {
       std::vector<net::NodeId> equal_depth;
-      for (const net::NodeId peer : pss().view()) {
+      for (const net::NodeId peer : pss().view_ref()) {
         if (parents_.count(peer) > 0) continue;
         const auto it = links_.find(peer);
         if (it == links_.end() || !it->second.position.known) continue;
@@ -757,10 +772,10 @@ void BrisaStream::escalate_to_hard_repair() {
   position_known_ = false;
   path_.clear();
   depth_ = -1;
-  for (auto& [peer, link] : links_) link.inbound_active = true;
+  for (auto&& [peer, link] : links_) link.inbound_active = true;
 
   net::MessagePtr resume;
-  for (const net::NodeId peer : pss().view()) {
+  for (const net::NodeId peer : pss().view_ref()) {
     if (resume == nullptr) {
       resume = net::make_message<BrisaResume>(stream_, true);
     }
@@ -792,7 +807,7 @@ void BrisaStream::arm_hard_repair_retry() {
     if (repair_->timeout_token != token) return;
     stats_.hard_repair_retries += 1;
     net::MessagePtr resume;
-    for (const net::NodeId peer : pss().view()) {
+    for (const net::NodeId peer : pss().view_ref()) {
       if (resume == nullptr) {
         resume = net::make_message<BrisaResume>(stream_, true);
       }
@@ -845,7 +860,7 @@ std::vector<net::NodeId> BrisaStream::soft_repair_candidates() const {
   std::vector<std::pair<double, net::NodeId>> ranked;
   std::vector<net::NodeId> equal_depth;
   std::vector<net::NodeId> unknown;
-  for (const net::NodeId peer : pss().view()) {
+  for (const net::NodeId peer : pss().view_ref()) {
     const auto it = links_.find(peer);
     if (it == links_.end()) continue;
     if (parents_.count(peer) > 0) continue;
@@ -882,7 +897,7 @@ void BrisaStream::relay(const BrisaData& msg, net::NodeId except) {
   // One pooled copy shared by every receiver: fan-out is a refcount bump
   // per child, not an allocation per child.
   net::MessagePtr shared;
-  for (const net::NodeId peer : pss().view()) {
+  for (const net::NodeId peer : pss().view_ref()) {
     if (peer == except) continue;
     const auto it = links_.find(peer);
     if (it != links_.end() && !it->second.outbound_active) continue;
@@ -898,7 +913,7 @@ void BrisaStream::relay(const BrisaData& msg, net::NodeId except) {
   // cost of one repeated deactivation per neighbor per message while the
   // out-degree stays zero.
   if (shared == nullptr && is_source_) {
-    for (const net::NodeId peer : pss().view()) {
+    for (const net::NodeId peer : pss().view_ref()) {
       if (peer == except) continue;
       if (shared == nullptr) shared = net::make_message<BrisaData>(msg);
       send_to(peer, shared, kData);

@@ -36,10 +36,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "core/messages.h"
@@ -48,6 +46,7 @@
 #include "net/network.h"
 #include "net/process.h"
 #include "sim/rng.h"
+#include "util/flat_map.h"
 #include "util/flat_seq_map.h"
 
 namespace brisa::core {
@@ -261,6 +260,13 @@ class BrisaStream final {
   [[nodiscard]] CandidateInfo make_candidate(net::NodeId peer,
                                              bool incumbent) const;
   void note_structure_stability();
+  /// The one definition of "peer is a child we relay to": shared by
+  /// children() and out_degree() so the degree a node advertises in
+  /// PositionInfo can never desync from its actual relay fan-out.
+  [[nodiscard]] bool is_child(net::NodeId peer, const Link& link) const;
+  /// children().size() without materializing the vector: the out-degree
+  /// feeds PositionInfo on every relayed message.
+  [[nodiscard]] std::size_t out_degree() const;
 
   // Repair (§II-F).
   void start_repair(bool allow_soft);
@@ -289,8 +295,11 @@ class BrisaStream final {
   sim::TimePoint started_at_;
   std::uint64_t next_seq_ = 0;
 
-  std::map<net::NodeId, Link> links_;
-  std::set<net::NodeId> parents_;
+  /// Per-neighbor dissemination links, sorted by id (flat storage keeps the
+  /// deterministic iteration order the std::map version had, minus the
+  /// pointer chases on every handle_data lookup).
+  util::FlatMap<net::NodeId, Link, 8> links_;
+  util::FlatSet<net::NodeId, 4> parents_;
 
   // Position in the structure.
   std::vector<net::NodeId> path_;  ///< tree mode; includes self when known
@@ -298,8 +307,9 @@ class BrisaStream final {
   std::uint64_t cum_delay_us_ = 0; ///< accumulated hop delay from the source
   bool position_known_ = false;
 
-  // Delivery bookkeeping.
-  std::set<std::uint64_t> delivered_seqs_;
+  // Delivery bookkeeping. The dedup set shares util's flat seq-window
+  // representation with the baselines: one presence bit per sequence.
+  util::SeqSet delivered_seqs_;
   std::uint64_t contiguous_upto_ = 0;  ///< all seqs < this are delivered
   std::deque<std::pair<std::uint64_t, std::size_t>> payload_buffer_;
 

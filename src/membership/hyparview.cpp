@@ -54,7 +54,7 @@ void HyParView::start_timers() {
 
 // --- PeerSamplingService ----------------------------------------------------
 
-std::vector<net::NodeId> HyParView::view() const { return established_peers(); }
+std::vector<net::NodeId> HyParView::view() const { return established_; }
 
 bool HyParView::is_neighbor(net::NodeId peer) const {
   const auto it = links_.find(peer);
@@ -415,8 +415,11 @@ void HyParView::establish(net::NodeId peer, net::ConnectionId conn) {
   const bool was_established = link.state == LinkState::kEstablished;
   link.state = LinkState::kEstablished;
   passive_.erase(peer);
-  if (!was_established && listener_ != nullptr) {
-    listener_->on_neighbor_up(peer);
+  if (!was_established) {
+    const auto pos =
+        std::lower_bound(established_.begin(), established_.end(), peer);
+    established_.insert(pos, peer);
+    if (listener_ != nullptr) listener_->on_neighbor_up(peer);
   }
 }
 
@@ -427,6 +430,11 @@ void HyParView::drop_active(net::NodeId peer, NeighborLossReason reason,
   const bool was_established = it->second.state == LinkState::kEstablished;
   const net::ConnectionId conn = it->second.conn;
   links_.erase(it);
+  if (was_established) {
+    const auto pos =
+        std::lower_bound(established_.begin(), established_.end(), peer);
+    if (pos != established_.end() && *pos == peer) established_.erase(pos);
+  }
   if (close_conn) transport_.close(conn, id());
   if (was_established && listener_ != nullptr) {
     listener_->on_neighbor_down(peer, reason);
@@ -436,7 +444,7 @@ void HyParView::drop_active(net::NodeId peer, NeighborLossReason reason,
 void HyParView::evict_if_needed(net::NodeId keep, std::size_t threshold) {
   while (active_count() > threshold) {
     ++counters_.evictions;
-    std::vector<net::NodeId> peers = established_peers();
+    std::vector<net::NodeId> peers = established_;
     // The node just accommodated stays (the joiner displaces someone else).
     if (peers.size() > 1 && keep.valid()) {
       peers.erase(std::remove(peers.begin(), peers.end(), keep), peers.end());
@@ -495,21 +503,11 @@ void HyParView::send_control(net::NodeId peer, net::MessagePtr message) {
   transport_.send(it->second.conn, id(), std::move(message), kTc);
 }
 
-std::vector<net::NodeId> HyParView::established_peers() const {
-  std::vector<net::NodeId> out;
-  for (const auto& [peer, link] : links_) {
-    if (link.state == LinkState::kEstablished) out.push_back(peer);
-  }
-  return out;
-}
-
 std::vector<net::NodeId> HyParView::passive_candidates() const {
   return {passive_.begin(), passive_.end()};
 }
 
-std::size_t HyParView::active_count() const {
-  return established_peers().size();
-}
+std::size_t HyParView::active_count() const { return established_.size(); }
 
 std::vector<net::NodeId> HyParView::passive_view() const {
   return passive_candidates();
@@ -552,7 +550,7 @@ void HyParView::on_keepalive_timer() {
   const WatermarkSnapshot watermarks = current_watermarks();
   // Collect first: fail_link mutates links_.
   std::vector<net::NodeId> timed_out;
-  for (auto& [peer, link] : links_) {
+  for (auto&& [peer, link] : links_) {
     if (link.state != LinkState::kEstablished) continue;
     if (link.outstanding_probe != 0) {
       ++link.missed_probes;

@@ -11,9 +11,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "membership/messages.h"
@@ -22,6 +20,7 @@
 #include "net/process.h"
 #include "net/transport.h"
 #include "sim/rng.h"
+#include "util/flat_map.h"
 
 namespace brisa::membership {
 
@@ -57,6 +56,9 @@ class HyParView final : public PeerSamplingService,
 
   // --- PeerSamplingService --------------------------------------------------
   [[nodiscard]] std::vector<net::NodeId> view() const override;
+  [[nodiscard]] const std::vector<net::NodeId>& view_ref() const override {
+    return established_;
+  }
   [[nodiscard]] bool is_neighbor(net::NodeId peer) const override;
   bool send_app(net::NodeId peer, net::MessagePtr message,
                 net::TrafficClass traffic_class) override;
@@ -149,7 +151,11 @@ class HyParView final : public PeerSamplingService,
   void add_passive(net::NodeId peer);
   void dial(net::NodeId peer, DialPurpose purpose);
   void send_control(net::NodeId peer, net::MessagePtr message);
-  [[nodiscard]] std::vector<net::NodeId> established_peers() const;
+  /// The established-peer cache, ascending by id (the iteration order the
+  /// std::map-based implementation produced). Copy before mutating the view.
+  [[nodiscard]] const std::vector<net::NodeId>& established_peers() const {
+    return established_;
+  }
   [[nodiscard]] std::vector<net::NodeId> passive_candidates() const;
 
   // Timers.
@@ -164,8 +170,14 @@ class HyParView final : public PeerSamplingService,
   PssListener* listener_ = nullptr;
   WatermarkProvider watermark_provider_;
 
-  std::map<net::NodeId, Link> links_;  ///< active view + in-progress links
-  std::set<net::NodeId> passive_;
+  /// Active view + in-progress links. Sorted flat storage: the per-send
+  /// lookup is a binary search over one or two cache lines, and iteration
+  /// stays in the ascending-id order the determinism contract requires.
+  util::FlatMap<net::NodeId, Link, 8> links_;
+  util::FlatSet<net::NodeId, 8> passive_;
+  /// Ids of the kEstablished subset of links_, ascending — maintained by
+  /// establish/drop_active so view()/send fan-outs never rebuild it.
+  std::vector<net::NodeId> established_;
   net::NodeId rejoin_contact_;  ///< last join contact; isolation fallback
   std::vector<net::NodeId> last_shuffle_sent_;
   std::uint64_t next_probe_id_ = 1;

@@ -65,6 +65,13 @@ class PeerSamplingService {
   /// The view exposed to the application (HyParView: the active view).
   [[nodiscard]] virtual std::vector<net::NodeId> view() const = 0;
 
+  /// Allocation-free variant for per-message hot paths (relay fan-out,
+  /// candidate scans): a reference to the implementation's own view storage,
+  /// in the same deterministic ascending order view() copies out of. The
+  /// reference is invalidated by the next membership change, so callers must
+  /// not hold it across anything that can establish or drop a neighbor.
+  [[nodiscard]] virtual const std::vector<net::NodeId>& view_ref() const = 0;
+
   [[nodiscard]] virtual bool is_neighbor(net::NodeId peer) const = 0;
 
   /// Sends an application message over the established link to `peer`.

@@ -59,13 +59,19 @@ NodeId Network::add_host() {
   }
   hosts_.push_back(std::move(h));
   ++alive_count_;
-  return NodeId(static_cast<std::uint32_t>(hosts_.size() - 1));
+  alive_cache_valid_ = false;
+  const auto index = static_cast<std::uint32_t>(hosts_.size() - 1);
+  if (fault_plan_ != nullptr) {
+    fault_flags_.push_back(compute_fault_flags(index));
+  }
+  return NodeId(index);
 }
 
 void Network::kill(NodeId node) {
   Host& h = host(node);
   if (!h.alive) return;
   h.alive = false;
+  alive_cache_valid_ = false;
   if (h.is_suspended) {
     h.is_suspended = false;
     --suspended_count_;
@@ -120,16 +126,65 @@ bool Network::alive(NodeId node) const {
 void Network::install_fault_plan(const FaultPlan* plan) {
   fault_plan_ = plan;
   if (plan != nullptr) fault_rng_ = rng_.split(0xFA017);
+  rebuild_fault_flags();
+}
+
+std::uint8_t Network::compute_fault_flags(std::uint32_t index) const {
+  const NodeId node(index);
+  std::uint8_t flags = 0;
+  for (const PartitionRule& rule : fault_plan_->partitions()) {
+    if (rule.a.contains(node) || rule.b.contains(node)) {
+      flags |= kFaultPartition;
+      break;
+    }
+  }
+  for (const LossRule& rule : fault_plan_->losses()) {
+    if (rule.a.contains(node) || rule.b.contains(node)) {
+      flags |= kFaultLoss;
+      break;
+    }
+  }
+  for (const SlowRule& rule : fault_plan_->slows()) {
+    if (rule.a.contains(node) || rule.b.contains(node)) {
+      flags |= kFaultSlow;
+      break;
+    }
+  }
+  return flags;
+}
+
+void Network::rebuild_fault_flags() {
+  if (fault_plan_ == nullptr) {
+    fault_flags_.clear();
+    return;
+  }
+  fault_flags_.resize(hosts_.size());
+  for (std::uint32_t i = 0; i < fault_flags_.size(); ++i) {
+    fault_flags_[i] = compute_fault_flags(i);
+  }
 }
 
 LinkVerdict Network::fault_verdict(NodeId from, NodeId to) {
   if (fault_plan_ == nullptr) return LinkVerdict::kDeliver;
+  // A rule matches a link only when both endpoints sit in its (symmetric)
+  // group pair, so a link where neither endpoint carries a partition/loss
+  // bit cannot be hit — skip the scan. Matching is time-window-agnostic
+  // here (conservative): windows are still checked by link_verdict.
+  const std::uint8_t flags =
+      fault_flags_[from.index()] & fault_flags_[to.index()];
+  if ((flags & (kFaultPartition | kFaultLoss)) == 0) {
+    return LinkVerdict::kDeliver;
+  }
   return fault_plan_->link_verdict(simulator_.now(), from, to, fault_rng_);
 }
 
 sim::Duration Network::fault_adjust(NodeId from, NodeId to,
                                     sim::Duration flight) const {
   if (fault_plan_ == nullptr) return flight;
+  if ((fault_flags_[from.index()] & fault_flags_[to.index()] & kFaultSlow) ==
+      0) {
+    return flight;
+  }
   const double factor =
       fault_plan_->latency_factor(simulator_.now(), from, to);
   if (factor == 1.0) return flight;
@@ -152,13 +207,18 @@ void Network::note_fault(NodeId at, TrafficClass traffic_class,
   }
 }
 
-std::vector<NodeId> Network::alive_hosts() const {
-  std::vector<NodeId> out;
-  out.reserve(alive_count_);
-  for (std::size_t i = 0; i < hosts_.size(); ++i) {
-    if (hosts_[i].alive) out.emplace_back(static_cast<std::uint32_t>(i));
+const std::vector<NodeId>& Network::alive_hosts() const {
+  if (!alive_cache_valid_) {
+    alive_cache_.clear();
+    alive_cache_.reserve(alive_count_);
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+      if (hosts_[i].alive) {
+        alive_cache_.emplace_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    alive_cache_valid_ = true;
   }
-  return out;
+  return alive_cache_;
 }
 
 void Network::bind_datagram_handler(NodeId node, DatagramHandler* handler) {
@@ -168,14 +228,16 @@ void Network::bind_datagram_handler(NodeId node, DatagramHandler* handler) {
 void Network::send_datagram(NodeId from, NodeId to, MessagePtr message,
                             TrafficClass traffic_class) {
   BRISA_ASSERT(message != nullptr);
-  if (!alive(from)) return;
-  if (suspended_count_ > 0 && host(from).is_suspended) [[unlikely]] {
+  if (!from.valid() || from.index() >= hosts_.size()) return;
+  if (!hosts_[from.index()].alive) return;
+  if (suspended_count_ > 0 && hosts_[from.index()].is_suspended) [[unlikely]] {
     // Frozen host: timer-driven sends go nowhere, without NIC charge.
     note_fault(from, traffic_class, LinkVerdict::kBlackhole, /*datagram=*/true);
     return;
   }
   const std::size_t wire_bytes = message->wire_size();
-  const sim::TimePoint serialized = nic_send(from, wire_bytes, traffic_class);
+  const sim::TimePoint serialized =
+      nic_send_host(hosts_[from.index()], wire_bytes, traffic_class);
   sim::Duration flight = latency_->sample(from, to, rng_);
   if (fault_plan_ != nullptr) [[unlikely]] {
     // The packet left the sender (NIC charged above); loss happens in the
@@ -204,18 +266,19 @@ void Network::on_deliver(const sim::DeliverEvent& event) {
   MessagePtr message =
       MessageRef::attach(static_cast<const Message*>(event.token));
   const NodeId from(event.from);
-  const NodeId to(event.to);
-  if (!alive(to)) return;
-  Host& h = host(to);
+  if (event.to >= hosts_.size()) return;
+  Host& h = hosts_[event.to];
+  if (!h.alive) return;
   if (h.is_suspended) [[unlikely]] {
     ++fault_totals_.rx_suppressed;
     return;
   }
   if (h.datagram_handler == nullptr) return;
   if (event.tag == kDatagramArrival) {
-    charge_receive(to, event.bytes, static_cast<TrafficClass>(event.tclass));
+    charge_receive_host(h, event.bytes,
+                        static_cast<TrafficClass>(event.tclass));
     const sim::TimePoint ready =
-        cpu_deliver(to, simulator_.now(), event.bytes);
+        cpu_deliver_host(h, simulator_.now(), event.bytes);
     if (ready == simulator_.now()) {
       h.datagram_handler->on_datagram(from, std::move(message));
     } else {
@@ -233,7 +296,11 @@ void Network::on_deliver(const sim::DeliverEvent& event) {
 
 sim::TimePoint Network::nic_send(NodeId from, std::size_t wire_bytes,
                                  TrafficClass traffic_class) {
-  Host& h = host(from);
+  return nic_send_host(host(from), wire_bytes, traffic_class);
+}
+
+sim::TimePoint Network::nic_send_host(Host& h, std::size_t wire_bytes,
+                                      TrafficClass traffic_class) {
   BRISA_ASSERT_MSG(h.alive, "dead host attempted to send");
   const std::size_t total_bytes = wire_bytes + kFrameOverheadBytes;
   const auto serialize_us = static_cast<std::int64_t>(
@@ -252,7 +319,11 @@ sim::TimePoint Network::nic_send(NodeId from, std::size_t wire_bytes,
 
 void Network::charge_receive(NodeId to, std::size_t wire_bytes,
                              TrafficClass traffic_class) {
-  Host& h = host(to);
+  charge_receive_host(host(to), wire_bytes, traffic_class);
+}
+
+void Network::charge_receive_host(Host& h, std::size_t wire_bytes,
+                                  TrafficClass traffic_class) {
   const auto tc = static_cast<std::size_t>(traffic_class);
   h.stats.down_bytes[tc] += wire_bytes + kFrameOverheadBytes;
   h.stats.down_messages[tc] += 1;
@@ -260,11 +331,15 @@ void Network::charge_receive(NodeId to, std::size_t wire_bytes,
 
 sim::TimePoint Network::cpu_deliver(NodeId to, sim::TimePoint arrival,
                                     std::size_t wire_bytes) {
+  return cpu_deliver_host(host(to), arrival, wire_bytes);
+}
+
+sim::TimePoint Network::cpu_deliver_host(Host& h, sim::TimePoint arrival,
+                                         std::size_t wire_bytes) {
   if (config_.rx_process_mean == sim::Duration::zero() &&
       config_.rx_process_per_kb == sim::Duration::zero()) {
     return arrival;
   }
-  Host& h = host(to);
   const double size_us = static_cast<double>(config_.rx_process_per_kb.us()) *
                          static_cast<double>(wire_bytes) / 1024.0;
   const double mean_us =

@@ -121,7 +121,11 @@ class Network : public sim::DeliverEvent::Sink {
   [[nodiscard]] bool alive(NodeId node) const;
   [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
   [[nodiscard]] std::size_t alive_count() const { return alive_count_; }
-  [[nodiscard]] std::vector<NodeId> alive_hosts() const;
+  /// Ids of the alive hosts, ascending. The vector is cached and only
+  /// rebuilt after a membership change (add_host/kill), so the churn layer
+  /// can poll it every tick without a fresh allocation per call. The
+  /// reference is invalidated by the next membership change.
+  [[nodiscard]] const std::vector<NodeId>& alive_hosts() const;
 
   class DeathListener {
    public:
@@ -147,6 +151,9 @@ class Network : public sim::DeliverEvent::Sink {
 
   /// Fault decision for one message crossing `from`->`to` now (kDeliver when
   /// no plan is installed). Consumes the fault RNG for active loss rules.
+  /// Links touching no rule's node groups short-circuit through the dense
+  /// per-host relevance flags built at install time — at sweep scale most
+  /// traffic never scans the rule table.
   [[nodiscard]] LinkVerdict fault_verdict(NodeId from, NodeId to);
 
   /// Applies active slow rules to a sampled flight latency.
@@ -248,6 +255,27 @@ class Network : public sim::DeliverEvent::Sink {
   Host& host(NodeId node);
   const Host& host(NodeId node) const;
 
+  /// Hot-path variants of the resource model taking an already-resolved
+  /// Host&: send/deliver does one bounds-checked table lookup, not four.
+  sim::TimePoint nic_send_host(Host& h, std::size_t wire_bytes,
+                               TrafficClass traffic_class);
+  void charge_receive_host(Host& h, std::size_t wire_bytes,
+                           TrafficClass traffic_class);
+  sim::TimePoint cpu_deliver_host(Host& h, sim::TimePoint arrival,
+                                  std::size_t wire_bytes);
+
+  /// Which fault-rule node groups mention a host: or-ed kFault* bits. A link
+  /// whose endpoints carry no bits cannot match any rule, so the hot path
+  /// skips the rule scan (and, for loss rules, provably consumes no RNG —
+  /// non-matching rules never rolled the dice either).
+  enum FaultFlag : std::uint8_t {
+    kFaultPartition = 1,
+    kFaultLoss = 2,
+    kFaultSlow = 4,
+  };
+  [[nodiscard]] std::uint8_t compute_fault_flags(std::uint32_t index) const;
+  void rebuild_fault_flags();
+
   sim::Simulator& simulator_;
   std::unique_ptr<LatencyModel> latency_;
   Config config_;
@@ -258,10 +286,15 @@ class Network : public sim::DeliverEvent::Sink {
   const FaultPlan* fault_plan_ = nullptr;
   FaultTotals fault_totals_;
   std::vector<Host> hosts_;
+  /// Indexed by host; rebuilt at install_fault_plan, extended by add_host.
+  std::vector<std::uint8_t> fault_flags_;
   std::size_t alive_count_ = 0;
   std::size_t suspended_count_ = 0;
   std::vector<DeathListener*> death_listeners_;
   std::uint64_t messages_sent_ = 0;
+  /// alive_hosts() cache; invalidated by add_host/kill.
+  mutable std::vector<NodeId> alive_cache_;
+  mutable bool alive_cache_valid_ = false;
 };
 
 }  // namespace brisa::net

@@ -26,12 +26,62 @@ Transport::Transport(Network& network) : network_(network) {
 }
 
 void Transport::bind(NodeId node, TransportHandler* handler) {
+  if (node.index() >= handlers_.size()) {
+    handlers_.resize(node.index() + 1, nullptr);
+  }
   handlers_[node.index()] = handler;
 }
 
 TransportHandler* Transport::handler_of(NodeId node) {
-  const auto it = handlers_.find(node.index());
-  return it == handlers_.end() ? nullptr : it->second;
+  return node.index() < handlers_.size() ? handlers_[node.index()] : nullptr;
+}
+
+// --- Connection slab ---------------------------------------------------------
+
+ConnectionId Transport::allocate_connection() {
+  std::uint32_t slot;
+  if (free_head_ != 0xffffffff) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  ConnSlot& s = slots_[slot];
+  s.conn = Connection{};
+  s.open = true;
+  s.next_free = 0xffffffff;
+  return (static_cast<ConnectionId>(s.gen) << 32) |
+         static_cast<ConnectionId>(slot + 1);
+}
+
+void Transport::erase_connection(ConnectionId conn) {
+  const std::uint32_t slot = slot_of(conn);
+  if (slot >= slots_.size()) return;
+  ConnSlot& s = slots_[slot];
+  if (!s.open || s.gen != gen_of(conn)) return;  // already erased
+  s.open = false;
+  // Bumping the generation invalidates every outstanding handle; 0 would
+  // collide with kInvalidConnectionId's encoding, so skip it on wraparound.
+  s.gen = s.gen + 1 == 0 ? 1 : s.gen + 1;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void Transport::track(NodeId node, ConnectionId conn) {
+  if (node.index() >= by_host_.size()) by_host_.resize(node.index() + 1);
+  by_host_[node.index()].push_back(conn);
+}
+
+void Transport::untrack(NodeId node, ConnectionId conn) {
+  if (node.index() >= by_host_.size()) return;
+  auto& conns = by_host_[node.index()];
+  for (auto it = conns.begin(); it != conns.end(); ++it) {
+    if (*it == conn) {
+      conns.erase(it);
+      return;
+    }
+  }
 }
 
 ConnectionId Transport::connect(NodeId from, NodeId to) {
@@ -39,29 +89,32 @@ ConnectionId Transport::connect(NodeId from, NodeId to) {
   BRISA_ASSERT_MSG(network_.alive(from), "dead host calling connect");
   if (network_.suspended(from)) {
     // Frozen initiator: the SYN never leaves; resolve as a refusal once the
-    // host wakes. No connection record is needed — the id is never live.
-    const ConnectionId conn = next_id_++;
+    // host wakes. No connection record is needed — the id is allocated and
+    // immediately retired, so it is unique but never live.
+    const ConnectionId conn = allocate_connection();
+    erase_connection(conn);
     network_.note_fault(from, TrafficClass::kMembership,
                         LinkVerdict::kBlackhole, /*datagram=*/false);
     notify_endpoint_failure(conn, from, to, CloseReason::kRefused);
     return conn;
   }
-  const ConnectionId conn = next_id_++;
+  const ConnectionId conn = allocate_connection();
 
   // SYN: from -> to, subject to the fault layer.
   const std::optional<sim::TimePoint> syn_arrival = transmit_segment(
       from, to, kControlSegmentBytes, TrafficClass::kMembership);
   if (!syn_arrival) {
     // Partitioned link: SYN vanishes, initiator times out.
+    erase_connection(conn);
     notify_endpoint_failure(conn, from, to, CloseReason::kRefused);
     return conn;
   }
 
-  connections_.emplace(conn, Connection{from, to, State::kConnecting,
-                                        sim::TimePoint::origin(),
-                                        sim::TimePoint::origin()});
-  by_host_[from.index()].insert(conn);
-  by_host_[to.index()].insert(conn);
+  slots_[slot_of(conn)].conn =
+      Connection{from, to, State::kConnecting, sim::TimePoint::origin(),
+                 sim::TimePoint::origin()};
+  track(from, conn);
+  track(to, conn);
 
   sim::Simulator& simulator = network_.simulator();
   simulator.at(*syn_arrival, [this, conn, from, to]() {
@@ -72,7 +125,7 @@ ConnectionId Transport::connect(NodeId from, NodeId to) {
       // Dead or frozen acceptor: initiator sees a refusal after its
       // detection delay.
       mark_closed(conn);
-      connections_.erase(conn);
+      erase_connection(conn);
       notify_endpoint_failure(conn, from, to, CloseReason::kRefused);
       return;
     }
@@ -143,9 +196,8 @@ void Transport::close(ConnectionId conn, NodeId closer) {
       // queue the notice so the peer learns at resume, and release the
       // record now.
       network_.note_rx_suppressed();
-      pending_resume_notices_[peer.index()].push_back(
-          {conn, closer, CloseReason::kRemoteClose});
-      connections_.erase(conn);
+      queue_resume_notice(peer, {conn, closer, CloseReason::kRemoteClose});
+      erase_connection(conn);
       return;
     }
     network_.charge_receive(peer, kControlSegmentBytes,
@@ -159,7 +211,7 @@ void Transport::close(ConnectionId conn, NodeId closer) {
       const NodeId other = peer_of(conn, peer);
       h->on_connection_down(conn, other, CloseReason::kRemoteClose);
     }
-    connections_.erase(conn);
+    erase_connection(conn);
   });
 }
 
@@ -262,8 +314,8 @@ NodeId Transport::peer_of(ConnectionId conn, NodeId self) const {
 
 std::size_t Transport::open_connections() const {
   std::size_t open = 0;
-  for (const auto& [id, c] : connections_) {
-    if (c.state != State::kClosed) ++open;
+  for (const ConnSlot& s : slots_) {
+    if (s.open && s.conn.state != State::kClosed) ++open;
   }
   return open;
 }
@@ -347,7 +399,7 @@ void Transport::sever(ConnectionId conn, bool notify_initiator,
   const sim::TimePoint erase_at =
       std::max(simulator.now() + linger, drain) +
       sim::Duration::microseconds(1);
-  simulator.at(erase_at, [this, conn]() { connections_.erase(conn); });
+  simulator.at(erase_at, [this, conn]() { erase_connection(conn); });
 }
 
 sim::Duration Transport::notify_endpoint_failure(ConnectionId conn,
@@ -355,8 +407,7 @@ sim::Duration Transport::notify_endpoint_failure(ConnectionId conn,
                                                  CloseReason reason) {
   if (!network_.alive(endpoint)) return sim::Duration::zero();
   if (network_.suspended(endpoint)) {
-    pending_resume_notices_[endpoint.index()].push_back(
-        {conn, peer, reason});
+    queue_resume_notice(endpoint, {conn, peer, reason});
     return sim::Duration::zero();
   }
   const sim::Duration detect = network_.sample_failure_detect_delay();
@@ -365,8 +416,7 @@ sim::Duration Transport::notify_endpoint_failure(ConnectionId conn,
     if (network_.suspended(endpoint)) {
       // Frozen during the detection window: deliver the notice at resume
       // instead of dropping it.
-      pending_resume_notices_[endpoint.index()].push_back(
-          {conn, peer, reason});
+      queue_resume_notice(endpoint, {conn, peer, reason});
       return;
     }
     if (TransportHandler* h = handler_of(endpoint)) {
@@ -376,32 +426,41 @@ sim::Duration Transport::notify_endpoint_failure(ConnectionId conn,
   return detect;
 }
 
+void Transport::queue_resume_notice(NodeId node, PendingNotice notice) {
+  if (node.index() >= pending_resume_notices_.size()) {
+    pending_resume_notices_.resize(node.index() + 1);
+  }
+  pending_resume_notices_[node.index()].push_back(notice);
+}
+
 void Transport::on_host_suspended(NodeId node) {
   // A freeze severs every connection (established or mid-handshake): peers
   // detect the failure after their delay; the frozen host itself finds its
   // sockets dead when it resumes.
-  const auto it = by_host_.find(node.index());
-  if (it == by_host_.end()) return;
-  const std::vector<ConnectionId> conns(it->second.begin(), it->second.end());
+  if (node.index() >= by_host_.size()) return;
+  const auto& tracked = by_host_[node.index()];
+  const std::vector<ConnectionId> conns(tracked.begin(), tracked.end());
   for (const ConnectionId conn : conns) break_connection(conn);
 }
 
 void Transport::on_host_resumed(NodeId node) {
-  const auto it = pending_resume_notices_.find(node.index());
-  if (it == pending_resume_notices_.end()) return;
-  const std::vector<PendingNotice> notices = std::move(it->second);
-  pending_resume_notices_.erase(it);
+  if (node.index() >= pending_resume_notices_.size()) return;
+  const std::vector<PendingNotice> notices =
+      std::move(pending_resume_notices_[node.index()]);
+  pending_resume_notices_[node.index()].clear();
   for (const PendingNotice& notice : notices) {
     notify_endpoint_failure(notice.conn, node, notice.peer, notice.reason);
   }
 }
 
 void Transport::on_host_killed(NodeId node) {
-  pending_resume_notices_.erase(node.index());
-  const auto it = by_host_.find(node.index());
-  if (it == by_host_.end()) return;
-  // Copy: callbacks may mutate the set.
-  const std::vector<ConnectionId> conns(it->second.begin(), it->second.end());
+  if (node.index() < pending_resume_notices_.size()) {
+    pending_resume_notices_[node.index()].clear();
+  }
+  if (node.index() >= by_host_.size()) return;
+  // Copy: callbacks may mutate the tracking list.
+  const auto& tracked = by_host_[node.index()];
+  const std::vector<ConnectionId> conns(tracked.begin(), tracked.end());
   for (const ConnectionId conn : conns) {
     Connection* c = find(conn);
     if (c == nullptr || c->state == State::kClosed) continue;
@@ -417,7 +476,7 @@ void Transport::on_host_killed(NodeId node) {
         const NodeId other = peer_of(conn, peer);
         h->on_connection_down(conn, other, CloseReason::kPeerFailure);
       }
-      connections_.erase(conn);
+      erase_connection(conn);
     });
   }
 }
@@ -426,18 +485,26 @@ void Transport::mark_closed(ConnectionId conn) {
   Connection* c = find(conn);
   if (c == nullptr) return;
   c->state = State::kClosed;
-  by_host_[c->initiator.index()].erase(conn);
-  by_host_[c->acceptor.index()].erase(conn);
+  untrack(c->initiator, conn);
+  untrack(c->acceptor, conn);
 }
 
 Transport::Connection* Transport::find(ConnectionId conn) {
-  const auto it = connections_.find(conn);
-  return it == connections_.end() ? nullptr : &it->second;
+  if (conn == kInvalidConnectionId) return nullptr;
+  const std::uint32_t slot = slot_of(conn);
+  if (slot >= slots_.size()) return nullptr;
+  ConnSlot& s = slots_[slot];
+  if (!s.open || s.gen != gen_of(conn)) return nullptr;
+  return &s.conn;
 }
 
 const Transport::Connection* Transport::find(ConnectionId conn) const {
-  const auto it = connections_.find(conn);
-  return it == connections_.end() ? nullptr : &it->second;
+  if (conn == kInvalidConnectionId) return nullptr;
+  const std::uint32_t slot = slot_of(conn);
+  if (slot >= slots_.size()) return nullptr;
+  const ConnSlot& s = slots_[slot];
+  if (!s.open || s.gen != gen_of(conn)) return nullptr;
+  return &s.conn;
 }
 
 }  // namespace brisa::net

@@ -9,16 +9,20 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "net/message.h"
 #include "net/network.h"
 #include "net/node_id.h"
+#include "util/small_vec.h"
 
 namespace brisa::net {
 
+/// Generation-tagged handle into the transport's connection slab: the low 32
+/// bits hold slot+1 (so 0 stays the invalid id), the high 32 the slot's
+/// generation at allocation. Stale ids (connection since erased, slot since
+/// reused) fail the generation check and resolve to "unknown connection" —
+/// exactly the semantics handlers already rely on for late failure notices.
 using ConnectionId = std::uint64_t;
 inline constexpr ConnectionId kInvalidConnectionId = 0;
 
@@ -111,6 +115,15 @@ class Transport final : public Network::DeathListener,
     sim::TimePoint last_delivery_to_acceptor = sim::TimePoint::origin();
   };
 
+  /// One reusable slab slot. `open` distinguishes a live record from a freed
+  /// slot whose generation already advanced (handles to it are stale).
+  struct ConnSlot {
+    Connection conn;
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = 0xffffffff;
+    bool open = false;
+  };
+
   /// Shared teardown behind break_connection and the lost-FIN close path:
   /// marks the record closed, schedules kPeerFailure at the selected
   /// endpoints, and defers the erase until the notices and every in-flight
@@ -121,6 +134,22 @@ class Transport final : public Network::DeathListener,
   Connection* find(ConnectionId conn);
   const Connection* find(ConnectionId conn) const;
   TransportHandler* handler_of(NodeId node);
+
+  /// Slab plumbing: allocate_connection hands out a fresh (slot, generation)
+  /// id; erase_connection retires the record and bumps the generation so
+  /// every outstanding handle goes stale atomically.
+  ConnectionId allocate_connection();
+  void erase_connection(ConnectionId conn);
+  [[nodiscard]] static std::uint32_t slot_of(ConnectionId conn) {
+    return static_cast<std::uint32_t>(conn & 0xffffffffULL) - 1;
+  }
+  [[nodiscard]] static std::uint32_t gen_of(ConnectionId conn) {
+    return static_cast<std::uint32_t>(conn >> 32);
+  }
+  /// Per-host bookkeeping vectors are sized lazily (the transport does not
+  /// know the final host count).
+  void track(NodeId node, ConnectionId conn);
+  void untrack(NodeId node, ConnectionId conn);
 
   /// Schedules on_connection_down(conn, peer, reason) at `endpoint` after its
   /// failure-detection delay, returned to the caller (zero when nothing was
@@ -162,15 +191,19 @@ class Transport final : public Network::DeathListener,
     CloseReason reason;
   };
 
+  void queue_resume_notice(NodeId node, PendingNotice notice);
+
   Network& network_;
-  std::unordered_map<ConnectionId, Connection> connections_;
-  std::unordered_map<std::uint32_t, TransportHandler*> handlers_;
-  std::unordered_map<std::uint32_t, std::unordered_set<ConnectionId>>
-      by_host_;
+  /// Connection records in a reusable slab; ConnectionId = {slot, gen}, so
+  /// find() is one bounds check + one generation compare — no hashing on the
+  /// send/deliver path.
+  std::vector<ConnSlot> slots_;
+  std::uint32_t free_head_ = 0xffffffff;
+  /// Host-indexed flat tables (lazily sized to the largest bound host).
+  std::vector<TransportHandler*> handlers_;
+  std::vector<util::SmallVec<ConnectionId, 4>> by_host_;
   /// Connection failures a suspended host will learn about at resume.
-  std::unordered_map<std::uint32_t, std::vector<PendingNotice>>
-      pending_resume_notices_;
-  ConnectionId next_id_ = 1;
+  std::vector<std::vector<PendingNotice>> pending_resume_notices_;
 };
 
 }  // namespace brisa::net

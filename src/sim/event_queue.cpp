@@ -18,12 +18,11 @@ EventId EventQueue::acquire_slot(TimePoint when) {
   }
   Slot& slot = slots_[index];
   slot.when = when;
-  slot.seq = next_seq_++;
   slot.gate = nullptr;
   slot.gate_ctx = nullptr;
   slot.gate_arg = 0;
   slot.next_free = kNullIndex;
-  heap_insert(index);
+  heap_insert(HeapEntry{when, next_seq_++, index});
   if (heap_.size() > peak_pending_) peak_pending_ = heap_.size();
   return EventId{index, slot.gen};
 }
@@ -42,44 +41,40 @@ void EventQueue::release_slot(std::uint32_t index) {
 // --- 4-ary heap -------------------------------------------------------------
 //
 // A wider node brings the tree height down to log4(n) and keeps the four
-// child indices in at most two cache lines, which is the right trade for a
-// heap whose comparisons are two loads and an integer compare.
+// child entries in at most two cache lines. Entries are (key, slot index)
+// pairs, so the sift loops below never touch the slab: one entry in
+// registers, children read sequentially, and the only slab access is the
+// heap_pos write-back when an entry settles.
 
-void EventQueue::heap_insert(std::uint32_t index) {
-  slots_[index].heap_pos = static_cast<std::uint32_t>(heap_.size());
-  heap_.push_back(index);
-  sift_up(slots_[index].heap_pos);
+void EventQueue::heap_insert(HeapEntry entry) {
+  const auto pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(entry);
+  sift_up(pos, entry);
 }
 
 void EventQueue::heap_remove(std::uint32_t pos) {
   BRISA_ASSERT(pos < heap_.size());
   const std::uint32_t last = static_cast<std::uint32_t>(heap_.size()) - 1;
-  if (pos != last) {
-    heap_[pos] = heap_[last];
-    slots_[heap_[pos]].heap_pos = pos;
-  }
+  const HeapEntry moved = heap_[last];
   heap_.pop_back();
-  if (pos < heap_.size()) {
-    sift_down(pos);
-    sift_up(pos);
-  }
+  if (pos == last) return;  // removed the tail entry itself
+  sift_down(pos, moved);
+  sift_up(slots_[moved.slot].heap_pos, moved);
 }
 
-void EventQueue::sift_up(std::uint32_t pos) {
-  const std::uint32_t index = heap_[pos];
+void EventQueue::sift_up(std::uint32_t pos, HeapEntry entry) {
   while (pos > 0) {
     const std::uint32_t parent = (pos - 1) / 4;
-    if (!before(index, heap_[parent])) break;
+    if (!before(entry, heap_[parent])) break;
     heap_[pos] = heap_[parent];
-    slots_[heap_[pos]].heap_pos = pos;
+    slots_[heap_[pos].slot].heap_pos = pos;
     pos = parent;
   }
-  heap_[pos] = index;
-  slots_[index].heap_pos = pos;
+  heap_[pos] = entry;
+  slots_[entry.slot].heap_pos = pos;
 }
 
-void EventQueue::sift_down(std::uint32_t pos) {
-  const std::uint32_t index = heap_[pos];
+void EventQueue::sift_down(std::uint32_t pos, HeapEntry entry) {
   const std::uint32_t size = static_cast<std::uint32_t>(heap_.size());
   while (true) {
     const std::uint32_t first_child = pos * 4 + 1;
@@ -90,13 +85,13 @@ void EventQueue::sift_down(std::uint32_t pos) {
     for (std::uint32_t child = first_child + 1; child <= last_child; ++child) {
       if (before(heap_[child], heap_[best])) best = child;
     }
-    if (!before(heap_[best], index)) break;
+    if (!before(heap_[best], entry)) break;
     heap_[pos] = heap_[best];
-    slots_[heap_[pos]].heap_pos = pos;
+    slots_[heap_[pos].slot].heap_pos = pos;
     pos = best;
   }
-  heap_[pos] = index;
-  slots_[index].heap_pos = pos;
+  heap_[pos] = entry;
+  slots_[entry.slot].heap_pos = pos;
 }
 
 // --- Public API -------------------------------------------------------------
@@ -163,7 +158,7 @@ void EventQueue::Fired::run() {
 
 EventQueue::Fired EventQueue::pop() {
   BRISA_ASSERT_MSG(!heap_.empty(), "pop() on empty event queue");
-  const std::uint32_t index = heap_[0];
+  const std::uint32_t index = heap_[0].slot;
   Slot& slot = slots_[index];
   Fired fired;
   fired.time = slot.when;
@@ -182,7 +177,7 @@ void EventQueue::clear() {
   // Releasing a slot only touches the slab and, for kDeliver payloads, the
   // drop_token refcount release — neither re-enters the heap — so dropping
   // every pending event is a straight sweep.
-  for (const std::uint32_t index : heap_) release_slot(index);
+  for (const HeapEntry& entry : heap_) release_slot(entry.slot);
   heap_.clear();
 }
 

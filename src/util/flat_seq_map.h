@@ -124,6 +124,19 @@ class FlatSeqMap {
                          : end();
   }
 
+  /// First present entry with key >= seq (std::map::lower_bound analogue;
+  /// drives the pull/anti-entropy batch walks in the baselines).
+  [[nodiscard]] iterator lower_bound(std::uint64_t seq) {
+    const auto from = static_cast<std::size_t>(seq);
+    return {this, next_present(from < present_.size() ? from
+                                                      : present_.size())};
+  }
+  [[nodiscard]] const_iterator lower_bound(std::uint64_t seq) const {
+    const auto from = static_cast<std::size_t>(seq);
+    return {this, next_present(from < present_.size() ? from
+                                                      : present_.size())};
+  }
+
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
 
@@ -164,6 +177,58 @@ class FlatSeqMap {
   std::vector<V> values_;
   std::vector<bool> present_;
   std::size_t size_ = 0;
+};
+
+/// Duplicate-suppression set over dense sequence numbers: the std::set
+/// subset the dissemination protocols need (insert / count / max), backed by
+/// one presence bit per sequence instead of a red-black-tree node per entry.
+/// All four protocols share this one representation; per-node dedup state is
+/// max_seq/8 bytes instead of ~48 bytes per delivered message.
+class SeqSet {
+ public:
+  /// Returns true when `seq` was newly inserted.
+  bool insert(std::uint64_t seq) {
+    const auto index = static_cast<std::size_t>(seq);
+    if (index >= present_.size()) present_.resize(index + 1, false);
+    if (present_[index]) return false;
+    present_[index] = true;
+    ++size_;
+    if (seq > max_ || size_ == 1) max_ = seq;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t seq) const {
+    const auto index = static_cast<std::size_t>(seq);
+    return index < present_.size() && present_[index];
+  }
+
+  [[nodiscard]] std::size_t count(std::uint64_t seq) const {
+    return contains(seq) ? 1 : 0;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Largest inserted sequence; set must be non-empty.
+  [[nodiscard]] std::uint64_t max() const {
+    BRISA_ASSERT_MSG(size_ > 0, "max() of empty SeqSet");
+    return max_;
+  }
+
+  bool operator==(const SeqSet& other) const {
+    if (size_ != other.size_) return false;
+    if (size_ == 0) return true;
+    if (max_ != other.max_) return false;
+    for (std::uint64_t seq = 0; seq <= max_; ++seq) {
+      if (contains(seq) != other.contains(seq)) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<bool> present_;
+  std::size_t size_ = 0;
+  std::uint64_t max_ = 0;
 };
 
 }  // namespace brisa::util
