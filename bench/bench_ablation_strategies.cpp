@@ -1,83 +1,10 @@
-// Ablation (§IV perspectives): how the four parent-selection strategies
-// shape the emergent tree. Not a paper figure — the paper sketches
-// gerontocratic and load-balancing selection as future work; this bench
-// quantifies them on the same workload as Figs 6/7.
+// Ablation: the four parent-selection strategies.
 //
-// Expectations:
-//   * load-balancing narrows the degree distribution (lower max degree);
-//   * gerontocratic parents have higher uptime than first-come parents
-//     (here: lower node ids, which joined earlier);
-//   * all strategies preserve completeness and the single-parent invariant.
-#include <cstdio>
-
-#include "analysis/table.h"
-#include "bench/common.h"
-#include "util/flags.h"
-
-using namespace brisa;
+// Thin wrapper: the implementation lives in src/reports/ and is driven by a
+// workload::Scenario, so `bench_ablation_strategies [flags]` and
+// `brisa_run scenarios/ablation_strategies.scn` produce identical output.
+#include "reports/reports.h"
 
 int main(int argc, char** argv) {
-  const util::Flags flags = util::Flags::parse(argc, argv);
-  if (flags.help_requested()) {
-    std::printf(
-        "bench_ablation_strategies [--nodes=256] [--messages=80] "
-        "[--seed=1]\n");
-    return 0;
-  }
-  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 256));
-  const auto messages =
-      static_cast<std::size_t>(flags.get_int("messages", 80));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-
-  std::printf(
-      "=== Ablation: parent-selection strategies (§II-E + §IV), %zu nodes, "
-      "tree, view 4 ===\n",
-      nodes);
-
-  analysis::Table table({"strategy", "depth p50", "depth max", "degree p90",
-                         "degree max", "mean parent join-rank", "complete"});
-
-  for (const core::ParentSelectionStrategy strategy :
-       {core::ParentSelectionStrategy::kFirstComeFirstPicked,
-        core::ParentSelectionStrategy::kDelayAware,
-        core::ParentSelectionStrategy::kGerontocratic,
-        core::ParentSelectionStrategy::kLoadBalancing}) {
-    workload::BrisaSystem::Config config;
-    config.seed = seed;
-    config.num_nodes = nodes;
-    config.hyparview.active_size = 4;
-    config.brisa.strategy = strategy;
-    config.join_spread = sim::Duration::seconds(30);
-    config.stabilization = sim::Duration::seconds(30);
-    workload::BrisaSystem system(config);
-    system.bootstrap();
-    system.run_stream(messages, 5.0, 1024, sim::Duration::seconds(20));
-
-    const std::vector<double> depths = bench::collect_depths(system);
-    const std::vector<double> degrees = bench::collect_degrees(system);
-    // Parent "join rank": bootstrap creates nodes in id order, so a lower
-    // mean parent id means older parents (the gerontocratic goal).
-    double rank_total = 0;
-    std::size_t rank_count = 0;
-    for (const net::NodeId id : system.member_ids()) {
-      if (id == system.source_id()) continue;
-      for (const net::NodeId parent : system.brisa(id).parents()) {
-        rank_total += static_cast<double>(parent.index());
-        ++rank_count;
-      }
-    }
-    table.add_row(
-        {core::to_string(strategy),
-         analysis::Table::num(analysis::percentile(depths, 50), 1),
-         analysis::Table::num(analysis::sample_max(depths), 0),
-         analysis::Table::num(analysis::percentile(degrees, 90), 1),
-         analysis::Table::num(analysis::sample_max(degrees), 0),
-         analysis::Table::num(rank_total / static_cast<double>(rank_count), 1),
-         system.complete_delivery() ? "yes" : "NO"});
-  }
-  std::printf("%s", table.render().c_str());
-  std::printf(
-      "expected: load-balancing lowers max degree; gerontocratic lowers the "
-      "mean parent join-rank (older parents); all complete\n");
-  return 0;
+  return brisa::reports::figure_main("ablation_strategies", argc, argv);
 }

@@ -1,91 +1,10 @@
-// Figure 2: CDF of duplicates per message per node under pure HyParView
-// flooding (no BRISA pruning), 512 nodes, 500 messages, active view sizes
-// {4, 6, 8, 10}.
+// Figure 2: duplicates per message per node under pure flooding.
 //
-// Paper shape: duplicates grow sharply with the view size — the median node
-// sees >1 duplicate at view 4 and >7 at view 10.
-#include <cstdio>
-#include <string>
-
-#include "analysis/stats.h"
-#include "analysis/table.h"
-#include "util/flags.h"
-#include "workload/brisa_system.h"
-
-using namespace brisa;
-
-namespace {
-
-std::vector<double> duplicates_per_message(workload::BrisaSystem& system) {
-  std::vector<double> samples;
-  for (const net::NodeId id : system.member_ids()) {
-    if (id == system.source_id()) continue;
-    const auto& stats = system.brisa(id).stats();
-    for (const auto& [seq, receptions] : stats.receptions_per_seq) {
-      samples.push_back(receptions > 0 ? static_cast<double>(receptions - 1)
-                                       : 0.0);
-    }
-  }
-  return samples;
-}
-
-}  // namespace
+// Thin wrapper: the implementation lives in src/reports/ and is driven by a
+// workload::Scenario, so `bench_fig02_flood_duplicates [flags]` and
+// `brisa_run scenarios/fig02_flood_duplicates.scn` produce identical output.
+#include "reports/reports.h"
 
 int main(int argc, char** argv) {
-  const util::Flags flags = util::Flags::parse(argc, argv);
-  if (flags.help_requested()) {
-    std::printf(
-        "bench_fig02_flood_duplicates [--nodes=512] [--messages=500]\n"
-        "  [--payload=1024] [--views=4,6,8,10] [--seed=1]\n");
-    return 0;
-  }
-  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 512));
-  const auto messages =
-      static_cast<std::size_t>(flags.get_int("messages", 500));
-  const auto payload = static_cast<std::size_t>(flags.get_int("payload", 1024));
-  const auto views = flags.get_int_list("views", {4, 6, 8, 10});
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-
-  std::printf(
-      "=== Fig 2: duplicates per message per node, HyParView flooding, "
-      "%zu nodes, %zu messages ===\n",
-      nodes, messages);
-
-  analysis::Table table({"view", "p25", "p50", "p75", "p90", "p99", "max",
-                         "mean", "complete"});
-  for (const std::int64_t view : views) {
-    workload::BrisaSystem::Config config;
-    config.seed = seed;
-    config.num_nodes = nodes;
-    config.hyparview.active_size = static_cast<std::size_t>(view);
-    config.hyparview.passive_size = static_cast<std::size_t>(view) * 6;
-    config.brisa.prune = false;  // pure flooding
-    workload::BrisaSystem system(config);
-    system.bootstrap();
-    system.run_stream(messages, 5.0, payload);
-
-    std::vector<double> dups = duplicates_per_message(system);
-    table.add_row({std::to_string(view),
-                   analysis::Table::num(analysis::percentile(dups, 25), 1),
-                   analysis::Table::num(analysis::percentile(dups, 50), 1),
-                   analysis::Table::num(analysis::percentile(dups, 75), 1),
-                   analysis::Table::num(analysis::percentile(dups, 90), 1),
-                   analysis::Table::num(analysis::percentile(dups, 99), 1),
-                   analysis::Table::num(analysis::sample_max(dups), 0),
-                   analysis::Table::num(analysis::mean(dups), 2),
-                   system.complete_delivery() ? "yes" : "NO"});
-
-    std::printf("%s", analysis::format_cdf(
-                          "view=" + std::to_string(view) +
-                              " duplicates CDF (value percent)",
-                          analysis::cdf_at_percents(
-                              dups, {10, 20, 30, 40, 50, 60, 70, 80, 90, 95,
-                                     99, 100}))
-                          .c_str());
-  }
-  std::printf("\n%s", table.render().c_str());
-  std::printf(
-      "paper check: median duplicates should exceed 1 at view=4 and exceed 7 "
-      "at view=10\n");
-  return 0;
+  return brisa::reports::figure_main("fig02_flood_duplicates", argc, argv);
 }

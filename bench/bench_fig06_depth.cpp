@@ -1,70 +1,10 @@
-// Figure 6: depth distribution (CDF) of the emergent structures for 512
-// nodes under the first-come-first-picked strategy: tree and DAG-2, view
-// sizes 4 and 8.
+// Figure 6: depth distribution of the emergent structures.
 //
-// Paper shape: larger views -> shallower structures; DAG depths exceed tree
-// depths (depth = longest path); curves are steep (balanced structures).
-#include <cstdio>
-
-#include "analysis/table.h"
-#include "bench/common.h"
-#include "util/flags.h"
-
-using namespace brisa;
+// Thin wrapper: the implementation lives in src/reports/ and is driven by a
+// workload::Scenario, so `bench_fig06_depth [flags]` and
+// `brisa_run scenarios/fig06_depth.scn` produce identical output.
+#include "reports/reports.h"
 
 int main(int argc, char** argv) {
-  const util::Flags flags = util::Flags::parse(argc, argv);
-  if (flags.help_requested()) {
-    std::printf(
-        "bench_fig06_depth [--nodes=512] [--messages=60] [--seed=1]\n");
-    return 0;
-  }
-  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 512));
-  const auto messages = static_cast<std::size_t>(flags.get_int("messages", 60));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-
-  std::printf("=== Fig 6: depth distribution, %zu nodes, first-come ===\n",
-              nodes);
-
-  struct Config {
-    const char* label;
-    core::StructureMode mode;
-    std::size_t parents;
-    std::size_t view;
-  };
-  const Config configs[] = {
-      {"tree, view=4", core::StructureMode::kTree, 1, 4},
-      {"tree, view=8", core::StructureMode::kTree, 1, 8},
-      {"DAG-2, view=4", core::StructureMode::kDag, 2, 4},
-      {"DAG-2, view=8", core::StructureMode::kDag, 2, 8},
-  };
-
-  analysis::Table table({"config", "p50", "p90", "max", "mean", "complete"});
-  for (const Config& cfg : configs) {
-    workload::BrisaSystem::Config system_config;
-    system_config.seed = seed;
-    system_config.num_nodes = nodes;
-    system_config.hyparview.active_size = cfg.view;
-    system_config.hyparview.passive_size = cfg.view * 6;
-    system_config.brisa.mode = cfg.mode;
-    system_config.brisa.num_parents = cfg.parents;
-    workload::BrisaSystem system(system_config);
-    system.bootstrap();
-    system.run_stream(messages, 5.0, 1024);
-
-    const std::vector<double> depths = bench::collect_depths(system);
-    bench::print_cdf(std::string(cfg.label) + " depth CDF (depth percent)",
-                     depths);
-    table.add_row({cfg.label,
-                   analysis::Table::num(analysis::percentile(depths, 50), 1),
-                   analysis::Table::num(analysis::percentile(depths, 90), 1),
-                   analysis::Table::num(analysis::sample_max(depths), 0),
-                   analysis::Table::num(analysis::mean(depths), 2),
-                   system.complete_delivery() ? "yes" : "NO"});
-  }
-  std::printf("\n%s", table.render().c_str());
-  std::printf(
-      "paper check: view=8 shallower than view=4; DAG max depth >= tree max "
-      "depth per view size\n");
-  return 0;
+  return brisa::reports::figure_main("fig06_depth", argc, argv);
 }

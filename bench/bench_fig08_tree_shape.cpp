@@ -1,71 +1,10 @@
-// Figure 8: sample tree shapes for 100 nodes with HyParView active view
-// sizes 4 and 8, expansion factor 1. Emits Graphviz DOT (to files) plus a
-// per-depth node-count histogram so the balance is visible in text.
+// Figure 8: sample tree shapes (DOT export + depth histogram).
 //
-// Paper shape: both trees are fairly balanced (no long chains); view=8 is
-// shallower and bushier than view=4.
-#include <cstdio>
-#include <fstream>
-
-#include "analysis/dot_export.h"
-#include "analysis/table.h"
-#include "bench/common.h"
-#include "util/flags.h"
-
-using namespace brisa;
+// Thin wrapper: the implementation lives in src/reports/ and is driven by a
+// workload::Scenario, so `bench_fig08_tree_shape [flags]` and
+// `brisa_run scenarios/fig08_tree_shape.scn` produce identical output.
+#include "reports/reports.h"
 
 int main(int argc, char** argv) {
-  const util::Flags flags = util::Flags::parse(argc, argv);
-  if (flags.help_requested()) {
-    std::printf(
-        "bench_fig08_tree_shape [--nodes=100] [--seed=1] "
-        "[--dot-prefix=fig08]\n");
-    return 0;
-  }
-  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 100));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-  const std::string dot_prefix = flags.get_string("dot-prefix", "");
-
-  std::printf(
-      "=== Fig 8: sample tree shapes, %zu nodes, expansion factor 1 ===\n",
-      nodes);
-
-  for (const std::size_t view : {std::size_t{4}, std::size_t{8}}) {
-    workload::BrisaSystem::Config config;
-    config.seed = seed;
-    config.num_nodes = nodes;
-    config.hyparview.active_size = view;
-    config.hyparview.passive_size = view * 6;
-    config.hyparview.expansion_factor = 1.0;  // as in the figure caption
-    workload::BrisaSystem system(config);
-    system.bootstrap();
-    system.run_stream(40, 5.0, 1024);
-
-    const auto edges = system.structure_edges();
-    const auto histogram =
-        analysis::depth_histogram(system.source_id(), edges);
-
-    std::printf("\nview=%zu: %zu edges, height %zu, complete=%s\n", view,
-                edges.size(), histogram.size() - 1,
-                system.complete_delivery() ? "yes" : "NO");
-    std::printf("  depth: nodes   (one bar per tree level)\n");
-    for (std::size_t depth = 0; depth < histogram.size(); ++depth) {
-      std::printf("  %5zu: %5zu  ", depth, histogram[depth]);
-      for (std::size_t i = 0; i < histogram[depth]; ++i) std::printf("#");
-      std::printf("\n");
-    }
-
-    if (!dot_prefix.empty()) {
-      const std::string path =
-          dot_prefix + "_view" + std::to_string(view) + ".dot";
-      std::ofstream out(path);
-      out << analysis::to_dot("fig8_view" + std::to_string(view),
-                              system.source_id(), edges);
-      std::printf("  DOT written to %s\n", path.c_str());
-    }
-  }
-  std::printf(
-      "\npaper check: no long chains (every level has multiple nodes); "
-      "view=8 is shallower than view=4\n");
-  return 0;
+  return brisa::reports::figure_main("fig08_tree_shape", argc, argv);
 }

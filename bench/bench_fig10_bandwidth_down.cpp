@@ -1,6 +1,10 @@
-#include "bench/bandwidth_impl.h"
+// Figure 10: download bandwidth percentiles.
+//
+// Thin wrapper: the implementation lives in src/reports/ and is driven by a
+// workload::Scenario, so `bench_fig10_bandwidth_down [flags]` and
+// `brisa_run scenarios/fig10_bandwidth_down.scn` produce identical output.
+#include "reports/reports.h"
 
 int main(int argc, char** argv) {
-  return brisa::bench::run_bandwidth_bench(
-      argc, argv, brisa::bench::BandwidthDirection::kDownload);
+  return brisa::reports::figure_main("fig10_bandwidth_down", argc, argv);
 }

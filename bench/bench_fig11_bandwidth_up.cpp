@@ -1,6 +1,10 @@
-#include "bench/bandwidth_impl.h"
+// Figure 11: upload bandwidth percentiles.
+//
+// Thin wrapper: the implementation lives in src/reports/ and is driven by a
+// workload::Scenario, so `bench_fig11_bandwidth_up [flags]` and
+// `brisa_run scenarios/fig11_bandwidth_up.scn` produce identical output.
+#include "reports/reports.h"
 
 int main(int argc, char** argv) {
-  return brisa::bench::run_bandwidth_bench(
-      argc, argv, brisa::bench::BandwidthDirection::kUpload);
+  return brisa::reports::figure_main("fig11_bandwidth_up", argc, argv);
 }

@@ -1,126 +1,10 @@
-// Figure 13: structure construction-time CDF for BRISA and TAG on the
-// cluster (512 nodes) and PlanetLab (200 nodes) models.
+// Figure 13: structure construction-time CDF, BRISA vs TAG.
 //
-// Definitions (§III-D): BRISA — from a node's first deactivation until its
-// inbound links reach the target count; TAG — from join start until the node
-// settles on a parent (list traversal with per-hop connections).
-//
-// Paper shape: TAG marginally faster on the cluster, but much slower on
-// PlanetLab where its connect-per-hop traversal pays full WAN round trips.
-#include <cstdio>
-
-#include "analysis/table.h"
-#include "bench/common.h"
-#include "util/flags.h"
-
-using namespace brisa;
-
-namespace {
-
-std::vector<double> brisa_construction_s(std::uint64_t seed,
-                                         std::size_t nodes,
-                                         workload::TestbedKind testbed) {
-  workload::BrisaSystem::Config config;
-  config.seed = seed;
-  config.num_nodes = nodes;
-  config.testbed = testbed;
-  config.hyparview.active_size = 4;
-  config.stabilization =
-      testbed == workload::TestbedKind::kPlanetLab
-          ? sim::Duration::seconds(40)
-          : sim::Duration::seconds(30);
-  workload::BrisaSystem system(config);
-  system.bootstrap();
-  system.run_stream(60, 5.0, 1024, sim::Duration::seconds(20));
-
-  std::vector<double> samples;
-  for (const net::NodeId id : system.member_ids()) {
-    if (id == system.source_id()) continue;
-    const auto& stats = system.brisa(id).stats();
-    if (stats.first_deactivation_at && stats.structure_stable_at) {
-      samples.push_back(
-          (*stats.structure_stable_at - *stats.first_deactivation_at)
-              .to_seconds());
-    }
-  }
-  return samples;
-}
-
-std::vector<double> tag_construction_s(std::uint64_t seed, std::size_t nodes,
-                                       workload::TestbedKind testbed) {
-  workload::TagSystem::Config config;
-  config.seed = seed;
-  config.num_nodes = nodes;
-  config.testbed = testbed;
-  config.join_spread = sim::Duration::seconds(60);
-  config.stabilization =
-      testbed == workload::TestbedKind::kPlanetLab
-          ? sim::Duration::seconds(60)
-          : sim::Duration::seconds(30);
-  workload::TagSystem system(config);
-  system.bootstrap();
-
-  std::vector<double> samples;
-  for (const net::NodeId id : system.all_ids()) {
-    if (id == system.source_id()) continue;
-    const auto& stats = system.node(id).stats();
-    if (stats.join_started_at && stats.parent_acquired_at) {
-      samples.push_back(
-          (*stats.parent_acquired_at - *stats.join_started_at).to_seconds());
-    }
-  }
-  return samples;
-}
-
-}  // namespace
+// Thin wrapper: the implementation lives in src/reports/ and is driven by a
+// workload::Scenario, so `bench_fig13_construction_time [flags]` and
+// `brisa_run scenarios/fig13_construction_time.scn` produce identical output.
+#include "reports/reports.h"
 
 int main(int argc, char** argv) {
-  const util::Flags flags = util::Flags::parse(argc, argv);
-  if (flags.help_requested()) {
-    std::printf(
-        "bench_fig13_construction_time [--cluster-nodes=512] "
-        "[--planetlab-nodes=200] [--seed=1]\n");
-    return 0;
-  }
-  const auto cluster_nodes =
-      static_cast<std::size_t>(flags.get_int("cluster-nodes", 512));
-  const auto planetlab_nodes =
-      static_cast<std::size_t>(flags.get_int("planetlab-nodes", 200));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-
-  std::printf(
-      "=== Fig 13: construction time CDF, cluster %zu nodes / PlanetLab %zu "
-      "nodes ===\n",
-      cluster_nodes, planetlab_nodes);
-
-  const auto brisa_cluster = brisa_construction_s(
-      seed, cluster_nodes, workload::TestbedKind::kCluster);
-  const auto tag_cluster =
-      tag_construction_s(seed, cluster_nodes, workload::TestbedKind::kCluster);
-  const auto brisa_pl = brisa_construction_s(
-      seed, planetlab_nodes, workload::TestbedKind::kPlanetLab);
-  const auto tag_pl = tag_construction_s(seed, planetlab_nodes,
-                                         workload::TestbedKind::kPlanetLab);
-
-  bench::print_cdf("BRISA cluster (s percent)", brisa_cluster);
-  bench::print_cdf("TAG cluster (s percent)", tag_cluster);
-  bench::print_cdf("BRISA PlanetLab (s percent)", brisa_pl);
-  bench::print_cdf("TAG PlanetLab (s percent)", tag_pl);
-
-  analysis::Table table({"series", "p50(s)", "p90(s)", "mean(s)"});
-  auto row = [&table](const char* label, const std::vector<double>& s) {
-    table.add_row({label,
-                   analysis::Table::num(analysis::percentile(s, 50), 3),
-                   analysis::Table::num(analysis::percentile(s, 90), 3),
-                   analysis::Table::num(analysis::mean(s), 3)});
-  };
-  row("BRISA, cluster", brisa_cluster);
-  row("TAG, cluster", tag_cluster);
-  row("BRISA, PlanetLab", brisa_pl);
-  row("TAG, PlanetLab", tag_pl);
-  std::printf("\n%s", table.render().c_str());
-  std::printf(
-      "paper check: TAG competitive with (or faster than) BRISA on the "
-      "cluster, but much slower than BRISA on PlanetLab\n");
-  return 0;
+  return brisa::reports::figure_main("fig13_construction_time", argc, argv);
 }

@@ -1,113 +1,10 @@
-// Table II: dissemination latency for 512 nodes, 500 messages of 1 KB at
-// 5/s — the time between the first and last delivery at each node, averaged
-// over all nodes (ideal: 100 s).
+// Table II: dissemination latency across the four protocols.
 //
-// Paper numbers: SimpleTree 100.0 s (baseline), BRISA +6%, SimpleGossip
-// +28%, TAG +100%.
-#include <cstdio>
-
-#include "analysis/table.h"
-#include "bench/common.h"
-#include "util/flags.h"
-
-using namespace brisa;
+// Thin wrapper: the implementation lives in src/reports/ and is driven by a
+// workload::Scenario, so `bench_tab2_latency [flags]` and
+// `brisa_run scenarios/tab2_latency.scn` produce identical output.
+#include "reports/reports.h"
 
 int main(int argc, char** argv) {
-  const util::Flags flags = util::Flags::parse(argc, argv);
-  if (flags.help_requested()) {
-    std::printf(
-        "bench_tab2_latency [--nodes=512] [--messages=500] [--seed=1]\n");
-    return 0;
-  }
-  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 512));
-  const auto messages =
-      static_cast<std::size_t>(flags.get_int("messages", 500));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-
-  std::printf(
-      "=== Table II: dissemination latency, %zu nodes, %zu x 1KB at 5/s "
-      "(ideal %.1f s) ===\n",
-      nodes, messages, static_cast<double>(messages) / 5.0);
-
-  struct Row {
-    std::string name;
-    double latency_s;
-    bool complete;
-  };
-  std::vector<Row> rows;
-
-  {
-    workload::SimpleTreeSystem::Config config;
-    config.seed = seed;
-    config.num_nodes = nodes;
-    workload::SimpleTreeSystem system(config);
-    system.bootstrap();
-    system.run_stream(messages, 5.0, 1024);
-    const auto windows = bench::collect_windows_s(
-        system.all_ids(), [&](net::NodeId id) -> const auto& {
-          return system.node(id).stats().delivery_time;
-        });
-    rows.push_back(
-        {"SimpleTree", analysis::mean(windows), system.complete_delivery()});
-  }
-  {
-    workload::BrisaSystem::Config config;
-    config.seed = seed;
-    config.num_nodes = nodes;
-    config.hyparview.active_size = 4;
-    workload::BrisaSystem system(config);
-    system.bootstrap();
-    system.run_stream(messages, 5.0, 1024);
-    const auto windows = bench::collect_windows_s(
-        system.member_ids(), [&](net::NodeId id) -> const auto& {
-          return system.brisa(id).stats().delivery_time;
-        });
-    rows.push_back(
-        {"BRISA", analysis::mean(windows), system.complete_delivery()});
-  }
-  {
-    workload::SimpleGossipSystem::Config config;
-    config.seed = seed;
-    config.num_nodes = nodes;
-    workload::SimpleGossipSystem system(config);
-    system.bootstrap();
-    system.run_stream(messages, 5.0, 1024, sim::Duration::seconds(60));
-    const auto windows = bench::collect_windows_s(
-        system.all_ids(), [&](net::NodeId id) -> const auto& {
-          return system.node(id).stats().delivery_time;
-        });
-    rows.push_back({"SimpleGossip", analysis::mean(windows),
-                    system.complete_delivery()});
-  }
-  {
-    workload::TagSystem::Config config;
-    config.seed = seed;
-    config.num_nodes = nodes;
-    workload::TagSystem system(config);
-    system.bootstrap();
-    system.run_stream(messages, 5.0, 1024, sim::Duration::seconds(240));
-    const auto windows = bench::collect_windows_s(
-        system.all_ids(), [&](net::NodeId id) -> const auto& {
-          return system.node(id).stats().delivery_time;
-        });
-    rows.push_back(
-        {"TAG", analysis::mean(windows), system.complete_delivery()});
-  }
-
-  const double baseline = rows[0].latency_s;
-  analysis::Table table({"protocol", "latency (s)", "overhead", "complete"});
-  for (const Row& row : rows) {
-    const double overhead = 100.0 * (row.latency_s / baseline - 1.0);
-    table.add_row({row.name, analysis::Table::num(row.latency_s, 2),
-                   row.name == "SimpleTree"
-                       ? std::string("-")
-                       : (overhead >= 0 ? "+" : "") +
-                             analysis::Table::num(overhead, 0) + "%",
-                   row.complete ? "yes" : "NO"});
-  }
-  std::printf("%s", table.render().c_str());
-  std::printf(
-      "paper check: SimpleTree ~ideal; BRISA within a few %%; SimpleGossip "
-      "tens of %%; TAG ~+100%%\n");
-  return 0;
+  return brisa::reports::figure_main("tab2_latency", argc, argv);
 }

@@ -1,0 +1,136 @@
+// brisa_run — the one binary behind every experiment in this repo.
+//
+//   brisa_run <scenario.scn>...          run each scenario's report
+//   brisa_run --check <scenario.scn>...  parse + validate only (CI lint)
+//   brisa_run --print <scenario.scn>     echo the canonical scenario text
+//   brisa_run --list                     list the available reports
+//   brisa_run --set sec.key=value ...    override scenario keys before running
+//
+// A scenario file names a report ([scenario] report = fig06_depth) or omits
+// it for the generic declarative runner (report = run). The same report
+// functions back the legacy bench_* binaries, so a checked-in scenario and
+// its bench command are byte-identical. Grammar: docs/scenarios.md.
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "reports/reports.h"
+#include "util/flags.h"
+#include "workload/scenario.h"
+
+namespace {
+
+constexpr const char kUsage[] =
+    "brisa_run [--check|--print] [--set section.key=value]... "
+    "<scenario.scn>...\n"
+    "brisa_run --list\n";
+
+void print_report_list() {
+  std::printf("available reports ([scenario] report = <name>):\n");
+  for (const brisa::reports::Report& report : brisa::reports::all()) {
+    std::printf("  %-26s %s\n", report.name.c_str(), report.title.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using brisa::reports::Report;
+  using brisa::workload::Scenario;
+
+  bool check_only = false;
+  bool print_only = false;
+  std::vector<std::pair<std::string, std::string>> overrides;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s", kUsage);
+      return 0;
+    }
+    if (arg == "--list") {
+      print_report_list();
+      return 0;
+    }
+    if (arg == "--check") {
+      check_only = true;
+      continue;
+    }
+    if (arg == "--print") {
+      print_only = true;
+      continue;
+    }
+    if (arg == "--set") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --set needs section.key=value\n%s",
+                     kUsage);
+        return 2;
+      }
+      const std::string assignment = argv[++i];
+      const std::size_t eq = assignment.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr,
+                     "error: --set expects section.key=value, got '%s'\n",
+                     assignment.c_str());
+        return 2;
+      }
+      overrides.emplace_back(assignment.substr(0, eq),
+                             assignment.substr(eq + 1));
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag %s\n%s", arg.c_str(), kUsage);
+      return 2;
+    }
+    files.push_back(arg);
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "error: no scenario file given\n%s", kUsage);
+    return 2;
+  }
+
+  int exit_code = 0;
+  for (const std::string& file : files) {
+    Scenario scenario;
+    try {
+      scenario = Scenario::load(file);
+      for (const auto& [key, value] : overrides) {
+        scenario.set_path(key, value);
+      }
+      scenario.validate();
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    const std::string report_name = scenario.report_or("run");
+    const Report* report = brisa::reports::find(report_name);
+    if (report == nullptr) {
+      std::fprintf(stderr, "error: %s: unknown report '%s'\n", file.c_str(),
+                   report_name.c_str());
+      print_report_list();
+      return 2;
+    }
+    // A figure report silently ignores keys outside its surface; refuse
+    // them so a --set typo (or stale file) cannot masquerade as a run
+    // with the requested parameters.
+    const std::string key_error =
+        brisa::reports::scenario_key_error(scenario, *report);
+    if (!key_error.empty()) {
+      std::fprintf(stderr, "error: %s: %s\n", file.c_str(),
+                   key_error.c_str());
+      return 2;
+    }
+    if (print_only) {
+      std::printf("%s", scenario.to_text().c_str());
+      continue;
+    }
+    if (check_only) {
+      std::printf("OK %s (report %s)\n", file.c_str(), report_name.c_str());
+      continue;
+    }
+    const int run_code = report->run(scenario);
+    if (run_code != 0) exit_code = run_code;
+  }
+  return exit_code;
+}

@@ -80,6 +80,11 @@ int main(int argc, char** argv) {
         "datacenter_update [--nodes=256] [--update-mb=8] [--chunk-kb=64]\n");
     return 0;
   }
+  if (!flags.validate(
+          {"nodes", "update-mb", "chunk-kb"},
+          "datacenter_update [--nodes=256] [--update-mb=8] [--chunk-kb=64]\n")) {
+    return 2;
+  }
   const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 256));
   const auto update_mb = static_cast<std::size_t>(flags.get_int("update-mb", 8));
   const auto chunk_kb = static_cast<std::size_t>(flags.get_int("chunk-kb", 64));

@@ -77,6 +77,9 @@ int main(int argc, char** argv) {
     std::printf("live_stream [--nodes=128] [--seconds=120] [--churn=5]\n");
     return 0;
   }
+  if (!flags.validate({"nodes", "seconds", "churn"}, "live_stream [--nodes=128] [--seconds=120] [--churn=5]\n")) {
+    return 2;
+  }
   const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 128));
   const auto seconds = flags.get_int("seconds", 120);
   const auto churn = flags.get_double("churn", 5.0);

@@ -31,6 +31,14 @@ int main(int argc, char** argv) {
         "                 [--subscription-fraction=0.5]\n");
     return 0;
   }
+  std::vector<std::string> known = bench::multi_stream_flag_names();
+  known.insert(known.end(), {"nodes", "items"});
+  if (!flags.validate(known,
+                      "multi_topic_feed [--nodes=96] [--streams=4] "
+                      "[--items=40]\n"
+                      "                 [--subscription-fraction=0.5]\n")) {
+    return 2;
+  }
   const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 96));
   const auto items = static_cast<std::size_t>(flags.get_int("items", 40));
   bench::MultiStreamOptions options = bench::parse_multi_stream_options(flags);

@@ -37,6 +37,9 @@ int main(int argc, char** argv) {
     std::printf("news_feed [--nodes=96] [--publishers=3] [--items=60]\n");
     return 0;
   }
+  if (!flags.validate({"nodes", "publishers", "items"}, "news_feed [--nodes=96] [--publishers=3] [--items=60]\n")) {
+    return 2;
+  }
   const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 96));
   const auto publishers =
       static_cast<std::size_t>(flags.get_int("publishers", 3));

@@ -25,6 +25,11 @@ int main(int argc, char** argv) {
         "example_partitioned_feed [--nodes=96] [--items=80] [--seed=1]\n");
     return 0;
   }
+  if (!flags.validate(
+          {"nodes", "items", "seed"},
+          "example_partitioned_feed [--nodes=96] [--items=80] [--seed=1]\n")) {
+    return 2;
+  }
   const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 96));
   const auto items = static_cast<std::size_t>(flags.get_int("items", 80));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));

@@ -21,6 +21,9 @@ int main(int argc, char** argv) {
     std::printf("quickstart [--nodes=64] [--messages=100] [--dag]\n");
     return 0;
   }
+  if (!flags.validate({"nodes", "messages", "dag"}, "quickstart [--nodes=64] [--messages=100] [--dag]\n")) {
+    return 2;
+  }
   const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 64));
   const auto messages =
       static_cast<std::size_t>(flags.get_int("messages", 100));

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Checks that every relative markdown link / file reference in the given
+# markdown files points at a file that exists in the repo. External links
+# (http/https) and pure anchors (#...) are skipped. Exits non-zero listing
+# each broken link. Used by the CI docs-and-scenarios job; run locally as
+#   scripts/check_doc_links.sh README.md docs/*.md
+set -u
+cd "$(dirname "$0")/.."
+
+status=0
+for doc in "$@"; do
+  if [ ! -f "$doc" ]; then
+    echo "missing document: $doc"
+    status=1
+    continue
+  fi
+  # Markdown link targets: [text](target). Read line-by-line so targets
+  # containing spaces survive intact.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|\#*|"") continue ;;
+    esac
+    path="${target%%#*}"   # strip in-file anchors
+    [ -z "$path" ] && continue
+    # Relative links resolve from the document's own directory.
+    if [ ! -e "$(dirname "$doc")/$path" ]; then
+      echo "$doc: broken link -> $target"
+      status=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -e 's/^](//' -e 's/)$//')
+done
+if [ "$status" -eq 0 ]; then
+  echo "all relative links resolve"
+fi
+exit "$status"

@@ -1,5 +1,6 @@
 #include "net/latency.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -70,12 +71,78 @@ sim::Duration PlanetLabLatencyModel::sample(NodeId from, NodeId to,
          sim::Duration::microseconds(static_cast<std::int64_t>(jitter_ms * 1e3));
 }
 
+std::size_t ClusteredWanLatencyModel::cluster_of(NodeId node) const {
+  if (config_.clusters <= 1) return 0;
+  const std::uint64_t h = config_.placement_seed ^
+                          (static_cast<std::uint64_t>(node.index()) + 1) *
+                              0x9e3779b97f4a7c15ULL;
+  return static_cast<std::size_t>(util::mix64(h) % config_.clusters);
+}
+
+sim::Duration ClusteredWanLatencyModel::base(NodeId from, NodeId to) const {
+  const std::size_t a = cluster_of(from);
+  const std::size_t b = cluster_of(to);
+  if (a == b) {
+    return sim::Duration::microseconds(
+        static_cast<std::int64_t>(config_.intra_ms * 1e3));
+  }
+  // Symmetric per-pair draw: hash the unordered cluster pair.
+  const std::uint64_t lo = static_cast<std::uint64_t>(std::min(a, b));
+  const std::uint64_t hi = static_cast<std::uint64_t>(std::max(a, b));
+  const double u =
+      hashed_uniform(config_.placement_seed ^ ((lo << 32) | (hi + 1)));
+  const double ms =
+      config_.inter_min_ms + u * (config_.inter_max_ms - config_.inter_min_ms);
+  return sim::Duration::microseconds(static_cast<std::int64_t>(ms * 1e3));
+}
+
+sim::Duration ClusteredWanLatencyModel::sample(NodeId from, NodeId to,
+                                               sim::Rng& rng) {
+  const double jitter_ms = rng.exponential(config_.jitter_mean_ms);
+  return base(from, to) + sim::Duration::microseconds(
+                              static_cast<std::int64_t>(jitter_ms * 1e3));
+}
+
+sim::Duration FatTreeLatencyModel::base(NodeId from, NodeId to) const {
+  const std::size_t hosts_per_pod =
+      std::max<std::size_t>(1, config_.hosts_per_rack) *
+      std::max<std::size_t>(1, config_.racks_per_pod);
+  const std::size_t rack_a =
+      from.index() / std::max<std::size_t>(1, config_.hosts_per_rack);
+  const std::size_t rack_b =
+      to.index() / std::max<std::size_t>(1, config_.hosts_per_rack);
+  double us = config_.inter_pod_us;
+  if (rack_a == rack_b) {
+    us = config_.intra_rack_us;
+  } else if (from.index() / hosts_per_pod == to.index() / hosts_per_pod) {
+    us = config_.intra_pod_us;
+  }
+  return sim::Duration::microseconds(static_cast<std::int64_t>(us));
+}
+
+sim::Duration FatTreeLatencyModel::sample(NodeId from, NodeId to,
+                                          sim::Rng& rng) {
+  const double jitter_us = rng.exponential(config_.jitter_mean_us);
+  return base(from, to) +
+         sim::Duration::microseconds(static_cast<std::int64_t>(jitter_us));
+}
+
 std::unique_ptr<LatencyModel> make_cluster_latency() {
   return std::make_unique<ClusterLatencyModel>();
 }
 
 std::unique_ptr<LatencyModel> make_planetlab_latency() {
   return std::make_unique<PlanetLabLatencyModel>();
+}
+
+std::unique_ptr<LatencyModel> make_clustered_wan_latency(
+    ClusteredWanLatencyModel::Config config) {
+  return std::make_unique<ClusteredWanLatencyModel>(config);
+}
+
+std::unique_ptr<LatencyModel> make_fat_tree_latency(
+    FatTreeLatencyModel::Config config) {
+  return std::make_unique<FatTreeLatencyModel>(config);
 }
 
 }  // namespace brisa::net

@@ -92,8 +92,80 @@ class PlanetLabLatencyModel final : public LatencyModel {
   Config config_;
 };
 
+/// Clustered WAN: nodes are hashed into K clusters (think regional data
+/// centers or ISP clusters); intra-cluster links pay a small LAN-class RTT
+/// while inter-cluster links pay a per-cluster-pair WAN latency drawn
+/// deterministically from [inter_min_ms, inter_max_ms]. Neither paper
+/// testbed has this two-tier shape — it opens geo-replication workloads
+/// (cf. D'Angelo & Ferretti's parameterized complex-network topologies).
+class ClusteredWanLatencyModel final : public LatencyModel {
+ public:
+  struct Config {
+    std::size_t clusters = 8;
+    /// One-way latency between two nodes of the same cluster (ms).
+    double intra_ms = 1.0;
+    /// One-way inter-cluster latency range; each ordered cluster pair gets
+    /// a deterministic value in [inter_min_ms, inter_max_ms] (symmetric).
+    double inter_min_ms = 20.0;
+    double inter_max_ms = 160.0;
+    /// Per-message exponential jitter mean (ms).
+    double jitter_mean_ms = 1.0;
+    /// Seed of the deterministic cluster-assignment / pair-latency stream.
+    std::uint64_t placement_seed = 0xc105ceedULL;
+  };
+
+  ClusteredWanLatencyModel() : ClusteredWanLatencyModel(Config{}) {}
+  explicit ClusteredWanLatencyModel(Config config) : config_(config) {}
+
+  [[nodiscard]] sim::Duration sample(NodeId from, NodeId to,
+                                     sim::Rng& rng) override;
+  [[nodiscard]] sim::Duration base(NodeId from, NodeId to) const override;
+  [[nodiscard]] const char* name() const override { return "clustered-wan"; }
+
+  /// Deterministic cluster of a node (tests, analysis grouping).
+  [[nodiscard]] std::size_t cluster_of(NodeId node) const;
+
+ private:
+  Config config_;
+};
+
+/// Datacenter fat-tree approximation: hosts fill racks, racks fill pods.
+/// Latency is a function of the hop tier alone — same rack (one ToR hop),
+/// same pod (through aggregation), or cross-pod (through the core) — which
+/// is the uniform three-level distance structure of a folded-Clos fabric.
+/// Oversubscription is not modeled; the NIC serialization in net::Network
+/// remains the bandwidth bottleneck.
+class FatTreeLatencyModel final : public LatencyModel {
+ public:
+  struct Config {
+    std::size_t hosts_per_rack = 40;
+    std::size_t racks_per_pod = 16;
+    /// One-way latency per tier (µs).
+    double intra_rack_us = 30.0;
+    double intra_pod_us = 120.0;
+    double inter_pod_us = 300.0;
+    /// Per-message exponential jitter mean (µs).
+    double jitter_mean_us = 10.0;
+  };
+
+  FatTreeLatencyModel() : FatTreeLatencyModel(Config{}) {}
+  explicit FatTreeLatencyModel(Config config) : config_(config) {}
+
+  [[nodiscard]] sim::Duration sample(NodeId from, NodeId to,
+                                     sim::Rng& rng) override;
+  [[nodiscard]] sim::Duration base(NodeId from, NodeId to) const override;
+  [[nodiscard]] const char* name() const override { return "fat-tree"; }
+
+ private:
+  Config config_;
+};
+
 /// Factory helpers used by scenario configuration.
 std::unique_ptr<LatencyModel> make_cluster_latency();
 std::unique_ptr<LatencyModel> make_planetlab_latency();
+std::unique_ptr<LatencyModel> make_clustered_wan_latency(
+    ClusteredWanLatencyModel::Config config = {});
+std::unique_ptr<LatencyModel> make_fat_tree_latency(
+    FatTreeLatencyModel::Config config = {});
 
 }  // namespace brisa::net

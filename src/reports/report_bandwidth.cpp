@@ -1,37 +1,41 @@
-// Shared implementation for Figs 10 (download) and 11 (upload): per-node
-// bandwidth percentiles for payload sizes {1, 10, 50, 100} KB over a 512-node
-// network, for trees and DAG-2 at view sizes 4 and 8.
+// Figures 10 (download) and 11 (upload): per-node bandwidth percentiles for
+// payload sizes {1, 10, 50, 100} KB over a 512-node network, for trees and
+// DAG-2 at view sizes 4 and 8. One shared implementation, two registry
+// entries differing only in direction.
 //
 // Paper shape: download for trees ~= one payload per message interval; DAG-2
 // downloads ~2x (one copy per parent); upload spread follows the degree
 // distribution; PSS overhead is negligible against payloads.
-#pragma once
-
 #include <cstdio>
 
 #include "analysis/table.h"
-#include "bench/common.h"
-#include "util/flags.h"
+#include "reports/metrics.h"
+#include "reports/reports_impl.h"
 
-namespace brisa::bench {
+namespace brisa::reports::impl {
+
+namespace {
 
 enum class BandwidthDirection { kDownload, kUpload };
 
-inline int run_bandwidth_bench(int argc, char** argv,
-                               BandwidthDirection direction) {
-  const util::Flags flags = util::Flags::parse(argc, argv);
-  if (flags.help_requested()) {
-    std::printf(
-        "bench_fig10/11 [--nodes=512] [--messages=100] "
-        "[--payloads=1024,10240,51200,102400] [--seed=1]\n");
-    return 0;
-  }
-  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 512));
-  const auto messages =
-      static_cast<std::size_t>(flags.get_int("messages", 100));
-  const auto payloads = flags.get_int_list(
-      "payloads", {1024, 10240, 51200, 102400});
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+workload::Scenario bandwidth_defaults(const char* name) {
+  workload::Scenario s;
+  s.set("scenario", "name", name)
+      .set("scenario", "report", name)
+      .set("scenario", "nodes", "512")
+      .set("scenario", "seed", "1")
+      .set("streams", "messages", "100")
+      .set("params", "payloads", "1024,10240,51200,102400");
+  return s;
+}
+
+int run_bandwidth_report(const workload::Scenario& scenario,
+                         BandwidthDirection direction) {
+  const std::size_t nodes = scenario.nodes_or(512);
+  const std::size_t messages = scenario.messages_or(100);
+  const auto payloads =
+      scenario.param_int_list("payloads", {1024, 10240, 51200, 102400});
+  const std::uint64_t seed = scenario.seed_or(1);
 
   const bool down = direction == BandwidthDirection::kDownload;
   std::printf(
@@ -93,4 +97,22 @@ inline int run_bandwidth_bench(int argc, char** argv,
   return 0;
 }
 
-}  // namespace brisa::bench
+}  // namespace
+
+workload::Scenario fig10_defaults() {
+  return bandwidth_defaults("fig10_bandwidth_down");
+}
+
+int fig10_run(const workload::Scenario& scenario) {
+  return run_bandwidth_report(scenario, BandwidthDirection::kDownload);
+}
+
+workload::Scenario fig11_defaults() {
+  return bandwidth_defaults("fig11_bandwidth_up");
+}
+
+int fig11_run(const workload::Scenario& scenario) {
+  return run_bandwidth_report(scenario, BandwidthDirection::kUpload);
+}
+
+}  // namespace brisa::reports::impl

@@ -1,0 +1,243 @@
+// Fault-recovery report: dissemination latency and reliability under
+// message loss and partitions — BRISA vs the epidemic-flood (SimpleGossip)
+// and static-tree (SimpleTree) baselines.
+//
+// Scenarios:
+//   * loss sweep: uniform per-link drop probability over the whole stream
+//     (0/5/10/20%). BRISA and the tree ride TCP-like connections, so loss
+//     shows up as retransmission delay; the gossip flood's datagrams really
+//     drop and must be repaired by anti-entropy.
+//   * partition sweep: two node groups cut from each other mid-stream for
+//     10 s / 30 s while the rest of the overlay stays connected; measures
+//     whether delivery reroutes around the cut and catches up after heal.
+//
+// Prints a table plus one JSON record per (protocol, scenario) row; a
+// recorded run lives in BENCH_fault_recovery.json at the repo root.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.h"
+#include "analysis/table.h"
+#include "reports/metrics.h"
+#include "reports/reports_impl.h"
+
+namespace brisa::reports::impl {
+
+namespace {
+
+struct ScenarioResult {
+  std::string protocol;
+  std::string scenario;
+  double reliability = 0;  ///< delivered / (members * messages)
+  double p50_ms = 0;
+  double p99_ms = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t datagrams_dropped = 0;
+  std::uint64_t blackholed = 0;
+};
+
+/// Streams `messages` through a bootstrapped system under `plan` and
+/// extracts reliability + latency percentiles. `times_of(id)` returns the
+/// node's seq -> delivery-time map; `source` anchors the latency deltas.
+template <typename System, typename TimesOf>
+ScenarioResult measure(System& system, const char* protocol,
+                       const std::string& scenario, const net::FaultPlan& plan,
+                       net::NodeId source, TimesOf times_of,
+                       std::size_t messages) {
+  if (!plan.empty()) {
+    system.install_fault_plan(plan.shifted(system.simulator().now() -
+                                           sim::TimePoint::origin()));
+  }
+  system.run_stream(messages, 5.0, 512, sim::Duration::seconds(30));
+
+  ScenarioResult result;
+  result.protocol = protocol;
+  result.scenario = scenario;
+  const auto& source_times = times_of(source);
+  std::vector<double> delays_ms;
+  std::uint64_t delivered = 0;
+  std::size_t members = 0;
+  for (const net::NodeId id : system.all_ids()) {
+    if (!system.network().alive(id) || id == source) continue;
+    ++members;
+    const auto& times = times_of(id);
+    delivered += times.size();
+    for (const auto& [seq, at] : times) {
+      const auto it = source_times.find(seq);
+      if (it == source_times.end()) continue;
+      delays_ms.push_back((at - it->second).to_milliseconds());
+    }
+  }
+  result.reliability =
+      members == 0 ? 0.0
+                   : static_cast<double>(delivered) /
+                         (static_cast<double>(members) *
+                          static_cast<double>(messages));
+  result.p50_ms = analysis::percentile(delays_ms, 50);
+  result.p99_ms = analysis::percentile(delays_ms, 99);
+  const net::Network::FaultTotals& totals = system.network().fault_totals();
+  result.retransmissions = totals.retransmissions;
+  result.datagrams_dropped = totals.datagrams_dropped;
+  result.blackholed =
+      totals.datagrams_blackholed + totals.segments_blackholed;
+  return result;
+}
+
+net::FaultPlan loss_plan(double probability) {
+  net::FaultPlan plan;
+  if (probability > 0.0) {
+    plan.add_loss({sim::TimePoint::origin(),
+                   sim::TimePoint::origin() + sim::Duration::seconds(100000),
+                   probability, net::NodeGroup::all(), net::NodeGroup::all()});
+  }
+  return plan;
+}
+
+net::FaultPlan partition_plan(std::size_t nodes, std::int64_t duration_s) {
+  net::FaultPlan plan;
+  // Clamp so tiny --nodes runs still cut two disjoint non-empty groups
+  // instead of underflowing range() into NodeGroup::all().
+  const auto eighth = static_cast<std::uint32_t>(std::max<std::size_t>(
+      1, nodes / 8));
+  plan.add_partition(
+      {sim::TimePoint::origin() + sim::Duration::seconds(5),
+       sim::TimePoint::origin() + sim::Duration::seconds(5 + duration_s),
+       net::NodeGroup::range(0, eighth - 1),
+       net::NodeGroup::range(eighth, 2 * eighth - 1)});
+  return plan;
+}
+
+ScenarioResult run_brisa(std::uint64_t seed, std::size_t nodes,
+                         std::size_t messages, const std::string& scenario,
+                         const net::FaultPlan& plan) {
+  workload::BrisaSystem::Config config;
+  config.seed = seed;
+  config.num_nodes = nodes;
+  config.join_spread = sim::Duration::seconds(20);
+  config.stabilization = sim::Duration::seconds(25);
+  workload::BrisaSystem system(config);
+  system.bootstrap();
+  return measure(
+      system, "brisa", scenario, plan, system.source_id(),
+      [&system](net::NodeId id) -> const auto& {
+        return system.brisa(id).stats().delivery_time;
+      },
+      messages);
+}
+
+ScenarioResult run_gossip(std::uint64_t seed, std::size_t nodes,
+                          std::size_t messages, const std::string& scenario,
+                          const net::FaultPlan& plan) {
+  workload::SimpleGossipSystem::Config config;
+  config.seed = seed;
+  config.num_nodes = nodes;
+  config.join_spread = sim::Duration::seconds(20);
+  workload::SimpleGossipSystem system(config);
+  system.bootstrap();
+  return measure(
+      system, "gossip-flood", scenario, plan, system.source_id(),
+      [&system](net::NodeId id) -> const auto& {
+        return system.node(id).stats().delivery_time;
+      },
+      messages);
+}
+
+ScenarioResult run_tree(std::uint64_t seed, std::size_t nodes,
+                        std::size_t messages, const std::string& scenario,
+                        const net::FaultPlan& plan) {
+  workload::SimpleTreeSystem::Config config;
+  config.seed = seed;
+  config.num_nodes = nodes;
+  config.join_spread = sim::Duration::seconds(20);
+  workload::SimpleTreeSystem system(config);
+  system.bootstrap();
+  return measure(
+      system, "simple-tree", scenario, plan, system.source_id(),
+      [&system](net::NodeId id) -> const auto& {
+        return system.node(id).stats().delivery_time;
+      },
+      messages);
+}
+
+void print_json(const ScenarioResult& r, std::size_t nodes,
+                std::size_t messages, std::uint64_t seed) {
+  std::printf(
+      "{\"bench\":\"fault_recovery\",\"protocol\":\"%s\",\"scenario\":\"%s\","
+      "\"nodes\":%zu,\"messages\":%zu,\"seed\":%llu,"
+      "\"reliability\":%.6f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,"
+      "\"retransmissions\":%llu,\"datagrams_dropped\":%llu,"
+      "\"blackholed\":%llu}\n",
+      r.protocol.c_str(), r.scenario.c_str(), nodes, messages,
+      static_cast<unsigned long long>(seed), r.reliability, r.p50_ms,
+      r.p99_ms, static_cast<unsigned long long>(r.retransmissions),
+      static_cast<unsigned long long>(r.datagrams_dropped),
+      static_cast<unsigned long long>(r.blackholed));
+}
+
+}  // namespace
+
+workload::Scenario fault_recovery_defaults() {
+  workload::Scenario s;
+  s.set("scenario", "name", "fault_recovery")
+      .set("scenario", "report", "fault_recovery")
+      .set("scenario", "nodes", "96")
+      .set("scenario", "seed", "1")
+      .set("streams", "messages", "60");
+  return s;
+}
+
+int fault_recovery_run(const workload::Scenario& scenario) {
+  const std::size_t nodes = scenario.nodes_or(96);
+  const std::size_t messages = scenario.messages_or(60);
+  const std::uint64_t seed = scenario.seed_or(1);
+
+  std::printf(
+      "=== fault recovery: reliability & latency vs loss / partitions, "
+      "%zu nodes ===\n",
+      nodes);
+
+  std::vector<ScenarioResult> results;
+  const auto run_all = [&](const std::string& scenario_name,
+                           const net::FaultPlan& plan) {
+    std::fprintf(stderr, "running %s/brisa...\n", scenario_name.c_str());
+    results.push_back(run_brisa(seed, nodes, messages, scenario_name, plan));
+    std::fprintf(stderr, "running %s/gossip-flood...\n",
+                 scenario_name.c_str());
+    results.push_back(run_gossip(seed, nodes, messages, scenario_name, plan));
+    std::fprintf(stderr, "running %s/simple-tree...\n", scenario_name.c_str());
+    results.push_back(run_tree(seed, nodes, messages, scenario_name, plan));
+  };
+  for (const double loss : {0.0, 0.05, 0.10, 0.20}) {
+    run_all("loss_" + std::to_string(static_cast<int>(loss * 100)),
+            loss_plan(loss));
+  }
+  for (const std::int64_t duration_s : {10, 30}) {
+    run_all("partition_" + std::to_string(duration_s) + "s",
+            partition_plan(nodes, duration_s));
+  }
+
+  analysis::Table table({"scenario", "protocol", "reliability", "p50(ms)",
+                         "p99(ms)", "retransmits", "dropped", "blackholed"});
+  for (const ScenarioResult& r : results) {
+    table.add_row({r.scenario, r.protocol,
+                   analysis::Table::num(r.reliability * 100.0, 2) + "%",
+                   analysis::Table::num(r.p50_ms, 1),
+                   analysis::Table::num(r.p99_ms, 1),
+                   std::to_string(r.retransmissions),
+                   std::to_string(r.datagrams_dropped),
+                   std::to_string(r.blackholed)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  for (const ScenarioResult& r : results) {
+    print_json(r, nodes, messages, seed);
+  }
+  std::printf(
+      "paper check: BRISA stays at (or near) 100%% delivery under loss and "
+      "heals partitions; the flood pays duplicates, the static tree stalls\n");
+  return 0;
+}
+
+}  // namespace brisa::reports::impl

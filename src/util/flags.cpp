@@ -1,5 +1,6 @@
 #include "util/flags.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -15,6 +16,10 @@ bool looks_like_flag(const std::string& arg) {
 
 Flags Flags::parse(int argc, const char* const* argv) {
   Flags flags;
+  const auto set = [&flags](std::string name, std::string value) {
+    if (flags.values_.count(name) > 0) flags.duplicates_.push_back(name);
+    flags.values_[std::move(name)] = std::move(value);
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -28,23 +33,48 @@ Flags Flags::parse(int argc, const char* const* argv) {
     std::string body = arg.substr(2);
     const std::size_t eq = body.find('=');
     if (eq != std::string::npos) {
-      flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      set(body.substr(0, eq), body.substr(eq + 1));
       continue;
     }
     if (body.rfind("no-", 0) == 0) {
-      flags.values_[body.substr(3)] = "false";
+      set(body.substr(3), "false");
       continue;
     }
     // `--name value` when the next token is not itself a flag; otherwise a
     // bare boolean `--name`.
     if (i + 1 < argc && !looks_like_flag(argv[i + 1])) {
-      flags.values_[body] = argv[i + 1];
+      set(std::move(body), argv[i + 1]);
       ++i;
     } else {
-      flags.values_[body] = "true";
+      set(std::move(body), "true");
     }
   }
   return flags;
+}
+
+bool Flags::validate(const std::vector<std::string>& known,
+                     const std::string& usage) const {
+  bool ok = true;
+  for (const auto& [name, _] : values_) {
+    bool found = false;
+    for (const std::string& k : known) {
+      if (name == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "error: unknown flag --%s\n", name.c_str());
+      ok = false;
+    }
+  }
+  for (const std::string& name : duplicates_) {
+    std::fprintf(stderr, "error: flag --%s given more than once\n",
+                 name.c_str());
+    ok = false;
+  }
+  if (!ok) std::fprintf(stderr, "usage: %s", usage.c_str());
+  return ok;
 }
 
 std::string Flags::get_string(const std::string& name,

@@ -1,8 +1,11 @@
 // Tiny command-line flag parser for examples and benchmark harnesses.
 //
 // Supports `--name=value`, `--name value` and boolean `--name` /
-// `--no-name` forms. Unknown flags are an error so typos in experiment
-// parameters cannot silently fall back to defaults.
+// `--no-name` forms. parse() records duplicated flags, and validate()
+// rejects both duplicates and names outside the caller's known set with
+// usage text on stderr — so typos in experiment parameters cannot
+// silently fall back to defaults and a twice-given flag cannot silently
+// drop its first value.
 #pragma once
 
 #include <cstdint>
@@ -50,9 +53,28 @@ class Flags {
   /// Names seen on the command line; benchmarks use this to reject typos.
   [[nodiscard]] std::vector<std::string> names() const;
 
+  /// Raw name -> value map (the scenario layer forwards unrecognized
+  /// flags into report parameters through this).
+  [[nodiscard]] const std::map<std::string, std::string>& values() const {
+    return values_;
+  }
+
+  /// Flag names given more than once; last-one-wins is almost never what an
+  /// experiment meant, so validate() treats these as errors.
+  [[nodiscard]] const std::vector<std::string>& duplicates() const {
+    return duplicates_;
+  }
+
+  /// True when every parsed flag appears in `known` and none was duplicated.
+  /// Otherwise prints one diagnostic per offending flag plus `usage` to
+  /// stderr and returns false (callers exit with a usage error).
+  [[nodiscard]] bool validate(const std::vector<std::string>& known,
+                              const std::string& usage) const;
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
+  std::vector<std::string> duplicates_;
   bool help_ = false;
 };
 

@@ -9,7 +9,8 @@ namespace brisa::workload {
 // --- SimpleTreeSystem ---------------------------------------------------------
 
 SimpleTreeSystem::SimpleTreeSystem(Config config)
-    : SystemBase(config.seed, config.testbed), config_(config) {}
+    : SystemBase(config.seed, config.testbed, config.topology),
+      config_(config) {}
 
 void SimpleTreeSystem::bootstrap() {
   BRISA_ASSERT(config_.num_nodes >= 2);
@@ -85,7 +86,8 @@ bool SimpleTreeSystem::complete_delivery() const {
 // --- SimpleGossipSystem ----------------------------------------------------------
 
 SimpleGossipSystem::SimpleGossipSystem(Config config)
-    : SystemBase(config.seed, config.testbed), config_(config) {
+    : SystemBase(config.seed, config.testbed, config.topology),
+      config_(config) {
   if (config_.fanout == 0) {
     config_.fanout = gossip_fanout_for(config_.num_nodes);
   }
@@ -215,7 +217,8 @@ bool SimpleGossipSystem::complete_delivery() const {
 // --- TagSystem ----------------------------------------------------------------------
 
 TagSystem::TagSystem(Config config)
-    : SystemBase(config.seed, config.testbed), config_(config) {
+    : SystemBase(config.seed, config.testbed, config.topology),
+      config_(config) {
   config_.tag.num_streams = config_.num_streams;
 }
 

@@ -22,6 +22,8 @@ class SimpleTreeSystem final : public SystemBase {
     std::uint64_t seed = 1;
     std::size_t num_nodes = 512;
     TestbedKind testbed = TestbedKind::kCluster;
+    /// When set, replaces the testbed's latency model / network preset.
+    std::optional<TopologyOverride> topology;
     /// Concurrent streams (topics), all rooted at the tree root.
     std::size_t num_streams = 1;
     sim::Duration join_spread = sim::Duration::seconds(50);
@@ -59,6 +61,8 @@ class SimpleGossipSystem final : public SystemBase {
     std::uint64_t seed = 1;
     std::size_t num_nodes = 512;
     TestbedKind testbed = TestbedKind::kCluster;
+    /// When set, replaces the testbed's latency model / network preset.
+    std::optional<TopologyOverride> topology;
     /// 0 = the paper's ln(N).
     std::size_t fanout = 0;
     /// Concurrent streams (topics), all injected at the source node.
@@ -106,6 +110,8 @@ class TagSystem final : public SystemBase {
     std::uint64_t seed = 1;
     std::size_t num_nodes = 512;
     TestbedKind testbed = TestbedKind::kCluster;
+    /// When set, replaces the testbed's latency model / network preset.
+    std::optional<TopologyOverride> topology;
     /// Concurrent streams (topics), all injected at the list head.
     std::size_t num_streams = 1;
     baselines::TagNode::Config tag;

@@ -21,6 +21,9 @@ class BrisaSystem final : public SystemBase {
     std::uint64_t seed = 1;
     std::size_t num_nodes = 512;
     TestbedKind testbed = TestbedKind::kCluster;
+    /// When set, replaces the testbed's latency model / network preset
+    /// (scenario-selected topologies: clustered-wan, fat-tree, ...).
+    std::optional<TopologyOverride> topology;
     membership::HyParView::Config hyparview;
     /// Per-stream protocol configuration, applied to every stream.
     core::Brisa::Config brisa;

@@ -40,11 +40,15 @@ std::unique_ptr<net::LatencyModel> testbed_latency(TestbedKind kind) {
   return nullptr;
 }
 
-SystemBase::SystemBase(std::uint64_t seed, TestbedKind testbed)
+SystemBase::SystemBase(std::uint64_t seed, TestbedKind testbed,
+                       const std::optional<TopologyOverride>& topology)
     : testbed_(testbed),
       simulator_(seed),
-      network_(simulator_, testbed_latency(testbed),
-               testbed_network_config(testbed)),
+      network_(simulator_,
+               topology && topology->latency ? topology->latency()
+                                             : testbed_latency(testbed),
+               topology && topology->network ? *topology->network
+                                             : testbed_network_config(testbed)),
       transport_(network_) {}
 
 void SystemBase::install_fault_plan(net::FaultPlan plan) {

@@ -4,7 +4,9 @@
 // rationale.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "net/fault.h"
@@ -24,11 +26,22 @@ enum class TestbedKind { kCluster, kPlanetLab };
 [[nodiscard]] std::unique_ptr<net::LatencyModel> testbed_latency(
     TestbedKind kind);
 
+/// Replaces the testbed's latency model (and optionally its network
+/// resource preset) with an arbitrary one — how scenarios select the
+/// clustered-WAN and fat-tree models that TestbedKind does not name. The
+/// factory is a copyable std::function so system Configs stay value types.
+struct TopologyOverride {
+  std::function<std::unique_ptr<net::LatencyModel>()> latency;
+  /// When unset, the testbed's network preset still applies.
+  std::optional<net::Network::Config> network;
+};
+
 /// Common base for the per-protocol system harnesses: owns the simulator,
 /// network and transport in construction order.
 class SystemBase {
  public:
-  SystemBase(std::uint64_t seed, TestbedKind testbed);
+  SystemBase(std::uint64_t seed, TestbedKind testbed,
+             const std::optional<TopologyOverride>& topology = std::nullopt);
   virtual ~SystemBase() = default;
 
   SystemBase(const SystemBase&) = delete;

@@ -1,0 +1,345 @@
+// Scenario-engine coverage: grammar round-trips, defaulting, line-numbered
+// diagnostics on malformed files, materialization into system configs, the
+// two scenario-selectable topology models, and the fig02 golden — the
+// checked-in scenario file must describe exactly the registry's default run
+// and reproduce its output byte-identically.
+#include "workload/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "net/latency.h"
+#include "reports/reports.h"
+#include "sim/rng.h"
+
+namespace brisa {
+namespace {
+
+using workload::Scenario;
+
+// --- Parsing & round-trip ---------------------------------------------------
+
+TEST(Scenario, ParsesEverySection) {
+  const Scenario s = Scenario::parse(
+      "# full example\n"
+      "[scenario]\n"
+      "name = everything\n"
+      "report = run\n"
+      "protocol = gossip\n"
+      "nodes = 300\n"
+      "seed = 9\n"
+      "[topology]\n"
+      "model = clustered-wan\n"
+      "clusters = 4\n"
+      "intra-rtt-ms = 1.5\n"
+      "inter-rtt-min-ms = 25\n"
+      "inter-rtt-max-ms = 90\n"
+      "[overlay]\n"
+      "active-view = 6\n"
+      "mode = dag\n"
+      "parents = 2\n"
+      "strategy = delay\n"
+      "prune = true\n"
+      "[streams]\n"
+      "count = 3\n"
+      "messages = 40\n"
+      "rate-per-s = 2.5\n"
+      "payload = 256\n"
+      "subscription-fraction = 0.5\n"
+      "[run]\n"
+      "grace-s = 12\n"
+      "[churn]\n"
+      "from 0 s to 10 s drop 5%\n"
+      "at 60 s stop\n"
+      "[output]\n"
+      "json = false\n"
+      "cdf = true\n"
+      "[params]\n"
+      "min-reliability = 0.9\n");
+  EXPECT_EQ(s.name_or(""), "everything");
+  EXPECT_EQ(s.protocol_or(""), "gossip");
+  EXPECT_EQ(s.nodes_or(0), 300u);
+  EXPECT_EQ(s.seed_or(0), 9u);
+  EXPECT_EQ(s.topology_or(""), "clustered-wan");
+  EXPECT_EQ(s.clusters, std::optional<std::size_t>(4));
+  EXPECT_EQ(s.active_view, std::optional<std::size_t>(6));
+  EXPECT_EQ(s.mode, std::optional<std::string>("dag"));
+  EXPECT_EQ(s.streams_or(0), 3u);
+  EXPECT_DOUBLE_EQ(s.rate_or(0), 2.5);
+  EXPECT_DOUBLE_EQ(s.subscription_fraction_or(0), 0.5);
+  EXPECT_EQ(s.churn_dsl, "from 0 s to 10 s drop 5%\nat 60 s stop\n");
+  EXPECT_EQ(s.json, std::optional<bool>(false));
+  EXPECT_EQ(s.cdf, std::optional<bool>(true));
+  EXPECT_DOUBLE_EQ(s.param_double("min-reliability", 0), 0.9);
+}
+
+TEST(Scenario, TextRoundTripIsExact) {
+  Scenario s;
+  s.set("scenario", "name", "round_trip")
+      .set("scenario", "protocol", "brisa")
+      .set("scenario", "nodes", "128")
+      .set("scenario", "seed", "3")
+      .set("topology", "model", "fat-tree")
+      .set("topology", "hosts-per-rack", "20")
+      .set("topology", "intra-rack-us", "35.5")
+      .set("overlay", "active-view", "8")
+      .set("overlay", "prune", "false")
+      .set("streams", "count", "2")
+      .set("streams", "rate-per-s", "7.25")
+      .set("run", "grace-s", "20")
+      .set("output", "cdf", "true")
+      .set("params", "views", "4,6");
+  s.churn_dsl = "at 5 s crash 3 for 2 s\nat 30 s stop\n";
+  const Scenario reparsed = Scenario::parse(s.to_text());
+  EXPECT_EQ(reparsed, s);
+  // A second round trip is a fixed point.
+  EXPECT_EQ(Scenario::parse(reparsed.to_text()).to_text(), reparsed.to_text());
+}
+
+TEST(Scenario, UnsetKeysStayUnsetAndDefault) {
+  const Scenario s = Scenario::parse("[scenario]\nname = sparse\n");
+  EXPECT_FALSE(s.nodes.has_value());
+  EXPECT_FALSE(s.report.has_value());
+  EXPECT_FALSE(s.messages.has_value());
+  EXPECT_EQ(s.nodes_or(512), 512u);
+  EXPECT_EQ(s.report_or("run"), "run");
+  EXPECT_EQ(s.messages_or(77), 77u);
+  EXPECT_EQ(s.param_int("absent", -4), -4);
+  EXPECT_TRUE(s.param_int_list("absent", {1, 2}) ==
+              (std::vector<std::int64_t>{1, 2}));
+}
+
+// --- Diagnostics ------------------------------------------------------------
+
+/// The diagnostic for `text` (empty when it parses).
+std::string diagnostic_of(const std::string& text) {
+  std::string diagnostic;
+  if (Scenario::try_parse(text, &diagnostic)) return "";
+  return diagnostic;
+}
+
+TEST(Scenario, DiagnosticsCarryLineNumbers) {
+  EXPECT_NE(diagnostic_of("[scenario]\nnodes = twelve\n")
+                .find("scenario line 2"),
+            std::string::npos);
+  EXPECT_NE(diagnostic_of("[scenario]\nnodes = twelve\n").find("integer"),
+            std::string::npos);
+  EXPECT_NE(diagnostic_of("[nope]\n").find("scenario line 1"),
+            std::string::npos);
+  EXPECT_NE(diagnostic_of("[nope]\n").find("unknown section"),
+            std::string::npos);
+  EXPECT_NE(diagnostic_of("nodes = 4\n").find("before any [section]"),
+            std::string::npos);
+  EXPECT_NE(diagnostic_of("[scenario]\n\n\nbogus-key = 1\n")
+                .find("scenario line 4"),
+            std::string::npos);
+  EXPECT_NE(diagnostic_of("[scenario]\njust words\n")
+                .find("expected 'key = value'"),
+            std::string::npos);
+  EXPECT_NE(diagnostic_of("[streams]\nsubscription-fraction = 1.5\n")
+                .find("fraction in [0, 1]"),
+            std::string::npos);
+}
+
+TEST(Scenario, SemanticValidation) {
+  EXPECT_NE(diagnostic_of("[scenario]\nprotocol = carrier-pigeon\n")
+                .find("protocol must be"),
+            std::string::npos);
+  EXPECT_NE(diagnostic_of("[topology]\nmodel = torus\n")
+                .find("topology model"),
+            std::string::npos);
+  EXPECT_NE(diagnostic_of("[overlay]\nmode = forest\n").find("tree|dag"),
+            std::string::npos);
+  EXPECT_NE(diagnostic_of("[topology]\ninter-rtt-min-ms = 90\n"
+                          "inter-rtt-max-ms = 10\n")
+                .find("exceeds"),
+            std::string::npos);
+}
+
+TEST(Scenario, ChurnDslErrorsAnchorAtTheSection) {
+  const std::string diagnostic = diagnostic_of(
+      "[scenario]\n"
+      "name = bad-churn\n"
+      "[churn]\n"
+      "at twelve s stop\n");
+  EXPECT_NE(diagnostic.find("scenario line 3"), std::string::npos)
+      << diagnostic;
+  EXPECT_NE(diagnostic.find("churn"), std::string::npos) << diagnostic;
+}
+
+TEST(Scenario, ChurnSectionKeepsItsOwnComments) {
+  // '#' inside [churn] belongs to the DSL (which strips it itself); the
+  // scenario parser must not corrupt statements containing '%'.
+  const Scenario s = Scenario::parse(
+      "[churn]\n"
+      "# trace comment\n"
+      "from 0 s to 9 s drop 12%\n"
+      "at 60 s stop\n");
+  EXPECT_EQ(s.churn_dsl, "from 0 s to 9 s drop 12%\nat 60 s stop\n");
+}
+
+TEST(Scenario, BuilderRejectsUnknownKeys) {
+  Scenario s;
+  EXPECT_THROW(s.set("scenario", "nodez", "12"), std::invalid_argument);
+  EXPECT_THROW(s.set("nope", "nodes", "12"), std::invalid_argument);
+  EXPECT_THROW(s.set_path("no-dot", "1"), std::invalid_argument);
+  s.set_path("scenario.nodes", "64");
+  EXPECT_EQ(s.nodes_or(0), 64u);
+}
+
+// --- Materialization --------------------------------------------------------
+
+TEST(Scenario, MaterializesBrisaConfig) {
+  const Scenario s = Scenario::parse(
+      "[scenario]\nnodes = 200\nseed = 5\n"
+      "[overlay]\nactive-view = 8\nmode = dag\nparents = 2\nprune = true\n"
+      "[streams]\ncount = 4\n");
+  const workload::BrisaSystem::Config config = workload::scenario_brisa_config(s);
+  EXPECT_EQ(config.num_nodes, 200u);
+  EXPECT_EQ(config.seed, 5u);
+  EXPECT_EQ(config.hyparview.active_size, 8u);
+  EXPECT_EQ(config.hyparview.passive_size, 48u);  // active * 6 by default
+  EXPECT_EQ(config.brisa.mode, core::StructureMode::kDag);
+  EXPECT_EQ(config.brisa.num_parents, 2u);
+  EXPECT_EQ(config.num_streams, 4u);
+  EXPECT_EQ(config.testbed, workload::TestbedKind::kCluster);
+  EXPECT_FALSE(config.topology.has_value());
+}
+
+TEST(Scenario, MaterializesTopologyOverride) {
+  const Scenario s = Scenario::parse(
+      "[topology]\nmodel = clustered-wan\nclusters = 3\n");
+  const auto topology = workload::scenario_topology(s);
+  ASSERT_TRUE(topology.has_value());
+  ASSERT_TRUE(topology->latency);
+  const auto model = topology->latency();
+  EXPECT_STREQ(model->name(), "clustered-wan");
+  // The plain testbeds need no override.
+  EXPECT_FALSE(workload::scenario_topology(
+                   Scenario::parse("[topology]\nmodel = planetlab\n"))
+                   .has_value());
+}
+
+// --- The scenario-selectable latency models ---------------------------------
+
+TEST(ClusteredWanLatency, TwoTiersAndDeterminism) {
+  net::ClusteredWanLatencyModel::Config config;
+  config.clusters = 4;
+  net::ClusteredWanLatencyModel model(config);
+  // Find an intra-cluster and an inter-cluster pair.
+  bool saw_intra = false, saw_inter = false;
+  for (std::uint32_t i = 1; i < 64 && !(saw_intra && saw_inter); ++i) {
+    const net::NodeId a(0), b(i);
+    const sim::Duration base = model.base(a, b);
+    EXPECT_EQ(base, model.base(a, b));  // deterministic
+    EXPECT_EQ(base, model.base(b, a));  // symmetric
+    if (model.cluster_of(a) == model.cluster_of(b)) {
+      saw_intra = true;
+      EXPECT_EQ(base, sim::Duration::microseconds(1000));
+    } else {
+      saw_inter = true;
+      EXPECT_GE(base, sim::Duration::microseconds(20000));
+      EXPECT_LE(base, sim::Duration::microseconds(160000));
+    }
+  }
+  EXPECT_TRUE(saw_intra);
+  EXPECT_TRUE(saw_inter);
+  // Jitter only ever adds.
+  sim::Rng rng(7);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_GE(model.sample(net::NodeId(0), net::NodeId(1), rng),
+              model.base(net::NodeId(0), net::NodeId(1)));
+  }
+}
+
+TEST(FatTreeLatency, TierOrdering) {
+  net::FatTreeLatencyModel::Config config;
+  config.hosts_per_rack = 4;
+  config.racks_per_pod = 2;  // pod = 8 hosts
+  net::FatTreeLatencyModel model(config);
+  const net::NodeId host(0);
+  const sim::Duration same_rack = model.base(host, net::NodeId(1));
+  const sim::Duration same_pod = model.base(host, net::NodeId(5));
+  const sim::Duration cross_pod = model.base(host, net::NodeId(9));
+  EXPECT_LT(same_rack, same_pod);
+  EXPECT_LT(same_pod, cross_pod);
+  EXPECT_EQ(same_rack, sim::Duration::microseconds(30));
+  EXPECT_EQ(same_pod, sim::Duration::microseconds(120));
+  EXPECT_EQ(cross_pod, sim::Duration::microseconds(300));
+}
+
+// --- The fig02 golden -------------------------------------------------------
+
+/// Every figure scenario checked into scenarios/ must describe exactly the
+/// registry's default scenario for its report — otherwise the file and the
+/// bench binary drift apart.
+TEST(ScenarioGolden, CheckedInFilesMatchReportDefaults) {
+  for (const reports::Report& report : reports::all()) {
+    if (report.name == "run") continue;
+    const std::string path =
+        std::string(BRISA_SOURCE_DIR) + "/scenarios/" + report.name + ".scn";
+    const Scenario from_file = Scenario::load(path);
+    const Scenario defaults = report.defaults();
+    EXPECT_EQ(from_file, defaults) << "drift between " << path
+                                   << " and the " << report.name
+                                   << " report defaults";
+  }
+}
+
+/// A figure report must refuse scenario keys outside its surface instead of
+/// silently running its pinned configuration.
+TEST(ScenarioGolden, FigureReportsRejectUnconsumedKeys) {
+  const reports::Report* fig02 = reports::find("fig02_flood_duplicates");
+  ASSERT_NE(fig02, nullptr);
+  EXPECT_EQ(reports::scenario_key_error(fig02->defaults(), *fig02), "");
+
+  Scenario pinned = fig02->defaults();
+  pinned.set("overlay", "prune", "true");  // the figure pins prune = false
+  EXPECT_NE(reports::scenario_key_error(pinned, *fig02), "");
+
+  Scenario unconsumed = fig02->defaults();
+  unconsumed.set("streams", "count", "4");  // fig02 is single-stream
+  EXPECT_NE(reports::scenario_key_error(unconsumed, *fig02), "");
+
+  Scenario typo = fig02->defaults();
+  typo.set("params", "viewz", "4");
+  EXPECT_NE(reports::scenario_key_error(typo, *fig02), "");
+
+  // The generic runner accepts everything.
+  EXPECT_EQ(reports::scenario_key_error(typo, *reports::find("run")), "");
+}
+
+/// The checked-in fig02 scenario reproduces the fig02 report output byte for
+/// byte. Scaled-down overrides (applied identically to both runs) keep the
+/// test fast; the parameters that remain — payload, prune, view list
+/// semantics — all come from the file.
+TEST(ScenarioGolden, Fig02ScenarioFileReproducesReportOutput) {
+  const reports::Report* report = reports::find("fig02_flood_duplicates");
+  ASSERT_NE(report, nullptr);
+  const auto shrink = [](Scenario s) {
+    s.set("scenario", "nodes", "48")
+        .set("streams", "messages", "20")
+        .set("params", "views", "4");
+    return s;
+  };
+
+  Scenario from_file = shrink(Scenario::load(
+      std::string(BRISA_SOURCE_DIR) + "/scenarios/fig02_flood_duplicates.scn"));
+  testing::internal::CaptureStdout();
+  ASSERT_EQ(report->run(from_file), 0);
+  const std::string file_output = testing::internal::GetCapturedStdout();
+
+  Scenario from_defaults = shrink(report->defaults());
+  testing::internal::CaptureStdout();
+  ASSERT_EQ(report->run(from_defaults), 0);
+  const std::string defaults_output = testing::internal::GetCapturedStdout();
+
+  EXPECT_NE(file_output.find("=== Fig 2"), std::string::npos);
+  EXPECT_NE(file_output.find("paper check"), std::string::npos);
+  EXPECT_EQ(file_output, defaults_output);
+}
+
+}  // namespace
+}  // namespace brisa

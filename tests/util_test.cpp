@@ -131,6 +131,31 @@ TEST(Flags, BadBooleanThrows) {
                std::invalid_argument);
 }
 
+TEST(Flags, RecordsDuplicates) {
+  const char* argv[] = {"prog", "--nodes=64", "--rate=5", "--nodes=128"};
+  const Flags flags = Flags::parse(4, argv);
+  ASSERT_EQ(flags.duplicates().size(), 1u);
+  EXPECT_EQ(flags.duplicates()[0], "nodes");
+  // Last one wins in the value map, but validate() must reject the flag set.
+  EXPECT_EQ(flags.get_int("nodes", 0), 128);
+  EXPECT_FALSE(flags.validate({"nodes", "rate"}, "usage\n"));
+}
+
+TEST(Flags, ValidateRejectsUnknownFlags) {
+  const char* argv[] = {"prog", "--nodes=64", "--noodles=3"};
+  const Flags flags = Flags::parse(3, argv);
+  EXPECT_FALSE(flags.validate({"nodes"}, "usage\n"));
+  EXPECT_TRUE(flags.validate({"nodes", "noodles"}, "usage\n"));
+}
+
+TEST(Flags, ValuesExposesRawMap) {
+  const char* argv[] = {"prog", "--nodes=64", "--quick"};
+  const Flags flags = Flags::parse(3, argv);
+  ASSERT_EQ(flags.values().size(), 2u);
+  EXPECT_EQ(flags.values().at("nodes"), "64");
+  EXPECT_EQ(flags.values().at("quick"), "true");
+}
+
 TEST(Logging, LevelsGate) {
   Logger& logger = Logger::instance();
   const LogLevel prior = logger.level();
