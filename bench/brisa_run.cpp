@@ -5,25 +5,35 @@
 //   brisa_run --print <scenario.scn>     echo the canonical scenario text
 //   brisa_run --list                     list the available reports
 //   brisa_run --set sec.key=value ...    override scenario keys before running
+//   brisa_run --jobs N <sweep.scn>       parallel sweep executor knobs:
+//   brisa_run --spool DIR --cell-timeout S
 //
 // A scenario file names a report ([scenario] report = fig06_depth) or omits
-// it for the generic declarative runner (report = run). The same report
-// functions back the legacy bench_* binaries, so a checked-in scenario and
-// its bench command are byte-identical. Grammar: docs/scenarios.md.
+// it for the generic declarative runner (report = run). A scenario with a
+// [sweep] section expands into a grid of cells; the executor forks one
+// worker subprocess per cell (`--jobs` at a time) and merges their output
+// in grid order, so stdout is byte-identical for any job count. `--cell`
+// is the internal worker mode (strip [sweep], run one configuration). The
+// same report functions back the legacy bench_* binaries, so a checked-in
+// scenario and its bench command are byte-identical. Grammar:
+// docs/scenarios.md.
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "reports/reports.h"
 #include "util/flags.h"
+#include "util/subprocess.h"
 #include "workload/scenario.h"
+#include "workload/sweep.h"
 
 namespace {
 
 constexpr const char kUsage[] =
     "brisa_run [--check|--print] [--set section.key=value]... "
-    "<scenario.scn>...\n"
+    "[--jobs N] [--spool DIR] [--cell-timeout S] <scenario.scn>...\n"
     "brisa_run --list\n";
 
 void print_report_list() {
@@ -41,6 +51,10 @@ int main(int argc, char** argv) {
 
   bool check_only = false;
   bool print_only = false;
+  bool cell_mode = false;
+  int jobs = 0;  // 0 = flag not given; sweeps then default to 1
+  std::string spool_dir;
+  double cell_timeout_s = 0.0;
   std::vector<std::pair<std::string, std::string>> overrides;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
@@ -59,6 +73,38 @@ int main(int argc, char** argv) {
     }
     if (arg == "--print") {
       print_only = true;
+      continue;
+    }
+    if (arg == "--cell") {
+      cell_mode = true;
+      continue;
+    }
+    if (arg == "--jobs") {
+      if (i + 1 >= argc || std::atoi(argv[i + 1]) < 1) {
+        std::fprintf(stderr, "error: --jobs needs a positive integer\n%s",
+                     kUsage);
+        return 2;
+      }
+      jobs = std::atoi(argv[++i]);
+      continue;
+    }
+    if (arg == "--spool") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --spool needs a directory\n%s", kUsage);
+        return 2;
+      }
+      spool_dir = argv[++i];
+      continue;
+    }
+    if (arg == "--cell-timeout") {
+      if (i + 1 >= argc || std::atof(argv[i + 1]) < 0.0) {
+        std::fprintf(stderr,
+                     "error: --cell-timeout needs a non-negative number of "
+                     "seconds\n%s",
+                     kUsage);
+        return 2;
+      }
+      cell_timeout_s = std::atof(argv[++i]);
       continue;
     }
     if (arg == "--set") {
@@ -91,11 +137,20 @@ int main(int argc, char** argv) {
   }
 
   int exit_code = 0;
-  for (const std::string& file : files) {
+  for (std::size_t file_index = 0; file_index < files.size(); ++file_index) {
+    const std::string& file = files[file_index];
     Scenario scenario;
     try {
       scenario = Scenario::load(file);
+      // Worker mode: the [sweep] section belongs to the scheduler; strip
+      // it before overrides so a faulted=false cell's `churn.dsl=` cannot
+      // trip the sweep's faulted-needs-churn check. `sweep.*` overrides
+      // were consumed upstream when the scheduler expanded the grid —
+      // applying them here would re-create the section and turn the
+      // worker into another scheduler, recursing forever.
+      if (cell_mode) scenario.sweep.clear();
       for (const auto& [key, value] : overrides) {
+        if (cell_mode && key.rfind("sweep.", 0) == 0) continue;
         scenario.set_path(key, value);
       }
       scenario.validate();
@@ -119,6 +174,75 @@ int main(int argc, char** argv) {
     if (!key_error.empty()) {
       std::fprintf(stderr, "error: %s: %s\n", file.c_str(),
                    key_error.c_str());
+      return 2;
+    }
+    if (scenario.has_sweep()) {
+      // Pre-validate every expanded cell so a malformed grid fails fast
+      // here (and under --check) instead of as worker exit codes mid-run.
+      std::vector<brisa::workload::SweepCell> cells;
+      try {
+        cells = brisa::workload::expand_sweep(scenario);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "error: %s: %s\n", file.c_str(), e.what());
+        return 2;
+      }
+      for (const brisa::workload::SweepCell& cell : cells) {
+        Scenario cell_scenario = scenario;
+        cell_scenario.sweep.clear();
+        try {
+          for (const auto& [key, value] : cell.overrides) {
+            cell_scenario.set_path(key, value);
+          }
+          cell_scenario.validate();
+        } catch (const std::invalid_argument& e) {
+          std::fprintf(stderr, "error: %s: cell %zu (%s): %s\n", file.c_str(),
+                       cell.index, cell.label.c_str(), e.what());
+          return 2;
+        }
+        const std::string cell_key_error =
+            brisa::reports::scenario_key_error(cell_scenario, *report);
+        if (!cell_key_error.empty()) {
+          std::fprintf(stderr, "error: %s: cell %zu (%s): %s\n", file.c_str(),
+                       cell.index, cell.label.c_str(),
+                       cell_key_error.c_str());
+          return 2;
+        }
+      }
+      if (print_only) {
+        std::printf("%s", scenario.to_text().c_str());
+        continue;
+      }
+      if (check_only) {
+        std::printf("OK %s (report %s, sweep %zu cells)\n", file.c_str(),
+                    report_name.c_str(), cells.size());
+        continue;
+      }
+      brisa::workload::SweepOptions options;
+      options.jobs = jobs > 0 ? jobs : 1;
+      options.spool_dir =
+          spool_dir.empty() || files.size() == 1
+              ? spool_dir
+              : spool_dir + "." + std::to_string(file_index);
+      options.cell_timeout_s = cell_timeout_s;
+      options.self_exe = brisa::util::self_exe_path(argv[0]);
+      options.scenario_path = file;
+      // Workers re-load the scenario file, so user overrides must travel
+      // with them — except `sweep.*`, which shaped the grid right here
+      // and means nothing to (and must never reach) a single cell.
+      for (const auto& override_pair : overrides) {
+        if (override_pair.first.rfind("sweep.", 0) == 0) continue;
+        options.user_overrides.push_back(override_pair);
+      }
+      const int run_code = brisa::workload::run_sweep(scenario, options);
+      if (run_code >= 128 || run_code == 2) return run_code;
+      if (run_code != 0) exit_code = run_code;
+      continue;
+    }
+    if (jobs > 0) {
+      std::fprintf(stderr,
+                   "error: %s: --jobs needs a [sweep] section (this "
+                   "scenario is a single run)\n",
+                   file.c_str());
       return 2;
     }
     if (print_only) {

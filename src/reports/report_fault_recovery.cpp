@@ -15,6 +15,7 @@
 // recorded run lives in BENCH_fault_recovery.json at the repo root.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -192,6 +193,16 @@ int fault_recovery_run(const workload::Scenario& scenario) {
   const std::size_t nodes = scenario.nodes_or(96);
   const std::size_t messages = scenario.messages_or(60);
   const std::uint64_t seed = scenario.seed_or(1);
+  // --protocols / --regimes narrow the grid (the sweep executor's per-cell
+  // form); the defaults reproduce the full classic report byte for byte.
+  const std::string protocols =
+      scenario.param_string("protocols", "brisa,gossip,tree");
+  const std::string regimes = scenario.param_string(
+      "regimes",
+      "loss_0,loss_5,loss_10,loss_20,partition_10s,partition_30s");
+  const auto wants = [&protocols](const char* name) {
+    return protocols.find(name) != std::string::npos;
+  };
 
   std::printf(
       "=== fault recovery: reliability & latency vs loss / partitions, "
@@ -201,21 +212,48 @@ int fault_recovery_run(const workload::Scenario& scenario) {
   std::vector<ScenarioResult> results;
   const auto run_all = [&](const std::string& scenario_name,
                            const net::FaultPlan& plan) {
-    std::fprintf(stderr, "running %s/brisa...\n", scenario_name.c_str());
-    results.push_back(run_brisa(seed, nodes, messages, scenario_name, plan));
-    std::fprintf(stderr, "running %s/gossip-flood...\n",
-                 scenario_name.c_str());
-    results.push_back(run_gossip(seed, nodes, messages, scenario_name, plan));
-    std::fprintf(stderr, "running %s/simple-tree...\n", scenario_name.c_str());
-    results.push_back(run_tree(seed, nodes, messages, scenario_name, plan));
+    if (wants("brisa")) {
+      std::fprintf(stderr, "running %s/brisa...\n", scenario_name.c_str());
+      results.push_back(
+          run_brisa(seed, nodes, messages, scenario_name, plan));
+    }
+    if (wants("gossip")) {
+      std::fprintf(stderr, "running %s/gossip-flood...\n",
+                   scenario_name.c_str());
+      results.push_back(
+          run_gossip(seed, nodes, messages, scenario_name, plan));
+    }
+    if (wants("tree")) {
+      std::fprintf(stderr, "running %s/simple-tree...\n",
+                   scenario_name.c_str());
+      results.push_back(run_tree(seed, nodes, messages, scenario_name, plan));
+    }
   };
-  for (const double loss : {0.0, 0.05, 0.10, 0.20}) {
-    run_all("loss_" + std::to_string(static_cast<int>(loss * 100)),
-            loss_plan(loss));
-  }
-  for (const std::int64_t duration_s : {10, 30}) {
-    run_all("partition_" + std::to_string(duration_s) + "s",
-            partition_plan(nodes, duration_s));
+  // Each regime token is `loss_<percent>` or `partition_<seconds>s`.
+  std::string token;
+  for (const char c : regimes + ",") {
+    if (c != ',') {
+      if (c != ' ' && c != '\t') token.push_back(c);
+      continue;
+    }
+    if (token.empty()) continue;
+    if (token.rfind("loss_", 0) == 0) {
+      const int percent = std::atoi(token.c_str() + 5);
+      run_all("loss_" + std::to_string(percent),
+              loss_plan(static_cast<double>(percent) / 100.0));
+    } else if (token.rfind("partition_", 0) == 0 && token.back() == 's') {
+      const auto duration_s =
+          static_cast<std::int64_t>(std::atoll(token.c_str() + 10));
+      run_all("partition_" + std::to_string(duration_s) + "s",
+              partition_plan(nodes, duration_s));
+    } else {
+      std::fprintf(stderr,
+                   "error: unknown regime '%s' (expected loss_<percent> or "
+                   "partition_<seconds>s)\n",
+                   token.c_str());
+      return 2;
+    }
+    token.clear();
   }
 
   analysis::Table table({"scenario", "protocol", "reliability", "p50(ms)",

@@ -162,7 +162,8 @@ RunResult run_gossip(std::uint64_t seed, std::size_t nodes,
 }
 
 RunResult run_tree(std::uint64_t seed, std::size_t nodes,
-                   std::size_t messages, double rate, std::size_t payload) {
+                   std::size_t messages, double rate, std::size_t payload,
+                   bool faulted) {
   const auto wall_start = std::chrono::steady_clock::now();
   workload::SimpleTreeSystem::Config config;
   config.seed = seed;
@@ -171,6 +172,24 @@ RunResult run_tree(std::uint64_t seed, std::size_t nodes,
   config.stabilization = sim::Duration::seconds(10);
   workload::SimpleTreeSystem system(config);
   system.bootstrap();
+  // SimpleTree has no spawn/kill API, but the sweep's fault plan only uses
+  // drop/crash/stop, which the fault hooks cover: the interesting number is
+  // how much a repair-less tree loses under the same faults (§III-D b).
+  workload::ChurnHooks hooks;
+  hooks.spawn = [] {};
+  hooks.kill = [](net::NodeId) {};
+  hooks.population = [&system] {
+    std::vector<net::NodeId> alive;
+    for (const net::NodeId id : system.all_ids()) {
+      if (system.network().alive(id)) alive.push_back(id);
+    }
+    return alive;
+  };
+  system.fill_fault_hooks(hooks);
+  workload::ChurnDriver driver(
+      system.simulator(), workload::ChurnScript::parse(fault_script(nodes)),
+      hooks);
+  if (faulted) driver.arm();
   system.run_stream(messages, rate, payload, sim::Duration::seconds(20));
 
   RunResult result;
@@ -183,7 +202,7 @@ RunResult run_tree(std::uint64_t seed, std::size_t nodes,
         return system.node(id).stats().delivery_time;
       },
       &result);
-  finish_run(system, /*faulted=*/false, wall_start, &result);
+  finish_run(system, faulted, wall_start, &result);
   return result;
 }
 
@@ -273,9 +292,16 @@ int scale_sweep_run(const workload::Scenario& scenario) {
   const std::size_t payload = scenario.payload_or(256);
   const std::uint64_t seed = scenario.seed_or(1);
   const bool fault_variant = scenario.param_bool("fault-variant", true);
+  // --variants names the fault variants to run explicitly (the sweep grid's
+  // per-cell form); it defaults to what --fault-variant implies.
+  const std::string variants = scenario.param_string(
+      "variants", fault_variant ? "clean,faulted" : "clean");
 
   const auto wants = [&protocols](const char* name) {
     return protocols.find(name) != std::string::npos;
+  };
+  const auto wants_variant = [&variants](const char* name) {
+    return variants.find(name) != std::string::npos;
   };
 
   std::vector<RunResult> results;
@@ -283,7 +309,7 @@ int scale_sweep_run(const workload::Scenario& scenario) {
     const auto nodes = static_cast<std::size_t>(size);
     const bool baseline_size = nodes <= baseline_cap;
     for (const bool faulted : {false, true}) {
-      if (faulted && !fault_variant) continue;
+      if (!wants_variant(faulted ? "faulted" : "clean")) continue;
       if (wants("brisa")) {
         std::fprintf(stderr, "running brisa %zu %s...\n", nodes,
                      faulted ? "faulted" : "clean");
@@ -307,15 +333,11 @@ int scale_sweep_run(const workload::Scenario& scenario) {
         if (!baseline_size) {
           std::printf("tree    %8zu nodes: skipped (above --baseline-cap "
                       "%zu)\n", nodes, baseline_cap);
-        } else if (faulted) {
-          // SimpleTree has no repair by design (§III-D b): the paper only
-          // evaluates it in static scenarios, so a faulted run would just
-          // measure the absence of a repair protocol.
-          std::printf("tree    %8zu nodes faulted: skipped (no repair by "
-                      "design)\n", nodes);
         } else {
-          std::fprintf(stderr, "running tree %zu clean...\n", nodes);
-          results.push_back(run_tree(seed, nodes, messages, rate, payload));
+          std::fprintf(stderr, "running tree %zu %s...\n", nodes,
+                       faulted ? "faulted" : "clean");
+          results.push_back(
+              run_tree(seed, nodes, messages, rate, payload, faulted));
           print_row(results.back());
         }
       }
@@ -337,8 +359,12 @@ int scale_sweep_run(const workload::Scenario& scenario) {
   for (const RunResult& r : results) print_json(r, messages, seed);
 
   // The scale claim under test: a clean BRISA broadcast delivers everything
-  // at every width. Passing vacuously is not passing — a configuration that
-  // ran no clean BRISA run has not validated anything.
+  // at every width. Passing vacuously is not passing — when the
+  // configuration ASKS for clean BRISA runs, zero of them is a failure. A
+  // configuration that deliberately requests none (a sweep cell running
+  // only gossip, or only the faulted variant) has nothing to validate and
+  // must not fail for it.
+  const bool expects_clean_brisa = wants("brisa") && wants_variant("clean");
   bool ok = true;
   std::size_t clean_brisa_runs = 0;
   for (const RunResult& r : results) {
@@ -350,6 +376,11 @@ int scale_sweep_run(const workload::Scenario& scenario) {
                   "(reliability %.4f%%, complete: %s)\n",
                   r.nodes, r.reliability * 100.0, r.complete ? "yes" : "no");
     }
+  }
+  if (!expects_clean_brisa) {
+    std::printf("scale check: skipped (configuration requests no clean "
+                "BRISA run)\n");
+    return 0;
   }
   if (clean_brisa_runs == 0) {
     std::printf("scale check: NOT VALIDATED — no clean BRISA run in this "

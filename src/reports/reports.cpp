@@ -130,9 +130,12 @@ std::vector<Report> build_registry() {
   reports.push_back(
       {"fault_recovery",
        "Fault recovery: reliability & latency vs loss / partitions",
-       "bench_fault_recovery [--nodes=96] [--messages=60] [--seed=1]\n",
-       {"nodes", "messages", "seed"},
-       {},
+       "bench_fault_recovery [--nodes=96] [--messages=60] [--seed=1]\n"
+       "  [--protocols=brisa,gossip,tree]\n"
+       "  [--regimes=loss_0,loss_5,loss_10,loss_20,partition_10s,"
+       "partition_30s]\n",
+       {"nodes", "messages", "seed", "protocols", "regimes"},
+       {"protocols", "regimes"},
        fault_recovery_defaults,
        fault_recovery_run});
   reports.push_back(
@@ -154,10 +157,11 @@ std::vector<Report> build_registry() {
        "                  [--protocols=brisa,gossip,tree,tag]\n"
        "                  [--baseline-cap=10000] [--messages=20]\n"
        "                  [--rate=5] [--payload=256] [--seed=1]\n"
+       "                  [--variants=clean,faulted]\n"
        "                  [--no-fault-variant] [--quick]\n",
        {"sizes", "protocols", "baseline-cap", "messages", "rate", "payload",
-        "seed", "fault-variant", "quick"},
-       {},
+        "seed", "fault-variant", "quick", "variants"},
+       {"variants"},
        scale_sweep_defaults,
        scale_sweep_run});
   reports.push_back(
@@ -262,6 +266,9 @@ std::string scenario_key_error(const workload::Scenario& scenario,
   reachable.push_back("scenario.report");
 
   for (const auto& [key, value] : scenario.set_keys()) {
+    // [sweep] keys are consumed upstream by the sweep executor, never by
+    // the per-cell report.
+    if (key.rfind("sweep.", 0) == 0) continue;
     bool consumed = false;
     for (const std::string& path : reachable) {
       if (key == path) {

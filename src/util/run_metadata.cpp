@@ -1,0 +1,67 @@
+#include "util/run_metadata.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <ctime>
+
+namespace brisa::util {
+
+namespace {
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+  return out;
+}
+
+std::string git_describe() {
+  FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buffer[256];
+  std::string out;
+  while (std::fgets(buffer, sizeof buffer, pipe) != nullptr) out += buffer;
+  const int status = ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  if (status != 0 || out.empty()) return "unknown";
+  return out;
+}
+
+}  // namespace
+
+std::string run_metadata_json(int jobs) {
+  char timestamp[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  if (gmtime_r(&now, &utc) != nullptr) {
+    std::strftime(timestamp, sizeof timestamp, "%Y-%m-%dT%H:%M:%SZ", &utc);
+  }
+  char hostname[256] = "unknown";
+  if (::gethostname(hostname, sizeof hostname - 1) != 0) {
+    std::snprintf(hostname, sizeof hostname, "unknown");
+  }
+  const long cpus = ::sysconf(_SC_NPROCESSORS_ONLN);
+
+  std::string out = "{\"meta\":\"run\",\"timestamp\":\"";
+  out += timestamp;
+  out += "\",\"hostname\":\"";
+  out += json_escape(hostname);
+  out += "\",\"cpus\":";
+  out += std::to_string(cpus > 0 ? cpus : 0);
+  if (jobs > 0) {
+    out += ",\"jobs\":";
+    out += std::to_string(jobs);
+  }
+  out += ",\"git\":\"";
+  out += json_escape(git_describe());
+  out += "\"}";
+  return out;
+}
+
+}  // namespace brisa::util

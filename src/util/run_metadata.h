@@ -1,0 +1,25 @@
+// Run-provenance metadata for recorded benchmark trajectories: the
+// BENCH_*.json files at the repo root accumulate rows across machines and
+// months, so each recorded run is prefixed by one JSON header line naming
+// when, where and at which revision it was taken. Wall-clock-derived rows
+// (events/s, sweep speedups) are meaningless without it.
+//
+// The header is deliberately emitted only by the sweep executor's spool /
+// stderr surfaces and by whoever appends to a BENCH file — never on a
+// report's stdout, which must stay byte-deterministic.
+#pragma once
+
+#include <string>
+
+namespace brisa::util {
+
+/// One JSON object line:
+///   {"meta":"run","timestamp":"2026-08-08T12:00:00Z","hostname":"ci-1",
+///    "cpus":8,"jobs":4,"git":"823bde1"}
+/// timestamp is ISO-8601 UTC; cpus is the online CPU count; git is
+/// `git describe --always --dirty` resolved at call time from the current
+/// working directory ("unknown" outside a repo or without git).
+/// jobs <= 0 omits the "jobs" field (serial, non-sweep recordings).
+[[nodiscard]] std::string run_metadata_json(int jobs);
+
+}  // namespace brisa::util

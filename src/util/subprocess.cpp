@@ -1,0 +1,97 @@
+#include "util/subprocess.h"
+
+#include <fcntl.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace brisa::util {
+
+namespace {
+
+double timeval_seconds(const timeval& tv) {
+  return static_cast<double>(tv.tv_sec) +
+         static_cast<double>(tv.tv_usec) / 1e6;
+}
+
+}  // namespace
+
+pid_t spawn_process(const std::vector<std::string>& argv,
+                    const std::string& stdout_path,
+                    const std::string& stderr_path, std::string* error) {
+  if (argv.empty()) {
+    if (error != nullptr) *error = "empty argv";
+    return -1;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    if (error != nullptr) *error = std::string("fork: ") + std::strerror(errno);
+    return -1;
+  }
+  if (pid == 0) {
+    // Child. Own process group, captured stdio, then exec. On any failure
+    // _exit(127) — the parent sees it as an ordinary non-zero exit.
+    ::setpgid(0, 0);
+    const int out = ::open(stdout_path.c_str(),
+                           O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    const int err = ::open(stderr_path.c_str(),
+                           O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (out < 0 || err < 0 || ::dup2(out, STDOUT_FILENO) < 0 ||
+        ::dup2(err, STDERR_FILENO) < 0) {
+      ::_exit(127);
+    }
+    ::close(out);
+    ::close(err);
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& arg : argv) {
+      cargv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    cargv.push_back(nullptr);
+    ::execv(cargv[0], cargv.data());
+    ::_exit(127);
+  }
+  // Parent: mirror the child's setpgid so the group exists whichever side
+  // runs first (EACCES/ESRCH here just means the child already won).
+  ::setpgid(pid, pid);
+  return pid;
+}
+
+std::optional<ProcessExit> wait_any_child(bool block) {
+  int status = 0;
+  rusage usage{};
+  pid_t pid = -1;
+  do {
+    pid = ::wait4(-1, &status, block ? 0 : WNOHANG, &usage);
+  } while (pid < 0 && errno == EINTR);
+  if (pid <= 0) return std::nullopt;
+  ProcessExit exit;
+  exit.pid = pid;
+  if (WIFSIGNALED(status)) {
+    exit.term_signal = WTERMSIG(status);
+  } else if (WIFEXITED(status)) {
+    exit.exit_code = WEXITSTATUS(status);
+  }
+  exit.user_seconds = timeval_seconds(usage.ru_utime);
+  exit.system_seconds = timeval_seconds(usage.ru_stime);
+  exit.max_rss_kb = usage.ru_maxrss;
+  return exit;
+}
+
+void signal_process_group(pid_t pid, int signo) {
+  if (pid > 0) ::kill(-pid, signo);
+}
+
+std::string self_exe_path(const std::string& fallback) {
+  char buffer[4096];
+  const ssize_t len =
+      ::readlink("/proc/self/exe", buffer, sizeof buffer - 1);
+  if (len <= 0) return fallback;
+  buffer[len] = '\0';
+  return buffer;
+}
+
+}  // namespace brisa::util

@@ -1,0 +1,61 @@
+// Minimal POSIX subprocess layer for the sweep executor: spawn a worker
+// with stdout/stderr captured to files, reap any finished child with its
+// rusage (wall-clock is the caller's job; user/sys time and peak RSS come
+// from wait4), and signal a worker's whole process group.
+//
+// Each spawned child is placed in its own process group so (a) a terminal
+// Ctrl-C hits only the scheduler, which forwards the signal deliberately,
+// and (b) killing a timed-out cell takes down anything the worker itself
+// spawned.
+#pragma once
+
+#include <sys/types.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace brisa::util {
+
+/// One reaped child, as reported by wait4().
+struct ProcessExit {
+  pid_t pid = -1;
+  /// Exit status when the child exited normally; unspecified otherwise.
+  int exit_code = 0;
+  /// Signal that killed the child; 0 when it exited normally.
+  int term_signal = 0;
+  double user_seconds = 0.0;
+  double system_seconds = 0.0;
+  /// Peak resident set size (ru_maxrss; kibibytes on Linux).
+  long max_rss_kb = 0;
+
+  [[nodiscard]] bool ok() const { return term_signal == 0 && exit_code == 0; }
+  /// Shell-style status: exit code, or 128 + signal for signal deaths.
+  [[nodiscard]] int status() const {
+    return term_signal != 0 ? 128 + term_signal : exit_code;
+  }
+};
+
+/// Forks and execs argv (argv[0] must be an executable path), redirecting
+/// the child's stdout/stderr to freshly truncated files. The child becomes
+/// its own process-group leader. Returns the pid, or -1 with *error set.
+[[nodiscard]] pid_t spawn_process(const std::vector<std::string>& argv,
+                                  const std::string& stdout_path,
+                                  const std::string& stderr_path,
+                                  std::string* error);
+
+/// Reaps one exited child of this process, if any. With block=false this
+/// polls (WNOHANG) and returns std::nullopt when nothing has exited yet;
+/// with block=true it waits. Returns std::nullopt when there are no
+/// children left at all.
+[[nodiscard]] std::optional<ProcessExit> wait_any_child(bool block);
+
+/// Sends `signo` to the whole process group of a child spawned with
+/// spawn_process().
+void signal_process_group(pid_t pid, int signo);
+
+/// Resolves /proc/self/exe; falls back to `fallback` (typically argv[0])
+/// when the link is unreadable.
+[[nodiscard]] std::string self_exe_path(const std::string& fallback);
+
+}  // namespace brisa::util

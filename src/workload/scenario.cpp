@@ -7,6 +7,7 @@
 
 #include "core/parent_selection.h"
 #include "workload/churn.h"
+#include "workload/sweep.h"
 
 namespace brisa::workload {
 
@@ -170,6 +171,38 @@ void apply(Scenario& s, const std::string& section, const std::string& key,
     if (key == "warmup-messages") {
       return void(s.warmup_messages = to_size(context, key, value));
     }
+  } else if (section == "churn") {
+    // Only reachable from the builder / --set surface: inside a file the
+    // [churn] body is verbatim DSL, parsed before apply() is consulted.
+    if (key == "dsl") {
+      s.churn_dsl = value;
+      if (!s.churn_dsl.empty() && s.churn_dsl.back() != '\n') {
+        s.churn_dsl += '\n';
+      }
+      return;
+    }
+  } else if (section == "sweep") {
+    const bool axis = key == "protocol" || key == "nodes" || key == "seeds" ||
+                      key == "faulted" ||
+                      (key.rfind("param.", 0) == 0 && key.size() > 6);
+    if (!axis && key != "cell-timeout-s") {
+      fail(context, "unknown sweep key '" + key +
+                        "' (axes: protocol, nodes, seeds, faulted, "
+                        "param.<name>; knobs: cell-timeout-s)");
+    }
+    for (auto& [existing, existing_value] : s.sweep) {
+      if (existing == key) {
+        // The builder (and `--set sweep.<axis>=...`) narrows a grid by
+        // replacing the axis; a file repeating it is a copy/paste bug.
+        if (!context.empty()) {
+          fail(context, "duplicate sweep key '" + key + "'");
+        }
+        existing_value = value;
+        return;
+      }
+    }
+    s.sweep.emplace_back(key, value);
+    return;
   } else if (section == "output") {
     if (key == "json") return void(s.json = to_bool(context, key, value));
     if (key == "cdf") return void(s.cdf = to_bool(context, key, value));
@@ -286,7 +319,8 @@ Scenario Scenario::parse(const std::string& text) {
       const bool known =
           section == "scenario" || section == "topology" ||
           section == "overlay" || section == "streams" || section == "run" ||
-          section == "churn" || section == "output" || section == "params";
+          section == "churn" || section == "sweep" || section == "output" ||
+          section == "params";
       if (!known) fail(context, "unknown section [" + section + "]");
       if (section == "churn") churn_section_line = line_number;
       continue;
@@ -378,6 +412,10 @@ void Scenario::validate() const {
       fail("", "churn DSL: " + diagnostic);
     }
   }
+  if (has_sweep()) {
+    const std::string diagnostic = sweep_error(*this);
+    if (!diagnostic.empty()) fail("", "sweep: " + diagnostic);
+  }
 }
 
 // --- Serialization ----------------------------------------------------------
@@ -458,6 +496,10 @@ std::string Scenario::to_text() const {
     out += "\n[churn]\n";
     out += churn_dsl;
   }
+  if (has_sweep()) {
+    out += "\n[sweep]\n";
+    for (const auto& [key, value] : sweep) emit(out, key.c_str(), value);
+  }
   if (json || cdf) {
     out += "\n[output]\n";
     if (json) emit(out, "json", *json ? "true" : "false");
@@ -524,6 +566,7 @@ std::map<std::string, std::string> Scenario::set_keys() const {
   put_bool("output.json", json);
   put_bool("output.cdf", cdf);
   if (!churn_dsl.empty()) out["churn"] = churn_dsl;
+  for (const auto& [key, value] : sweep) out["sweep." + key] = value;
   return out;
 }
 

@@ -90,8 +90,21 @@ class Scenario {
 
   // --- [churn] ------------------------------------------------------------
   /// Verbatim churn/fault DSL statements (workload/churn.h), one per line;
-  /// empty = no churn driver.
+  /// empty = no churn driver. In a file the section body is the DSL itself;
+  /// the builder/--set surface reaches it as the single key "churn.dsl"
+  /// (assigning an empty value clears the trace — how a sweep's
+  /// faulted=false cells drop the plan).
   std::string churn_dsl;
+
+  // --- [sweep] ------------------------------------------------------------
+  /// The [sweep] section, in declaration order: each entry is an axis
+  /// (`protocol`, `nodes`, `seeds`, `faulted`, `param.<name>` -> verbatim
+  /// comma list, with `a..b` integer ranges on nodes/seeds) or the
+  /// executor knob `cell-timeout-s`. Expansion, semantic validation and
+  /// the multi-process executor live in workload/sweep.h; a scenario with
+  /// axes describes a grid of runs, one per axis-value combination.
+  std::vector<std::pair<std::string, std::string>> sweep;
+  [[nodiscard]] bool has_sweep() const { return !sweep.empty(); }
 
   // --- [output] -----------------------------------------------------------
   std::optional<bool> json;  ///< generic runner: JSON lines after the table
