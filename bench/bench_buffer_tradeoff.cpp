@@ -1,0 +1,6 @@
+// Buffer tradeoff sweep (see src/reports/report_buffer_tradeoff.cpp).
+#include "reports/reports.h"
+
+int main(int argc, char** argv) {
+  return brisa::reports::figure_main("buffer_tradeoff", argc, argv);
+}

@@ -1,12 +1,15 @@
 // Wire messages of the three comparison protocols (§III-D).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "net/message.h"
 #include "net/node_id.h"
+#include "util/bloom.h"
 
 namespace brisa::baselines {
 
@@ -97,7 +100,10 @@ class GossipRumor final : public net::Message {
 };
 
 /// Anti-entropy pull: "I have everything below `contiguous_upto`, plus
-/// `extra_known` newer ones" — a compact digest.
+/// `extra_known` newer ones" — a compact digest. Under `[limits]`
+/// bloom_digests the extras travel as a Bloom filter instead of an exact seq
+/// list; a false positive makes the server skip one seq this round (it is
+/// recovered on a later round from a differently-salted filter).
 class GossipAntiEntropyRequest final : public net::Message {
  public:
   GossipAntiEntropyRequest(net::StreamId stream, std::uint64_t contiguous_upto,
@@ -105,11 +111,17 @@ class GossipAntiEntropyRequest final : public net::Message {
       : stream_(stream),
         contiguous_upto_(contiguous_upto),
         extra_known_(std::move(extra_known)) {}
+  GossipAntiEntropyRequest(net::StreamId stream, std::uint64_t contiguous_upto,
+                           util::BloomFilter digest)
+      : stream_(stream),
+        contiguous_upto_(contiguous_upto),
+        digest_(std::move(digest)) {}
   [[nodiscard]] net::MessageKind kind() const override {
     return net::MessageKind::kGossipAntiEntropyRequest;
   }
   [[nodiscard]] std::size_t wire_size() const override {
-    return 16 + net::kWireStreamBytes + extra_known_.size() * 8;
+    return 16 + net::kWireStreamBytes +
+           (digest_ ? digest_->byte_size() : extra_known_.size() * 8);
   }
   [[nodiscard]] const char* name() const override { return "gossip-ae-req"; }
   [[nodiscard]] net::StreamId stream() const { return stream_; }
@@ -119,11 +131,20 @@ class GossipAntiEntropyRequest final : public net::Message {
   [[nodiscard]] const std::vector<std::uint64_t>& extra_known() const {
     return extra_known_;
   }
+  /// Server-side test: does the requester (claim to) hold `seq` above its
+  /// watermark? Exact-list form is the historical linear scan; digest form
+  /// may err toward true at the configured false-positive rate.
+  [[nodiscard]] bool known(std::uint64_t seq) const {
+    if (digest_) return digest_->may_contain(seq);
+    return std::find(extra_known_.begin(), extra_known_.end(), seq) !=
+           extra_known_.end();
+  }
 
  private:
   net::StreamId stream_;
   std::uint64_t contiguous_upto_;
   std::vector<std::uint64_t> extra_known_;
+  std::optional<util::BloomFilter> digest_;
 };
 
 /// Anti-entropy reply: the payloads the requester was missing.
@@ -165,20 +186,30 @@ class TagTailQuery final : public net::Message {
   [[nodiscard]] const char* name() const override { return "tag-tail-query"; }
 };
 
+/// Head -> joiner: the current tail, plus a random sample of joined members
+/// drawn from the head's reservoir. The sample seeds the joiner's gossip
+/// view with global, unbiased peers; views built only from traversal probe
+/// replies are list-local, which at scale leaves the overlay without
+/// long-range shortcuts (the 100k reliability collapse).
 class TagTailReply final : public net::Message {
  public:
-  explicit TagTailReply(net::NodeId tail) : tail_(tail) {}
+  TagTailReply(net::NodeId tail, std::vector<net::NodeId> peer_sample)
+      : tail_(tail), peer_sample_(std::move(peer_sample)) {}
   [[nodiscard]] net::MessageKind kind() const override {
     return net::MessageKind::kTagTailReply;
   }
   [[nodiscard]] std::size_t wire_size() const override {
-    return 8 + net::kWireIdBytes;
+    return 8 + (1 + peer_sample_.size()) * net::kWireIdBytes;
   }
   [[nodiscard]] const char* name() const override { return "tag-tail-reply"; }
   [[nodiscard]] net::NodeId tail() const { return tail_; }
+  [[nodiscard]] const std::vector<net::NodeId>& peer_sample() const {
+    return peer_sample_;
+  }
 
  private:
   net::NodeId tail_;
+  std::vector<net::NodeId> peer_sample_;
 };
 
 /// Joiner -> tail over a fresh connection: "append me to the list".

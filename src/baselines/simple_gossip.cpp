@@ -20,6 +20,7 @@ SimpleGossip::SimpleGossip(net::Network& network, net::NodeId id,
       cyclon_(network, id, config.cyclon),
       streams_(config.num_streams) {
   BRISA_ASSERT(config_.num_streams >= 1);
+  for (StreamState& state : streams_) state.store.configure(config_.limits);
   network.bind_datagram_handler(id, this);
 }
 
@@ -62,7 +63,7 @@ void SimpleGossip::on_datagram(net::NodeId from, net::MessagePtr message) {
       const auto& rumor = static_cast<const GossipRumor&>(*message);
       if (rumor.stream() >= streams_.size()) return;
       StreamState& state = streams_[rumor.stream()];
-      if (state.store.count(rumor.seq()) > 0) {
+      if (state.delivered.contains(rumor.seq())) {
         state.stats.duplicates += 1;
         return;  // infect-and-die: duplicates are dropped silently
       }
@@ -79,7 +80,7 @@ void SimpleGossip::on_datagram(net::NodeId from, net::MessagePtr message) {
       if (reply.stream() >= streams_.size()) return;
       StreamState& state = streams_[reply.stream()];
       for (const auto& [seq, payload_bytes] : reply.updates()) {
-        if (state.store.count(seq) > 0) continue;
+        if (state.delivered.contains(seq)) continue;
         state.stats.anti_entropy_recoveries += 1;
         // Anti-entropy recoveries are not re-pushed: rumor mongering already
         // saturated; re-pushing old updates would only add duplicates.
@@ -95,10 +96,11 @@ void SimpleGossip::on_datagram(net::NodeId from, net::MessagePtr message) {
 void SimpleGossip::deliver(net::StreamId stream, std::uint64_t seq,
                            std::size_t payload_bytes, bool push) {
   StreamState& state = streams_[stream];
-  state.store[seq] = payload_bytes;
-  while (state.store.count(state.contiguous_upto) > 0) {
+  state.delivered.insert(seq);
+  while (state.delivered.contains(state.contiguous_upto)) {
     ++state.contiguous_upto;
   }
+  state.store.insert(seq, payload_bytes, state.contiguous_upto);
   state.stats.delivered += 1;
   state.stats.delivery_time[seq] = now();
   if (push) push_rumor(stream, seq, payload_bytes);
@@ -115,30 +117,58 @@ void SimpleGossip::push_rumor(net::StreamId stream, std::uint64_t seq,
 }
 
 void SimpleGossip::on_anti_entropy_timer() {
+  if (network().tx_overusing(id())) {
+    streams_[0].stats.rate_deferrals += 1;
+    return;
+  }
   const std::vector<net::NodeId> peers = cyclon_.random_peers(1);
   if (peers.empty()) return;
   // One digest per stream, all to the same partner this round.
   for (net::StreamId stream = 0; stream < streams_.size(); ++stream) {
     StreamState& state = streams_[stream];
     state.stats.anti_entropy_rounds += 1;
-    // Digest: everything below contiguous_upto plus the most recent
-    // out-of-order seqs, newest first. Walk the *present* entries above the
-    // watermark keeping a trailing window, then reverse — O(stored entries),
-    // where a per-integer reverse scan would degrade to O(max_seq) on a
-    // store that is sparse above the watermark (fresh rejoiner).
+    // Digest: everything below contiguous_upto plus out-of-order seqs held
+    // above the watermark. Walk the *present* entries above the watermark —
+    // O(stored entries), where a per-integer reverse scan would degrade to
+    // O(max_seq) on a store that is sparse above the watermark (fresh
+    // rejoiner).
     std::vector<std::uint64_t> extras;
-    if (config_.digest_extras > 0) {
+    if (config_.digest_extras > 0 || config_.limits.bloom_digests) {
       for (auto it = state.store.lower_bound(state.contiguous_upto);
            it != state.store.end(); ++it) {
         extras.push_back(it->first);
       }
-      if (extras.size() > config_.digest_extras) {
-        extras.erase(extras.begin(),
-                     extras.end() - static_cast<std::ptrdiff_t>(
-                                        config_.digest_extras));
-      }
-      std::reverse(extras.begin(), extras.end());
     }
+    if (config_.limits.bloom_digests) {
+      // Bloom form: the whole out-of-order set fits the filter (its size is
+      // set by the fp target, not the list length), salted per (node, round)
+      // so false positives decorrelate across rounds.
+      const std::uint64_t salt =
+          (static_cast<std::uint64_t>(id().index()) << 24) ^ ++digest_rounds_;
+      util::BloomFilter digest = util::BloomFilter::with_capacity(
+          std::max<std::size_t>(extras.size(), 1), config_.limits.bloom_fp,
+          salt);
+      for (const std::uint64_t seq : extras) digest.insert(seq);
+      network().send_datagram(
+          id(), peers.front(),
+          net::make_message<GossipAntiEntropyRequest>(
+              stream, state.contiguous_upto, std::move(digest)),
+          kCtl);
+      continue;
+    }
+    if (extras.size() > config_.digest_extras) {
+      // Exact form is truncated to digest_extras entries. Rotate the slice
+      // start each round: the historical code always kept the newest
+      // window, so the oldest out-of-order seqs were never advertised to
+      // any partner and kept bouncing back as redundant updates.
+      const std::size_t offset = state.digest_offset % extras.size();
+      std::rotate(extras.begin(),
+                  extras.begin() + static_cast<std::ptrdiff_t>(offset),
+                  extras.end());
+      extras.resize(config_.digest_extras);
+      state.digest_offset = offset + config_.digest_extras;
+    }
+    std::reverse(extras.begin(), extras.end());
     network().send_datagram(
         id(), peers.front(),
         net::make_message<GossipAntiEntropyRequest>(
@@ -152,15 +182,13 @@ void SimpleGossip::handle_anti_entropy_request(
   if (msg.stream() >= streams_.size()) return;
   StreamState& state = streams_[msg.stream()];
   std::vector<std::pair<std::uint64_t, std::size_t>> updates;
-  // The digest lists at most digest_extras entries: a linear scan beats
-  // materializing a search tree per request.
-  const std::vector<std::uint64_t>& known = msg.extra_known();
+  // msg.known() is a linear scan of the exact list (at most digest_extras
+  // entries — cheaper than materializing a search tree per request) or a
+  // Bloom probe under [limits] bloom_digests.
   for (auto it = state.store.lower_bound(msg.contiguous_upto());
        it != state.store.end() && updates.size() < config_.anti_entropy_batch;
        ++it) {
-    if (std::find(known.begin(), known.end(), it->first) != known.end()) {
-      continue;
-    }
+    if (msg.known(it->first)) continue;
     updates.emplace_back(it->first, it->second);
   }
   if (updates.empty()) return;

@@ -18,6 +18,7 @@
 
 #include "baselines/messages.h"
 #include "membership/cyclon.h"
+#include "net/bounded_store.h"
 #include "net/network.h"
 #include "net/process.h"
 #include "sim/rng.h"
@@ -41,6 +42,9 @@ class SimpleGossip final : public net::Process,
     /// Concurrent streams (topics) 0..num_streams-1 on this node.
     std::size_t num_streams = 1;
     membership::Cyclon::Config cyclon;
+    /// Bandwidth-discipline layer; default = off (unbounded, exact, no
+    /// backoff).
+    net::Limits limits;
   };
 
   struct Stats {
@@ -49,6 +53,9 @@ class SimpleGossip final : public net::Process,
     std::uint64_t rumors_sent = 0;
     std::uint64_t anti_entropy_rounds = 0;
     std::uint64_t anti_entropy_recoveries = 0;
+    /// Anti-entropy rounds skipped while the local NIC/CPU was overusing
+    /// ([limits] rate_control); counted on stream 0.
+    std::uint64_t rate_deferrals = 0;
     util::FlatSeqMap<sim::TimePoint> delivery_time;
   };
 
@@ -77,18 +84,30 @@ class SimpleGossip final : public net::Process,
     BRISA_ASSERT(stream < streams_.size());
     return streams_[stream].contiguous_upto;
   }
+  /// Store evictions under a `[limits]` bound (0 when unbounded).
+  [[nodiscard]] std::uint64_t evictions(
+      net::StreamId stream = net::kDefaultStream) const {
+    BRISA_ASSERT(stream < streams_.size());
+    return streams_[stream].store.evictions();
+  }
 
   void on_datagram(net::NodeId from, net::MessagePtr message) override;
 
  private:
-  /// Per-stream sequence space: payload sizes by sequence (doubles as the
-  /// anti-entropy store — ordered, lower_bound-driven), delivery watermark,
-  /// and statistics. The store shares util's flat seq-window representation
-  /// with every other protocol: a vector indexed by the sequence itself.
+  /// Per-stream sequence space: payload sizes by sequence (the anti-entropy
+  /// serving store — ordered, lower_bound-driven), delivery watermark, and
+  /// statistics. `delivered` (not the store) is the duplicate-suppression
+  /// set: under a `[limits]` bound the store evicts, and an evicted seq must
+  /// not re-deliver when a rumor or reply carries it again.
   struct StreamState {
     std::uint64_t next_seq = 0;
-    util::FlatSeqMap<std::size_t> store;
+    net::BoundedSeqStore store;
+    util::SeqSet delivered;
     std::uint64_t contiguous_upto = 0;
+    /// Rotation cursor for the truncated exact digest: successive rounds
+    /// advertise successive slices of the out-of-order set instead of
+    /// pinning the newest window forever.
+    std::size_t digest_offset = 0;
     Stats stats;
   };
 
@@ -105,6 +124,10 @@ class SimpleGossip final : public net::Process,
   sim::Rng rng_;
   membership::Cyclon cyclon_;
   bool started_ = false;
+  /// Per-round Bloom salt counter: each digest round uses a fresh salt so
+  /// false positives decorrelate across rounds (a seq wrongly skipped this
+  /// round is recovered on a later one).
+  std::uint64_t digest_rounds_ = 0;
 
   /// Indexed by StreamId, sized num_streams at construction.
   std::vector<StreamState> streams_;

@@ -23,6 +23,7 @@ TagNode::TagNode(net::Network& network, net::Transport& transport,
       rng_(network.simulator().rng().split(0x7A6ULL ^ id.index())),
       streams_(config.num_streams) {
   BRISA_ASSERT(config_.num_streams >= 1);
+  for (StreamState& state : streams_) state.store.configure(config_.limits);
   transport_.bind(id, this);
   network.bind_datagram_handler(id, this);
 }
@@ -74,6 +75,7 @@ void TagNode::append_to(net::NodeId tail) {
   if (tail == id()) return;
   const net::ConnectionId conn = transport_.connect(id(), tail);
   pending_dials_[conn] = PendingDial{DialIntent::kAppend, tail};
+  note_pending_dial();
 }
 
 void TagNode::begin_traversal(net::NodeId start, bool for_repair) {
@@ -89,6 +91,7 @@ void TagNode::probe(net::NodeId target) {
     if (head_ != id()) {
       const net::ConnectionId conn = transport_.connect(id(), head_);
       pending_dials_[conn] = PendingDial{DialIntent::kAdoptParent, head_};
+      note_pending_dial();
     }
     traversing_ = false;
     return;
@@ -97,6 +100,7 @@ void TagNode::probe(net::NodeId target) {
   ++probes_this_traversal_;
   const net::ConnectionId conn = transport_.connect(id(), target);
   pending_dials_[conn] = PendingDial{DialIntent::kProbe, target};
+  note_pending_dial();
 }
 
 void TagNode::handle_probe_reply(net::ConnectionId conn, net::NodeId from,
@@ -170,6 +174,7 @@ void TagNode::handle_append_request(net::ConnectionId conn, net::NodeId from) {
         kMem);
   } else {
     tail_ = from;
+    note_member(from);
   }
   if (pred_.valid() && pred_conn_ != net::kInvalidConnectionId) {
     transport_.send(pred_conn_, id(),
@@ -206,7 +211,10 @@ void TagNode::handle_list_update(net::ConnectionId conn, net::NodeId from,
                                  const TagListUpdate& msg) {
   switch (msg.role()) {
     case TagListUpdate::Role::kNewTail:
-      if (is_head_) tail_ = msg.subject();
+      if (is_head_) {
+        tail_ = msg.subject();
+        note_member(msg.subject());
+      }
       return;
     case TagListUpdate::Role::kYourPred2:
       // Our successor appended a new node: it is two hops behind... ahead of
@@ -232,6 +240,7 @@ void TagNode::pred_died() {
     // Bridge over the failure using two-hop knowledge.
     const net::ConnectionId conn = transport_.connect(id(), pred2_);
     pending_dials_[conn] = PendingDial{DialIntent::kBridge, pred2_};
+    note_pending_dial();
     return;
   }
   // List broken: two consecutive failures (§III-D) — re-insert via the head.
@@ -258,11 +267,19 @@ void TagNode::reinsert() {
 
 void TagNode::on_pull_timer() {
   if (parent_conn_ == net::kInvalidConnectionId) return;
+  if (network().tx_overusing(id())) {
+    ++node_stats().rate_deferrals;
+    return;
+  }
   send_pull(parent_conn_, net::NodeId::invalid());
 }
 
 void TagNode::on_gossip_pull_timer() {
   if (gossip_peers_.empty()) return;
+  if (network().tx_overusing(id())) {
+    ++node_stats().rate_deferrals;
+    return;
+  }
   const net::NodeId peer = rng_.pick(gossip_peers_);
   send_pull(net::kInvalidConnectionId, peer);
 }
@@ -271,14 +288,49 @@ void TagNode::on_gossip_pull_timer() {
 /// datagram (gossip prefetch).
 void TagNode::send_pull(net::ConnectionId conn, net::NodeId datagram_peer) {
   for (net::StreamId stream = 0; stream < streams_.size(); ++stream) {
-    ++node_stats().pulls_sent;
-    auto request = net::make_message<TagPullRequest>(
-        stream, streams_[stream].contiguous_upto);
-    if (datagram_peer.valid()) {
-      network().send_datagram(id(), datagram_peer, std::move(request), kCtl);
-    } else {
-      transport_.send(conn, id(), std::move(request), kCtl);
-    }
+    send_pull_one(conn, datagram_peer, stream);
+  }
+}
+
+void TagNode::send_pull_one(net::ConnectionId conn, net::NodeId datagram_peer,
+                            net::StreamId stream) {
+  ++node_stats().pulls_sent;
+  auto request = net::make_message<TagPullRequest>(
+      stream, streams_[stream].contiguous_upto);
+  if (datagram_peer.valid()) {
+    network().send_datagram(id(), datagram_peer, std::move(request), kCtl);
+  } else {
+    transport_.send(conn, id(), std::move(request), kCtl);
+  }
+}
+
+void TagNode::handle_pull_reply(net::ConnectionId conn, net::NodeId from,
+                                const TagPullReply& reply) {
+  if (reply.stream() >= streams_.size()) return;
+  const std::uint64_t watermark_before = streams_[reply.stream()].contiguous_upto;
+  for (const auto& [seq, bytes] : reply.updates()) {
+    deliver(reply.stream(), seq, bytes);
+  }
+  // Backlog continuation: a full reply means the responder most likely has
+  // more queued than one batch — follow up now rather than waiting out the
+  // poll period. Caught-up nodes get partial (or no) replies, so steady
+  // state keeps the periodic cadence; only a lagging node tightens its loop,
+  // draining at round-trip speed until it catches up.
+  if (reply.updates().size() < config_.pull_batch) return;
+  // ...but only while the watermark moves. Pulls re-request from
+  // contiguous_upto; when the responder evicted that seq ([limits] bound), a
+  // full reply of higher seqs advances nothing and the identical follow-up
+  // request would fetch the identical reply — a duplicate livelock at
+  // round-trip speed. Stuck gaps wait out the poll period instead.
+  if (streams_[reply.stream()].contiguous_upto == watermark_before) return;
+  if (network().tx_overusing(id())) {
+    ++node_stats().rate_deferrals;  // next timer tick retries
+    return;
+  }
+  if (conn != net::kInvalidConnectionId) {
+    send_pull_one(conn, net::NodeId::invalid(), reply.stream());
+  } else {
+    send_pull_one(net::kInvalidConnectionId, from, reply.stream());
   }
 }
 
@@ -305,14 +357,14 @@ void TagNode::handle_pull_request(net::ConnectionId conn, net::NodeId from,
 void TagNode::deliver(net::StreamId stream, std::uint64_t seq,
                       std::size_t payload_bytes) {
   StreamState& state = streams_[stream];
-  if (state.store.count(seq) > 0) {
+  if (!state.delivered.insert(seq)) {
     state.stats.duplicates += 1;
     return;
   }
-  state.store[seq] = payload_bytes;
-  while (state.store.count(state.contiguous_upto) > 0) {
+  while (state.delivered.contains(state.contiguous_upto)) {
     ++state.contiguous_upto;
   }
+  state.store.insert(seq, payload_bytes, state.contiguous_upto);
   state.stats.delivered += 1;
   state.stats.delivery_time[seq] = now();
 }
@@ -355,6 +407,28 @@ std::vector<net::NodeId> TagNode::peer_sample() {
   if (pred_.valid()) pool.push_back(pred_);
   if (succ_.valid()) pool.push_back(succ_);
   return rng_.sample(pool, config_.gossip_peers);
+}
+
+void TagNode::note_member(net::NodeId member) {
+  if (member == id() || !member.valid()) return;
+  // Classic reservoir sampling: every member the head ever learns of has an
+  // equal chance of sitting in the sample, so tail replies hand joiners
+  // peers drawn uniformly from the whole list, not just its recent end.
+  constexpr std::size_t kReservoir = 32;
+  ++members_seen_;
+  if (member_sample_.size() < kReservoir) {
+    member_sample_.push_back(member);
+    return;
+  }
+  const auto slot = static_cast<std::size_t>(rng_.uniform(members_seen_));
+  if (slot < kReservoir) member_sample_[slot] = member;
+}
+
+void TagNode::note_pending_dial() {
+  Stats& stats = node_stats();
+  if (pending_dials_.size() > stats.peak_pending_dials) {
+    stats.peak_pending_dials = pending_dials_.size();
+  }
 }
 
 // --- Transport events ------------------------------------------------------------
@@ -479,14 +553,10 @@ void TagNode::on_message(net::ConnectionId conn, net::NodeId from,
                           static_cast<const TagPullRequest&>(*message),
                           /*datagram=*/false);
       return;
-    case net::MessageKind::kTagPullReply: {
-      const auto& reply = static_cast<const TagPullReply&>(*message);
-      if (reply.stream() >= streams_.size()) return;
-      for (const auto& [seq, bytes] : reply.updates()) {
-        deliver(reply.stream(), seq, bytes);
-      }
+    case net::MessageKind::kTagPullReply:
+      handle_pull_reply(conn, from,
+                        static_cast<const TagPullReply&>(*message));
       return;
-    }
     default:
       return;
   }
@@ -496,13 +566,20 @@ void TagNode::on_datagram(net::NodeId from, net::MessagePtr message) {
   switch (message->kind()) {
     case net::MessageKind::kTagTailQuery:
       if (is_head_) {
-        network().send_datagram(id(), from,
-                                net::make_message<TagTailReply>(tail_), kMem);
+        network().send_datagram(
+            id(), from,
+            net::make_message<TagTailReply>(
+                tail_, rng_.sample(member_sample_, config_.gossip_peers)),
+            kMem);
       }
       return;
     case net::MessageKind::kTagTailReply: {
-      if (joined() || traversing_ || !pending_dials_.empty()) return;
       const auto& reply = static_cast<const TagTailReply&>(*message);
+      // Seed the gossip view even when this reply lost the append race:
+      // the head's sample is the only source of global (non-list-local)
+      // peers, and a view without them leaves the overlay shortcut-free.
+      add_gossip_peers(reply.peer_sample());
+      if (joined() || traversing_ || !pending_dials_.empty()) return;
       append_to(reply.tail());
       return;
     }
@@ -515,14 +592,10 @@ void TagNode::on_datagram(net::NodeId from, net::MessagePtr message) {
                           static_cast<const TagPullRequest&>(*message),
                           /*datagram=*/true);
       return;
-    case net::MessageKind::kTagPullReply: {
-      const auto& reply = static_cast<const TagPullReply&>(*message);
-      if (reply.stream() >= streams_.size()) return;
-      for (const auto& [seq, bytes] : reply.updates()) {
-        deliver(reply.stream(), seq, bytes);
-      }
+    case net::MessageKind::kTagPullReply:
+      handle_pull_reply(net::kInvalidConnectionId, from,
+                        static_cast<const TagPullReply&>(*message));
       return;
-    }
     default:
       return;
   }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "baselines/messages.h"
+#include "net/bounded_store.h"
 #include "net/network.h"
 #include "net/process.h"
 #include "net/transport.h"
@@ -40,15 +41,27 @@ class TagNode final : public net::Process,
   struct Config {
     std::uint32_t capacity = 4;   ///< max tree children (≈ view size)
     std::size_t gossip_peers = 4;  ///< k random peers collected while joining
-    /// One message per pull, pulled at 2.5/s: TAG drains a 5 msg/s stream at
-    /// half rate, reproducing Table II's 2x dissemination latency.
+    /// Pull cadence (2.5/s toward the parent): polling on a period is what
+    /// gives TAG its Table II 2x dissemination latency vs BRISA's push.
     sim::Duration pull_period = sim::Duration::milliseconds(400);
     sim::Duration gossip_pull_period = sim::Duration::seconds(1);
-    std::size_t pull_batch = 1;   ///< payloads per pull reply
+    /// Payloads per pull reply. A full reply (exactly pull_batch updates)
+    /// signals backlog at the responder, and the receiver follows up
+    /// immediately instead of waiting out the next poll period — without
+    /// that continuation the per-node drain capacity tops out at
+    /// pull-rate * batch (3.5 msg/s here) below the 5 msg/s injection rate,
+    /// so every node fell behind linearly and reliability collapsed at
+    /// scale. Caught-up nodes see partial or empty replies and keep the
+    /// periodic cadence (which is what gives TAG its Table II 2x
+    /// dissemination latency vs push).
+    std::size_t pull_batch = 1;
     std::size_t probe_max = 6;    ///< traversal bound before forced accept
     double accept_probability = 0.6;
     /// Concurrent streams (topics) 0..num_streams-1 on this node.
     std::size_t num_streams = 1;
+    /// Bandwidth-discipline layer; default = off (unbounded, exact, no
+    /// backoff).
+    net::Limits limits;
   };
 
   struct Stats {
@@ -56,6 +69,13 @@ class TagNode final : public net::Process,
     std::uint64_t duplicates = 0;
     std::uint64_t pulls_sent = 0;
     std::uint64_t probes_sent = 0;
+    /// Largest number of simultaneously outstanding dials (join/probe/bridge
+    /// connection attempts) — the backlog gauge the 100k collapse diagnosis
+    /// asked for.
+    std::uint64_t peak_pending_dials = 0;
+    /// Pull rounds skipped because the local NIC/CPU was overusing
+    /// ([limits] rate_control).
+    std::uint64_t rate_deferrals = 0;
     std::uint64_t parents_lost = 0;
     std::uint64_t soft_repairs = 0;   ///< parent found via local traversal
     std::uint64_t hard_repairs = 0;   ///< list broken: re-insertion via head
@@ -105,6 +125,12 @@ class TagNode final : public net::Process,
   }
   [[nodiscard]] const std::vector<net::NodeId>& gossip_view() const {
     return gossip_peers_;
+  }
+  /// Store evictions under a `[limits]` bound (0 when unbounded).
+  [[nodiscard]] std::uint64_t evictions(
+      net::StreamId stream = net::kDefaultStream) const {
+    BRISA_ASSERT(stream < streams_.size());
+    return streams_[stream].store.evictions();
   }
 
   // TransportHandler
@@ -160,18 +186,29 @@ class TagNode final : public net::Process,
   void deliver(net::StreamId stream, std::uint64_t seq,
                std::size_t payload_bytes);
   void send_pull(net::ConnectionId conn, net::NodeId datagram_peer);
+  void send_pull_one(net::ConnectionId conn, net::NodeId datagram_peer,
+                     net::StreamId stream);
+  void handle_pull_reply(net::ConnectionId conn, net::NodeId from,
+                         const TagPullReply& reply);
   void record_parent_recovery();
 
   void add_gossip_peers(const std::vector<net::NodeId>& sample);
   [[nodiscard]] std::vector<net::NodeId> peer_sample();
+  /// Head only: reservoir-samples every member the head learns of, so tail
+  /// replies can hand joiners an unbiased global peer sample.
+  void note_member(net::NodeId member);
+  void note_pending_dial();
   void start_timers();
 
   /// Per-stream sequence space: the pull store (ordered, lower_bound-driven)
   /// and delivery stats. The list/tree structure is shared by every stream.
-  /// The store shares util's flat seq-window representation.
+  /// `delivered` (not the store) is the duplicate-suppression set: under a
+  /// `[limits]` bound the store evicts, and an evicted seq must not
+  /// re-deliver when a pull reply carries it again.
   struct StreamState {
     std::uint64_t next_seq = 0;
-    util::FlatSeqMap<std::size_t> store;
+    net::BoundedSeqStore store;
+    util::SeqSet delivered;
     std::uint64_t contiguous_upto = 0;
     Stats stats;
   };
@@ -208,6 +245,10 @@ class TagNode final : public net::Process,
   bool repair_is_hard_ = false;
 
   std::vector<net::NodeId> gossip_peers_;
+  /// Head only: reservoir sample over all members seen (kNewTail updates +
+  /// direct appends), feeding TagTailReply peer samples.
+  std::vector<net::NodeId> member_sample_;
+  std::uint64_t members_seen_ = 0;
   /// Indexed by StreamId, sized num_streams at construction.
   std::vector<StreamState> streams_;
 };

@@ -104,6 +104,10 @@ BrisaStream::BrisaStream(BrisaEngine& engine, net::StreamId stream,
     every(config_.topup_period, [this]() {
       if (is_source_ || !position_known_ || repair_.has_value()) return;
       if (parents_.size() >= config_.num_parents) return;
+      if (network().tx_overusing(id())) {
+        stats_.rate_deferrals += 1;
+        return;
+      }
       start_repair_with_kind(RepairKind::kTopUp, /*allow_soft=*/true,
                              net::NodeId::invalid());
     });
@@ -124,6 +128,7 @@ sim::PeriodicId BrisaStream::every(sim::Duration period, sim::Callback fn) {
   return engine_.every(period, std::move(fn));
 }
 void BrisaStream::cancel(sim::EventId event) { engine_.cancel(event); }
+net::Network& BrisaStream::network() const { return engine_.network(); }
 
 // --- Source API --------------------------------------------------------------
 
@@ -141,10 +146,7 @@ std::uint64_t BrisaStream::broadcast(std::size_t payload_bytes) {
   while (delivered_seqs_.count(contiguous_upto_) > 0) ++contiguous_upto_;
   stats_.delivered += 1;
   stats_.delivery_time[seq] = now();
-  payload_buffer_.emplace_back(seq, payload_bytes);
-  while (payload_buffer_.size() > config_.retransmit_buffer) {
-    payload_buffer_.pop_front();
-  }
+  store_payload(seq, payload_bytes);
   const BrisaData msg(stream_, seq, payload_bytes, config_.mode,
                       my_position(), /*retransmission=*/false);
   relay(msg, net::NodeId::invalid());
@@ -400,9 +402,15 @@ void BrisaStream::arm_gap_probe() {
     std::uint64_t target = std::max(contiguous_upto_, floor);
     while (target <= newest && delivered_seqs_.count(target) > 0) ++target;
     if (target > newest) return;  // in-window hole closed
+    if (network().tx_overusing(id())) {
+      // Send side is backlogged: pulling a window of retransmissions now
+      // would only deepen the queue. Re-arm and retry once it drains.
+      stats_.rate_deferrals += 1;
+      arm_gap_probe();
+      return;
+    }
     stats_.gap_recoveries += 1;
-    send_to(*parents_.begin(),
-            net::make_message<BrisaRetransmitRequest>(stream_, target), kCtl);
+    send_to(*parents_.begin(), make_retransmit_request(target), kCtl);
     arm_gap_probe();
   });
 }
@@ -663,6 +671,7 @@ void BrisaStream::handle_retransmit_request(net::NodeId from,
   links_[from].outbound_active = true;
   for (const auto& [seq, payload_bytes] : payload_buffer_) {
     if (seq < msg.from_seq()) continue;
+    if (msg.known(seq)) continue;  // requester already holds it (Bloom form)
     stats_.retransmissions_served += 1;
     send_to(from,
             net::make_message<BrisaData>(stream_, seq, payload_bytes,
@@ -841,10 +850,7 @@ void BrisaStream::finish_repair(net::NodeId new_parent) {
 }
 
 void BrisaStream::request_missing(net::NodeId parent) {
-  send_to(parent,
-          net::make_message<BrisaRetransmitRequest>(stream_,
-                                                   contiguous_upto_),
-          kCtl);
+  send_to(parent, make_retransmit_request(contiguous_upto_), kCtl);
 }
 
 std::vector<net::NodeId> BrisaStream::soft_repair_candidates() const {
@@ -922,10 +928,70 @@ void BrisaStream::relay(const BrisaData& msg, net::NodeId except) {
 }
 
 void BrisaStream::buffer_payload(const BrisaData& msg) {
-  payload_buffer_.emplace_back(msg.seq(), msg.payload_bytes());
+  store_payload(msg.seq(), msg.payload_bytes());
+}
+
+void BrisaStream::store_payload(std::uint64_t seq, std::size_t payload_bytes) {
+  payload_buffer_.emplace_back(seq, payload_bytes);
+  payload_buffer_bytes_ += payload_bytes;
+  // Historical count cap — part of baseline behavior, not counted as a
+  // limits-layer eviction.
   while (payload_buffer_.size() > config_.retransmit_buffer) {
+    payload_buffer_bytes_ -= payload_buffer_.front().second;
     payload_buffer_.pop_front();
   }
+  const net::Limits& limits = config_.limits;
+  if (!limits.bounded()) return;
+  const auto over = [&]() {
+    return (limits.store_entries > 0 &&
+            payload_buffer_.size() > limits.store_entries) ||
+           (limits.store_bytes > 0 &&
+            payload_buffer_bytes_ > limits.store_bytes);
+  };
+  while (over() && !payload_buffer_.empty()) {
+    // kDeliveredFirst drops the oldest entry only while it sits below the
+    // delivery watermark (children had a full window to pull it); above the
+    // watermark it drops the newest instead (drop-tail), preserving the
+    // oldest still-unconfirmed seqs a repairing child is most likely to ask
+    // for. kOldestFirst always drops the front.
+    const bool drop_front =
+        limits.eviction == net::EvictionPolicy::kOldestFirst ||
+        payload_buffer_.front().first < contiguous_upto_;
+    if (drop_front) {
+      payload_buffer_bytes_ -= payload_buffer_.front().second;
+      payload_buffer_.pop_front();
+    } else {
+      payload_buffer_bytes_ -= payload_buffer_.back().second;
+      payload_buffer_.pop_back();
+    }
+    stats_.buffer_evictions += 1;
+  }
+}
+
+net::MessagePtr BrisaStream::make_retransmit_request(std::uint64_t from_seq) {
+  if (!config_.limits.bloom_digests || delivered_seqs_.empty()) {
+    return net::make_message<BrisaRetransmitRequest>(stream_, from_seq);
+  }
+  // Out-of-order seqs we already hold at or above from_seq: the parent
+  // serves its whole window >= from_seq, so advertising these prunes the
+  // retransmissions down to the actual holes plus Bloom false positives.
+  std::vector<std::uint64_t> held;
+  const std::uint64_t newest = delivered_seqs_.max();
+  for (std::uint64_t seq = from_seq; seq <= newest; ++seq) {
+    if (delivered_seqs_.count(seq) > 0) held.push_back(seq);
+  }
+  if (held.empty()) {
+    return net::make_message<BrisaRetransmitRequest>(stream_, from_seq);
+  }
+  // Salted per (node, request) so a false positive — a hole wrongly
+  // advertised as held — resolves on the next differently-salted probe.
+  const std::uint64_t salt =
+      (static_cast<std::uint64_t>(id().index()) << 24) ^ ++digest_rounds_;
+  util::BloomFilter digest = util::BloomFilter::with_capacity(
+      held.size(), config_.limits.bloom_fp, salt);
+  for (const std::uint64_t seq : held) digest.insert(seq);
+  return net::make_message<BrisaRetransmitRequest>(stream_, from_seq,
+                                                   std::move(digest));
 }
 
 }  // namespace brisa::core

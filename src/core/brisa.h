@@ -83,6 +83,10 @@ class BrisaStream final {
     sim::Duration starvation_timeout = sim::Duration::seconds(4);
     /// Period of the delay-aware parent re-evaluation (tree mode only).
     sim::Duration refine_period = sim::Duration::seconds(5);
+    /// Bandwidth-discipline layer ([limits] scenario section): extra bounds
+    /// on the retransmit buffer, Bloom digests on retransmit requests, and
+    /// gap-probe/topup backoff under send-side congestion. Default = off.
+    net::Limits limits;
   };
 
   /// Per-(node, stream) protocol statistics; the experiment harnesses
@@ -107,6 +111,12 @@ class BrisaStream final {
     std::uint64_t gap_recoveries = 0;  ///< sequence holes pulled from parents
     std::uint64_t starvation_resets = 0;  ///< stale-structure hard resets
     std::uint64_t refinements = 0;  ///< delay-aware parent improvements
+    /// Retransmit-buffer entries dropped by the `[limits]` bound (the
+    /// built-in retransmit_buffer trim is not counted — it predates the
+    /// limits layer and is part of baseline behavior).
+    std::uint64_t buffer_evictions = 0;
+    /// Gap probes / topups skipped while the local NIC/CPU was overusing.
+    std::uint64_t rate_deferrals = 0;
     /// Time from orphaning to regained parenthood, per repair kind.
     std::vector<sim::Duration> soft_repair_delays;
     std::vector<sim::Duration> hard_repair_delays;
@@ -234,6 +244,7 @@ class BrisaStream final {
   [[nodiscard]] net::NodeId id() const;
   [[nodiscard]] sim::TimePoint now() const;
   [[nodiscard]] membership::PeerSamplingService& pss() const;
+  [[nodiscard]] net::Network& network() const;
   sim::EventId after(sim::Duration delay, sim::Callback fn);
   sim::PeriodicId every(sim::Duration period, sim::Callback fn);
   void cancel(sim::EventId event);
@@ -284,6 +295,15 @@ class BrisaStream final {
                net::TrafficClass traffic_class);
   void relay(const BrisaData& msg, net::NodeId except);
   void buffer_payload(const BrisaData& msg);
+  /// Appends to the retransmit buffer and trims: first the historical
+  /// retransmit_buffer count cap, then any `[limits]` entry/byte bound with
+  /// its eviction policy.
+  void store_payload(std::uint64_t seq, std::size_t payload_bytes);
+  /// A retransmit request for holes >= from_seq, carrying a Bloom digest of
+  /// the seqs we already hold above from_seq when [limits] bloom_digests is
+  /// on (so the parent skips them instead of resending the whole window).
+  [[nodiscard]] net::MessagePtr make_retransmit_request(
+      std::uint64_t from_seq);
 
   BrisaEngine& engine_;
   net::StreamId stream_;
@@ -312,6 +332,8 @@ class BrisaStream final {
   util::SeqSet delivered_seqs_;
   std::uint64_t contiguous_upto_ = 0;  ///< all seqs < this are delivered
   std::deque<std::pair<std::uint64_t, std::size_t>> payload_buffer_;
+  std::size_t payload_buffer_bytes_ = 0;
+  std::uint64_t digest_rounds_ = 0;  ///< per-round Bloom salt counter
 
   std::optional<RepairState> repair_;
   RepairKind repair_kind_ = RepairKind::kOrphanFailure;

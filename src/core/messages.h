@@ -8,11 +8,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "net/message.h"
 #include "net/node_id.h"
+#include "util/bloom.h"
 
 namespace brisa::core {
 
@@ -196,25 +198,43 @@ class BrisaReactivateOrder final : public net::Message {
 
 /// "Send me everything from `from_seq` on that you still buffer" — issued to
 /// a freshly acquired parent to recover messages lost during repair (§II-F).
+/// Under `[limits]` bloom_digests the request also carries a Bloom filter of
+/// the seqs >= from_seq the requester already holds out of order, so the
+/// parent skips those instead of resending its whole buffered window; a
+/// false positive wrongly skips one seq, which the re-armed gap probe
+/// recovers with a differently-salted filter.
 class BrisaRetransmitRequest final : public net::Message {
  public:
   BrisaRetransmitRequest(std::uint32_t stream, std::uint64_t from_seq)
       : stream_(stream), from_seq_(from_seq) {}
+  BrisaRetransmitRequest(std::uint32_t stream, std::uint64_t from_seq,
+                         util::BloomFilter held_digest)
+      : stream_(stream),
+        from_seq_(from_seq),
+        held_digest_(std::move(held_digest)) {}
 
   [[nodiscard]] net::MessageKind kind() const override {
     return net::MessageKind::kBrisaRetransmitRequest;
   }
-  [[nodiscard]] std::size_t wire_size() const override { return 16; }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 16 + (held_digest_ ? held_digest_->byte_size() : 0);
+  }
   [[nodiscard]] const char* name() const override {
     return "brisa-retransmit-request";
   }
 
   [[nodiscard]] std::uint32_t stream() const { return stream_; }
   [[nodiscard]] std::uint64_t from_seq() const { return from_seq_; }
+  /// Does the requester (claim to) already hold `seq`? Always false in the
+  /// exact form — historically the parent resent its whole window.
+  [[nodiscard]] bool known(std::uint64_t seq) const {
+    return held_digest_ && held_digest_->may_contain(seq);
+  }
 
  private:
   std::uint32_t stream_;
   std::uint64_t from_seq_;
+  std::optional<util::BloomFilter> held_digest_;
 };
 
 }  // namespace brisa::core

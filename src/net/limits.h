@@ -1,0 +1,82 @@
+// Bandwidth-discipline knobs: bounded message stores, Bloom digests for
+// gossip/repair metadata, and sender-side adaptive rate control.
+//
+// One `Limits` value travels from the `[limits]` scenario section through
+// every system Config into the protocol nodes and the Network. Like
+// net::FaultPlan, a default-constructed Limits is the OFF state: stores stay
+// unbounded, digests stay exact seq lists, the rate controller never defers —
+// and every output is byte-identical to a build without this layer.
+//
+// References: Chen & Choi (buffer occupancy vs delivery reliability phase
+// structure for epidemic routing) for the store bounds; Marandi et al.
+// (Bloom-filter epidemic forwarding) for the digest compression; the goog_cc
+// delay-based estimator for the BandwidthUsage tri-state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace brisa::net {
+
+/// What to evict when a bounded store is full.
+enum class EvictionPolicy : std::uint8_t {
+  /// Lowest-sequence entry goes first (FIFO in sequence space).
+  kOldestFirst,
+  /// Prefer entries below the delivery watermark (already contiguous at this
+  /// node; still useful to serve others, but re-fetchable). When everything
+  /// buffered is still above the watermark, drop the newest instead
+  /// (drop-tail) — the oldest still-undelivered seqs are the ones a lagging
+  /// peer asks for first.
+  kDeliveredFirst,
+};
+
+/// Sender-side congestion tri-state derived from local queue growth — the
+/// goog_cc estimator shape. Overusing senders skip optional traffic
+/// (anti-entropy rounds, pulls, gap probes) for one period.
+enum class BandwidthUsage : std::uint8_t {
+  kNormal,
+  kUnderusing,
+  kOverusing,
+};
+
+struct Limits {
+  // --- Bounded per-node message stores (0 = unbounded) ---------------------
+  /// Max entries kept per (node, stream) serving store.
+  std::size_t store_entries = 0;
+  /// Max payload bytes kept per (node, stream) serving store.
+  std::size_t store_bytes = 0;
+  EvictionPolicy eviction = EvictionPolicy::kOldestFirst;
+
+  // --- Bloom digests for have-lists / repair advertisements ----------------
+  /// When true, gossip anti-entropy requests and BRISA retransmit requests
+  /// carry a Bloom filter over held-above-watermark seqs instead of an exact
+  /// list. A false positive means one seq is wrongly skipped this round and
+  /// recovered on a later round — tunable bandwidth/latency tradeoff.
+  bool bloom_digests = false;
+  /// Target false-positive rate for each digest.
+  double bloom_fp = 0.01;
+
+  // --- Adaptive rate control ----------------------------------------------
+  /// When true, Network::tx_usage() classifies each sender's local NIC/CPU
+  /// backlog and protocols defer optional traffic while kOverusing.
+  bool rate_control = false;
+  /// Backlog at or above this is kOverusing.
+  sim::Duration overuse_threshold = sim::Duration::milliseconds(200);
+  /// Backlog at or below this is kUnderusing.
+  sim::Duration underuse_threshold = sim::Duration::milliseconds(20);
+
+  /// True when the store bound is active.
+  [[nodiscard]] bool bounded() const {
+    return store_entries > 0 || store_bytes > 0;
+  }
+  /// True when any sub-layer is on (used by zero-cost-when-off gates).
+  [[nodiscard]] bool any() const {
+    return bounded() || bloom_digests || rate_control;
+  }
+
+  bool operator==(const Limits&) const = default;
+};
+
+}  // namespace brisa::net

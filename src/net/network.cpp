@@ -310,6 +310,8 @@ sim::TimePoint Network::nic_send_host(Host& h, std::size_t wire_bytes,
   const sim::TimePoint done =
       start + sim::Duration::microseconds(serialize_us);
   h.nic_free_at = done;
+  const sim::Duration backlog = done - simulator_.now();
+  if (backlog > peak_nic_backlog_) peak_nic_backlog_ = backlog;
   const auto tc = static_cast<std::size_t>(traffic_class);
   h.stats.up_bytes[tc] += total_bytes;
   h.stats.up_messages[tc] += 1;
@@ -350,7 +352,27 @@ sim::TimePoint Network::cpu_deliver_host(Host& h, sim::TimePoint arrival,
   const sim::TimePoint start = std::max(arrival, h.cpu_free_at);
   const sim::TimePoint done = start + cost;
   h.cpu_free_at = done;
+  const sim::Duration backlog = done - arrival;
+  if (backlog > peak_cpu_backlog_) peak_cpu_backlog_ = backlog;
   return done;
+}
+
+BandwidthUsage Network::tx_usage(NodeId node) const {
+  if (!config_.limits.rate_control) return BandwidthUsage::kNormal;
+  const Host& h = host(node);
+  const sim::TimePoint now = simulator_.now();
+  sim::Duration backlog = sim::Duration::zero();
+  if (h.nic_free_at > now) backlog = h.nic_free_at - now;
+  if (h.cpu_free_at > now && h.cpu_free_at - now > backlog) {
+    backlog = h.cpu_free_at - now;
+  }
+  if (backlog >= config_.limits.overuse_threshold) {
+    return BandwidthUsage::kOverusing;
+  }
+  if (backlog <= config_.limits.underuse_threshold) {
+    return BandwidthUsage::kUnderusing;
+  }
+  return BandwidthUsage::kNormal;
 }
 
 sim::Duration Network::sample_failure_detect_delay() {
@@ -368,6 +390,8 @@ const BandwidthStats& Network::stats(NodeId node) const {
 
 void Network::reset_stats() {
   for (Host& h : hosts_) h.stats.reset();
+  peak_nic_backlog_ = sim::Duration::zero();
+  peak_cpu_backlog_ = sim::Duration::zero();
 }
 
 Network::Host& Network::host(NodeId node) {

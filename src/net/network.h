@@ -19,6 +19,7 @@
 
 #include "net/fault.h"
 #include "net/latency.h"
+#include "net/limits.h"
 #include "net/message.h"
 #include "net/node_id.h"
 #include "sim/simulator.h"
@@ -85,6 +86,10 @@ class Network : public sim::DeliverEvent::Sink {
     /// Transport retransmission timeout: each loss-rule hit on a reliable
     /// segment delays it by one RTO (and re-charges the sender's NIC).
     sim::Duration retransmit_timeout = sim::Duration::milliseconds(200);
+    /// Bandwidth-discipline knobs ([limits] scenario section). The Network
+    /// consults only the rate-control fields; defaults keep tx_usage() at
+    /// kNormal unconditionally.
+    Limits limits;
   };
 
   /// Presets matching the two testbeds of §III.
@@ -218,6 +223,30 @@ class Network : public sim::DeliverEvent::Sink {
   /// Sampled delay until a peer notices this host's death (transport level).
   sim::Duration sample_failure_detect_delay();
 
+  // --- Adaptive rate control (sender-side congestion signal) ---------------
+
+  /// Classifies `node`'s own send-side pressure from its NIC + CPU backlog
+  /// (free_at minus now) against the configured thresholds — the goog_cc
+  /// BandwidthUsage shape. Always kNormal when limits.rate_control is off.
+  [[nodiscard]] BandwidthUsage tx_usage(NodeId node) const;
+
+  /// tx_usage(node) == kOverusing; a single branch when rate control is off,
+  /// so protocol timers can gate on it unconditionally.
+  [[nodiscard]] bool tx_overusing(NodeId node) const {
+    return config_.limits.rate_control &&
+           tx_usage(node) == BandwidthUsage::kOverusing;
+  }
+
+  /// Peak backlog instrumentation (always tracked; it only feeds reports):
+  /// the largest NIC serialization queue and receive-CPU queue observed at
+  /// any host since construction / the last reset_stats().
+  [[nodiscard]] sim::Duration peak_nic_backlog() const {
+    return peak_nic_backlog_;
+  }
+  [[nodiscard]] sim::Duration peak_cpu_backlog() const {
+    return peak_cpu_backlog_;
+  }
+
   // --- Accessors ----------------------------------------------------------
 
   [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
@@ -292,6 +321,8 @@ class Network : public sim::DeliverEvent::Sink {
   std::size_t suspended_count_ = 0;
   std::vector<DeathListener*> death_listeners_;
   std::uint64_t messages_sent_ = 0;
+  sim::Duration peak_nic_backlog_ = sim::Duration::zero();
+  sim::Duration peak_cpu_backlog_ = sim::Duration::zero();
   /// alive_hosts() cache; invalidated by add_host/kill.
   mutable std::vector<NodeId> alive_cache_;
   mutable bool alive_cache_valid_ = false;

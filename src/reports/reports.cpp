@@ -165,6 +165,20 @@ std::vector<Report> build_registry() {
        scale_sweep_defaults,
        scale_sweep_run});
   reports.push_back(
+      {"buffer_tradeoff",
+       "Buffer tradeoff: reliability vs bounded store size per protocol",
+       "bench_buffer_tradeoff [--entries=0,4,8,16,64]\n"
+       "                      [--protocols=brisa,gossip,tree,tag]\n"
+       "                      [--policies=oldest-first,delivered-first]\n"
+       "                      [--bloom] [--rate-control] [--no-faults]\n"
+       "                      [--nodes=512] [--messages=40] [--rate=5]\n"
+       "                      [--payload=256] [--seed=1] [--quick]\n",
+       {"entries", "protocols", "policies", "bloom", "rate-control", "faults",
+        "nodes", "messages", "rate", "payload", "seed", "quick"},
+       {},
+       buffer_tradeoff_defaults,
+       buffer_tradeoff_run});
+  reports.push_back(
       {"run",
        "Generic declarative run: any protocol/topology/faults combination",
        "brisa_run <scenario.scn>\n",

@@ -26,6 +26,7 @@ BRISA_DECLARE_REPORT(ablation);
 BRISA_DECLARE_REPORT(fault_recovery);
 BRISA_DECLARE_REPORT(multi_stream);
 BRISA_DECLARE_REPORT(scale_sweep);
+BRISA_DECLARE_REPORT(buffer_tradeoff);
 BRISA_DECLARE_REPORT(generic);
 
 #undef BRISA_DECLARE_REPORT

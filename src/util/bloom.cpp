@@ -27,23 +27,30 @@ BloomSizing optimal_bloom_sizing(std::size_t n, double p) {
   return sizing;
 }
 
-BloomFilter::BloomFilter(std::size_t bits, std::size_t hash_count)
-    : bits_(bits), hash_count_(hash_count), words_((bits + 63) / 64, 0) {
+BloomFilter::BloomFilter(std::size_t bits, std::size_t hash_count,
+                         std::uint64_t seed)
+    : bits_(bits),
+      hash_count_(hash_count),
+      seed_(seed),
+      words_((bits + 63) / 64, 0) {
   BRISA_ASSERT(bits > 0);
   BRISA_ASSERT(hash_count > 0);
 }
 
-BloomFilter BloomFilter::with_capacity(std::size_t n, double p) {
+BloomFilter BloomFilter::with_capacity(std::size_t n, double p,
+                                       std::uint64_t seed) {
   const BloomSizing sizing = optimal_bloom_sizing(n, p);
-  return BloomFilter(sizing.bits, sizing.hash_count);
+  return BloomFilter(sizing.bits, sizing.hash_count, seed);
 }
 
 std::pair<std::uint64_t, std::uint64_t> BloomFilter::base_hashes(
     std::uint64_t key) const {
-  const std::uint64_t h1 = mix64(key);
+  // Seed 0 mixes to itself-free paths identical to the unsalted filter.
+  const std::uint64_t salted = seed_ == 0 ? key : key ^ mix64(seed_);
+  const std::uint64_t h1 = mix64(salted);
   // Second hash must be independent and odd-ish so the double-hash probe
   // sequence covers the table; re-mix with a distinct constant.
-  const std::uint64_t h2 = mix64(key ^ 0xa5a5a5a5a5a5a5a5ULL) | 1ULL;
+  const std::uint64_t h2 = mix64(salted ^ 0xa5a5a5a5a5a5a5a5ULL) | 1ULL;
   return {h1, h2};
 }
 
@@ -79,7 +86,8 @@ double BloomFilter::estimated_false_positive() const {
 }
 
 void BloomFilter::merge(const BloomFilter& other) {
-  BRISA_ASSERT_MSG(bits_ == other.bits_ && hash_count_ == other.hash_count_,
+  BRISA_ASSERT_MSG(bits_ == other.bits_ && hash_count_ == other.hash_count_ &&
+                       seed_ == other.seed_,
                    "cannot merge bloom filters with different geometry");
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
   insertions_ += other.insertions_;

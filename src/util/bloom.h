@@ -32,10 +32,15 @@ struct BloomSizing {
 /// which preserves the asymptotic false-positive rate with two base hashes.
 class BloomFilter {
  public:
-  BloomFilter(std::size_t bits, std::size_t hash_count);
+  /// `seed` salts both base hashes; two filters with different seeds see
+  /// uncorrelated false positives for the same key set. The default (0)
+  /// keeps the historical bit patterns, so existing users are unchanged.
+  BloomFilter(std::size_t bits, std::size_t hash_count,
+              std::uint64_t seed = 0);
 
   /// Convenience constructor from (expected insertions, target fp rate).
-  static BloomFilter with_capacity(std::size_t n, double p);
+  static BloomFilter with_capacity(std::size_t n, double p,
+                                   std::uint64_t seed = 0);
 
   void insert(std::uint64_t key);
   [[nodiscard]] bool may_contain(std::uint64_t key) const;
@@ -59,6 +64,7 @@ class BloomFilter {
 
   std::size_t bits_;
   std::size_t hash_count_;
+  std::uint64_t seed_ = 0;
   std::size_t insertions_ = 0;
   std::vector<std::uint64_t> words_;
 };

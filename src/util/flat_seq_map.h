@@ -115,6 +115,20 @@ class FlatSeqMap {
     return contains(seq) ? 1 : 0;
   }
 
+  /// Removes `seq` if present; returns the number of entries removed (0/1,
+  /// std::map::erase analogue). The value slot is reset so a later
+  /// re-insertion through operator[] sees a default-constructed V. The
+  /// presence vector keeps its length: sequence keys are dense and
+  /// monotonically growing, so shrinking would only be undone.
+  std::size_t erase(std::uint64_t seq) {
+    const auto index = static_cast<std::size_t>(seq);
+    if (index >= present_.size() || !present_[index]) return 0;
+    present_[index] = false;
+    values_[index] = V{};
+    --size_;
+    return 1;
+  }
+
   [[nodiscard]] iterator find(std::uint64_t seq) {
     return contains(seq) ? iterator(this, static_cast<std::size_t>(seq))
                          : end();

@@ -28,6 +28,9 @@ class SimpleTreeSystem final : public SystemBase {
     std::size_t num_streams = 1;
     sim::Duration join_spread = sim::Duration::seconds(50);
     sim::Duration stabilization = sim::Duration::seconds(10);
+    /// Network-level bandwidth discipline (the tree relays without a store,
+    /// so only the rate-control/instrumentation half applies here).
+    net::Limits limits;
   };
 
   explicit SimpleTreeSystem(Config config);

@@ -8,7 +8,8 @@
 namespace brisa::workload {
 
 BrisaSystem::BrisaSystem(Config config)
-    : SystemBase(config.seed, config.testbed, config.topology),
+    : SystemBase(config.seed, config.testbed, config.topology,
+                 config.brisa.limits),
       config_(config) {
   BRISA_ASSERT(config_.num_streams >= 1);
 }

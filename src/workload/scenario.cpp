@@ -171,6 +171,29 @@ void apply(Scenario& s, const std::string& section, const std::string& key,
     if (key == "warmup-messages") {
       return void(s.warmup_messages = to_size(context, key, value));
     }
+  } else if (section == "limits") {
+    if (key == "store-entries") {
+      return void(s.store_entries = to_size(context, key, value));
+    }
+    if (key == "store-bytes") {
+      return void(s.store_bytes = to_size(context, key, value));
+    }
+    if (key == "eviction") return void(s.eviction = value);
+    if (key == "bloom-digests") {
+      return void(s.bloom_digests = to_bool(context, key, value));
+    }
+    if (key == "bloom-fp") {
+      return void(s.bloom_fp = to_double(context, key, value));
+    }
+    if (key == "rate-control") {
+      return void(s.rate_control = to_bool(context, key, value));
+    }
+    if (key == "overuse-ms") {
+      return void(s.overuse_ms = to_double(context, key, value));
+    }
+    if (key == "underuse-ms") {
+      return void(s.underuse_ms = to_double(context, key, value));
+    }
   } else if (section == "churn") {
     // Only reachable from the builder / --set surface: inside a file the
     // [churn] body is verbatim DSL, parsed before apply() is consulted.
@@ -319,8 +342,8 @@ Scenario Scenario::parse(const std::string& text) {
       const bool known =
           section == "scenario" || section == "topology" ||
           section == "overlay" || section == "streams" || section == "run" ||
-          section == "churn" || section == "sweep" || section == "output" ||
-          section == "params";
+          section == "limits" || section == "churn" || section == "sweep" ||
+          section == "output" || section == "params";
       if (!known) fail(context, "unknown section [" + section + "]");
       if (section == "churn") churn_section_line = line_number;
       continue;
@@ -406,6 +429,24 @@ void Scenario::validate() const {
   }
   if (parents && *parents == 0) fail("", "overlay parents must be >= 1");
   if (streams && *streams == 0) fail("", "streams count must be >= 1");
+  if (eviction && *eviction != "oldest-first" &&
+      *eviction != "delivered-first") {
+    fail("", "limits eviction must be oldest-first|delivered-first, got '" +
+                 *eviction + "'");
+  }
+  if (bloom_fp && (*bloom_fp <= 0.0 || *bloom_fp >= 1.0)) {
+    fail("", "limits bloom-fp must be in (0, 1), got '" +
+                 fmt_double(*bloom_fp) + "'");
+  }
+  if (overuse_ms && *overuse_ms <= 0.0) {
+    fail("", "limits overuse-ms must be positive");
+  }
+  if (underuse_ms && *underuse_ms <= 0.0) {
+    fail("", "limits underuse-ms must be positive");
+  }
+  if (overuse_ms && underuse_ms && *underuse_ms >= *overuse_ms) {
+    fail("", "limits underuse-ms must be below overuse-ms");
+  }
   if (!churn_dsl.empty()) {
     std::string diagnostic;
     if (!ChurnScript::try_parse(churn_dsl, &diagnostic)) {
@@ -492,6 +533,24 @@ std::string Scenario::to_text() const {
       emit(out, "warmup-messages", fmt_size(*warmup_messages));
     }
   }
+  const bool any_limits = store_entries || store_bytes || eviction ||
+                          bloom_digests || bloom_fp || rate_control ||
+                          overuse_ms || underuse_ms;
+  if (any_limits) {
+    out += "\n[limits]\n";
+    if (store_entries) emit(out, "store-entries", fmt_size(*store_entries));
+    if (store_bytes) emit(out, "store-bytes", fmt_size(*store_bytes));
+    if (eviction) emit(out, "eviction", *eviction);
+    if (bloom_digests) {
+      emit(out, "bloom-digests", *bloom_digests ? "true" : "false");
+    }
+    if (bloom_fp) emit(out, "bloom-fp", fmt_double(*bloom_fp));
+    if (rate_control) {
+      emit(out, "rate-control", *rate_control ? "true" : "false");
+    }
+    if (overuse_ms) emit(out, "overuse-ms", fmt_double(*overuse_ms));
+    if (underuse_ms) emit(out, "underuse-ms", fmt_double(*underuse_ms));
+  }
   if (!churn_dsl.empty()) {
     out += "\n[churn]\n";
     out += churn_dsl;
@@ -563,6 +622,14 @@ std::map<std::string, std::string> Scenario::set_keys() const {
   put_double("run.stabilization-s", stabilization_s);
   put_double("run.grace-s", grace_s);
   put_size("run.warmup-messages", warmup_messages);
+  put_size("limits.store-entries", store_entries);
+  put_size("limits.store-bytes", store_bytes);
+  put_str("limits.eviction", eviction);
+  put_bool("limits.bloom-digests", bloom_digests);
+  put_double("limits.bloom-fp", bloom_fp);
+  put_bool("limits.rate-control", rate_control);
+  put_double("limits.overuse-ms", overuse_ms);
+  put_double("limits.underuse-ms", underuse_ms);
   put_bool("output.json", json);
   put_bool("output.cdf", cdf);
   if (!churn_dsl.empty()) out["churn"] = churn_dsl;
@@ -646,9 +713,33 @@ void fill_common(const Scenario& s, Config& config) {
 
 }  // namespace
 
+net::Limits scenario_limits(const Scenario& s) {
+  net::Limits limits;
+  if (s.store_entries) limits.store_entries = *s.store_entries;
+  if (s.store_bytes) limits.store_bytes = *s.store_bytes;
+  if (s.eviction) {
+    limits.eviction = *s.eviction == "delivered-first"
+                          ? net::EvictionPolicy::kDeliveredFirst
+                          : net::EvictionPolicy::kOldestFirst;
+  }
+  if (s.bloom_digests) limits.bloom_digests = *s.bloom_digests;
+  if (s.bloom_fp) limits.bloom_fp = *s.bloom_fp;
+  if (s.rate_control) limits.rate_control = *s.rate_control;
+  if (s.overuse_ms) {
+    limits.overuse_threshold = sim::Duration::microseconds(
+        static_cast<std::int64_t>(*s.overuse_ms * 1e3));
+  }
+  if (s.underuse_ms) {
+    limits.underuse_threshold = sim::Duration::microseconds(
+        static_cast<std::int64_t>(*s.underuse_ms * 1e3));
+  }
+  return limits;
+}
+
 BrisaSystem::Config scenario_brisa_config(const Scenario& s) {
   BrisaSystem::Config config;
   fill_common(s, config);
+  config.brisa.limits = scenario_limits(s);
   if (s.active_view) {
     config.hyparview.active_size = *s.active_view;
     config.hyparview.passive_size = s.passive_view.value_or(*s.active_view * 6);
@@ -671,6 +762,7 @@ BrisaSystem::Config scenario_brisa_config(const Scenario& s) {
 SimpleTreeSystem::Config scenario_tree_config(const Scenario& s) {
   SimpleTreeSystem::Config config;
   fill_common(s, config);
+  config.limits = scenario_limits(s);
   return config;
 }
 
@@ -679,12 +771,14 @@ SimpleGossipSystem::Config scenario_gossip_config(const Scenario& s) {
   fill_common(s, config);
   // Config's own 0 already means "the paper's ln(N)".
   config.fanout = static_cast<std::size_t>(s.param_int("fanout", 0));
+  config.gossip.limits = scenario_limits(s);
   return config;
 }
 
 TagSystem::Config scenario_tag_config(const Scenario& s) {
   TagSystem::Config config;
   fill_common(s, config);
+  config.tag.limits = scenario_limits(s);
   return config;
 }
 

@@ -88,6 +88,17 @@ class Scenario {
   /// Messages streamed (and discounted) before measurement starts.
   std::optional<std::size_t> warmup_messages;
 
+  // --- [limits] -----------------------------------------------------------
+  // Bandwidth-discipline layer (net::Limits); absent section = layer off.
+  std::optional<std::size_t> store_entries;
+  std::optional<std::size_t> store_bytes;
+  std::optional<std::string> eviction;  ///< oldest-first|delivered-first
+  std::optional<bool> bloom_digests;
+  std::optional<double> bloom_fp;
+  std::optional<bool> rate_control;
+  std::optional<double> overuse_ms;
+  std::optional<double> underuse_ms;
+
   // --- [churn] ------------------------------------------------------------
   /// Verbatim churn/fault DSL statements (workload/churn.h), one per line;
   /// empty = no churn driver. In a file the section body is the DSL itself;
@@ -216,6 +227,10 @@ class Scenario {
 /// fat-tree); std::nullopt when the plain testbed presets apply.
 [[nodiscard]] std::optional<TopologyOverride> scenario_topology(
     const Scenario& s);
+
+/// The `[limits]` section as a net::Limits value (default-constructed — the
+/// OFF state — when the section is absent).
+[[nodiscard]] net::Limits scenario_limits(const Scenario& s);
 
 [[nodiscard]] BrisaSystem::Config scenario_brisa_config(const Scenario& s);
 [[nodiscard]] SimpleTreeSystem::Config scenario_tree_config(const Scenario& s);

@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <filesystem>
 #include <fstream>
@@ -330,9 +331,14 @@ int run_sweep(const Scenario& s, const SweepOptions& options) {
   // Spool directory: per-cell stdout/stderr, the event log, metadata.
   std::string spool = options.spool_dir;
   if (spool.empty()) {
-    char tmpl[] = "/tmp/brisa_sweep_XXXXXX";
-    if (mkdtemp(tmpl) == nullptr) {
-      std::fprintf(stderr, "error: cannot create spool dir under /tmp\n");
+    // Honor TMPDIR (sandboxed CI, per-user tmp quotas); fall back to /tmp.
+    const char* tmpdir = std::getenv("TMPDIR");
+    std::string base = tmpdir != nullptr && tmpdir[0] != '\0' ? tmpdir : "/tmp";
+    while (base.size() > 1 && base.back() == '/') base.pop_back();
+    std::string tmpl = base + "/brisa_sweep_XXXXXX";
+    if (mkdtemp(tmpl.data()) == nullptr) {
+      std::fprintf(stderr, "error: cannot create spool dir under %s\n",
+                   base.c_str());
       return 2;
     }
     spool = tmpl;

@@ -40,15 +40,28 @@ std::unique_ptr<net::LatencyModel> testbed_latency(TestbedKind kind) {
   return nullptr;
 }
 
+namespace {
+
+net::Network::Config with_limits(net::Network::Config config,
+                                 const net::Limits& limits) {
+  config.limits = limits;
+  return config;
+}
+
+}  // namespace
+
 SystemBase::SystemBase(std::uint64_t seed, TestbedKind testbed,
-                       const std::optional<TopologyOverride>& topology)
+                       const std::optional<TopologyOverride>& topology,
+                       const net::Limits& limits)
     : testbed_(testbed),
       simulator_(seed),
       network_(simulator_,
                topology && topology->latency ? topology->latency()
                                              : testbed_latency(testbed),
-               topology && topology->network ? *topology->network
-                                             : testbed_network_config(testbed)),
+               with_limits(topology && topology->network
+                               ? *topology->network
+                               : testbed_network_config(testbed),
+                           limits)),
       transport_(network_) {}
 
 void SystemBase::install_fault_plan(net::FaultPlan plan) {

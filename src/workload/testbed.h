@@ -40,8 +40,11 @@ struct TopologyOverride {
 /// network and transport in construction order.
 class SystemBase {
  public:
+  /// `limits` rides into Network::Config (rate-control thresholds and the
+  /// tx_usage() classifier); a default Limits keeps the network byte-exact.
   SystemBase(std::uint64_t seed, TestbedKind testbed,
-             const std::optional<TopologyOverride>& topology = std::nullopt);
+             const std::optional<TopologyOverride>& topology = std::nullopt,
+             const net::Limits& limits = {});
   virtual ~SystemBase() = default;
 
   SystemBase(const SystemBase&) = delete;

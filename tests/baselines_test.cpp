@@ -197,32 +197,57 @@ TEST(Tag, PullIsSlowerThanTreePush) {
   tree.bootstrap();
   tree.run_stream(50, 5.0, 1024);
 
-  // Dissemination window (first-to-last delivery) per node, averaged.
-  auto mean_window = [](const auto& get_stats,
-                        const std::vector<net::NodeId>& ids) {
+  // Mean per-message latency: node delivery time minus source delivery time
+  // (the source records at injection). Polling cost shows up here; a
+  // first-to-last window would instead measure queue growth, which the
+  // backlog-continuation pull keeps bounded by design.
+  auto mean_latency = [](const auto& get_stats, net::NodeId source,
+                         const std::vector<net::NodeId>& ids) {
+    const auto& injected = get_stats(source);
     double total = 0;
     std::size_t count = 0;
     for (const net::NodeId id : ids) {
+      if (id == source) continue;
       const auto& times = get_stats(id);
-      if (times.size() < 2) continue;
-      total += (std::prev(times.end())->second - times.begin()->second)
-                   .to_seconds();
-      ++count;
+      for (auto it = times.begin(); it != times.end(); ++it) {
+        const auto at_source = injected.find(it->first);
+        if (at_source == injected.end()) continue;
+        total += (it->second - at_source->second).to_seconds();
+        ++count;
+      }
     }
-    return total / static_cast<double>(count);
+    return count == 0 ? 0.0 : total / static_cast<double>(count);
   };
-  const double tag_window = mean_window(
+  const double tag_latency = mean_latency(
       [&](net::NodeId id) -> const auto& {
         return tag.node(id).stats().delivery_time;
       },
-      tag.all_ids());
-  const double tree_window = mean_window(
+      tag.source_id(), tag.all_ids());
+  const double tree_latency = mean_latency(
       [&](net::NodeId id) -> const auto& {
         return tree.node(id).stats().delivery_time;
       },
-      tree.all_ids());
-  // Table II: TAG's pull-based dissemination takes much longer end to end.
-  EXPECT_GT(tag_window, tree_window * 1.2);
+      tree.source_id(), tree.all_ids());
+  // Table II: every hop down the TAG tree waits out part of the 400 ms poll
+  // period, where tree push forwards immediately.
+  EXPECT_GT(tag_latency, tree_latency * 1.2);
+  EXPECT_GT(tag_latency, 0.2);
+}
+
+TEST(Tag, KeepsUpWithInjectionRateAtScale) {
+  // Regression for the scale collapse: a pull reply carries at most
+  // pull_batch=1 update, and without the backlog continuation each hop
+  // drained at most ~3.5 updates/s against this 5/s injection rate — every
+  // hop fell linearly behind, and deliveries that missed the grace window
+  // were simply lost (reliability 0.021 at 100k nodes, 20 messages). The
+  // continuation issues an immediate follow-up pull whenever a reply comes
+  // back full, so lag stays bounded. 96 nodes x 100 messages is the
+  // smallest configuration where the pre-fix fall-behind reproduces (48
+  // nodes still squeaks through the grace window).
+  workload::TagSystem system(tag_config(23, 96));
+  system.bootstrap();
+  system.run_stream(100, 5.0, 256, sim::Duration::seconds(30));
+  EXPECT_TRUE(system.complete_delivery());
 }
 
 TEST(Tag, ParentFailureRepairsThroughList) {

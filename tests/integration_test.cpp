@@ -27,6 +27,29 @@ double mean_dissemination_window(const std::vector<net::NodeId>& ids,
   return count == 0 ? 0.0 : total / static_cast<double>(count);
 }
 
+/// Mean per-message delivery latency across nodes: delivery time at the node
+/// minus delivery time at the source (which records at injection). This is
+/// the Table II metric — it isolates dissemination cost from injection span
+/// and queue growth, which a first-to-last window conflates.
+template <typename TimesOf>
+double mean_delivery_latency(const std::vector<net::NodeId>& ids,
+                             net::NodeId source, const TimesOf& times_of) {
+  const auto& injected = times_of(source);
+  double total = 0;
+  std::size_t count = 0;
+  for (const net::NodeId id : ids) {
+    if (id == source) continue;
+    const auto& times = times_of(id);
+    for (auto it = times.begin(); it != times.end(); ++it) {
+      const auto at_source = injected.find(it->first);
+      if (at_source == injected.end()) continue;
+      total += (it->second - at_source->second).to_seconds();
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
 TEST(Integration, LatencyOrderingMatchesTableII) {
   // SimpleTree <= BRISA < SimpleGossip-ish < TAG (Table II ordering; the
   // middle two are close, so only the extremes are asserted strictly).
@@ -73,15 +96,22 @@ TEST(Integration, LatencyOrderingMatchesTableII) {
       brisa_system.member_ids(), [&](net::NodeId id) -> const auto& {
         return brisa_system.brisa(id).stats().delivery_time;
       });
-  const double tag_window = mean_dissemination_window(
-      tag.all_ids(), [&](net::NodeId id) -> const auto& {
-        return tag.node(id).stats().delivery_time;
-      });
-
   // BRISA within ~10% of SimpleTree (paper: +6%).
   EXPECT_LT(brisa_window, tree_window * 1.15);
-  // TAG at least ~1.5x slower (paper: +100%).
-  EXPECT_GT(tag_window, tree_window * 1.5);
+  // TAG at least ~1.5x slower per message (paper: +100%): every hop down
+  // the TAG tree waits out a fraction of the 400 ms poll period, where push
+  // forwards immediately.
+  const double tree_latency = mean_delivery_latency(
+      tree.all_ids(), tree.source_id(), [&](net::NodeId id) -> const auto& {
+        return tree.node(id).stats().delivery_time;
+      });
+  const double tag_latency = mean_delivery_latency(
+      tag.all_ids(), tag.source_id(), [&](net::NodeId id) -> const auto& {
+        return tag.node(id).stats().delivery_time;
+      });
+  EXPECT_GT(tag_latency, tree_latency * 1.5);
+  // ...and in absolute terms at least one mean poll wait end to end.
+  EXPECT_GT(tag_latency, 0.2);
 }
 
 TEST(Integration, BrisaUsesFarLessBandwidthThanGossip) {
