@@ -5,7 +5,8 @@
 //   brisa_run --print <scenario.scn>     echo the canonical scenario text
 //   brisa_run --list                     list the available reports
 //   brisa_run --set sec.key=value ...    override scenario keys before running
-//   brisa_run --jobs N <sweep.scn>       parallel sweep executor knobs:
+//   brisa_run --jobs N <sweep.scn>       parallel sweep executor knobs
+//   brisa_run --jobs 0                   (0 = all hardware threads):
 //   brisa_run --spool DIR --cell-timeout S
 //
 // A scenario file names a report ([scenario] report = fig06_depth) or omits
@@ -33,7 +34,7 @@ namespace {
 
 constexpr const char kUsage[] =
     "brisa_run [--check|--print] [--set section.key=value]... "
-    "[--jobs N] [--spool DIR] [--cell-timeout S] <scenario.scn>...\n"
+    "[--jobs N|0=auto] [--spool DIR] [--cell-timeout S] <scenario.scn>...\n"
     "brisa_run --list\n";
 
 void print_report_list() {
@@ -52,7 +53,7 @@ int main(int argc, char** argv) {
   bool check_only = false;
   bool print_only = false;
   bool cell_mode = false;
-  int jobs = 0;  // 0 = flag not given; sweeps then default to 1
+  int jobs = -1;  // -1 = flag not given; sweeps then read [sweep] jobs
   std::string spool_dir;
   double cell_timeout_s = 0.0;
   std::vector<std::pair<std::string, std::string>> overrides;
@@ -80,12 +81,19 @@ int main(int argc, char** argv) {
       continue;
     }
     if (arg == "--jobs") {
-      if (i + 1 >= argc || std::atoi(argv[i + 1]) < 1) {
-        std::fprintf(stderr, "error: --jobs needs a positive integer\n%s",
+      // 0 = auto (all hardware threads); resolved once here so the sweep
+      // banner and meta.json record the concrete worker count.
+      if (i + 1 >= argc ||
+          std::string(argv[i + 1]).find_first_not_of("0123456789") !=
+              std::string::npos) {
+        std::fprintf(stderr,
+                     "error: --jobs needs a non-negative integer "
+                     "(0 = all hardware threads)\n%s",
                      kUsage);
         return 2;
       }
       jobs = std::atoi(argv[++i]);
+      if (jobs == 0) jobs = brisa::workload::auto_jobs();
       continue;
     }
     if (arg == "--spool") {
@@ -218,7 +226,10 @@ int main(int argc, char** argv) {
         continue;
       }
       brisa::workload::SweepOptions options;
-      options.jobs = jobs > 0 ? jobs : 1;
+      // Precedence: --jobs flag, then the scenario's `[sweep] jobs`
+      // (N or auto), then 1.
+      const int scenario_jobs = brisa::workload::sweep_jobs(scenario);
+      options.jobs = jobs > 0 ? jobs : scenario_jobs > 0 ? scenario_jobs : 1;
       options.spool_dir =
           spool_dir.empty() || files.size() == 1
               ? spool_dir

@@ -48,7 +48,7 @@ bool FaultPlan::partitioned(sim::TimePoint now, NodeId from, NodeId to) const {
 }
 
 LinkVerdict FaultPlan::link_verdict(sim::TimePoint now, NodeId from, NodeId to,
-                                    sim::Rng& rng) const {
+                                    sim::CounterRng& rng) const {
   if (partitioned(now, from, to)) return LinkVerdict::kBlackhole;
   for (const LossRule& rule : losses_) {
     if (!active(rule.from, rule.to, now)) continue;

@@ -130,7 +130,7 @@ class FaultPlan {
   /// win over loss rules; overlapping loss rules each roll independently.
   /// Consumes `rng` only for loss rules active on this link right now.
   [[nodiscard]] LinkVerdict link_verdict(sim::TimePoint now, NodeId from,
-                                         NodeId to, sim::Rng& rng) const;
+                                         NodeId to, sim::CounterRng& rng) const;
 
   /// Product of every active slow rule's factor on this link (1.0 when none).
   [[nodiscard]] double latency_factor(sim::TimePoint now, NodeId from,

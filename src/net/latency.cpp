@@ -27,7 +27,7 @@ double hashed_normal(std::uint64_t x) {
 }  // namespace
 
 sim::Duration ClusterLatencyModel::sample(NodeId /*from*/, NodeId /*to*/,
-                                          sim::Rng& rng) {
+                                          sim::CounterRng& rng) {
   const double jitter_us = rng.exponential(config_.jitter_mean_us);
   return config_.base_latency +
          sim::Duration::microseconds(static_cast<std::int64_t>(jitter_us));
@@ -65,7 +65,7 @@ sim::Duration PlanetLabLatencyModel::base(NodeId from, NodeId to) const {
 }
 
 sim::Duration PlanetLabLatencyModel::sample(NodeId from, NodeId to,
-                                            sim::Rng& rng) {
+                                            sim::CounterRng& rng) {
   const double jitter_ms = rng.exponential(config_.jitter_mean_ms);
   return base(from, to) +
          sim::Duration::microseconds(static_cast<std::int64_t>(jitter_ms * 1e3));
@@ -97,7 +97,7 @@ sim::Duration ClusteredWanLatencyModel::base(NodeId from, NodeId to) const {
 }
 
 sim::Duration ClusteredWanLatencyModel::sample(NodeId from, NodeId to,
-                                               sim::Rng& rng) {
+                                               sim::CounterRng& rng) {
   const double jitter_ms = rng.exponential(config_.jitter_mean_ms);
   return base(from, to) + sim::Duration::microseconds(
                               static_cast<std::int64_t>(jitter_ms * 1e3));
@@ -121,7 +121,7 @@ sim::Duration FatTreeLatencyModel::base(NodeId from, NodeId to) const {
 }
 
 sim::Duration FatTreeLatencyModel::sample(NodeId from, NodeId to,
-                                          sim::Rng& rng) {
+                                          sim::CounterRng& rng) {
   const double jitter_us = rng.exponential(config_.jitter_mean_us);
   return base(from, to) +
          sim::Duration::microseconds(static_cast<std::int64_t>(jitter_us));

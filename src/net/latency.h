@@ -6,6 +6,7 @@
 // same seed always produces the same network.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 
@@ -20,12 +21,21 @@ class LatencyModel {
   virtual ~LatencyModel() = default;
 
   /// One-way latency for a message from `from` to `to`, including jitter.
+  /// Draws jitter from the caller's stream — under sharded execution this is
+  /// the *sending host's* CounterRng, so draws are lane-local.
   [[nodiscard]] virtual sim::Duration sample(NodeId from, NodeId to,
-                                             sim::Rng& rng) = 0;
+                                             sim::CounterRng& rng) = 0;
 
   /// The stable (jitter-free) component, used by tests and by the
   /// point-to-point reference series in Fig 9.
   [[nodiscard]] virtual sim::Duration base(NodeId from, NodeId to) const = 0;
+
+  /// A guaranteed lower bound on sample(from, to, ...) over all *distinct*
+  /// host pairs: the conservative lookahead of the sharded event loop
+  /// (Network clamps cross-host flight times up to it, and the window
+  /// length derives from it). Self-delivery may be faster — it never
+  /// crosses a shard.
+  [[nodiscard]] virtual sim::Duration min_flight() const = 0;
 
   [[nodiscard]] virtual const char* name() const = 0;
 };
@@ -43,8 +53,11 @@ class ClusterLatencyModel final : public LatencyModel {
   explicit ClusterLatencyModel(Config config) : config_(config) {}
 
   [[nodiscard]] sim::Duration sample(NodeId from, NodeId to,
-                                     sim::Rng& rng) override;
+                                     sim::CounterRng& rng) override;
   [[nodiscard]] sim::Duration base(NodeId from, NodeId to) const override;
+  [[nodiscard]] sim::Duration min_flight() const override {
+    return config_.base_latency;
+  }
   [[nodiscard]] const char* name() const override { return "cluster"; }
 
  private:
@@ -77,8 +90,13 @@ class PlanetLabLatencyModel final : public LatencyModel {
   explicit PlanetLabLatencyModel(Config config) : config_(config) {}
 
   [[nodiscard]] sim::Duration sample(NodeId from, NodeId to,
-                                     sim::Rng& rng) override;
+                                     sim::CounterRng& rng) override;
   [[nodiscard]] sim::Duration base(NodeId from, NodeId to) const override;
+  /// base() keeps a 0.5 ms propagation floor for distinct pairs and access
+  /// penalties are strictly positive, so 500 µs is a true lower bound.
+  [[nodiscard]] sim::Duration min_flight() const override {
+    return sim::Duration::microseconds(500);
+  }
   [[nodiscard]] const char* name() const override { return "planetlab"; }
 
  private:
@@ -118,8 +136,12 @@ class ClusteredWanLatencyModel final : public LatencyModel {
   explicit ClusteredWanLatencyModel(Config config) : config_(config) {}
 
   [[nodiscard]] sim::Duration sample(NodeId from, NodeId to,
-                                     sim::Rng& rng) override;
+                                     sim::CounterRng& rng) override;
   [[nodiscard]] sim::Duration base(NodeId from, NodeId to) const override;
+  [[nodiscard]] sim::Duration min_flight() const override {
+    const double ms = std::min(config_.intra_ms, config_.inter_min_ms);
+    return sim::Duration::microseconds(static_cast<std::int64_t>(ms * 1e3));
+  }
   [[nodiscard]] const char* name() const override { return "clustered-wan"; }
 
   /// Deterministic cluster of a node (tests, analysis grouping).
@@ -152,8 +174,13 @@ class FatTreeLatencyModel final : public LatencyModel {
   explicit FatTreeLatencyModel(Config config) : config_(config) {}
 
   [[nodiscard]] sim::Duration sample(NodeId from, NodeId to,
-                                     sim::Rng& rng) override;
+                                     sim::CounterRng& rng) override;
   [[nodiscard]] sim::Duration base(NodeId from, NodeId to) const override;
+  [[nodiscard]] sim::Duration min_flight() const override {
+    const double us = std::min({config_.intra_rack_us, config_.intra_pod_us,
+                                config_.inter_pod_us});
+    return sim::Duration::microseconds(static_cast<std::int64_t>(us));
+  }
   [[nodiscard]] const char* name() const override { return "fat-tree"; }
 
  private:

@@ -6,14 +6,21 @@
 // materialized — the paper's payloads are opaque random bit strings, so only
 // their length matters.
 //
-// Messages are reference-counted intrusively (single-threaded: plain
-// integers, no atomics) and allocated from a per-type recycling pool (see
-// net/message_pool.h), so the steady-state send path performs no heap
-// allocation: a delivery holds a reference, fan-out shares one object across
-// receivers, and the storage returns to the pool when the last reference
-// drops.
+// Messages are reference-counted intrusively and allocated from a per-type
+// recycling pool (see net/message_pool.h), so the steady-state send path
+// performs no heap allocation: a delivery holds a reference, fan-out shares
+// one object across receivers, and the storage returns to the pool when the
+// last reference drops.
+//
+// The count is *conditionally* atomic: single-threaded runs (shards == 1,
+// sweeps, tests) pay plain relaxed load/store — identical codegen to a plain
+// integer — while sharded execution flips a sticky process-wide flag
+// (Message::enable_concurrent_refs) that upgrades every retain/release to a
+// real RMW, because one fan-out message is then referenced from several
+// shard threads at once.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -95,6 +102,11 @@ inline constexpr std::size_t kWireStreamBytes = 4;
 
 class Message {
  public:
+  Message() = default;
+  /// Copying a message copies its *content* only: the refcount and recycler
+  /// belong to the storage block and are (re)installed by the pool.
+  Message(const Message&) {}
+  Message& operator=(const Message&) { return *this; }
   virtual ~Message() = default;
 
   [[nodiscard]] virtual MessageKind kind() const = 0;
@@ -105,6 +117,14 @@ class Message {
 
   [[nodiscard]] virtual const char* name() const = 0;
 
+  /// Sticky: once any simulator in the process runs multi-shard, every
+  /// refcount op becomes a real atomic RMW. Called from serial setup code
+  /// (before worker threads touch any message); never unset, so a later
+  /// single-threaded run merely pays the (correct) atomic cost.
+  static void enable_concurrent_refs() {
+    concurrent_refs_.store(true, std::memory_order_relaxed);
+  }
+
  private:
   friend class MessageRef;
   template <typename T>
@@ -113,7 +133,27 @@ class Message {
   /// Destroys the object and returns its storage wherever it came from.
   using Recycler = void (*)(const Message*);
 
-  mutable std::uint32_t refs_ = 0;
+  void retain() const {
+    if (concurrent_refs_.load(std::memory_order_relaxed)) [[unlikely]] {
+      refs_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      refs_.store(refs_.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_relaxed);
+    }
+  }
+  /// Returns true when this call dropped the last reference.
+  [[nodiscard]] bool release_ref() const {
+    if (concurrent_refs_.load(std::memory_order_relaxed)) [[unlikely]] {
+      return refs_.fetch_sub(1, std::memory_order_acq_rel) == 1;
+    }
+    const std::uint32_t left = refs_.load(std::memory_order_relaxed) - 1;
+    refs_.store(left, std::memory_order_relaxed);
+    return left == 0;
+  }
+
+  static inline std::atomic<bool> concurrent_refs_{false};
+
+  mutable std::atomic<std::uint32_t> refs_{0};
   mutable Recycler recycler_ = nullptr;
 };
 
@@ -126,7 +166,7 @@ class MessageRef {
   constexpr MessageRef(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
 
   MessageRef(const MessageRef& other) : ptr_(other.ptr_) {
-    if (ptr_ != nullptr) ++ptr_->refs_;
+    if (ptr_ != nullptr) ptr_->retain();
   }
   MessageRef(MessageRef&& other) noexcept : ptr_(other.ptr_) {
     other.ptr_ = nullptr;
@@ -135,7 +175,7 @@ class MessageRef {
     if (this != &other) {
       release();
       ptr_ = other.ptr_;
-      if (ptr_ != nullptr) ++ptr_->refs_;
+      if (ptr_ != nullptr) ptr_->retain();
     }
     return *this;
   }
@@ -182,7 +222,7 @@ class MessageRef {
   friend class MessagePool;
 
   void release() {
-    if (ptr_ != nullptr && --ptr_->refs_ == 0) {
+    if (ptr_ != nullptr && ptr_->release_ref()) {
       if (ptr_->recycler_ != nullptr) {
         ptr_->recycler_(ptr_);
       } else {

@@ -57,7 +57,9 @@ class MessagePool {
     }
     T* object = new (block) T(std::forward<Args>(args)...);
     const Message* base = object;
-    base->refs_ = 1;
+    // Freshly constructed object: not yet visible to any other thread, so a
+    // relaxed store is enough even in concurrent-refs mode.
+    base->refs_.store(1, std::memory_order_relaxed);
     base->recycler_ = &recycle;
     MessageRef ref;
     ref.ptr_ = base;

@@ -1,5 +1,6 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/assert.h"
@@ -44,12 +45,19 @@ Network::Network(sim::Simulator& simulator,
     : simulator_(simulator),
       latency_(std::move(latency)),
       config_(config),
-      rng_(simulator.rng().split(0x4e7f00d)) {
+      rng_(simulator.rng().split(0x4e7f00d)),
+      host_key_base_(rng_.split(0x4057).next_u64()) {
   BRISA_ASSERT(latency_ != nullptr);
   BRISA_ASSERT(config_.upload_Bps > 0);
+  if (simulator_.shards() > 1) {
+    // Fan-out messages will be referenced from several shard threads.
+    Message::enable_concurrent_refs();
+  }
 }
 
 NodeId Network::add_host() {
+  BRISA_ASSERT_MSG(!simulator_.in_parallel_phase(),
+                   "add_host from a host-lane event");
   Host h;
   // A host created mid-run starts with idle NIC/CPU *now*, not at origin.
   h.nic_free_at = simulator_.now();
@@ -57,17 +65,28 @@ NodeId Network::add_host() {
   if (config_.rx_process_sigma > 0.0) {
     h.cpu_cost_factor = rng_.lognormal(0.0, config_.rx_process_sigma);
   }
+  const auto index = static_cast<std::uint32_t>(hosts_.size());
+  h.rng = sim::CounterRng::keyed(host_key_base_, index);
+  if (fault_plan_ != nullptr) {
+    h.fault_rng = sim::CounterRng::keyed(fault_key_base_, index);
+  }
   hosts_.push_back(std::move(h));
+  simulator_.register_host_lanes(static_cast<std::uint32_t>(hosts_.size()));
   ++alive_count_;
   alive_cache_valid_ = false;
-  const auto index = static_cast<std::uint32_t>(hosts_.size() - 1);
   if (fault_plan_ != nullptr) {
     fault_flags_.push_back(compute_fault_flags(index));
   }
-  return NodeId(index);
+  const NodeId node(index);
+  for (DeathListener* listener : death_listeners_) {
+    listener->on_host_added(node);
+  }
+  return node;
 }
 
 void Network::kill(NodeId node) {
+  BRISA_ASSERT_MSG(!simulator_.in_parallel_phase(),
+                   "kill from a host-lane event");
   Host& h = host(node);
   if (!h.alive) return;
   h.alive = false;
@@ -84,11 +103,13 @@ void Network::kill(NodeId node) {
 }
 
 void Network::suspend(NodeId node) {
+  BRISA_ASSERT_MSG(!simulator_.in_parallel_phase(),
+                   "suspend from a host-lane event");
   Host& h = host(node);
   if (!h.alive || h.is_suspended) return;
   h.is_suspended = true;
   ++suspended_count_;
-  ++fault_totals_.suspends;
+  ++suspends_;
   BRISA_DEBUG("net") << node << " suspended";
   for (DeathListener* listener : death_listeners_) {
     listener->on_host_suspended(node);
@@ -96,11 +117,13 @@ void Network::suspend(NodeId node) {
 }
 
 void Network::resume(NodeId node) {
+  BRISA_ASSERT_MSG(!simulator_.in_parallel_phase(),
+                   "resume from a host-lane event");
   Host& h = host(node);
   if (!h.alive || !h.is_suspended) return;
   h.is_suspended = false;
   --suspended_count_;
-  ++fault_totals_.resumes;
+  ++resumes_;
   BRISA_DEBUG("net") << node << " resumed";
   for (DeathListener* listener : death_listeners_) {
     listener->on_host_resumed(node);
@@ -124,8 +147,17 @@ bool Network::alive(NodeId node) const {
 }
 
 void Network::install_fault_plan(const FaultPlan* plan) {
+  BRISA_ASSERT_MSG(!simulator_.in_parallel_phase(),
+                   "install_fault_plan from a host-lane event");
   fault_plan_ = plan;
-  if (plan != nullptr) fault_rng_ = rng_.split(0xFA017);
+  if (plan != nullptr) {
+    // Key every host's fault stream only now: runs without a plan never
+    // consume this draw, so they reproduce pre-fault-layer behavior.
+    fault_key_base_ = rng_.split(0xFA017).next_u64();
+    for (std::uint32_t i = 0; i < hosts_.size(); ++i) {
+      hosts_[i].fault_rng = sim::CounterRng::keyed(fault_key_base_, i);
+    }
+  }
   rebuild_fault_flags();
 }
 
@@ -175,7 +207,10 @@ LinkVerdict Network::fault_verdict(NodeId from, NodeId to) {
   if ((flags & (kFaultPartition | kFaultLoss)) == 0) {
     return LinkVerdict::kDeliver;
   }
-  return fault_plan_->link_verdict(simulator_.now(), from, to, fault_rng_);
+  // Loss dice roll on the *sender's* stream: the verdict is computed from
+  // the sender's lane, and per-host streams keep the draw partition-free.
+  return fault_plan_->link_verdict(simulator_.now(), from, to,
+                                   hosts_[from.index()].fault_rng);
 }
 
 sim::Duration Network::fault_adjust(NodeId from, NodeId to,
@@ -198,13 +233,27 @@ void Network::note_fault(NodeId at, TrafficClass traffic_class,
   Host& h = host(at);
   if (verdict == LinkVerdict::kDrop) {
     h.stats.dropped_messages[tc] += 1;
-    ++(datagram ? fault_totals_.datagrams_dropped
-                : fault_totals_.segments_dropped);
+    ++(datagram ? h.faults.datagrams_dropped : h.faults.segments_dropped);
   } else if (verdict == LinkVerdict::kBlackhole) {
     h.stats.blackholed_messages[tc] += 1;
-    ++(datagram ? fault_totals_.datagrams_blackholed
-                : fault_totals_.segments_blackholed);
+    ++(datagram ? h.faults.datagrams_blackholed
+                : h.faults.segments_blackholed);
   }
+}
+
+Network::FaultTotals Network::fault_totals() const {
+  FaultTotals totals;
+  for (const Host& h : hosts_) {
+    totals.datagrams_dropped += h.faults.datagrams_dropped;
+    totals.datagrams_blackholed += h.faults.datagrams_blackholed;
+    totals.segments_dropped += h.faults.segments_dropped;
+    totals.segments_blackholed += h.faults.segments_blackholed;
+    totals.retransmissions += h.faults.retransmissions;
+    totals.rx_suppressed += h.faults.rx_suppressed;
+  }
+  totals.suspends = suspends_;
+  totals.resumes = resumes_;
+  return totals;
 }
 
 const std::vector<NodeId>& Network::alive_hosts() const {
@@ -235,10 +284,11 @@ void Network::send_datagram(NodeId from, NodeId to, MessagePtr message,
     note_fault(from, traffic_class, LinkVerdict::kBlackhole, /*datagram=*/true);
     return;
   }
+  Host& sender = hosts_[from.index()];
   const std::size_t wire_bytes = message->wire_size();
   const sim::TimePoint serialized =
-      nic_send_host(hosts_[from.index()], wire_bytes, traffic_class);
-  sim::Duration flight = latency_->sample(from, to, rng_);
+      nic_send_host(sender, wire_bytes, traffic_class);
+  sim::Duration flight = latency_->sample(from, to, sender.rng);
   if (fault_plan_ != nullptr) [[unlikely]] {
     // The packet left the sender (NIC charged above); loss happens in the
     // network.
@@ -248,6 +298,13 @@ void Network::send_datagram(NodeId from, NodeId to, MessagePtr message,
       return;
     }
     flight = fault_adjust(from, to, flight);
+  }
+  // Cross-host flight may never undercut the conservative window length
+  // (the latency models guarantee min_flight() >= lookahead; this floor is
+  // applied identically for every shard count, including 1, where it is a
+  // no-op because lookahead is also set there).
+  if (from != to && flight < simulator_.lookahead()) [[unlikely]] {
+    flight = simulator_.lookahead();
   }
   const sim::TimePoint arrival = serialized + flight;
   sim::DeliverEvent event;
@@ -270,7 +327,7 @@ void Network::on_deliver(const sim::DeliverEvent& event) {
   Host& h = hosts_[event.to];
   if (!h.alive) return;
   if (h.is_suspended) [[unlikely]] {
-    ++fault_totals_.rx_suppressed;
+    ++h.faults.rx_suppressed;
     return;
   }
   if (h.datagram_handler == nullptr) return;
@@ -311,11 +368,11 @@ sim::TimePoint Network::nic_send_host(Host& h, std::size_t wire_bytes,
       start + sim::Duration::microseconds(serialize_us);
   h.nic_free_at = done;
   const sim::Duration backlog = done - simulator_.now();
-  if (backlog > peak_nic_backlog_) peak_nic_backlog_ = backlog;
+  if (backlog > h.peak_nic_backlog) h.peak_nic_backlog = backlog;
   const auto tc = static_cast<std::size_t>(traffic_class);
   h.stats.up_bytes[tc] += total_bytes;
   h.stats.up_messages[tc] += 1;
-  ++messages_sent_;
+  ++h.messages_sent;
   return done;
 }
 
@@ -347,13 +404,15 @@ sim::TimePoint Network::cpu_deliver_host(Host& h, sim::TimePoint arrival,
   const double mean_us =
       (static_cast<double>(config_.rx_process_mean.us()) + size_us) *
       h.cpu_cost_factor;
+  // Receiver-stream draw: processing cost is rolled on the receiving
+  // host's lane.
   const auto cost = sim::Duration::microseconds(
-      static_cast<std::int64_t>(rng_.exponential(mean_us)) + 1);
+      static_cast<std::int64_t>(h.rng.exponential(mean_us)) + 1);
   const sim::TimePoint start = std::max(arrival, h.cpu_free_at);
   const sim::TimePoint done = start + cost;
   h.cpu_free_at = done;
   const sim::Duration backlog = done - arrival;
-  if (backlog > peak_cpu_backlog_) peak_cpu_backlog_ = backlog;
+  if (backlog > h.peak_cpu_backlog) h.peak_cpu_backlog = backlog;
   return done;
 }
 
@@ -375,8 +434,19 @@ BandwidthUsage Network::tx_usage(NodeId node) const {
   return BandwidthUsage::kNormal;
 }
 
-sim::Duration Network::sample_failure_detect_delay() {
-  const double jitter_us = rng_.exponential(
+sim::Duration Network::sample_flight(NodeId from, NodeId to) {
+  sim::Duration flight = latency_->sample(from, to, host(from).rng);
+  if (fault_plan_ != nullptr) [[unlikely]] {
+    flight = fault_adjust(from, to, flight);
+  }
+  if (from != to && flight < simulator_.lookahead()) [[unlikely]] {
+    flight = simulator_.lookahead();
+  }
+  return flight;
+}
+
+sim::Duration Network::sample_failure_detect_delay(NodeId at) {
+  const double jitter_us = host(at).rng.exponential(
       static_cast<double>(config_.failure_detect_jitter.us()));
   return config_.failure_detect_base +
          sim::Duration::microseconds(static_cast<std::int64_t>(jitter_us));
@@ -389,9 +459,29 @@ const BandwidthStats& Network::stats(NodeId node) const {
 }
 
 void Network::reset_stats() {
-  for (Host& h : hosts_) h.stats.reset();
-  peak_nic_backlog_ = sim::Duration::zero();
-  peak_cpu_backlog_ = sim::Duration::zero();
+  for (Host& h : hosts_) {
+    h.stats.reset();
+    h.peak_nic_backlog = sim::Duration::zero();
+    h.peak_cpu_backlog = sim::Duration::zero();
+  }
+}
+
+std::uint64_t Network::messages_sent() const {
+  std::uint64_t total = 0;
+  for (const Host& h : hosts_) total += h.messages_sent;
+  return total;
+}
+
+sim::Duration Network::peak_nic_backlog() const {
+  sim::Duration peak = sim::Duration::zero();
+  for (const Host& h : hosts_) peak = std::max(peak, h.peak_nic_backlog);
+  return peak;
+}
+
+sim::Duration Network::peak_cpu_backlog() const {
+  sim::Duration peak = sim::Duration::zero();
+  for (const Host& h : hosts_) peak = std::max(peak, h.peak_cpu_backlog);
+  return peak;
 }
 
 Network::Host& Network::host(NodeId node) {

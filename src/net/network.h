@@ -140,6 +140,10 @@ class Network : public sim::DeliverEvent::Sink {
     /// kill-only listeners unchanged.
     virtual void on_host_suspended(NodeId /*node*/) {}
     virtual void on_host_resumed(NodeId /*node*/) {}
+    /// A host joined the network (always from a serial phase). Layers that
+    /// keep per-host tables (Transport) presize them here, so host-lane
+    /// events never grow shared containers.
+    virtual void on_host_added(NodeId /*node*/) {}
   };
   void add_death_listener(DeathListener* listener) {
     death_listeners_.push_back(listener);
@@ -170,7 +174,10 @@ class Network : public sim::DeliverEvent::Sink {
   void note_fault(NodeId at, TrafficClass traffic_class, LinkVerdict verdict,
                   bool datagram);
 
-  /// Network-wide fault counters (tests, analysis reports).
+  /// Network-wide fault counters (tests, analysis reports). Link-level
+  /// fields are kept per host (they are bumped from host-lane events, which
+  /// run in parallel under sharding) and aggregated here on read; suspends/
+  /// resumes are serial-phase-only and stay global.
   struct FaultTotals {
     std::uint64_t datagrams_dropped = 0;
     std::uint64_t datagrams_blackholed = 0;
@@ -183,11 +190,10 @@ class Network : public sim::DeliverEvent::Sink {
 
     bool operator==(const FaultTotals&) const = default;
   };
-  [[nodiscard]] const FaultTotals& fault_totals() const {
-    return fault_totals_;
-  }
-  void note_retransmission() { ++fault_totals_.retransmissions; }
-  void note_rx_suppressed() { ++fault_totals_.rx_suppressed; }
+  /// Aggregated by value — O(hosts), report/test cadence only.
+  [[nodiscard]] FaultTotals fault_totals() const;
+  void note_retransmission(NodeId at) { ++host(at).faults.retransmissions; }
+  void note_rx_suppressed(NodeId at) { ++host(at).faults.rx_suppressed; }
 
   // --- Datagrams ----------------------------------------------------------
 
@@ -221,7 +227,14 @@ class Network : public sim::DeliverEvent::Sink {
                              std::size_t wire_bytes);
 
   /// Sampled delay until a peer notices this host's death (transport level).
-  sim::Duration sample_failure_detect_delay();
+  /// Drawn from `at`'s stream: the draw happens on that host's lane.
+  sim::Duration sample_failure_detect_delay(NodeId at);
+
+  /// One-way flight latency `from` -> `to`: latency-model sample (drawn from
+  /// the sender's stream), slow-rule adjustment, and the same cross-host
+  /// lookahead floor as send_datagram. Used by the transport for reliable
+  /// segments.
+  [[nodiscard]] sim::Duration sample_flight(NodeId from, NodeId to);
 
   // --- Adaptive rate control (sender-side congestion signal) ---------------
 
@@ -239,13 +252,10 @@ class Network : public sim::DeliverEvent::Sink {
 
   /// Peak backlog instrumentation (always tracked; it only feeds reports):
   /// the largest NIC serialization queue and receive-CPU queue observed at
-  /// any host since construction / the last reset_stats().
-  [[nodiscard]] sim::Duration peak_nic_backlog() const {
-    return peak_nic_backlog_;
-  }
-  [[nodiscard]] sim::Duration peak_cpu_backlog() const {
-    return peak_cpu_backlog_;
-  }
+  /// any host since construction / the last reset_stats(). Tracked per host
+  /// (the hot paths run on host lanes) and max-reduced on read.
+  [[nodiscard]] sim::Duration peak_nic_backlog() const;
+  [[nodiscard]] sim::Duration peak_cpu_backlog() const;
 
   // --- Accessors ----------------------------------------------------------
 
@@ -259,7 +269,9 @@ class Network : public sim::DeliverEvent::Sink {
   void reset_stats();
 
   /// Messages that finished NIC serialization, network-wide (tests).
-  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+  /// Summed over the per-host counters; unlike stats(), not cleared by
+  /// reset_stats().
+  [[nodiscard]] std::uint64_t messages_sent() const;
 
  private:
   /// Delivery stages encoded in DeliverEvent::tag.
@@ -271,6 +283,11 @@ class Network : public sim::DeliverEvent::Sink {
   // sim::DeliverEvent::Sink
   void on_deliver(const sim::DeliverEvent& event) override;
 
+  /// Per-host state. Everything mutated on the steady-state send/receive
+  /// paths lives here, because those paths execute on the host's lane —
+  /// possibly in parallel with other hosts' lanes under sharded execution.
+  /// Membership flags (alive/is_suspended) are written only from serial
+  /// phases and merely read from host lanes.
   struct Host {
     bool alive = true;
     bool is_suspended = false;
@@ -278,7 +295,19 @@ class Network : public sim::DeliverEvent::Sink {
     sim::TimePoint cpu_free_at = sim::TimePoint::origin();
     double cpu_cost_factor = 1.0;
     DatagramHandler* datagram_handler = nullptr;
+    /// Lane-local draw stream (latency jitter as sender, rx cost as
+    /// receiver, failure-detect jitter): a pure function of (key, #draws
+    /// this host made), so partition-independent.
+    sim::CounterRng rng;
+    /// Lane-local fault dice (loss rules roll on the sender's lane).
+    /// Keyed only while a fault plan is installed.
+    sim::CounterRng fault_rng;
     BandwidthStats stats;
+    /// This host's share of the link-level FaultTotals fields.
+    FaultTotals faults;
+    std::uint64_t messages_sent = 0;
+    sim::Duration peak_nic_backlog = sim::Duration::zero();
+    sim::Duration peak_cpu_backlog = sim::Duration::zero();
   };
 
   Host& host(NodeId node);
@@ -308,21 +337,24 @@ class Network : public sim::DeliverEvent::Sink {
   sim::Simulator& simulator_;
   std::unique_ptr<LatencyModel> latency_;
   Config config_;
+  /// Setup-only stream (cpu cost factors, key derivation). Never drawn from
+  /// a host lane — hot-path draws use the per-host CounterRng streams.
   sim::Rng rng_;
-  /// Seeded from rng_ at install_fault_plan time: faults get their own
-  /// stream, and runs without a plan never touch it.
-  sim::Rng fault_rng_{0};
+  /// Base key of the per-host draw streams, derived once at construction.
+  std::uint64_t host_key_base_ = 0;
+  /// Base key of the per-host fault streams; drawn at install_fault_plan
+  /// time so runs without a plan reproduce pre-fault-layer behavior.
+  std::uint64_t fault_key_base_ = 0;
   const FaultPlan* fault_plan_ = nullptr;
-  FaultTotals fault_totals_;
   std::vector<Host> hosts_;
   /// Indexed by host; rebuilt at install_fault_plan, extended by add_host.
   std::vector<std::uint8_t> fault_flags_;
   std::size_t alive_count_ = 0;
   std::size_t suspended_count_ = 0;
+  /// Serial-phase fault-plan lifecycle counts (see FaultTotals).
+  std::uint64_t suspends_ = 0;
+  std::uint64_t resumes_ = 0;
   std::vector<DeathListener*> death_listeners_;
-  std::uint64_t messages_sent_ = 0;
-  sim::Duration peak_nic_backlog_ = sim::Duration::zero();
-  sim::Duration peak_cpu_backlog_ = sim::Duration::zero();
   /// alive_hosts() cache; invalidated by add_host/kill.
   mutable std::vector<NodeId> alive_cache_;
   mutable bool alive_cache_valid_ = false;

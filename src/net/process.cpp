@@ -7,13 +7,16 @@ bool Process::alive_gate(const void* ctx, std::uint32_t arg) {
 }
 
 sim::EventId Process::after(sim::Duration delay, sim::Callback fn) {
-  return simulator().after_gated(delay, &Process::alive_gate, &network_,
-                                 id_.index(), std::move(fn));
+  // Host-lane timer: fires on this host's shard under sharded execution.
+  return simulator().after_host_gated(id_.index(), delay,
+                                      &Process::alive_gate, &network_,
+                                      id_.index(), std::move(fn));
 }
 
 sim::PeriodicId Process::every(sim::Duration period, sim::Callback fn) {
-  return simulator().every_gated(period, &Process::alive_gate, &network_,
-                                 id_.index(), std::move(fn));
+  return simulator().every_host_gated(id_.index(), period,
+                                      &Process::alive_gate, &network_,
+                                      id_.index(), std::move(fn));
 }
 
 }  // namespace brisa::net

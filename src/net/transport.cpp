@@ -23,209 +23,346 @@ const char* to_string(CloseReason reason) {
 
 Transport::Transport(Network& network) : network_(network) {
   network_.add_death_listener(this);
+  hosts_.resize(network_.host_count());
 }
 
+void Transport::ensure_host(std::uint32_t index) {
+  if (index >= hosts_.size()) hosts_.resize(index + 1);
+}
+
+void Transport::on_host_added(NodeId node) { ensure_host(node.index()); }
+
 void Transport::bind(NodeId node, TransportHandler* handler) {
-  if (node.index() >= handlers_.size()) {
-    handlers_.resize(node.index() + 1, nullptr);
-  }
-  handlers_[node.index()] = handler;
+  ensure_host(node.index());
+  hosts_[node.index()].handler = handler;
 }
 
 TransportHandler* Transport::handler_of(NodeId node) {
-  return node.index() < handlers_.size() ? handlers_[node.index()] : nullptr;
+  return node.index() < hosts_.size() ? hosts_[node.index()].handler : nullptr;
 }
 
-// --- Connection slab ---------------------------------------------------------
+// --- Half slab ---------------------------------------------------------------
 
-ConnectionId Transport::allocate_connection() {
+ConnectionId Transport::allocate_half(NodeId at) {
+  HostState& hs = hosts_[at.index()];
   std::uint32_t slot;
-  if (free_head_ != 0xffffffff) {
-    slot = free_head_;
-    free_head_ = slots_[slot].next_free;
+  if (hs.free_head != kNil) {
+    slot = hs.free_head;
+    hs.free_head = hs.slots[slot].next_free;
   } else {
-    slot = static_cast<std::uint32_t>(slots_.size());
-    slots_.emplace_back();
+    slot = static_cast<std::uint32_t>(hs.slots.size());
+    hs.slots.emplace_back();
   }
-  ConnSlot& s = slots_[slot];
-  s.conn = Connection{};
+  BRISA_ASSERT_MSG(slot + 1 < (1u << kSlotBits), "per-host half slab full");
+  HalfSlot& s = hs.slots[slot];
+  s.half = Half{};
   s.open = true;
-  s.next_free = 0xffffffff;
-  return (static_cast<ConnectionId>(s.gen) << 32) |
-         static_cast<ConnectionId>(slot + 1);
+  s.next_free = kNil;
+  return pack_id(at.index(), slot, s.gen);
 }
 
-void Transport::erase_connection(ConnectionId conn) {
+void Transport::erase_half(ConnectionId conn) {
+  if (conn == kInvalidConnectionId) return;
+  const std::uint32_t hidx = host_of(conn);
+  if (hidx >= hosts_.size()) return;
+  HostState& hs = hosts_[hidx];
   const std::uint32_t slot = slot_of(conn);
-  if (slot >= slots_.size()) return;
-  ConnSlot& s = slots_[slot];
+  if (slot >= hs.slots.size()) return;
+  HalfSlot& s = hs.slots[slot];
   if (!s.open || s.gen != gen_of(conn)) return;  // already erased
   s.open = false;
   // Bumping the generation invalidates every outstanding handle; 0 would
-  // collide with kInvalidConnectionId's encoding, so skip it on wraparound.
-  s.gen = s.gen + 1 == 0 ? 1 : s.gen + 1;
-  s.next_free = free_head_;
-  free_head_ = slot;
+  // make pack_id collide with a gen-0 encoding, so skip it on wraparound.
+  s.gen = (s.gen + 1) & ((1u << kGenBits) - 1);
+  if (s.gen == 0) s.gen = 1;
+  s.next_free = hs.free_head;
+  hs.free_head = slot;
 }
 
-void Transport::track(NodeId node, ConnectionId conn) {
-  if (node.index() >= by_host_.size()) by_host_.resize(node.index() + 1);
-  by_host_[node.index()].push_back(conn);
+Transport::Half* Transport::find(ConnectionId conn) {
+  if (conn == kInvalidConnectionId) return nullptr;
+  const std::uint32_t hidx = host_of(conn);
+  if (hidx >= hosts_.size()) return nullptr;
+  HostState& hs = hosts_[hidx];
+  const std::uint32_t slot = slot_of(conn);
+  if (slot >= hs.slots.size()) return nullptr;
+  HalfSlot& s = hs.slots[slot];
+  if (!s.open || s.gen != gen_of(conn)) return nullptr;
+  return &s.half;
 }
 
-void Transport::untrack(NodeId node, ConnectionId conn) {
-  if (node.index() >= by_host_.size()) return;
-  auto& conns = by_host_[node.index()];
-  for (auto it = conns.begin(); it != conns.end(); ++it) {
-    if (*it == conn) {
-      conns.erase(it);
-      return;
+const Transport::Half* Transport::find(ConnectionId conn) const {
+  return const_cast<Transport*>(this)->find(conn);
+}
+
+Transport::Half* Transport::find_by_peer_half(NodeId at,
+                                              ConnectionId peer_half,
+                                              ConnectionId* id_out) {
+  if (peer_half == kInvalidConnectionId || at.index() >= hosts_.size()) {
+    return nullptr;
+  }
+  HostState& hs = hosts_[at.index()];
+  // peer_half is generation-tagged and therefore globally unique, so the
+  // first match is the only one.
+  for (std::uint32_t slot = 0; slot < hs.slots.size(); ++slot) {
+    HalfSlot& s = hs.slots[slot];
+    if (s.open && s.half.peer_half == peer_half) {
+      *id_out = pack_id(at.index(), slot, s.gen);
+      return &s.half;
     }
   }
+  return nullptr;
 }
+
+// --- Handshake ---------------------------------------------------------------
 
 ConnectionId Transport::connect(NodeId from, NodeId to) {
   BRISA_ASSERT_MSG(from != to, "self-connection");
   BRISA_ASSERT_MSG(network_.alive(from), "dead host calling connect");
   if (network_.suspended(from)) {
     // Frozen initiator: the SYN never leaves; resolve as a refusal once the
-    // host wakes. No connection record is needed — the id is allocated and
-    // immediately retired, so it is unique but never live.
-    const ConnectionId conn = allocate_connection();
-    erase_connection(conn);
+    // host wakes. The id is allocated and immediately retired, so it is
+    // unique but never live.
+    const ConnectionId conn = allocate_half(from);
+    erase_half(conn);
     network_.note_fault(from, TrafficClass::kMembership,
                         LinkVerdict::kBlackhole, /*datagram=*/false);
-    notify_endpoint_failure(conn, from, to, CloseReason::kRefused);
+    schedule_failure_notice(from, conn, to, CloseReason::kRefused);
     return conn;
   }
-  const ConnectionId conn = allocate_connection();
+  const ConnectionId conn = allocate_half(from);
+  Half* h = find(conn);
+  h->peer = to;
+  h->state = State::kSynSent;
+  h->initiated = true;
 
   // SYN: from -> to, subject to the fault layer.
-  const std::optional<sim::TimePoint> syn_arrival = transmit_segment(
+  const std::optional<sim::TimePoint> syn_sent = transmit_segment(
       from, to, kControlSegmentBytes, TrafficClass::kMembership);
-  if (!syn_arrival) {
+  if (!syn_sent) {
     // Partitioned link: SYN vanishes, initiator times out.
-    erase_connection(conn);
-    notify_endpoint_failure(conn, from, to, CloseReason::kRefused);
+    erase_half(conn);
+    schedule_failure_notice(from, conn, to, CloseReason::kRefused);
     return conn;
   }
-
-  slots_[slot_of(conn)].conn =
-      Connection{from, to, State::kConnecting, sim::TimePoint::origin(),
-                 sim::TimePoint::origin()};
-  track(from, conn);
-  track(to, conn);
-
-  sim::Simulator& simulator = network_.simulator();
-  simulator.at(*syn_arrival, [this, conn, from, to]() {
-    Connection* c = find(conn);
-    if (c == nullptr || c->state == State::kClosed) return;
-    sim::Simulator& sim2 = network_.simulator();
-    if (!network_.responsive(to)) {
-      // Dead or frozen acceptor: initiator sees a refusal after its
-      // detection delay.
-      mark_closed(conn);
-      erase_connection(conn);
-      notify_endpoint_failure(conn, from, to, CloseReason::kRefused);
-      return;
-    }
-    network_.charge_receive(to, kControlSegmentBytes,
-                            TrafficClass::kMembership);
-    // Acceptor considers the connection up as soon as it replies SYN-ACK.
-    c->state = State::kEstablished;
-    if (TransportHandler* h = handler_of(to)) {
-      h->on_connection_up(conn, from, /*initiated=*/false);
-    }
-    // SYN-ACK: to -> from.
-    Connection* c_after = find(conn);
-    if (c_after == nullptr || c_after->state == State::kClosed) return;
-    if (!network_.responsive(to)) return;  // acceptor died inside the callback
-    const std::optional<sim::TimePoint> ack_arrival = transmit_segment(
-        to, from, kControlSegmentBytes, TrafficClass::kMembership);
-    if (!ack_arrival) {
-      // SYN-ACK lost to a partition: the half-open connection breaks — the
-      // acceptor (already up) sees a failure, the initiator a failed dial.
-      break_connection(conn);
-      return;
-    }
-    sim2.at(*ack_arrival, [this, conn, from, to]() {
-      Connection* c2 = find(conn);
-      if (c2 == nullptr || c2->state != State::kEstablished) return;
-      if (!network_.responsive(from)) return;  // initiator died meanwhile
-      network_.charge_receive(from, kControlSegmentBytes,
-                              TrafficClass::kMembership);
-      if (TransportHandler* h = handler_of(from)) {
-        h->on_connection_up(conn, to, /*initiated=*/true);
-      }
-    });
-  });
+  // The SYN shares the outbound FIFO clamp with data and FIN, so teardown
+  // segments of a later connection cannot overtake it.
+  const sim::TimePoint syn_arrival = clamp_fifo(*h, *syn_sent);
+  network_.simulator().at_host(
+      to.index(), syn_arrival,
+      [this, conn, from, to]() { handle_syn(conn, from, to); });
   return conn;
 }
 
-void Transport::close(ConnectionId conn, NodeId closer) {
-  Connection* c = find(conn);
-  if (c == nullptr || c->state == State::kClosed) return;
-  const NodeId peer = peer_of(conn, closer);
-  // FIN: closer -> peer. Must not overtake data already in flight on this
-  // direction, so it shares the per-direction FIFO clamp with send().
-  if (!network_.responsive(closer)) {
-    mark_closed(conn);
+void Transport::handle_syn(ConnectionId initiator_half, NodeId from,
+                           NodeId to) {
+  if (!network_.responsive(to)) {
+    // Dead or frozen acceptor: initiator sees a refusal after its detection
+    // delay.
+    schedule_remote_sever(from, initiator_half, to, CloseReason::kRefused,
+                          network_.simulator().lookahead());
     return;
   }
+  network_.charge_receive(to, kControlSegmentBytes, TrafficClass::kMembership);
+  const ConnectionId b_id = allocate_half(to);
+  Half* b = find(b_id);
+  b->peer = from;
+  b->peer_half = initiator_half;
+  b->state = State::kEstablished;
+  b->initiated = false;
+
+  // SYN-ACK: to -> from, transmitted *before* the acceptor's handler runs:
+  // the FIFO clamp then orders it ahead of anything the handler does to the
+  // fresh connection (data, or even an immediate FIN), so the initiator
+  // always learns the acceptor's half id first.
+  const std::optional<sim::TimePoint> ack_sent = transmit_segment(
+      to, from, kControlSegmentBytes, TrafficClass::kMembership);
+  if (!ack_sent) {
+    // SYN-ACK lost to a partition: the acceptor never saw the connection
+    // (no callback fired yet), so retire its half silently; the initiator
+    // sees a failed dial.
+    erase_half(b_id);
+    schedule_remote_sever(from, initiator_half, to, CloseReason::kRefused,
+                          network_.simulator().lookahead());
+    return;
+  }
+  const sim::TimePoint ack_arrival = clamp_fifo(*b, *ack_sent);
+  network_.simulator().at_host(
+      from.index(), ack_arrival,
+      [this, initiator_half, b_id, from, to]() {
+        handle_syn_ack(initiator_half, b_id, from, to);
+      });
+  // Acceptor considers the connection up as soon as it replied SYN-ACK.
+  if (TransportHandler* h = handler_of(to)) {
+    h->on_connection_up(b_id, from, /*initiated=*/false);
+  }
+}
+
+void Transport::handle_syn_ack(ConnectionId initiator_half,
+                               ConnectionId acceptor_half, NodeId from,
+                               NodeId to) {
+  Half* a = find(initiator_half);
+  if (a == nullptr || a->state != State::kSynSent) {
+    // The dial is gone (initiator killed or frozen meanwhile: the serial
+    // teardown erased its halves, and a still-kSynSent half has no
+    // peer_half for that teardown to sever). Tell the acceptor, which
+    // already considers the connection up.
+    schedule_remote_sever(to, acceptor_half, from, CloseReason::kPeerFailure,
+                          network_.simulator().lookahead());
+    return;
+  }
+  network_.charge_receive(from, kControlSegmentBytes,
+                          TrafficClass::kMembership);
+  a->state = State::kEstablished;
+  a->peer_half = acceptor_half;
+  if (TransportHandler* h = handler_of(from)) {
+    h->on_connection_up(initiator_half, to, /*initiated=*/true);
+  }
+}
+
+// --- Teardown ----------------------------------------------------------------
+
+void Transport::close(ConnectionId conn, NodeId closer) {
+  Half* h = find(conn);
+  if (h == nullptr || h->state == State::kClosed) return;
+  BRISA_ASSERT_MSG(host_of(conn) == closer.index(), "close: not the owner");
+  const NodeId peer = h->peer;
+  if (!network_.responsive(closer)) {
+    h->state = State::kClosed;
+    erase_half(conn);
+    return;
+  }
+  // FIN: closer -> peer. Shares the per-direction FIFO clamp with send(),
+  // so it cannot overtake data (or the SYN-ACK) already in flight.
   const std::optional<sim::TimePoint> fin_sent = transmit_segment(
       closer, peer, kControlSegmentBytes, TrafficClass::kMembership);
   if (!fin_sent) {
     // FIN vanished into the partition: the peer sees a failure after its
     // detection delay (RST-on-timeout) instead of a graceful close; the
     // closer needs no callback (it already knows).
-    sever(conn, /*notify_initiator=*/peer == c->initiator,
-          /*notify_acceptor=*/peer == c->acceptor);
+    const ConnectionId peer_half = h->peer_half;
+    h->state = State::kClosed;
+    erase_half(conn);
+    if (peer_half != kInvalidConnectionId && network_.alive(peer)) {
+      schedule_remote_sever(peer, peer_half, closer,
+                            CloseReason::kPeerFailure,
+                            network_.simulator().lookahead());
+    }
     return;
   }
-  sim::TimePoint fin_arrival = *fin_sent;
-  sim::TimePoint& last = (peer == c->initiator)
-                             ? c->last_delivery_to_initiator
-                             : c->last_delivery_to_acceptor;
-  if (fin_arrival <= last) fin_arrival = last + sim::Duration::microseconds(1);
-  last = fin_arrival;
-  mark_closed(conn);
-  network_.simulator().at(fin_arrival, [this, conn, peer, closer]() {
-    if (!network_.alive(peer)) return;
-    if (network_.suspended(peer)) {
-      // Frozen receiver: the FIN is lost, but the close still happened —
-      // queue the notice so the peer learns at resume, and release the
-      // record now.
-      network_.note_rx_suppressed();
-      queue_resume_notice(peer, {conn, closer, CloseReason::kRemoteClose});
-      erase_connection(conn);
-      return;
-    }
-    network_.charge_receive(peer, kControlSegmentBytes,
-                            TrafficClass::kMembership);
-    Connection* c2 = find(conn);
-    // mark_closed already ran; notify the peer exactly once via the map of
-    // closed-but-not-yet-notified connections: the entry is erased after
-    // notification.
-    if (c2 == nullptr) return;
-    if (TransportHandler* h = handler_of(peer)) {
-      const NodeId other = peer_of(conn, peer);
-      h->on_connection_down(conn, other, CloseReason::kRemoteClose);
-    }
-    erase_connection(conn);
-  });
+  const sim::TimePoint fin_arrival = clamp_fifo(*h, *fin_sent);
+  h->state = State::kClosed;
+  // Inbound segments still in flight reference this half (checked at
+  // arrival); keep the slot until the FIN has reached the peer's side.
+  network_.simulator().at_host(closer.index(), fin_arrival,
+                               [this, conn]() { erase_half(conn); });
+  network_.simulator().at_host(
+      peer.index(), fin_arrival,
+      [this, peer, closer, conn]() { handle_fin(peer, closer, conn); });
 }
+
+void Transport::handle_fin(NodeId peer, NodeId closer,
+                           ConnectionId closer_half) {
+  if (!network_.alive(peer)) return;
+  if (network_.suspended(peer)) {
+    // Frozen receiver: the FIN is lost, but the freeze itself already
+    // severed the peer's half and queued its resume notice.
+    network_.note_rx_suppressed(peer);
+    return;
+  }
+  network_.charge_receive(peer, kControlSegmentBytes,
+                          TrafficClass::kMembership);
+  ConnectionId b_id = kInvalidConnectionId;
+  Half* b = find_by_peer_half(peer, closer_half, &b_id);
+  if (b == nullptr) return;  // already severed locally
+  if (b->state == State::kClosed) return;  // simultaneous close: peer knows
+  if (TransportHandler* h = handler_of(peer)) {
+    h->on_connection_down(b_id, closer, CloseReason::kRemoteClose);
+  }
+  erase_half(b_id);
+}
+
+void Transport::break_connection(ConnectionId conn) {
+  Half* h = find(conn);
+  if (h == nullptr || h->state == State::kClosed) return;
+  const NodeId me(host_of(conn));
+  const NodeId peer = h->peer;
+  const ConnectionId peer_half = h->peer_half;
+  // The record stays (closed) until the local notice fires, admitting
+  // segments already in flight toward us — TCP delivers bytes on the wire.
+  h->state = State::kClosed;
+  schedule_failure_notice(me, conn, peer, CloseReason::kPeerFailure);
+  if (peer_half != kInvalidConnectionId && network_.alive(peer)) {
+    schedule_remote_sever(peer, peer_half, me, CloseReason::kPeerFailure,
+                          network_.simulator().lookahead());
+  }
+}
+
+void Transport::schedule_failure_notice(NodeId at, ConnectionId conn,
+                                        NodeId peer, CloseReason reason) {
+  if (!network_.alive(at)) {
+    erase_half(conn);
+    return;
+  }
+  if (network_.suspended(at)) {
+    queue_resume_notice(at, {conn, peer, reason});
+    erase_half(conn);
+    return;
+  }
+  const sim::Duration detect = network_.sample_failure_detect_delay(at);
+  network_.simulator().after_host(
+      at.index(), detect, [this, conn, at, peer, reason]() {
+        if (!network_.alive(at)) {
+          erase_half(conn);
+          return;
+        }
+        if (network_.suspended(at)) {
+          // Frozen during the detection window: deliver the notice at
+          // resume instead of dropping it.
+          queue_resume_notice(at, {conn, peer, reason});
+          erase_half(conn);
+          return;
+        }
+        if (TransportHandler* h = handler_of(at)) {
+          h->on_connection_down(conn, peer, reason);
+        }
+        erase_half(conn);
+      });
+}
+
+void Transport::schedule_remote_sever(NodeId target, ConnectionId target_half,
+                                      NodeId peer, CloseReason reason,
+                                      sim::Duration delay) {
+  // The delay is passed in, never derived from the execution phase: lane
+  // events use the lookahead (cross-lane discipline), serial phases zero.
+  // Both are shard-count-invariant.
+  network_.simulator().at_host(
+      target.index(), network_.simulator().now() + delay,
+      [this, target, target_half, peer, reason]() {
+        handle_remote_sever(target, target_half, peer, reason);
+      });
+}
+
+void Transport::handle_remote_sever(NodeId target, ConnectionId target_half,
+                                    NodeId peer, CloseReason reason) {
+  Half* h = find(target_half);
+  if (h == nullptr || h->state == State::kClosed) return;
+  h->state = State::kClosed;
+  schedule_failure_notice(target, target_half, peer, reason);
+}
+
+// --- Data path ---------------------------------------------------------------
 
 bool Transport::send(ConnectionId conn, NodeId sender, MessagePtr message,
                      TrafficClass traffic_class) {
   BRISA_ASSERT(message != nullptr);
-  Connection* c = find(conn);
-  if (c == nullptr || c->state != State::kEstablished) return false;
-  if (sender != c->initiator && sender != c->acceptor) return false;
-  // No suspension check needed: suspending a host break_connection-closes
-  // every one of its connections, so the established check above already
-  // rejects sends involving frozen endpoints.
+  if (host_of(conn) != sender.index()) return false;
+  Half* h = find(conn);
+  if (h == nullptr || h->state != State::kEstablished) return false;
+  // No suspension check needed: suspending a host severs every one of its
+  // halves, so the established check above already rejects frozen senders.
   if (!network_.alive(sender)) return false;
-  const NodeId receiver = peer_of(conn, sender);
+  const NodeId receiver = h->peer;
 
   const std::size_t wire_bytes = message->wire_size();
   const std::optional<sim::TimePoint> sent =
@@ -238,46 +375,40 @@ bool Transport::send(ConnectionId conn, NodeId sender, MessagePtr message,
     break_connection(conn);
     return true;
   }
-  sim::Simulator& simulator = network_.simulator();
-  sim::TimePoint arrival = *sent;
   // FIFO per direction: a message may not overtake its predecessors.
-  sim::TimePoint& last = (receiver == c->initiator)
-                             ? c->last_delivery_to_initiator
-                             : c->last_delivery_to_acceptor;
-  if (arrival <= last) arrival = last + sim::Duration::microseconds(1);
-  last = arrival;
+  const sim::TimePoint arrival = clamp_fifo(*h, *sent);
 
   // In-flight data outlives a graceful close (TCP delivers bytes already on
-  // the wire), so delivery only checks that the connection record still
+  // the wire), so delivery only checks that the receiver's half still
   // exists and the receiver is alive — not that the state is established.
   sim::DeliverEvent event;
   event.sink = this;
   event.token = const_cast<void*>(static_cast<const void*>(message.detach()));
   event.drop_token = &release_message_token;
-  event.id = conn;
+  event.id = h->peer_half;
   event.from = sender.index();
   event.to = receiver.index();
   event.bytes = static_cast<std::uint32_t>(wire_bytes);
   event.tag = kSegmentArrival;
   event.tclass = static_cast<std::uint16_t>(traffic_class);
-  simulator.at_deliver(arrival, event);
+  network_.simulator().at_deliver(arrival, event);
   return true;
 }
 
 void Transport::on_deliver(const sim::DeliverEvent& event) {
   MessagePtr message =
       MessageRef::attach(static_cast<const Message*>(event.token));
-  const ConnectionId conn = event.id;
+  const ConnectionId conn = event.id;  // the receiver's own half
   const NodeId sender(event.from);
   const NodeId receiver(event.to);
   if (!network_.alive(receiver)) return;
   if (network_.suspended(receiver)) {
-    network_.note_rx_suppressed();
+    network_.note_rx_suppressed(receiver);
     return;
   }
   if (event.tag == kSegmentArrival) {
     // The record gates only the wire stage: once the bytes have arrived
-    // (receive charged below), a subsequent record erase must not eat the
+    // (receive charged below), a subsequent half erase must not eat the
     // message while it sits in the CPU queue.
     if (find(conn) == nullptr) return;
     network_.charge_receive(receiver, event.bytes,
@@ -298,27 +429,31 @@ void Transport::on_deliver(const sim::DeliverEvent& event) {
   }
 }
 
+// --- Queries -----------------------------------------------------------------
 
 bool Transport::established(ConnectionId conn) const {
-  const Connection* c = find(conn);
-  return c != nullptr && c->state == State::kEstablished;
+  const Half* h = find(conn);
+  return h != nullptr && h->state == State::kEstablished;
 }
 
 NodeId Transport::peer_of(ConnectionId conn, NodeId self) const {
-  const Connection* c = find(conn);
-  BRISA_ASSERT_MSG(c != nullptr, "peer_of on unknown connection");
-  BRISA_ASSERT_MSG(self == c->initiator || self == c->acceptor,
-                   "peer_of: not an endpoint");
-  return self == c->initiator ? c->acceptor : c->initiator;
+  const Half* h = find(conn);
+  BRISA_ASSERT_MSG(h != nullptr, "peer_of on unknown connection");
+  BRISA_ASSERT_MSG(host_of(conn) == self.index(), "peer_of: not the owner");
+  return h->peer;
 }
 
 std::size_t Transport::open_connections() const {
   std::size_t open = 0;
-  for (const ConnSlot& s : slots_) {
-    if (s.open && s.conn.state != State::kClosed) ++open;
+  for (const HostState& hs : hosts_) {
+    for (const HalfSlot& s : hs.slots) {
+      if (s.open && s.half.state != State::kClosed) ++open;
+    }
   }
   return open;
 }
+
+// --- Segments ----------------------------------------------------------------
 
 std::optional<sim::TimePoint> Transport::transmit_segment(
     NodeId sender, NodeId receiver, std::size_t wire_bytes,
@@ -334,11 +469,7 @@ std::optional<sim::TimePoint> Transport::transmit_segment(
                         /*datagram=*/false);
     return std::nullopt;
   }
-  return done + penalty +
-         network_.fault_adjust(
-             sender, receiver,
-             network_.latency().sample(sender, receiver,
-                                       network_.simulator().rng()));
+  return done + penalty + network_.sample_flight(sender, receiver);
 }
 
 LinkVerdict Transport::resolve_segment_verdict(NodeId sender, NodeId receiver,
@@ -360,7 +491,7 @@ LinkVerdict Transport::resolve_segment_verdict(NodeId sender, NodeId receiver,
     // retransmission (which costs real NIC time and upload bytes).
     network_.note_fault(sender, traffic_class, LinkVerdict::kDrop,
                         /*datagram=*/false);
-    network_.note_retransmission();
+    network_.note_retransmission(sender);
     network_.nic_send(sender, wire_bytes, traffic_class);
     *extra_delay = *extra_delay + network_.config().retransmit_timeout;
     verdict = network_.fault_verdict(sender, receiver);
@@ -368,143 +499,69 @@ LinkVerdict Transport::resolve_segment_verdict(NodeId sender, NodeId receiver,
   return verdict;
 }
 
-void Transport::break_connection(ConnectionId conn) {
-  sever(conn, /*notify_initiator=*/true, /*notify_acceptor=*/true);
-}
-
-void Transport::sever(ConnectionId conn, bool notify_initiator,
-                      bool notify_acceptor) {
-  Connection* c = find(conn);
-  if (c == nullptr || c->state == State::kClosed) return;
-  const NodeId initiator = c->initiator;
-  const NodeId acceptor = c->acceptor;
-  // Messages sent before the link broke are not retroactively affected:
-  // the record must outlive both the failure notices and every already-
-  // scheduled arrival (the FIFO clamps bound the latest one).
-  const sim::TimePoint drain = std::max(c->last_delivery_to_initiator,
-                                        c->last_delivery_to_acceptor);
-  mark_closed(conn);
-  sim::Duration linger = network_.config().failure_detect_base;
-  if (notify_initiator) {
-    linger = std::max(linger,
-                      notify_endpoint_failure(conn, initiator, acceptor,
-                                              CloseReason::kPeerFailure));
-  }
-  if (notify_acceptor) {
-    linger = std::max(linger,
-                      notify_endpoint_failure(conn, acceptor, initiator,
-                                              CloseReason::kPeerFailure));
-  }
-  sim::Simulator& simulator = network_.simulator();
-  const sim::TimePoint erase_at =
-      std::max(simulator.now() + linger, drain) +
-      sim::Duration::microseconds(1);
-  simulator.at(erase_at, [this, conn]() { erase_connection(conn); });
-}
-
-sim::Duration Transport::notify_endpoint_failure(ConnectionId conn,
-                                                 NodeId endpoint, NodeId peer,
-                                                 CloseReason reason) {
-  if (!network_.alive(endpoint)) return sim::Duration::zero();
-  if (network_.suspended(endpoint)) {
-    queue_resume_notice(endpoint, {conn, peer, reason});
-    return sim::Duration::zero();
-  }
-  const sim::Duration detect = network_.sample_failure_detect_delay();
-  network_.simulator().after(detect, [this, conn, endpoint, peer, reason]() {
-    if (!network_.alive(endpoint)) return;
-    if (network_.suspended(endpoint)) {
-      // Frozen during the detection window: deliver the notice at resume
-      // instead of dropping it.
-      queue_resume_notice(endpoint, {conn, peer, reason});
-      return;
-    }
-    if (TransportHandler* h = handler_of(endpoint)) {
-      h->on_connection_down(conn, peer, reason);
-    }
-  });
-  return detect;
-}
+// --- Fail/recover hooks (serial phases) -------------------------------------
 
 void Transport::queue_resume_notice(NodeId node, PendingNotice notice) {
-  if (node.index() >= pending_resume_notices_.size()) {
-    pending_resume_notices_.resize(node.index() + 1);
+  ensure_host(node.index());
+  hosts_[node.index()].resume_notices.push_back(notice);
+}
+
+void Transport::on_host_killed(NodeId node) {
+  if (node.index() >= hosts_.size()) return;
+  HostState& hs = hosts_[node.index()];
+  hs.resume_notices.clear();
+  for (std::uint32_t slot = 0; slot < hs.slots.size(); ++slot) {
+    HalfSlot& s = hs.slots[slot];
+    if (!s.open) continue;
+    const ConnectionId conn = pack_id(node.index(), slot, s.gen);
+    const NodeId peer = s.half.peer;
+    const ConnectionId peer_half = s.half.peer_half;
+    const bool was_closed = s.half.state == State::kClosed;
+    erase_half(conn);
+    // Already-closed halves told their peer when they closed; a still-
+    // kSynSent half (no peer_half yet) is resolved by handle_syn_ack
+    // finding it gone.
+    if (was_closed) continue;
+    if (peer_half != kInvalidConnectionId && network_.alive(peer)) {
+      schedule_remote_sever(peer, peer_half, node, CloseReason::kPeerFailure,
+                            sim::Duration::zero());
+    }
   }
-  pending_resume_notices_[node.index()].push_back(notice);
 }
 
 void Transport::on_host_suspended(NodeId node) {
   // A freeze severs every connection (established or mid-handshake): peers
   // detect the failure after their delay; the frozen host itself finds its
   // sockets dead when it resumes.
-  if (node.index() >= by_host_.size()) return;
-  const auto& tracked = by_host_[node.index()];
-  const std::vector<ConnectionId> conns(tracked.begin(), tracked.end());
-  for (const ConnectionId conn : conns) break_connection(conn);
+  if (node.index() >= hosts_.size()) return;
+  HostState& hs = hosts_[node.index()];
+  for (std::uint32_t slot = 0; slot < hs.slots.size(); ++slot) {
+    HalfSlot& s = hs.slots[slot];
+    if (!s.open) continue;
+    const ConnectionId conn = pack_id(node.index(), slot, s.gen);
+    const NodeId peer = s.half.peer;
+    const ConnectionId peer_half = s.half.peer_half;
+    const bool was_closed = s.half.state == State::kClosed;
+    erase_half(conn);
+    // A closed half already has its failure notice pending; that notice
+    // sees the suspension and re-queues itself for resume.
+    if (was_closed) continue;
+    queue_resume_notice(node, {conn, peer, CloseReason::kPeerFailure});
+    if (peer_half != kInvalidConnectionId && network_.alive(peer)) {
+      schedule_remote_sever(peer, peer_half, node, CloseReason::kPeerFailure,
+                            sim::Duration::zero());
+    }
+  }
 }
 
 void Transport::on_host_resumed(NodeId node) {
-  if (node.index() >= pending_resume_notices_.size()) return;
-  const std::vector<PendingNotice> notices =
-      std::move(pending_resume_notices_[node.index()]);
-  pending_resume_notices_[node.index()].clear();
+  if (node.index() >= hosts_.size()) return;
+  std::vector<PendingNotice> notices =
+      std::move(hosts_[node.index()].resume_notices);
+  hosts_[node.index()].resume_notices.clear();
   for (const PendingNotice& notice : notices) {
-    notify_endpoint_failure(notice.conn, node, notice.peer, notice.reason);
+    schedule_failure_notice(node, notice.conn, notice.peer, notice.reason);
   }
-}
-
-void Transport::on_host_killed(NodeId node) {
-  if (node.index() < pending_resume_notices_.size()) {
-    pending_resume_notices_[node.index()].clear();
-  }
-  if (node.index() >= by_host_.size()) return;
-  // Copy: callbacks may mutate the tracking list.
-  const auto& tracked = by_host_[node.index()];
-  const std::vector<ConnectionId> conns(tracked.begin(), tracked.end());
-  for (const ConnectionId conn : conns) {
-    Connection* c = find(conn);
-    if (c == nullptr || c->state == State::kClosed) continue;
-    const NodeId peer = peer_of(conn, node);
-    mark_closed(conn);
-    if (!network_.alive(peer)) continue;
-    const sim::Duration detect = network_.sample_failure_detect_delay();
-    network_.simulator().after(detect, [this, conn, peer]() {
-      if (!network_.alive(peer)) return;
-      Connection* c2 = find(conn);
-      if (c2 == nullptr) return;
-      if (TransportHandler* h = handler_of(peer)) {
-        const NodeId other = peer_of(conn, peer);
-        h->on_connection_down(conn, other, CloseReason::kPeerFailure);
-      }
-      erase_connection(conn);
-    });
-  }
-}
-
-void Transport::mark_closed(ConnectionId conn) {
-  Connection* c = find(conn);
-  if (c == nullptr) return;
-  c->state = State::kClosed;
-  untrack(c->initiator, conn);
-  untrack(c->acceptor, conn);
-}
-
-Transport::Connection* Transport::find(ConnectionId conn) {
-  if (conn == kInvalidConnectionId) return nullptr;
-  const std::uint32_t slot = slot_of(conn);
-  if (slot >= slots_.size()) return nullptr;
-  ConnSlot& s = slots_[slot];
-  if (!s.open || s.gen != gen_of(conn)) return nullptr;
-  return &s.conn;
-}
-
-const Transport::Connection* Transport::find(ConnectionId conn) const {
-  if (conn == kInvalidConnectionId) return nullptr;
-  const std::uint32_t slot = slot_of(conn);
-  if (slot >= slots_.size()) return nullptr;
-  const ConnSlot& s = slots_[slot];
-  if (!s.open || s.gen != gen_of(conn)) return nullptr;
-  return &s.conn;
 }
 
 }  // namespace brisa::net

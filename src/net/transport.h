@@ -5,6 +5,16 @@
 // connection, graceful close, and eventual notification when the remote end
 // dies (modeling RST / flow-control timeouts via the network's
 // failure-detection delay).
+//
+// State is partitioned as *half-connections*: each endpoint owns a Half
+// record in its host's slab, mutated only from that host's lane (or from
+// serial phases). A ConnectionId names the holder's own half, so handlers on
+// the two ends of one connection hold *different* ids — each side only ever
+// uses ids handed to it by its own callbacks, which protocols already do.
+// Cross-endpoint effects (SYN/SYN-ACK/FIN arrivals, failure notices) travel
+// as host-lane events delayed at least the simulator lookahead, which keeps
+// the sharded event loop conservative and the results independent of the
+// shard count.
 #pragma once
 
 #include <cstdint>
@@ -14,13 +24,12 @@
 #include "net/message.h"
 #include "net/network.h"
 #include "net/node_id.h"
-#include "util/small_vec.h"
 
 namespace brisa::net {
 
-/// Generation-tagged handle into the transport's connection slab: the low 32
-/// bits hold slot+1 (so 0 stays the invalid id), the high 32 the slot's
-/// generation at allocation. Stale ids (connection since erased, slot since
+/// Generation-tagged handle to one *half* of a connection, packed as
+/// (gen:20 | host:24 | slot+1:20). The low bits hold slot+1 so the encoding
+/// of a real half is never 0. Stale ids (half since erased, slot since
 /// reused) fail the generation check and resolve to "unknown connection" —
 /// exactly the semantics handlers already rely on for late failure notices.
 using ConnectionId = std::uint64_t;
@@ -61,21 +70,26 @@ class Transport final : public Network::DeathListener,
 
   /// Begins connection establishment; the result arrives asynchronously as
   /// on_connection_up (both ends) or on_connection_down(kRefused) (initiator).
+  /// The returned id names the initiator's half; the acceptor receives its
+  /// own id in its on_connection_up.
   ConnectionId connect(NodeId from, NodeId to);
 
-  /// Graceful close by `closer`. The peer sees kRemoteClose after one-way
-  /// latency. No callback fires at the closer (it already knows).
+  /// Graceful close by the id's owner. The peer sees kRemoteClose after
+  /// one-way latency. No callback fires at the closer (it already knows).
   void close(ConnectionId conn, NodeId closer);
 
   /// Reliable in-order send. Returns false if the connection is not
-  /// established or `sender` is not one of its live endpoints.
+  /// established or `sender` does not own the half `conn` names.
   bool send(ConnectionId conn, NodeId sender, MessagePtr message,
             TrafficClass traffic_class);
 
   [[nodiscard]] bool established(ConnectionId conn) const;
+  /// Remote endpoint of the half `conn` names; `self` must be its owner.
   [[nodiscard]] NodeId peer_of(ConnectionId conn, NodeId self) const;
 
-  /// Number of non-closed connections (tests / leak checks).
+  /// Number of non-closed connection halves (tests / leak checks). A fully
+  /// established pair counts 2; the interesting invariant — every test uses
+  /// it this way — is that a drained system reports 0.
   [[nodiscard]] std::size_t open_connections() const;
 
   /// Severs a connection whose link the fault layer blackholed (partition,
@@ -89,13 +103,14 @@ class Transport final : public Network::DeathListener,
   /// be cancelled). Handlers must treat unknown/stale ids in
   /// on_connection_down as a no-op, as HyParView does.
 
-  // Network::DeathListener
+  // Network::DeathListener (all invoked from serial phases)
   void on_host_killed(NodeId node) override;
   void on_host_suspended(NodeId node) override;
   void on_host_resumed(NodeId node) override;
+  void on_host_added(NodeId node) override;
 
  private:
-  enum class State : std::uint8_t { kConnecting, kEstablished, kClosed };
+  enum class State : std::uint8_t { kSynSent, kEstablished, kClosed };
 
   /// Delivery stages encoded in DeliverEvent::tag.
   enum SegmentStage : std::uint16_t {
@@ -103,61 +118,104 @@ class Transport final : public Network::DeathListener,
     kSegmentCpuReady = 1,  ///< processing done; hand to the handler
   };
 
-  // sim::DeliverEvent::Sink (data segments on established connections)
+  // ConnectionId packing.
+  static constexpr std::uint32_t kSlotBits = 20;
+  static constexpr std::uint32_t kHostBits = 24;
+  static constexpr std::uint32_t kGenBits = 20;
+  static constexpr std::uint32_t kNil = 0xffffffff;
+  [[nodiscard]] static std::uint32_t slot_of(ConnectionId conn) {
+    return static_cast<std::uint32_t>(conn & ((1u << kSlotBits) - 1)) - 1;
+  }
+  [[nodiscard]] static std::uint32_t host_of(ConnectionId conn) {
+    return static_cast<std::uint32_t>(conn >> kSlotBits) &
+           ((1u << kHostBits) - 1);
+  }
+  [[nodiscard]] static std::uint32_t gen_of(ConnectionId conn) {
+    return static_cast<std::uint32_t>(conn >> (kSlotBits + kHostBits));
+  }
+  [[nodiscard]] static ConnectionId pack_id(std::uint32_t host,
+                                            std::uint32_t slot,
+                                            std::uint32_t gen) {
+    return (static_cast<ConnectionId>(gen) << (kSlotBits + kHostBits)) |
+           (static_cast<ConnectionId>(host) << kSlotBits) |
+           static_cast<ConnectionId>(slot + 1);
+  }
+
+  // sim::DeliverEvent::Sink (data segments; event.id = receiver's half)
   void on_deliver(const sim::DeliverEvent& event) override;
 
-  struct Connection {
-    NodeId initiator;
-    NodeId acceptor;
-    State state = State::kConnecting;
-    /// Enforces FIFO delivery per direction despite latency jitter.
-    sim::TimePoint last_delivery_to_initiator = sim::TimePoint::origin();
-    sim::TimePoint last_delivery_to_acceptor = sim::TimePoint::origin();
+  /// One endpoint's record, owned by its host's lane. The FIFO clamp covers
+  /// only the *outbound* direction — the inbound clamp lives in the peer's
+  /// half — so no field is ever written from two lanes.
+  struct Half {
+    NodeId peer;
+    /// The peer's half id; the acceptor learns it from the SYN, the
+    /// initiator from the SYN-ACK.
+    ConnectionId peer_half = kInvalidConnectionId;
+    State state = State::kSynSent;
+    bool initiated = false;
+    /// Enforces FIFO delivery toward the peer despite latency jitter.
+    sim::TimePoint last_tx_arrival = sim::TimePoint::origin();
   };
 
-  /// One reusable slab slot. `open` distinguishes a live record from a freed
-  /// slot whose generation already advanced (handles to it are stale).
-  struct ConnSlot {
-    Connection conn;
+  struct HalfSlot {
+    Half half;
     std::uint32_t gen = 1;
-    std::uint32_t next_free = 0xffffffff;
+    std::uint32_t next_free = kNil;
     bool open = false;
   };
 
-  /// Shared teardown behind break_connection and the lost-FIN close path:
-  /// marks the record closed, schedules kPeerFailure at the selected
-  /// endpoints, and defers the erase until the notices and every in-flight
-  /// arrival have drained.
-  void sever(ConnectionId conn, bool notify_initiator, bool notify_acceptor);
+  struct PendingNotice {
+    ConnectionId conn;
+    NodeId peer;
+    CloseReason reason;
+  };
 
-  void mark_closed(ConnectionId conn);
-  Connection* find(ConnectionId conn);
-  const Connection* find(ConnectionId conn) const;
+  /// Everything the transport keeps for one host; mutated only from that
+  /// host's lane or from serial phases. Sized by on_host_added/bind, never
+  /// from lane events.
+  struct HostState {
+    std::vector<HalfSlot> slots;
+    std::uint32_t free_head = kNil;
+    TransportHandler* handler = nullptr;
+    /// Connection failures a suspended host will learn about at resume.
+    std::vector<PendingNotice> resume_notices;
+  };
+
+  void ensure_host(std::uint32_t index);
+  ConnectionId allocate_half(NodeId at);
+  void erase_half(ConnectionId conn);
+  Half* find(ConnectionId conn);
+  const Half* find(ConnectionId conn) const;
+  /// Linear scan of `at`'s slab for the half pointing back at `peer_half`
+  /// (FIN resolution; slabs are per-host and protocol-degree sized).
+  Half* find_by_peer_half(NodeId at, ConnectionId peer_half,
+                          ConnectionId* id_out);
   TransportHandler* handler_of(NodeId node);
 
-  /// Slab plumbing: allocate_connection hands out a fresh (slot, generation)
-  /// id; erase_connection retires the record and bumps the generation so
-  /// every outstanding handle goes stale atomically.
-  ConnectionId allocate_connection();
-  void erase_connection(ConnectionId conn);
-  [[nodiscard]] static std::uint32_t slot_of(ConnectionId conn) {
-    return static_cast<std::uint32_t>(conn & 0xffffffffULL) - 1;
-  }
-  [[nodiscard]] static std::uint32_t gen_of(ConnectionId conn) {
-    return static_cast<std::uint32_t>(conn >> 32);
-  }
-  /// Per-host bookkeeping vectors are sized lazily (the transport does not
-  /// know the final host count).
-  void track(NodeId node, ConnectionId conn);
-  void untrack(NodeId node, ConnectionId conn);
+  // Handshake / teardown stages; each runs on the lane of its first arg.
+  void handle_syn(ConnectionId initiator_half, NodeId from, NodeId to);
+  void handle_syn_ack(ConnectionId initiator_half, ConnectionId acceptor_half,
+                      NodeId from, NodeId to);
+  void handle_fin(NodeId peer, NodeId closer, ConnectionId closer_half);
+  void handle_remote_sever(NodeId target, ConnectionId target_half,
+                           NodeId peer, CloseReason reason);
 
-  /// Schedules on_connection_down(conn, peer, reason) at `endpoint` after its
-  /// failure-detection delay, returned to the caller (zero when nothing was
-  /// scheduled). Dead endpoints are skipped; suspended ones get the notice
-  /// queued until resume (a frozen machine learns of its broken connections
-  /// when it wakes).
-  sim::Duration notify_endpoint_failure(ConnectionId conn, NodeId endpoint,
-                                        NodeId peer, CloseReason reason);
+  /// Schedules on_connection_down(conn, peer, reason) at `at` on its own
+  /// lane after its failure-detection delay, and erases the half (if still
+  /// present) when the notice fires. Dead endpoints are skipped; suspended
+  /// ones get the notice queued until resume.
+  void schedule_failure_notice(NodeId at, ConnectionId conn, NodeId peer,
+                               CloseReason reason);
+
+  /// Schedules handle_remote_sever at `target`'s lane `delay` from now:
+  /// lookahead when called from a lane event (cross-lane discipline), zero
+  /// from serial phases.
+  void schedule_remote_sever(NodeId target, ConnectionId target_half,
+                             NodeId peer, CloseReason reason,
+                             sim::Duration delay);
+
+  void queue_resume_notice(NodeId node, PendingNotice notice);
 
   /// Resolves one fault verdict for a reliable segment: loss rules become
   /// retransmissions (NIC re-charged, arrival delayed one RTO each), and
@@ -173,11 +231,20 @@ class Transport final : public Network::DeathListener,
   /// NIC (including retransmissions) and returns the arrival instant, or
   /// nullopt when the segment was blackholed (counted at the sender; the
   /// caller decides how the connection reacts). Shared by SYN, SYN-ACK,
-  /// FIN, and data sends.
+  /// FIN, and data sends. All draws come from the sender's streams.
   std::optional<sim::TimePoint> transmit_segment(NodeId sender,
                                                  NodeId receiver,
                                                  std::size_t wire_bytes,
                                                  TrafficClass traffic_class);
+
+  /// Applies the per-direction FIFO clamp of `h` to a raw arrival instant.
+  static sim::TimePoint clamp_fifo(Half& h, sim::TimePoint arrival) {
+    if (arrival <= h.last_tx_arrival) {
+      arrival = h.last_tx_arrival + sim::Duration::microseconds(1);
+    }
+    h.last_tx_arrival = arrival;
+    return arrival;
+  }
 
   /// Size of a handshake/teardown segment on the wire.
   static constexpr std::size_t kControlSegmentBytes = 8;
@@ -185,25 +252,8 @@ class Transport final : public Network::DeathListener,
   /// sustained 100% loss therefore behaves like a partition.
   static constexpr std::uint32_t kMaxConsecutiveLosses = 6;
 
-  struct PendingNotice {
-    ConnectionId conn;
-    NodeId peer;
-    CloseReason reason;
-  };
-
-  void queue_resume_notice(NodeId node, PendingNotice notice);
-
   Network& network_;
-  /// Connection records in a reusable slab; ConnectionId = {slot, gen}, so
-  /// find() is one bounds check + one generation compare — no hashing on the
-  /// send/deliver path.
-  std::vector<ConnSlot> slots_;
-  std::uint32_t free_head_ = 0xffffffff;
-  /// Host-indexed flat tables (lazily sized to the largest bound host).
-  std::vector<TransportHandler*> handlers_;
-  std::vector<util::SmallVec<ConnectionId, 4>> by_host_;
-  /// Connection failures a suspended host will learn about at resume.
-  std::vector<std::vector<PendingNotice>> pending_resume_notices_;
+  std::vector<HostState> hosts_;
 };
 
 }  // namespace brisa::net

@@ -33,7 +33,8 @@ namespace {
 
 struct CellResult {
   std::string protocol;
-  std::size_t entries = 0;    ///< store bound (0 = unbounded control)
+  std::size_t entries = 0;    ///< store entry bound (0 = unbounded)
+  std::size_t bytes = 0;      ///< store byte bound (0 = unbounded)
   std::string policy;         ///< "oldest-first" | "delivered-first" | "-"
   double reliability = 0.0;
   bool complete = false;
@@ -81,6 +82,7 @@ struct CellParams {
   double rate = 5.0;
   std::size_t payload = 256;
   bool faulted = true;
+  std::uint32_t shards = 1;
   net::Limits limits;
 };
 
@@ -99,6 +101,7 @@ CellResult run_brisa(const CellParams& p) {
   workload::BrisaSystem::Config config;
   config.seed = p.seed;
   config.num_nodes = p.nodes;
+  config.shards = p.shards;
   config.join_spread = sim::Duration::seconds(20);
   config.stabilization = sim::Duration::seconds(25);
   config.brisa.limits = p.limits;
@@ -136,6 +139,7 @@ CellResult run_gossip(const CellParams& p) {
   workload::SimpleGossipSystem::Config config;
   config.seed = p.seed;
   config.num_nodes = p.nodes;
+  config.shards = p.shards;
   config.fanout = workload::gossip_fanout_for(p.nodes);
   config.join_spread = sim::Duration::seconds(20);
   config.stabilization = sim::Duration::seconds(10);
@@ -174,6 +178,7 @@ CellResult run_tree(const CellParams& p) {
   workload::SimpleTreeSystem::Config config;
   config.seed = p.seed;
   config.num_nodes = p.nodes;
+  config.shards = p.shards;
   config.join_spread = sim::Duration::seconds(20);
   config.stabilization = sim::Duration::seconds(10);
   config.limits = p.limits;
@@ -222,6 +227,7 @@ CellResult run_tag(const CellParams& p) {
   workload::TagSystem::Config config;
   config.seed = p.seed;
   config.num_nodes = p.nodes;
+  config.shards = p.shards;
   config.join_spread = sim::Duration::seconds(20);
   config.stabilization = sim::Duration::seconds(20);
   config.tag.limits = p.limits;
@@ -256,10 +262,11 @@ CellResult run_tag(const CellParams& p) {
 
 void print_row(const CellResult& r) {
   std::printf(
-      "%-7s entries %5zu %-15s: reliability %7.3f%% (complete: %s), "
-      "p50 %7.1f ms, %8llu evictions, %8llu dups, %5.1fs wall\n",
-      r.protocol.c_str(), r.entries,
-      r.entries == 0 ? "(unbounded)" : r.policy.c_str(),
+      "%-7s entries %5zu bytes %8zu %-15s: reliability %7.3f%% "
+      "(complete: %s), p50 %7.1f ms, %8llu evictions, %8llu dups, "
+      "%5.1fs wall\n",
+      r.protocol.c_str(), r.entries, r.bytes,
+      r.entries == 0 && r.bytes == 0 ? "(unbounded)" : r.policy.c_str(),
       r.reliability * 100.0, r.complete ? "yes" : "NO", r.p50_ms,
       static_cast<unsigned long long>(r.evictions),
       static_cast<unsigned long long>(r.duplicates), r.wall_seconds);
@@ -268,12 +275,12 @@ void print_row(const CellResult& r) {
 void print_json(const CellResult& r, const CellParams& p) {
   std::printf(
       "{\"bench\":\"buffer_tradeoff\",\"protocol\":\"%s\",\"nodes\":%zu,"
-      "\"entries\":%zu,\"policy\":\"%s\",\"bloom\":%s,"
+      "\"entries\":%zu,\"store_bytes\":%zu,\"policy\":\"%s\",\"bloom\":%s,"
       "\"rate_control\":%s,\"faulted\":%s,\"messages\":%zu,\"seed\":%llu,"
       "\"reliability\":%.6f,\"complete_delivery\":%s,\"p50_ms\":%.3f,"
       "\"evictions\":%llu,\"duplicates\":%llu,\"network_messages\":%llu,"
       "\"wall_seconds\":%.2f}\n",
-      r.protocol.c_str(), p.nodes, r.entries, r.policy.c_str(),
+      r.protocol.c_str(), p.nodes, r.entries, r.bytes, r.policy.c_str(),
       p.limits.bloom_digests ? "true" : "false",
       p.limits.rate_control ? "true" : "false",
       p.faulted ? "true" : "false", p.messages,
@@ -303,6 +310,10 @@ int buffer_tradeoff_run(const workload::Scenario& scenario) {
   const std::vector<std::int64_t> entries_list = scenario.param_int_list(
       "entries", quick ? std::vector<std::int64_t>{0, 8}
                        : std::vector<std::int64_t>{0, 4, 8, 16, 64});
+  // Second bound axis: cap the store by payload bytes instead of (or on top
+  // of) entry count. {0} keeps the classic entries-only grid.
+  const std::vector<std::int64_t> bytes_list =
+      scenario.param_int_list("store-bytes", {0});
   const std::string protocols = scenario.param_string(
       "protocols", quick ? "brisa,gossip" : "brisa,gossip,tree,tag");
   const std::string policies = scenario.param_string(
@@ -318,6 +329,7 @@ int buffer_tradeoff_run(const workload::Scenario& scenario) {
   base.rate = scenario.rate_or(5.0);
   base.payload = scenario.payload_or(256);
   base.faulted = faults;
+  base.shards = scenario.shards_or(1);
   base.limits.bloom_digests = bloom;
   base.limits.rate_control = rate_control;
 
@@ -330,24 +342,30 @@ int buffer_tradeoff_run(const workload::Scenario& scenario) {
 
   struct Cell {
     std::size_t entries;
+    std::size_t bytes;
     net::EvictionPolicy policy;
     const char* policy_name;
   };
   std::vector<Cell> cells;
   for (const std::int64_t e : entries_list) {
-    const auto entries = static_cast<std::size_t>(e);
-    if (entries == 0) {
-      // Unbounded control: the policy never fires, run the cell once.
-      cells.push_back({0, net::EvictionPolicy::kOldestFirst, "-"});
-      continue;
-    }
-    if (wants_policy("oldest-first")) {
-      cells.push_back(
-          {entries, net::EvictionPolicy::kOldestFirst, "oldest-first"});
-    }
-    if (wants_policy("delivered-first")) {
-      cells.push_back(
-          {entries, net::EvictionPolicy::kDeliveredFirst, "delivered-first"});
+    for (const std::int64_t b : bytes_list) {
+      const auto entries = static_cast<std::size_t>(e);
+      const auto bytes = static_cast<std::size_t>(b);
+      if (entries == 0 && bytes == 0) {
+        // Unbounded control: the policy never fires, run the cell once.
+        cells.push_back({0, 0, net::EvictionPolicy::kOldestFirst, "-"});
+        continue;
+      }
+      if (wants_policy("oldest-first")) {
+        cells.push_back(
+            {entries, bytes, net::EvictionPolicy::kOldestFirst,
+             "oldest-first"});
+      }
+      if (wants_policy("delivered-first")) {
+        cells.push_back(
+            {entries, bytes, net::EvictionPolicy::kDeliveredFirst,
+             "delivered-first"});
+      }
     }
   }
 
@@ -355,17 +373,20 @@ int buffer_tradeoff_run(const workload::Scenario& scenario) {
   for (const Cell& cell : cells) {
     CellParams p = base;
     p.limits.store_entries = cell.entries;
+    p.limits.store_bytes = cell.bytes;
     p.limits.eviction = cell.policy;
     for (const char* protocol : {"brisa", "gossip", "tree", "tag"}) {
       if (!wants(protocol)) continue;
-      std::fprintf(stderr, "running %s entries=%zu policy=%s...\n", protocol,
-                   cell.entries, cell.policy_name);
+      std::fprintf(stderr,
+                   "running %s entries=%zu bytes=%zu policy=%s...\n",
+                   protocol, cell.entries, cell.bytes, cell.policy_name);
       CellResult r;
       if (protocol == std::string("brisa")) r = run_brisa(p);
       else if (protocol == std::string("gossip")) r = run_gossip(p);
       else if (protocol == std::string("tree")) r = run_tree(p);
       else r = run_tag(p);
       r.entries = cell.entries;
+      r.bytes = cell.bytes;
       r.policy = cell.policy_name;
       print_row(r);
       results.emplace_back(std::move(r), p);
@@ -382,7 +403,7 @@ int buffer_tradeoff_run(const workload::Scenario& scenario) {
   bool ok = true;
   std::size_t control_cells = 0;
   for (const auto& [r, p] : results) {
-    if (r.entries != 0 || r.protocol == "tree") continue;
+    if (r.entries != 0 || r.bytes != 0 || r.protocol == "tree") continue;
     ++control_cells;
     if (!r.complete) {
       ok = false;
@@ -392,7 +413,7 @@ int buffer_tradeoff_run(const workload::Scenario& scenario) {
     }
   }
   if (control_cells == 0) {
-    std::printf("buffer check: skipped (no entries=0 control cell in this "
+    std::printf("buffer check: skipped (no unbounded control cell in this "
                 "configuration)\n");
     return 0;
   }

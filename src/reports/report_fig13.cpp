@@ -19,10 +19,12 @@ namespace {
 
 std::vector<double> brisa_construction_s(std::uint64_t seed,
                                          std::size_t nodes,
-                                         workload::TestbedKind testbed) {
+                                         workload::TestbedKind testbed,
+                                         std::uint32_t shards) {
   workload::BrisaSystem::Config config;
   config.seed = seed;
   config.num_nodes = nodes;
+  config.shards = shards;
   config.testbed = testbed;
   config.hyparview.active_size = 4;
   config.stabilization =
@@ -47,10 +49,12 @@ std::vector<double> brisa_construction_s(std::uint64_t seed,
 }
 
 std::vector<double> tag_construction_s(std::uint64_t seed, std::size_t nodes,
-                                       workload::TestbedKind testbed) {
+                                       workload::TestbedKind testbed,
+                                       std::uint32_t shards) {
   workload::TagSystem::Config config;
   config.seed = seed;
   config.num_nodes = nodes;
+  config.shards = shards;
   config.testbed = testbed;
   config.join_spread = sim::Duration::seconds(60);
   config.stabilization =
@@ -96,14 +100,15 @@ int fig13_run(const workload::Scenario& scenario) {
       "nodes ===\n",
       cluster_nodes, planetlab_nodes);
 
+  const std::uint32_t shards = scenario.shards_or(1);
   const auto brisa_cluster = brisa_construction_s(
-      seed, cluster_nodes, workload::TestbedKind::kCluster);
-  const auto tag_cluster =
-      tag_construction_s(seed, cluster_nodes, workload::TestbedKind::kCluster);
+      seed, cluster_nodes, workload::TestbedKind::kCluster, shards);
+  const auto tag_cluster = tag_construction_s(
+      seed, cluster_nodes, workload::TestbedKind::kCluster, shards);
   const auto brisa_pl = brisa_construction_s(
-      seed, planetlab_nodes, workload::TestbedKind::kPlanetLab);
-  const auto tag_pl = tag_construction_s(seed, planetlab_nodes,
-                                         workload::TestbedKind::kPlanetLab);
+      seed, planetlab_nodes, workload::TestbedKind::kPlanetLab, shards);
+  const auto tag_pl = tag_construction_s(
+      seed, planetlab_nodes, workload::TestbedKind::kPlanetLab, shards);
 
   print_cdf("BRISA cluster (s percent)", brisa_cluster);
   print_cdf("TAG cluster (s percent)", tag_cluster);

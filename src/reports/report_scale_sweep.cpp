@@ -100,11 +100,12 @@ void finish_run(System& system, bool faulted,
 
 RunResult run_brisa(std::uint64_t seed, std::size_t nodes,
                     std::size_t messages, double rate, std::size_t payload,
-                    bool faulted) {
+                    bool faulted, std::uint32_t shards) {
   const auto wall_start = std::chrono::steady_clock::now();
   workload::BrisaSystem::Config config;
   config.seed = seed;
   config.num_nodes = nodes;
+  config.shards = shards;
   config.join_spread = sim::Duration::seconds(20);
   config.stabilization = sim::Duration::seconds(25);
   workload::BrisaSystem system(config);
@@ -131,11 +132,12 @@ RunResult run_brisa(std::uint64_t seed, std::size_t nodes,
 
 RunResult run_gossip(std::uint64_t seed, std::size_t nodes,
                      std::size_t messages, double rate, std::size_t payload,
-                     bool faulted) {
+                     bool faulted, std::uint32_t shards) {
   const auto wall_start = std::chrono::steady_clock::now();
   workload::SimpleGossipSystem::Config config;
   config.seed = seed;
   config.num_nodes = nodes;
+  config.shards = shards;
   config.fanout = workload::gossip_fanout_for(nodes);
   config.join_spread = sim::Duration::seconds(20);
   config.stabilization = sim::Duration::seconds(10);
@@ -163,11 +165,12 @@ RunResult run_gossip(std::uint64_t seed, std::size_t nodes,
 
 RunResult run_tree(std::uint64_t seed, std::size_t nodes,
                    std::size_t messages, double rate, std::size_t payload,
-                   bool faulted) {
+                   bool faulted, std::uint32_t shards) {
   const auto wall_start = std::chrono::steady_clock::now();
   workload::SimpleTreeSystem::Config config;
   config.seed = seed;
   config.num_nodes = nodes;
+  config.shards = shards;
   config.join_spread = sim::Duration::seconds(20);
   config.stabilization = sim::Duration::seconds(10);
   workload::SimpleTreeSystem system(config);
@@ -207,11 +210,13 @@ RunResult run_tree(std::uint64_t seed, std::size_t nodes,
 }
 
 RunResult run_tag(std::uint64_t seed, std::size_t nodes, std::size_t messages,
-                  double rate, std::size_t payload, bool faulted) {
+                  double rate, std::size_t payload, bool faulted,
+                  std::uint32_t shards) {
   const auto wall_start = std::chrono::steady_clock::now();
   workload::TagSystem::Config config;
   config.seed = seed;
   config.num_nodes = nodes;
+  config.shards = shards;
   config.join_spread = sim::Duration::seconds(20);
   config.stabilization = sim::Duration::seconds(20);
   workload::TagSystem system(config);
@@ -291,6 +296,7 @@ int scale_sweep_run(const workload::Scenario& scenario) {
   const double rate = scenario.rate_or(5.0);
   const std::size_t payload = scenario.payload_or(256);
   const std::uint64_t seed = scenario.seed_or(1);
+  const std::uint32_t shards = scenario.shards_or(1);
   const bool fault_variant = scenario.param_bool("fault-variant", true);
   // --variants names the fault variants to run explicitly (the sweep grid's
   // per-cell form); it defaults to what --fault-variant implies.
@@ -314,7 +320,8 @@ int scale_sweep_run(const workload::Scenario& scenario) {
         std::fprintf(stderr, "running brisa %zu %s...\n", nodes,
                      faulted ? "faulted" : "clean");
         results.push_back(
-            run_brisa(seed, nodes, messages, rate, payload, faulted));
+            run_brisa(seed, nodes, messages, rate, payload, faulted,
+                      shards));
         print_row(results.back());
       }
       if (wants("gossip")) {
@@ -325,7 +332,8 @@ int scale_sweep_run(const workload::Scenario& scenario) {
           std::fprintf(stderr, "running gossip %zu %s...\n", nodes,
                        faulted ? "faulted" : "clean");
           results.push_back(
-              run_gossip(seed, nodes, messages, rate, payload, faulted));
+              run_gossip(seed, nodes, messages, rate, payload, faulted,
+                         shards));
           print_row(results.back());
         }
       }
@@ -337,7 +345,8 @@ int scale_sweep_run(const workload::Scenario& scenario) {
           std::fprintf(stderr, "running tree %zu %s...\n", nodes,
                        faulted ? "faulted" : "clean");
           results.push_back(
-              run_tree(seed, nodes, messages, rate, payload, faulted));
+              run_tree(seed, nodes, messages, rate, payload, faulted,
+                       shards));
           print_row(results.back());
         }
       }
@@ -349,7 +358,8 @@ int scale_sweep_run(const workload::Scenario& scenario) {
           std::fprintf(stderr, "running tag %zu %s...\n", nodes,
                        faulted ? "faulted" : "clean");
           results.push_back(
-              run_tag(seed, nodes, messages, rate, payload, faulted));
+              run_tag(seed, nodes, messages, rate, payload, faulted,
+                      shards));
           print_row(results.back());
         }
       }

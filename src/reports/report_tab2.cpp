@@ -43,6 +43,7 @@ int tab2_run(const workload::Scenario& scenario) {
     workload::SimpleTreeSystem::Config config;
     config.seed = seed;
     config.num_nodes = nodes;
+    config.shards = scenario.shards_or(1);
     workload::SimpleTreeSystem system(config);
     system.bootstrap();
     system.run_stream(messages, 5.0, 1024);
@@ -57,6 +58,7 @@ int tab2_run(const workload::Scenario& scenario) {
     workload::BrisaSystem::Config config;
     config.seed = seed;
     config.num_nodes = nodes;
+    config.shards = scenario.shards_or(1);
     config.hyparview.active_size = 4;
     workload::BrisaSystem system(config);
     system.bootstrap();
@@ -72,6 +74,7 @@ int tab2_run(const workload::Scenario& scenario) {
     workload::SimpleGossipSystem::Config config;
     config.seed = seed;
     config.num_nodes = nodes;
+    config.shards = scenario.shards_or(1);
     workload::SimpleGossipSystem system(config);
     system.bootstrap();
     system.run_stream(messages, 5.0, 1024, sim::Duration::seconds(60));
@@ -86,6 +89,7 @@ int tab2_run(const workload::Scenario& scenario) {
     workload::TagSystem::Config config;
     config.seed = seed;
     config.num_nodes = nodes;
+    config.shards = scenario.shards_or(1);
     workload::TagSystem system(config);
     system.bootstrap();
     system.run_stream(messages, 5.0, 1024, sim::Duration::seconds(240));

@@ -167,14 +167,15 @@ std::vector<Report> build_registry() {
   reports.push_back(
       {"buffer_tradeoff",
        "Buffer tradeoff: reliability vs bounded store size per protocol",
-       "bench_buffer_tradeoff [--entries=0,4,8,16,64]\n"
+       "bench_buffer_tradeoff [--entries=0,4,8,16,64] [--store-bytes=0]\n"
        "                      [--protocols=brisa,gossip,tree,tag]\n"
        "                      [--policies=oldest-first,delivered-first]\n"
        "                      [--bloom] [--rate-control] [--no-faults]\n"
        "                      [--nodes=512] [--messages=40] [--rate=5]\n"
        "                      [--payload=256] [--seed=1] [--quick]\n",
-       {"entries", "protocols", "policies", "bloom", "rate-control", "faults",
-        "nodes", "messages", "rate", "payload", "seed", "quick"},
+       {"entries", "store-bytes", "protocols", "policies", "bloom",
+        "rate-control", "faults", "nodes", "messages", "rate", "payload",
+        "seed", "quick"},
        {},
        buffer_tradeoff_defaults,
        buffer_tradeoff_run});
@@ -278,6 +279,9 @@ std::string scenario_key_error(const workload::Scenario& scenario,
   // Labels are always fine.
   reachable.push_back("scenario.name");
   reachable.push_back("scenario.report");
+  // Executor knob, honored by every harness; results are byte-identical for
+  // any value, so no figure can be distorted by it.
+  reachable.push_back("run.shards");
 
   for (const auto& [key, value] : scenario.set_keys()) {
     // [sweep] keys are consumed upstream by the sweep executor, never by

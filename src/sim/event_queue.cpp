@@ -4,142 +4,7 @@
 
 namespace brisa::sim {
 
-// --- Slab -------------------------------------------------------------------
-
-EventId EventQueue::acquire_slot(TimePoint when) {
-  std::uint32_t index;
-  if (free_head_ != kNullIndex) {
-    index = free_head_;
-    free_head_ = slots_[index].next_free;
-  } else {
-    index = static_cast<std::uint32_t>(slots_.size());
-    BRISA_ASSERT_MSG(index != kNullIndex, "event slab exhausted");
-    slots_.emplace_back();
-  }
-  Slot& slot = slots_[index];
-  slot.when = when;
-  slot.gate = nullptr;
-  slot.gate_ctx = nullptr;
-  slot.gate_arg = 0;
-  slot.next_free = kNullIndex;
-  heap_insert(HeapEntry{when, next_seq_++, index});
-  if (heap_.size() > peak_pending_) peak_pending_ = heap_.size();
-  return EventId{index, slot.gen};
-}
-
-void EventQueue::release_slot(std::uint32_t index) {
-  Slot& slot = slots_[index];
-  // Bumping the generation invalidates every outstanding handle to this
-  // slot; 0 is reserved for kInvalidEventId, so skip it on wraparound.
-  slot.gen = slot.gen + 1 == 0 ? 1 : slot.gen + 1;
-  slot.heap_pos = kNullIndex;
-  slot.payload.discard();
-  slot.next_free = free_head_;
-  free_head_ = index;
-}
-
-// --- 4-ary heap -------------------------------------------------------------
-//
-// A wider node brings the tree height down to log4(n) and keeps the four
-// child entries in at most two cache lines. Entries are (key, slot index)
-// pairs, so the sift loops below never touch the slab: one entry in
-// registers, children read sequentially, and the only slab access is the
-// heap_pos write-back when an entry settles.
-
-void EventQueue::heap_insert(HeapEntry entry) {
-  const auto pos = static_cast<std::uint32_t>(heap_.size());
-  heap_.push_back(entry);
-  sift_up(pos, entry);
-}
-
-void EventQueue::heap_remove(std::uint32_t pos) {
-  BRISA_ASSERT(pos < heap_.size());
-  const std::uint32_t last = static_cast<std::uint32_t>(heap_.size()) - 1;
-  const HeapEntry moved = heap_[last];
-  heap_.pop_back();
-  if (pos == last) return;  // removed the tail entry itself
-  sift_down(pos, moved);
-  sift_up(slots_[moved.slot].heap_pos, moved);
-}
-
-void EventQueue::sift_up(std::uint32_t pos, HeapEntry entry) {
-  while (pos > 0) {
-    const std::uint32_t parent = (pos - 1) / 4;
-    if (!before(entry, heap_[parent])) break;
-    heap_[pos] = heap_[parent];
-    slots_[heap_[pos].slot].heap_pos = pos;
-    pos = parent;
-  }
-  heap_[pos] = entry;
-  slots_[entry.slot].heap_pos = pos;
-}
-
-void EventQueue::sift_down(std::uint32_t pos, HeapEntry entry) {
-  const std::uint32_t size = static_cast<std::uint32_t>(heap_.size());
-  while (true) {
-    const std::uint32_t first_child = pos * 4 + 1;
-    if (first_child >= size) break;
-    std::uint32_t best = first_child;
-    const std::uint32_t last_child =
-        first_child + 3 < size ? first_child + 3 : size - 1;
-    for (std::uint32_t child = first_child + 1; child <= last_child; ++child) {
-      if (before(heap_[child], heap_[best])) best = child;
-    }
-    if (!before(heap_[best], entry)) break;
-    heap_[pos] = heap_[best];
-    slots_[heap_[pos].slot].heap_pos = pos;
-    pos = best;
-  }
-  heap_[pos] = entry;
-  slots_[entry.slot].heap_pos = pos;
-}
-
 // --- Public API -------------------------------------------------------------
-
-EventId EventQueue::schedule(TimePoint when, Callback fn) {
-  const EventId id = acquire_slot(when);
-  slots_[id.slot].payload = EventPayload(std::move(fn));
-  return id;
-}
-
-EventId EventQueue::schedule_gated(TimePoint when, GatePredicate gate,
-                                   const void* ctx, std::uint32_t arg,
-                                   Callback fn) {
-  const EventId id = acquire_slot(when);
-  Slot& slot = slots_[id.slot];
-  slot.payload = EventPayload(std::move(fn));
-  slot.gate = gate;
-  slot.gate_ctx = ctx;
-  slot.gate_arg = arg;
-  return id;
-}
-
-EventId EventQueue::schedule_deliver(TimePoint when,
-                                     const DeliverEvent& event) {
-  BRISA_ASSERT(event.sink != nullptr);
-  const EventId id = acquire_slot(when);
-  slots_[id.slot].payload = EventPayload(event);
-  return id;
-}
-
-EventId EventQueue::schedule_periodic_tick(TimePoint when, PeriodicTick tick) {
-  const EventId id = acquire_slot(when);
-  slots_[id.slot].payload = EventPayload(tick);
-  return id;
-}
-
-bool EventQueue::live(EventId id) const {
-  return id.gen != 0 && id.slot < slots_.size() &&
-         slots_[id.slot].gen == id.gen;
-}
-
-bool EventQueue::cancel(EventId id) {
-  if (!live(id)) return false;
-  heap_remove(slots_[id.slot].heap_pos);
-  release_slot(id.slot);
-  ++cancelled_total_;
-  return true;
-}
 
 void EventQueue::Fired::run() {
   switch (payload.kind()) {
@@ -154,23 +19,6 @@ void EventQueue::Fired::run() {
     case EventPayload::Kind::kNone:
       BRISA_UNREACHABLE("run() on an empty event");
   }
-}
-
-EventQueue::Fired EventQueue::pop() {
-  BRISA_ASSERT_MSG(!heap_.empty(), "pop() on empty event queue");
-  const std::uint32_t index = heap_[0].slot;
-  Slot& slot = slots_[index];
-  Fired fired;
-  fired.time = slot.when;
-  // Move the payload out before releasing: the caller runs it after pop()
-  // returns, and by then the slot may have been reused by a reschedule.
-  fired.payload = std::move(slot.payload);
-  fired.gate = slot.gate;
-  fired.gate_ctx = slot.gate_ctx;
-  fired.gate_arg = slot.gate_arg;
-  heap_remove(0);
-  release_slot(index);
-  return fired;
 }
 
 void EventQueue::clear() {

@@ -1,8 +1,18 @@
 // Deterministic random number generation.
 //
-// xoshiro256++ seeded through SplitMix64. Every component derives its own
-// stream with `split()`, so adding randomness to one protocol never perturbs
-// another — a requirement for comparing protocols on identical workloads.
+// Two engines share one distribution toolkit (RngMixin, CRTP):
+//
+//   * Rng — xoshiro256++ seeded through SplitMix64. Sequential streams for
+//     setup code and protocol logic; every component derives its own stream
+//     with `split()`, so adding randomness to one protocol never perturbs
+//     another — a requirement for comparing protocols on identical workloads.
+//
+//   * CounterRng — a counter-based (stateless-mix) stream keyed by
+//     (key, counter). Used for per-host network draws under the sharded
+//     event loop: the stream a host consumes is a pure function of the
+//     host's key and how many draws *that host* has made, so the sequence
+//     is independent of how hosts are partitioned across shards — the
+//     property the shard-count-invariance golden tests pin down.
 #pragma once
 
 #include <algorithm>
@@ -17,43 +27,19 @@
 
 namespace brisa::sim {
 
-class Rng {
+/// Distribution algorithms over any engine exposing next_u64(). CRTP so both
+/// engines share one implementation (and one set of determinism-sensitive
+/// constants) without virtual dispatch on the hot path.
+template <typename Derived>
+class RngMixin {
  public:
-  explicit Rng(std::uint64_t seed) {
-    std::uint64_t s = seed;
-    for (auto& word : state_) {
-      s += 0x9e3779b97f4a7c15ULL;
-      word = util::mix64(s);
-    }
-    // xoshiro must not start from the all-zero state.
-    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
-  }
-
-  /// Derives an independent generator; `stream` distinguishes siblings.
-  [[nodiscard]] Rng split(std::uint64_t stream) {
-    return Rng(util::mix64(next_u64() ^ util::mix64(stream)));
-  }
-
-  std::uint64_t next_u64() {
-    const std::uint64_t result =
-        rotl(state_[0] + state_[3], 23) + state_[0];
-    const std::uint64_t t = state_[1] << 17;
-    state_[2] ^= state_[0];
-    state_[3] ^= state_[1];
-    state_[1] ^= state_[2];
-    state_[0] ^= state_[3];
-    state_[2] ^= t;
-    state_[3] = rotl(state_[3], 45);
-    return result;
-  }
-
   /// Uniform integer in [0, bound). bound must be > 0.
   std::uint64_t uniform(std::uint64_t bound) {
     BRISA_ASSERT(bound > 0);
     // Debiased modulo via rejection sampling.
     const std::uint64_t threshold = (-bound) % bound;
     for (;;) {
-      const std::uint64_t r = next_u64();
+      const std::uint64_t r = self().next_u64();
       if (r >= threshold) return r % bound;
     }
   }
@@ -67,7 +53,7 @@ class Rng {
 
   /// Uniform double in [0, 1).
   double uniform_double() {
-    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    return static_cast<double>(self().next_u64() >> 11) * 0x1.0p-53;
   }
 
   bool bernoulli(double p) { return uniform_double() < p; }
@@ -118,11 +104,78 @@ class Rng {
   }
 
  private:
+  Derived& self() { return *static_cast<Derived*>(this); }
+};
+
+class Rng : public RngMixin<Rng> {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+      s += 0x9e3779b97f4a7c15ULL;
+      word = util::mix64(s);
+    }
+    // xoshiro must not start from the all-zero state.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  }
+
+  /// Derives an independent generator; `stream` distinguishes siblings.
+  [[nodiscard]] Rng split(std::uint64_t stream) {
+    return Rng(util::mix64(next_u64() ^ util::mix64(stream)));
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result =
+        rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+ private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
   }
 
   std::array<std::uint64_t, 4> state_{};
+};
+
+/// Counter-based stream: output i is mix64(key + C1*i) — SplitMix64 with
+/// the stream key as its seed — so the sequence is a pure function of
+/// (key, draw index). 16 bytes of state, no warm-up, one mix per draw on
+/// the network hot path, and — the property the sharded simulator needs —
+/// keying a stream per host makes every host's draw sequence independent
+/// of which shard executes it.
+class CounterRng : public RngMixin<CounterRng> {
+ public:
+  CounterRng() : CounterRng(0) {}
+  explicit CounterRng(std::uint64_t key) : key_(util::mix64(key ^ kPhi)) {}
+
+  /// Deterministic per-entity key derivation (no state consumed): the
+  /// canonical way to build one stream per host from a base key.
+  [[nodiscard]] static CounterRng keyed(std::uint64_t base,
+                                        std::uint64_t entity) {
+    return CounterRng(util::mix64(base) ^ util::mix64(entity * kPhi + 1));
+  }
+
+  std::uint64_t next_u64() {
+    return util::mix64(key_ + counter_++ * kPhi);
+  }
+
+  /// Draws made so far (diagnostics; the stream is reproducible from
+  /// (key, counter)).
+  [[nodiscard]] std::uint64_t counter() const { return counter_; }
+
+ private:
+  static constexpr std::uint64_t kPhi = 0x9e3779b97f4a7c15ULL;
+
+  std::uint64_t key_ = 0;
+  std::uint64_t counter_ = 0;
 };
 
 }  // namespace brisa::sim

@@ -1,113 +1,353 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "util/assert.h"
 #include "util/logging.h"
 
 namespace brisa::sim {
 
-Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+/// Execution state of the thread currently draining a shard inside a
+/// parallel window. Lives on the claiming thread's stack; tls_exec_ points
+/// at it so now() / scheduling calls made from event code resolve against
+/// the shard clock and lane.
+struct Simulator::ExecCtx {
+  Simulator* sim = nullptr;
+  QueueRt* q = nullptr;
+  std::uint32_t qidx = 0;
+  std::uint32_t lane = 0;
+};
 
-Simulator::~Simulator() = default;
+thread_local Simulator::ExecCtx* Simulator::tls_exec_ = nullptr;
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {
+  queues_.push_back(std::make_unique<QueueRt>());
+  global_ = queues_[0].get();
+  lane_seq_.resize(1, 0);
+}
+
+Simulator::~Simulator() { stop_workers(); }
+
+// --- Sharding configuration --------------------------------------------------
+
+void Simulator::set_lookahead(Duration lookahead) {
+  BRISA_ASSERT_MSG(lookahead >= Duration::zero(), "negative lookahead");
+  BRISA_ASSERT_MSG(queues_.size() == 1,
+                   "set_lookahead must precede configure_sharding");
+  lookahead_ = lookahead;
+}
+
+void Simulator::configure_sharding(std::uint32_t shards,
+                                   std::uint32_t workers) {
+  BRISA_ASSERT_MSG(shards >= 1 && shards < (1u << (32 - kQueueIndexShift)),
+                   "shard count out of range");
+  BRISA_ASSERT_MSG(
+      queues_.size() == 1 && global_->queue.scheduled_total() == 0 &&
+          global_->active_periodics == 0,
+      "configure_sharding must be called before any event is scheduled");
+  if (shards == 1) return;
+  BRISA_ASSERT_MSG(lookahead_ > Duration::zero(),
+                   "sharding requires set_lookahead(> 0)");
+  shards_ = shards;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    queues_.push_back(std::make_unique<QueueRt>());
+  }
+  global_ = queues_[0].get();
+  for (auto& q : queues_) q->outbox.resize(shards + 1);
+
+  std::uint32_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  workers_ = workers != 0 ? workers : std::min(shards, hw);
+  workers_ = std::min(workers_, shards);
+  if (workers_ > 1) {
+    barrier_ = std::make_unique<std::barrier<>>(workers_);
+    threads_.reserve(workers_ - 1);
+    for (std::uint32_t w = 1; w < workers_; ++w) {
+      threads_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+}
+
+void Simulator::register_host_lanes(std::uint32_t hosts) {
+  BRISA_ASSERT_MSG(!exec_active_, "lane registration inside a window");
+  if (static_cast<std::size_t>(hosts) + 1 > lane_seq_.size()) {
+    lane_seq_.resize(static_cast<std::size_t>(hosts) + 1, 0);
+  }
+}
+
+void Simulator::stop_workers() {
+  if (threads_.empty()) return;
+  stop_.store(true, std::memory_order_relaxed);
+  barrier_->arrive_and_wait();  // releases workers into the stop check
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+}
+
+// --- Canonical keys and routing ---------------------------------------------
+
+TimePoint Simulator::exec_now() const {
+  const ExecCtx* c = tls_exec_;
+  return c != nullptr && c->sim == this ? c->q->now : now_;
+}
+
+EventKey Simulator::make_key(TimePoint when, std::uint32_t lane) {
+  std::uint32_t creator = current_lane_;
+  if (exec_active_) {
+    const ExecCtx* c = tls_exec_;
+    if (c != nullptr && c->sim == this) creator = c->lane;
+  }
+  if (creator >= lane_seq_.size()) [[unlikely]] {
+    // Serial phases may discover new creator lanes (e.g. a delivery to a
+    // host that was never registered); windows must not.
+    BRISA_ASSERT_MSG(!exec_active_, "unregistered lane used in a window");
+    lane_seq_.resize(static_cast<std::size_t>(creator) + 1, 0);
+  }
+  const std::uint64_t order =
+      (static_cast<std::uint64_t>(creator) << kCreatorShift) |
+      lane_seq_[creator]++;
+  return EventKey{when, lane, order};
+}
+
+namespace {
+constexpr EventId pack_id(std::uint32_t qidx, EventId raw,
+                          std::uint32_t shift) {
+  return EventId{(qidx << shift) | raw.slot, raw.gen};
+}
+}  // namespace
+
+EventId Simulator::post_callback(std::uint32_t lane, TimePoint when,
+                                 Callback fn, GatePredicate gate,
+                                 const void* ctx, std::uint32_t arg) {
+  ExecCtx* c = exec_active_ ? tls_exec_ : nullptr;
+  BRISA_ASSERT_MSG(when >= (c != nullptr ? c->q->now : now_),
+                   "cannot schedule events in the past");
+  const EventKey key = make_key(when, lane);
+  const std::uint32_t qidx = qidx_of_lane(lane);
+  if (c != nullptr && qidx != c->qidx) {
+    BRISA_ASSERT_MSG(lane != 0,
+                     "global-lane schedule from inside a parallel window");
+    BRISA_ASSERT_MSG(when >= window_end_,
+                     "cross-shard event inside the lookahead window");
+    auto& box = c->q->outbox[qidx];
+    box.emplace_back();
+    Mail& m = box.back();
+    m.key = key;
+    m.payload = EventPayload(std::move(fn));
+    m.gate = gate;
+    m.gate_ctx = ctx;
+    m.gate_arg = arg;
+    return kInvalidEventId;
+  }
+  QueueRt& q = qidx == 0 ? *global_ : *queues_[qidx];
+  const EventId raw =
+      gate != nullptr
+          ? q.queue.schedule_gated(key, gate, ctx, arg, std::move(fn))
+          : q.queue.schedule(key, std::move(fn));
+  return pack_id(qidx, raw, kQueueIndexShift);
+}
+
+EventId Simulator::post_deliver(std::uint32_t lane, TimePoint when,
+                                const DeliverEvent& event) {
+  ExecCtx* c = exec_active_ ? tls_exec_ : nullptr;
+  BRISA_ASSERT_MSG(when >= (c != nullptr ? c->q->now : now_),
+                   "cannot schedule events in the past");
+  const EventKey key = make_key(when, lane);
+  const std::uint32_t qidx = qidx_of_lane(lane);
+  if (c != nullptr && qidx != c->qidx) {
+    BRISA_ASSERT_MSG(when >= window_end_,
+                     "cross-shard delivery inside the lookahead window");
+    auto& box = c->q->outbox[qidx];
+    box.emplace_back();
+    Mail& m = box.back();
+    m.key = key;
+    m.payload = EventPayload(event);
+    return kInvalidEventId;
+  }
+  QueueRt& q = qidx == 0 ? *global_ : *queues_[qidx];
+  return pack_id(qidx, q.queue.schedule_deliver(key, event),
+                 kQueueIndexShift);
+}
+
+// --- Scheduling API ----------------------------------------------------------
 
 EventId Simulator::at(TimePoint when, Callback fn) {
-  BRISA_ASSERT_MSG(when >= now_, "cannot schedule events in the past");
-  return queue_.schedule(when, std::move(fn));
+  return post_callback(0, when, std::move(fn), nullptr, nullptr, 0);
 }
 
 EventId Simulator::after(Duration delay, Callback fn) {
   BRISA_ASSERT_MSG(delay >= Duration::zero(), "negative delay");
-  return queue_.schedule(now_ + delay, std::move(fn));
+  return post_callback(0, now() + delay, std::move(fn), nullptr, nullptr, 0);
 }
 
 EventId Simulator::at_gated(TimePoint when, GatePredicate gate,
                             const void* ctx, std::uint32_t arg, Callback fn) {
-  BRISA_ASSERT_MSG(when >= now_, "cannot schedule events in the past");
-  return queue_.schedule_gated(when, gate, ctx, arg, std::move(fn));
+  return post_callback(0, when, std::move(fn), gate, ctx, arg);
 }
 
 EventId Simulator::after_gated(Duration delay, GatePredicate gate,
                                const void* ctx, std::uint32_t arg,
                                Callback fn) {
   BRISA_ASSERT_MSG(delay >= Duration::zero(), "negative delay");
-  return queue_.schedule_gated(now_ + delay, gate, ctx, arg, std::move(fn));
+  return post_callback(0, now() + delay, std::move(fn), gate, ctx, arg);
+}
+
+EventId Simulator::at_host(std::uint32_t host, TimePoint when, Callback fn) {
+  return post_callback(host + 1, when, std::move(fn), nullptr, nullptr, 0);
+}
+
+EventId Simulator::after_host(std::uint32_t host, Duration delay,
+                              Callback fn) {
+  BRISA_ASSERT_MSG(delay >= Duration::zero(), "negative delay");
+  return post_callback(host + 1, now() + delay, std::move(fn), nullptr,
+                       nullptr, 0);
+}
+
+EventId Simulator::at_host_gated(std::uint32_t host, TimePoint when,
+                                 GatePredicate gate, const void* ctx,
+                                 std::uint32_t arg, Callback fn) {
+  return post_callback(host + 1, when, std::move(fn), gate, ctx, arg);
+}
+
+EventId Simulator::after_host_gated(std::uint32_t host, Duration delay,
+                                    GatePredicate gate, const void* ctx,
+                                    std::uint32_t arg, Callback fn) {
+  BRISA_ASSERT_MSG(delay >= Duration::zero(), "negative delay");
+  return post_callback(host + 1, now() + delay, std::move(fn), gate, ctx, arg);
 }
 
 EventId Simulator::at_deliver(TimePoint when, const DeliverEvent& event) {
-  BRISA_ASSERT_MSG(when >= now_, "cannot schedule events in the past");
-  return queue_.schedule_deliver(when, event);
+  return post_deliver(event.to + 1, when, event);
+}
+
+void Simulator::cancel(EventId id) {
+  if (!id.valid()) return;
+  const std::uint32_t qidx = id.slot >> kQueueIndexShift;
+  if (qidx >= queues_.size()) return;  // stale handle from another config
+  if (exec_active_) {
+    const ExecCtx* c = tls_exec_;
+    BRISA_ASSERT_MSG(c != nullptr && c->sim == this && qidx == c->qidx,
+                     "cross-shard cancel from inside a parallel window");
+  }
+  queues_[qidx]->queue.cancel(EventId{id.slot & kSlotIndexMask, id.gen});
 }
 
 // --- Periodic timers ---------------------------------------------------------
 
-PeriodicId Simulator::acquire_periodic() {
+PeriodicId Simulator::acquire_periodic(QueueRt& q, std::uint32_t qidx) {
   std::uint32_t slot;
-  if (periodic_free_head_ != kNullIndex) {
-    slot = periodic_free_head_;
-    periodic_free_head_ = periodics_[slot].next_free;
+  if (q.periodic_free_head != kNullIndex) {
+    slot = q.periodic_free_head;
+    q.periodic_free_head = q.periodics[slot].next_free;
   } else {
-    slot = static_cast<std::uint32_t>(periodics_.size());
-    periodics_.emplace_back();
+    slot = static_cast<std::uint32_t>(q.periodics.size());
+    BRISA_ASSERT_MSG(slot < (1u << kQueueIndexShift), "periodic slab full");
+    q.periodics.emplace_back();
   }
-  Periodic& p = periodics_[slot];
+  (void)qidx;
+  Periodic& p = q.periodics[slot];
   p.armed = true;
   p.next_free = kNullIndex;
-  ++active_periodics_;
+  ++q.active_periodics;
   return PeriodicId{slot, p.gen};
 }
 
-void Simulator::release_periodic(std::uint32_t slot) {
-  Periodic& p = periodics_[slot];
+void Simulator::release_periodic(QueueRt& q, std::uint32_t slot) {
+  Periodic& p = q.periodics[slot];
   BRISA_ASSERT(p.armed);
   p.gen = p.gen + 1 == 0 ? 1 : p.gen + 1;
   p.armed = false;
   p.fn.reset();
   p.gate = nullptr;
   p.pending = kInvalidEventId;
-  p.next_free = periodic_free_head_;
-  periodic_free_head_ = slot;
-  --active_periodics_;
+  p.next_free = q.periodic_free_head;
+  q.periodic_free_head = slot;
+  --q.active_periodics;
 }
 
-PeriodicId Simulator::every(Duration period, Callback fn) {
-  return every_gated(period, nullptr, nullptr, 0, std::move(fn));
-}
-
-PeriodicId Simulator::every_gated(Duration period, GatePredicate gate,
-                                  const void* ctx, std::uint32_t arg,
-                                  Callback fn) {
-  BRISA_ASSERT_MSG(period > Duration::zero(), "periodic timer needs period > 0");
-  const PeriodicId id = acquire_periodic();
-  Periodic& p = periodics_[id.slot];
+PeriodicId Simulator::start_periodic(std::uint32_t lane, Duration period,
+                                     GatePredicate gate, const void* ctx,
+                                     std::uint32_t arg, Callback fn) {
+  BRISA_ASSERT_MSG(period > Duration::zero(),
+                   "periodic timer needs period > 0");
+  const std::uint32_t qidx = qidx_of_lane(lane);
+  ExecCtx* c = exec_active_ ? tls_exec_ : nullptr;
+  if (c != nullptr) {
+    // A window may only create timers on the executing shard (hosts create
+    // their own timers; cross-shard timer creation has no use case).
+    BRISA_ASSERT_MSG(c->sim == this && qidx == c->qidx,
+                     "cross-shard periodic from inside a parallel window");
+  }
+  QueueRt& q = *queues_[qidx];
+  const PeriodicId raw = acquire_periodic(q, qidx);
+  Periodic& p = q.periodics[raw.slot];
   p.period = period;
   p.fn = std::move(fn);
   p.gate = gate;
   p.gate_ctx = ctx;
   p.gate_arg = arg;
-  p.pending = queue_.schedule_periodic_tick(now_ + period,
-                                            PeriodicTick{id.slot, id.gen});
-  return id;
+  p.lane = lane;
+  const TimePoint first = (c != nullptr ? q.now : now_) + period;
+  p.pending = q.queue.schedule_periodic_tick(make_key(first, lane),
+                                             PeriodicTick{raw.slot, raw.gen});
+  return PeriodicId{(qidx << kQueueIndexShift) | raw.slot, raw.gen};
+}
+
+PeriodicId Simulator::every(Duration period, Callback fn) {
+  return start_periodic(0, period, nullptr, nullptr, 0, std::move(fn));
+}
+
+PeriodicId Simulator::every_gated(Duration period, GatePredicate gate,
+                                  const void* ctx, std::uint32_t arg,
+                                  Callback fn) {
+  return start_periodic(0, period, gate, ctx, arg, std::move(fn));
+}
+
+PeriodicId Simulator::every_host(std::uint32_t host, Duration period,
+                                 Callback fn) {
+  return start_periodic(host + 1, period, nullptr, nullptr, 0, std::move(fn));
+}
+
+PeriodicId Simulator::every_host_gated(std::uint32_t host, Duration period,
+                                       GatePredicate gate, const void* ctx,
+                                       std::uint32_t arg, Callback fn) {
+  return start_periodic(host + 1, period, gate, ctx, arg, std::move(fn));
 }
 
 void Simulator::cancel_periodic(PeriodicId id) {
   if (!periodic_live(id)) return;
-  queue_.cancel(periodics_[id.slot].pending);
-  release_periodic(id.slot);
+  const std::uint32_t qidx = id.slot >> kQueueIndexShift;
+  const std::uint32_t slot = id.slot & kSlotIndexMask;
+  if (exec_active_) {
+    const ExecCtx* c = tls_exec_;
+    BRISA_ASSERT_MSG(c != nullptr && c->sim == this && qidx == c->qidx,
+                     "cross-shard periodic cancel from a parallel window");
+  }
+  QueueRt& q = *queues_[qidx];
+  q.queue.cancel(q.periodics[slot].pending);
+  release_periodic(q, slot);
 }
 
 bool Simulator::periodic_live(PeriodicId id) const {
-  return id.gen != 0 && id.slot < periodics_.size() &&
-         periodics_[id.slot].armed && periodics_[id.slot].gen == id.gen;
+  if (id.gen == 0) return false;
+  const std::uint32_t qidx = id.slot >> kQueueIndexShift;
+  if (qidx >= queues_.size()) return false;
+  const std::uint32_t slot = id.slot & kSlotIndexMask;
+  const QueueRt& q = *queues_[qidx];
+  return slot < q.periodics.size() && q.periodics[slot].armed &&
+         q.periodics[slot].gen == id.gen;
 }
 
-void Simulator::fire_periodic(PeriodicTick tick) {
-  if (tick.slot >= periodics_.size()) return;
+void Simulator::fire_periodic(QueueRt& q, std::uint32_t lane,
+                              PeriodicTick tick) {
+  if (tick.slot >= q.periodics.size()) return;
   Callback fn;
   {
-    Periodic& p = periodics_[tick.slot];
+    Periodic& p = q.periodics[tick.slot];
     if (!p.armed || p.gen != tick.gen) return;  // cancelled while in flight
     p.pending = kInvalidEventId;
     if (p.gate != nullptr && !p.gate(p.gate_ctx, p.gate_arg)) {
-      release_periodic(tick.slot);
+      release_periodic(q, tick.slot);
       return;
     }
     // Run the closure from the stack: it may create or cancel periodic
@@ -115,73 +355,237 @@ void Simulator::fire_periodic(PeriodicTick tick) {
     fn = std::move(p.fn);
   }
   fn();
-  Periodic& p = periodics_[tick.slot];
+  Periodic& p = q.periodics[tick.slot];
   if (!p.armed || p.gen != tick.gen) return;  // cancelled itself inside fn
   if (p.gate != nullptr && !p.gate(p.gate_ctx, p.gate_arg)) {
-    release_periodic(tick.slot);
+    release_periodic(q, tick.slot);
     return;
   }
   p.fn = std::move(fn);
-  p.pending = queue_.schedule_periodic_tick(now_ + p.period, tick);
+  const TimePoint next = (exec_active_ ? q.now : now_) + p.period;
+  p.pending = q.queue.schedule_periodic_tick(make_key(next, lane), tick);
 }
 
 // --- Run loop ----------------------------------------------------------------
 
-void Simulator::dispatch(EventQueue::Fired& fired) {
+void Simulator::dispatch(QueueRt& q, EventQueue::Fired& fired) {
   if (fired.payload.kind() == EventPayload::Kind::kPeriodic) {
-    fire_periodic(fired.payload.take_periodic());
+    fire_periodic(q, fired.lane, fired.payload.take_periodic());
   } else {
     fired.run();
   }
 }
 
-std::uint64_t Simulator::run_until(TimePoint limit) {
+std::uint64_t Simulator::run_single(TimePoint limit, bool drain) {
+  EventQueue& queue = global_->queue;
   std::uint64_t fired_count = 0;
-  while (!queue_.empty() && queue_.next_time() <= limit) {
-    EventQueue::Fired event = queue_.pop();
+  while (!queue.empty() && (drain || queue.next_time() <= limit)) {
+    EventQueue::Fired event = queue.pop();
     BRISA_ASSERT_MSG(event.time >= now_, "event queue went backwards");
     now_ = event.time;
-    dispatch(event);
+    current_lane_ = event.lane;
+    dispatch(*global_, event);
     ++fired_count;
   }
-  if (now_ < limit) now_ = limit;
+  current_lane_ = 0;
+  if (!drain && now_ < limit) now_ = limit;
   events_fired_ += fired_count;
   return fired_count;
+}
+
+std::uint64_t Simulator::run_sharded(TimePoint limit, bool drain) {
+  std::uint64_t fired_count = 0;
+  for (;;) {
+    const TimePoint tg = global_->queue.next_time();
+    TimePoint th = TimePoint::max();
+    for (std::uint32_t s = 1; s <= shards_; ++s) {
+      th = std::min(th, queues_[s]->queue.next_time());
+    }
+    const TimePoint tmin = std::min(tg, th);
+    if (tmin == TimePoint::max()) break;
+    if (!drain && tmin > limit) break;
+    if (tg <= th) {
+      // Serial step: one global-lane event runs alone and may touch any
+      // state (membership changes, churn, harness bookkeeping).
+      EventQueue::Fired event = global_->queue.pop();
+      BRISA_ASSERT_MSG(event.time >= now_, "event queue went backwards");
+      now_ = event.time;
+      current_lane_ = 0;
+      dispatch(*global_, event);
+      ++fired_count;
+      ++serial_events_;
+    } else {
+      // Parallel window: [th, w_end) with w_end capped by the next global
+      // event, the lookahead, and (for bounded runs) limit + 1us so events
+      // at exactly `limit` still fire.
+      TimePoint w_end = th + lookahead_;
+      if (tg < w_end) w_end = tg;
+      if (!drain && limit < TimePoint::max() &&
+          limit + Duration::microseconds(1) < w_end) {
+        w_end = limit + Duration::microseconds(1);
+      }
+      fired_count += run_window(th, w_end);
+    }
+  }
+  if (!drain && now_ < limit) now_ = limit;
+  events_fired_ += fired_count;
+  return fired_count;
+}
+
+std::uint64_t Simulator::run_window(TimePoint w_start, TimePoint w_end) {
+  window_start_ = w_start;
+  window_end_ = w_end;
+  process_ticket_.store(0, std::memory_order_relaxed);
+  flush_ticket_.store(0, std::memory_order_relaxed);
+  exec_active_ = true;
+  ++windows_;
+  if (workers_ > 1) {
+    // Three barrier phases per window: release, end-of-processing (no queue
+    // may be mutated by its mailbox until its owner stops draining it), and
+    // end-of-flush.
+    barrier_->arrive_and_wait();
+    process_shards(0);
+    const auto t0 = std::chrono::steady_clock::now();
+    barrier_->arrive_and_wait();
+    flush_shards();
+    barrier_->arrive_and_wait();
+    const auto t1 = std::chrono::steady_clock::now();
+    queues_[1]->barrier_wait_us += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count());
+  } else {
+    process_shards(0);
+    flush_shards();
+  }
+  exec_active_ = false;
+  std::uint64_t fired = 0;
+  for (std::uint32_t s = 1; s <= shards_; ++s) {
+    QueueRt& q = *queues_[s];
+    fired += q.window_fired;
+    if (q.window_fired > 0 && q.window_last > now_) now_ = q.window_last;
+    q.window_fired = 0;
+  }
+  return fired;
+}
+
+void Simulator::process_shards(std::uint32_t widx) {
+  const TimePoint w_end = window_end_;
+  for (;;) {
+    const std::uint32_t s =
+        process_ticket_.fetch_add(1, std::memory_order_relaxed);
+    if (s >= shards_) return;
+    QueueRt& q = *queues_[s + 1];
+    if (s % workers_ != widx) ++q.steals;
+    ExecCtx ctx{this, &q, s + 1, 0};
+    tls_exec_ = &ctx;
+    std::uint64_t n = 0;
+    while (!q.queue.empty() && q.queue.next_time() < w_end) {
+      EventQueue::Fired event = q.queue.pop();
+      q.now = event.time;
+      ctx.lane = event.lane;
+      dispatch(q, event);
+      ++n;
+    }
+    tls_exec_ = nullptr;
+    q.window_fired = n;
+    if (n > 0) q.window_last = q.now;
+    q.events_fired += n;
+    ++q.windows;
+  }
+}
+
+void Simulator::flush_shards() {
+  for (;;) {
+    const std::uint32_t d =
+        flush_ticket_.fetch_add(1, std::memory_order_relaxed);
+    if (d >= shards_) return;
+    QueueRt& dst = *queues_[d + 1];
+    for (std::uint32_t s = 0; s < shards_; ++s) {
+      auto& box = queues_[s + 1]->outbox[d + 1];
+      for (Mail& m : box) {
+        // Heap order comes from the canonical key, so insertion order (which
+        // source shard flushed first) cannot affect results.
+        dst.queue.schedule_payload(m.key, std::move(m.payload), m.gate,
+                                   m.gate_ctx, m.gate_arg);
+        ++dst.mailbox_in;
+      }
+      box.clear();
+    }
+  }
+}
+
+void Simulator::worker_loop(std::uint32_t widx) {
+  // Barrier waits are attributed to the worker's home shard (thread w ->
+  // shard w+1): a long wait means this thread's claims finished early.
+  QueueRt& home = *queues_[widx + 1];
+  for (;;) {
+    auto t0 = std::chrono::steady_clock::now();
+    barrier_->arrive_and_wait();
+    home.barrier_wait_us += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    if (stop_.load(std::memory_order_relaxed)) return;
+    process_shards(widx);
+    barrier_->arrive_and_wait();
+    flush_shards();
+    barrier_->arrive_and_wait();
+  }
+}
+
+std::uint64_t Simulator::run_until(TimePoint limit) {
+  return shards_ == 1 ? run_single(limit, false) : run_sharded(limit, false);
 }
 
 std::uint64_t Simulator::run() {
   // Unlike run_until, draining leaves the clock on the last event fired.
-  std::uint64_t fired_count = 0;
-  while (!queue_.empty()) {
-    EventQueue::Fired event = queue_.pop();
-    BRISA_ASSERT_MSG(event.time >= now_, "event queue went backwards");
-    now_ = event.time;
-    dispatch(event);
-    ++fired_count;
-  }
-  events_fired_ += fired_count;
-  return fired_count;
+  return shards_ == 1 ? run_single(TimePoint::max(), true)
+                      : run_sharded(TimePoint::max(), true);
 }
 
 void Simulator::clear() {
-  queue_.clear();
-  for (std::uint32_t slot = 0;
-       slot < static_cast<std::uint32_t>(periodics_.size()); ++slot) {
-    if (periodics_[slot].armed) release_periodic(slot);
+  BRISA_ASSERT_MSG(!exec_active_, "clear() inside a parallel window");
+  for (auto& qp : queues_) {
+    QueueRt& q = *qp;
+    q.queue.clear();
+    for (std::uint32_t slot = 0;
+         slot < static_cast<std::uint32_t>(q.periodics.size()); ++slot) {
+      if (q.periodics[slot].armed) release_periodic(q, slot);
+    }
+    for (auto& box : q.outbox) box.clear();
   }
+}
+
+std::size_t Simulator::pending_events() const {
+  std::size_t pending = 0;
+  for (const auto& q : queues_) pending += q->queue.size();
+  return pending;
 }
 
 Simulator::Stats Simulator::stats() const {
   Stats s;
   s.events_fired = events_fired_;
-  s.events_scheduled = queue_.scheduled_total();
-  s.events_cancelled = queue_.cancelled_total();
+  for (const auto& qp : queues_) {
+    const QueueRt& q = *qp;
+    s.events_scheduled += q.queue.scheduled_total();
+    s.events_cancelled += q.queue.cancelled_total();
+    s.pending_events += q.queue.size();
+    s.event_slab_slots += q.queue.slab_capacity();
+    s.peak_pending_events += q.queue.peak_pending();
+    s.active_periodics += q.active_periodics;
+  }
   s.callback_heap_fallbacks =
       InlineCallback::heap_fallbacks() - heap_fallbacks_at_ctor_;
-  s.pending_events = queue_.size();
-  s.event_slab_slots = queue_.slab_capacity();
-  s.peak_pending_events = queue_.peak_pending();
-  s.active_periodics = active_periodics_;
+  if (shards_ > 1) {
+    s.serial_events = serial_events_;
+    s.windows = windows_;
+    s.shards.resize(shards_);
+    for (std::uint32_t i = 0; i < shards_; ++i) {
+      const QueueRt& q = *queues_[i + 1];
+      s.shards[i] = Stats::Shard{q.events_fired, q.windows, q.mailbox_in,
+                                 q.steals, q.barrier_wait_us};
+    }
+  }
   return s;
 }
 

@@ -12,6 +12,7 @@
 #include <fstream>
 #include <map>
 #include <stdexcept>
+#include <thread>
 
 #include "util/run_metadata.h"
 #include "util/subprocess.h"
@@ -116,6 +117,19 @@ std::string parse_axes(const Scenario& s, std::vector<Axis>* axes) {
       }
       continue;
     }
+    if (key == "jobs") {
+      if (raw != "auto") {
+        try {
+          std::size_t used = 0;
+          const long parsed = std::stol(raw, &used);
+          if (used != raw.size() || parsed < 1) throw std::exception();
+        } catch (const std::exception&) {
+          return "jobs expects a positive integer or 'auto', got '" + raw +
+                 "'";
+        }
+      }
+      continue;
+    }
     Axis axis;
     if (key == "protocol") {
       axis = {AxisKind::kProtocol, "protocol", "scenario.protocol", {}};
@@ -204,6 +218,20 @@ double sweep_cell_timeout_s(const Scenario& s) {
     if (key == "cell-timeout-s") return std::stod(raw);
   }
   return 0.0;
+}
+
+int sweep_jobs(const Scenario& s) {
+  for (const auto& [key, raw] : s.sweep) {
+    if (key == "jobs") {
+      return raw == "auto" ? auto_jobs() : static_cast<int>(std::stol(raw));
+    }
+  }
+  return 0;
+}
+
+int auto_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
 }
 
 std::vector<SweepCell> expand_sweep(const Scenario& s) {

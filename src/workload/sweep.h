@@ -59,6 +59,15 @@ struct SweepCell {
 /// The scenario's `cell-timeout-s` knob (0 = no timeout).
 [[nodiscard]] double sweep_cell_timeout_s(const Scenario& s);
 
+/// The scenario's `jobs` knob: N, hardware concurrency for `auto`, or 0
+/// when the key is absent (callers then apply their own default). The CLI
+/// --jobs flag overrides this.
+[[nodiscard]] int sweep_jobs(const Scenario& s);
+
+/// Hardware concurrency with a floor of 1 (what `jobs = auto` and
+/// `--jobs 0` resolve to).
+[[nodiscard]] int auto_jobs();
+
 /// Executor configuration assembled by brisa_run.
 struct SweepOptions {
   /// Concurrent worker processes (>= 1).

@@ -42,9 +42,13 @@ class SystemBase {
  public:
   /// `limits` rides into Network::Config (rate-control thresholds and the
   /// tx_usage() classifier); a default Limits keeps the network byte-exact.
+  /// `shards` partitions the host population across that many event lanes
+  /// (see sim/simulator.h); 1 keeps the classic serial loop. The simulator's
+  /// conservative lookahead is always set to the latency model's min_flight(),
+  /// so per-seed results are identical for every shard count.
   SystemBase(std::uint64_t seed, TestbedKind testbed,
              const std::optional<TopologyOverride>& topology = std::nullopt,
-             const net::Limits& limits = {});
+             const net::Limits& limits = {}, std::uint32_t shards = 1);
   virtual ~SystemBase() = default;
 
   SystemBase(const SystemBase&) = delete;
@@ -67,6 +71,14 @@ class SystemBase {
   /// Churn/fault driver callbacks every system shares: suspend/resume and
   /// plan installation. Derived systems add spawn/population/kill.
   void fill_fault_hooks(ChurnHooks& hooks);
+
+ private:
+  /// Runs inside the network_ member-initializer so the simulator's
+  /// lookahead/sharding are configured *before* the Network constructor
+  /// inspects simulator.shards() (message refcount mode, lane registration).
+  static std::unique_ptr<net::LatencyModel> prepare(
+      sim::Simulator& simulator, std::unique_ptr<net::LatencyModel> latency,
+      std::uint32_t shards);
 
  protected:
   TestbedKind testbed_;

@@ -48,7 +48,7 @@ class TestPayload final : public net::Message {
 TEST(FaultPlan, LossAppliesOnlyInsideWindow) {
   FaultPlan plan;
   plan.add_loss({at_s(10), at_s(20), 1.0, NodeGroup::all(), NodeGroup::all()});
-  sim::Rng rng(1);
+  sim::CounterRng rng(1);
   EXPECT_EQ(plan.link_verdict(at_s(5), NodeId(0), NodeId(1), rng),
             LinkVerdict::kDeliver);
   EXPECT_EQ(plan.link_verdict(at_s(10), NodeId(0), NodeId(1), rng),
@@ -64,7 +64,7 @@ TEST(FaultPlan, LossRestrictedToGroups) {
   FaultPlan plan;
   plan.add_loss({at_s(0), at_s(100), 1.0, NodeGroup::range(0, 3),
                  NodeGroup::range(4, 7)});
-  sim::Rng rng(1);
+  sim::CounterRng rng(1);
   // Crossing links drop in both directions; intra-group links are clean.
   EXPECT_EQ(plan.link_verdict(at_s(1), NodeId(0), NodeId(5), rng),
             LinkVerdict::kDrop);
@@ -82,7 +82,7 @@ TEST(FaultPlan, PartitionIsSymmetricAndWindowed) {
   FaultPlan plan;
   plan.add_partition({at_s(10), at_s(30), NodeGroup::range(0, 1),
                       NodeGroup::range(2, 3)});
-  sim::Rng rng(1);
+  sim::CounterRng rng(1);
   EXPECT_TRUE(plan.partitioned(at_s(10), NodeId(0), NodeId(2)));
   EXPECT_TRUE(plan.partitioned(at_s(10), NodeId(2), NodeId(0)));
   EXPECT_FALSE(plan.partitioned(at_s(10), NodeId(0), NodeId(1)));

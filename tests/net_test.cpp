@@ -44,7 +44,7 @@ TEST(LatencyModels, ClusterBaseIsUniform) {
 
 TEST(LatencyModels, ClusterSampleAddsNonNegativeJitter) {
   ClusterLatencyModel model;
-  sim::Rng rng(1);
+  sim::CounterRng rng(1);
   for (int i = 0; i < 1000; ++i) {
     const sim::Duration sample = model.sample(NodeId(0), NodeId(1), rng);
     EXPECT_GE(sample, model.base(NodeId(0), NodeId(1)));
@@ -264,7 +264,10 @@ TEST_F(TransportFixture, ConnectEstablishesBothEnds) {
   EXPECT_EQ(ha.count(RecordingHandler::Event::kUp), 1u);
   EXPECT_EQ(hb.count(RecordingHandler::Event::kUp), 1u);
   EXPECT_EQ(transport.peer_of(conn, a), b);
-  EXPECT_EQ(transport.peer_of(conn, b), a);
+  // The acceptor holds its own half id, delivered in its up-event.
+  const ConnectionId b_conn = hb.events.back().conn;
+  EXPECT_TRUE(transport.established(b_conn));
+  EXPECT_EQ(transport.peer_of(b_conn, b), a);
 }
 
 TEST_F(TransportFixture, ConnectToDeadHostRefused) {

@@ -116,7 +116,11 @@ TEST_P(BrisaProperties, StructureAndDeliveryInvariants) {
         << id;
   }
 
-  // 5. Steady-state duplicate bound: stream again and compare.
+  // 5. Steady-state duplicate bound: stream again and compare. A node keeps
+  // at most `parents` inbound senders, plus one transient extra while a
+  // reconfiguration's deactivation propagates — so growth stays below
+  // fresh * parents, far under the runaway-dedup failure this guards
+  // against (~fresh * (view - 1)).
   std::map<std::uint32_t, std::uint64_t> dups_before;
   for (const net::NodeId id : system.member_ids()) {
     dups_before[id.index()] = system.brisa(id).stats().duplicates;
@@ -128,7 +132,7 @@ TEST_P(BrisaProperties, StructureAndDeliveryInvariants) {
     if (id == system.source_id()) continue;
     const std::uint64_t growth =
         system.brisa(id).stats().duplicates - dups_before[id.index()];
-    EXPECT_LE(growth, fresh * (param.parents - 1) + 3) << id;
+    EXPECT_LE(growth, fresh * param.parents + 3) << id;
   }
 }
 

@@ -247,7 +247,7 @@ TEST(ClusteredWanLatency, TwoTiersAndDeterminism) {
   EXPECT_TRUE(saw_intra);
   EXPECT_TRUE(saw_inter);
   // Jitter only ever adds.
-  sim::Rng rng(7);
+  sim::CounterRng rng(7);
   for (int i = 0; i < 16; ++i) {
     EXPECT_GE(model.sample(net::NodeId(0), net::NodeId(1), rng),
               model.base(net::NodeId(0), net::NodeId(1)));
