@@ -117,7 +117,7 @@ void SimpleGossip::push_rumor(net::StreamId stream, std::uint64_t seq,
 }
 
 void SimpleGossip::on_anti_entropy_timer() {
-  if (network().tx_overusing(id())) {
+  if (network().tx_defer(id())) {
     streams_[0].stats.rate_deferrals += 1;
     return;
   }

@@ -267,7 +267,7 @@ void TagNode::reinsert() {
 
 void TagNode::on_pull_timer() {
   if (parent_conn_ == net::kInvalidConnectionId) return;
-  if (network().tx_overusing(id())) {
+  if (network().tx_defer(id())) {
     ++node_stats().rate_deferrals;
     return;
   }
@@ -276,7 +276,7 @@ void TagNode::on_pull_timer() {
 
 void TagNode::on_gossip_pull_timer() {
   if (gossip_peers_.empty()) return;
-  if (network().tx_overusing(id())) {
+  if (network().tx_defer(id())) {
     ++node_stats().rate_deferrals;
     return;
   }
@@ -323,7 +323,7 @@ void TagNode::handle_pull_reply(net::ConnectionId conn, net::NodeId from,
   // request would fetch the identical reply — a duplicate livelock at
   // round-trip speed. Stuck gaps wait out the poll period instead.
   if (streams_[reply.stream()].contiguous_upto == watermark_before) return;
-  if (network().tx_overusing(id())) {
+  if (network().tx_defer(id())) {
     ++node_stats().rate_deferrals;  // next timer tick retries
     return;
   }

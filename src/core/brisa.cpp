@@ -104,7 +104,7 @@ BrisaStream::BrisaStream(BrisaEngine& engine, net::StreamId stream,
     every(config_.topup_period, [this]() {
       if (is_source_ || !position_known_ || repair_.has_value()) return;
       if (parents_.size() >= config_.num_parents) return;
-      if (network().tx_overusing(id())) {
+      if (network().tx_defer(id())) {
         stats_.rate_deferrals += 1;
         return;
       }
@@ -402,7 +402,7 @@ void BrisaStream::arm_gap_probe() {
     std::uint64_t target = std::max(contiguous_upto_, floor);
     while (target <= newest && delivered_seqs_.count(target) > 0) ++target;
     if (target > newest) return;  // in-window hole closed
-    if (network().tx_overusing(id())) {
+    if (network().tx_defer(id())) {
       // Send side is backlogged: pulling a window of retransmissions now
       // would only deepen the queue. Re-arm and retry once it drains.
       stats_.rate_deferrals += 1;

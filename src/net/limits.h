@@ -66,6 +66,10 @@ struct Limits {
   sim::Duration overuse_threshold = sim::Duration::milliseconds(200);
   /// Backlog at or below this is kUnderusing.
   sim::Duration underuse_threshold = sim::Duration::milliseconds(20);
+  /// AIMD recovery step period: after an overuse episode halves a sender's
+  /// optional-traffic gain, each sustained-underuse stretch of this length
+  /// ramps the gain back up by one additive step (Network::tx_defer).
+  sim::Duration rate_recovery = sim::Duration::seconds(1);
 
   /// True when the store bound is active.
   [[nodiscard]] bool bounded() const {

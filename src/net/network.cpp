@@ -434,6 +434,50 @@ BandwidthUsage Network::tx_usage(NodeId node) const {
   return BandwidthUsage::kNormal;
 }
 
+namespace {
+// tx_defer gain scale: Q8 fixed point. Full rate, multiplicative-decrease
+// floor (1/16 of full), and the additive recovery step (+1/4 per sustained
+// underuse period — full recovery from the floor takes four quiet periods).
+constexpr std::uint32_t kAimdFull = 256;
+constexpr std::uint32_t kAimdFloor = 16;
+constexpr std::uint32_t kAimdStep = 64;
+}  // namespace
+
+bool Network::tx_defer(NodeId node) {
+  if (!config_.limits.rate_control) return false;
+  const BandwidthUsage usage = tx_usage(node);
+  Host& h = host(node);
+  if (usage == BandwidthUsage::kOverusing) {
+    // Multiplicative decrease: halve the optional-traffic rate, drop any
+    // accumulated credit, and defer unconditionally while backlogged.
+    h.aimd_gain = std::max(kAimdFloor, h.aimd_gain / 2);
+    h.aimd_credit = 0;
+    h.aimd_underuse_since = sim::TimePoint::max();
+    return true;
+  }
+  if (usage == BandwidthUsage::kUnderusing) {
+    const sim::TimePoint now = simulator_.now();
+    if (h.aimd_underuse_since == sim::TimePoint::max()) {
+      h.aimd_underuse_since = now;
+    } else if (now - h.aimd_underuse_since >= config_.limits.rate_recovery) {
+      // Additive increase: one step per sustained quiet period.
+      h.aimd_gain = std::min(kAimdFull, h.aimd_gain + kAimdStep);
+      h.aimd_underuse_since = now;
+    }
+  } else {
+    // kNormal breaks the sustained-underuse streak without penalizing.
+    h.aimd_underuse_since = sim::TimePoint::max();
+  }
+  if (h.aimd_gain == kAimdFull) return false;  // fully recovered: never defer
+  // Token bucket in Q8: pass a gain/256 fraction of optional rounds.
+  h.aimd_credit += h.aimd_gain;
+  if (h.aimd_credit >= kAimdFull) {
+    h.aimd_credit -= kAimdFull;
+    return false;
+  }
+  return true;
+}
+
 sim::Duration Network::sample_flight(NodeId from, NodeId to) {
   sim::Duration flight = latency_->sample(from, to, host(from).rng);
   if (fault_plan_ != nullptr) [[unlikely]] {

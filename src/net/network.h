@@ -243,11 +243,21 @@ class Network : public sim::DeliverEvent::Sink {
   /// BandwidthUsage shape. Always kNormal when limits.rate_control is off.
   [[nodiscard]] BandwidthUsage tx_usage(NodeId node) const;
 
-  /// tx_usage(node) == kOverusing; a single branch when rate control is off,
-  /// so protocol timers can gate on it unconditionally.
-  [[nodiscard]] bool tx_overusing(NodeId node) const {
-    return config_.limits.rate_control &&
-           tx_usage(node) == BandwidthUsage::kOverusing;
+  /// AIMD gate for optional traffic (anti-entropy rounds, pulls, gap
+  /// probes): true = defer this round. Overuse halves the sender's
+  /// optional-traffic gain (floor 16/256) and always defers; once the
+  /// backlog clears, a matching fraction of rounds keeps being deferred
+  /// until sustained underuse ramps the gain back up by one additive step
+  /// per limits.rate_recovery period. At full gain — and always when rate
+  /// control is off — it is a single branch returning false, so protocol
+  /// timers can gate on it unconditionally without perturbing outputs.
+  /// Mutates only the caller host's state, so it stays shard-safe.
+  [[nodiscard]] bool tx_defer(NodeId node);
+
+  /// Current AIMD gain for `node` in Q8 fixed point (256 = full rate);
+  /// instrumentation for tests and reports.
+  [[nodiscard]] std::uint32_t tx_rate_gain(NodeId node) const {
+    return host(node).aimd_gain;
   }
 
   /// Peak backlog instrumentation (always tracked; it only feeds reports):
@@ -308,6 +318,12 @@ class Network : public sim::DeliverEvent::Sink {
     std::uint64_t messages_sent = 0;
     sim::Duration peak_nic_backlog = sim::Duration::zero();
     sim::Duration peak_cpu_backlog = sim::Duration::zero();
+    /// AIMD optional-traffic gate (tx_defer): Q8 send gain (256 = full
+    /// rate), token-bucket credit, and the start of the current sustained
+    /// -underuse streak (TimePoint::max() = no streak in progress).
+    std::uint32_t aimd_gain = 256;
+    std::uint32_t aimd_credit = 0;
+    sim::TimePoint aimd_underuse_since = sim::TimePoint::max();
   };
 
   Host& host(NodeId node);

@@ -110,6 +110,10 @@ RunResult run_brisa(std::uint64_t seed, std::size_t nodes,
   config.stabilization = sim::Duration::seconds(25);
   workload::BrisaSystem system(config);
   system.bootstrap();
+  // Bootstrap churns far more pending events than steady state (joins,
+  // per-host arming); release the slack so back-to-back sweep cells do not
+  // stack each other's peak footprint.
+  system.simulator().shrink();
   workload::ChurnDriver driver(
       system.simulator(),
       workload::ChurnScript::parse(fault_script(nodes)),
@@ -143,6 +147,10 @@ RunResult run_gossip(std::uint64_t seed, std::size_t nodes,
   config.stabilization = sim::Duration::seconds(10);
   workload::SimpleGossipSystem system(config);
   system.bootstrap();
+  // Bootstrap churns far more pending events than steady state (joins,
+  // per-host arming); release the slack so back-to-back sweep cells do not
+  // stack each other's peak footprint.
+  system.simulator().shrink();
   workload::ChurnDriver driver(
       system.simulator(),
       workload::ChurnScript::parse(fault_script(nodes)),
@@ -175,6 +183,10 @@ RunResult run_tree(std::uint64_t seed, std::size_t nodes,
   config.stabilization = sim::Duration::seconds(10);
   workload::SimpleTreeSystem system(config);
   system.bootstrap();
+  // Bootstrap churns far more pending events than steady state (joins,
+  // per-host arming); release the slack so back-to-back sweep cells do not
+  // stack each other's peak footprint.
+  system.simulator().shrink();
   // SimpleTree has no spawn/kill API, but the sweep's fault plan only uses
   // drop/crash/stop, which the fault hooks cover: the interesting number is
   // how much a repair-less tree loses under the same faults (§III-D b).
@@ -221,6 +233,10 @@ RunResult run_tag(std::uint64_t seed, std::size_t nodes, std::size_t messages,
   config.stabilization = sim::Duration::seconds(20);
   workload::TagSystem system(config);
   system.bootstrap();
+  // Bootstrap churns far more pending events than steady state (joins,
+  // per-host arming); release the slack so back-to-back sweep cells do not
+  // stack each other's peak footprint.
+  system.simulator().shrink();
   workload::ChurnDriver driver(
       system.simulator(),
       workload::ChurnScript::parse(fault_script(nodes)),

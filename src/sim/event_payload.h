@@ -1,10 +1,12 @@
 // Typed event payloads for the slab-backed event queue.
 //
 // The steady-state event mix of a dissemination experiment is (a) message
-// deliveries, (b) periodic protocol timers, and (c) one-shot timers. Cases
-// (a) and (b) used to be type-erased closures capturing shared_ptrs; here
-// they become plain structs that live inside the event slot, so the common
-// paths never allocate and never touch a vtable-per-closure.
+// deliveries and (b) one-shot timers; case (a) used to be a type-erased
+// closure capturing shared_ptrs and here becomes a plain struct that lives
+// inside the event slot, so the common path never allocates and never
+// touches a vtable-per-closure. Periodic timers enter the queue only as
+// per-cohort ticks (kTick): the simulator batches timer occurrences in a
+// cohort wheel and keeps exactly one queue event per cohort (DESIGN.md §14).
 #pragma once
 
 #include <cstdint>
@@ -51,19 +53,24 @@ struct DeliverEvent {
   std::uint16_t tclass = 0; ///< traffic class
 };
 
-/// One occurrence of a periodic timer: indexes the simulator's periodic
-/// slab. The generation tag makes ticks of a cancelled-and-reused slot
-/// harmless.
-struct PeriodicTick {
-  std::uint32_t slot = 0;
+/// A periodic-cohort tick: the simulator schedules one of these per cohort
+/// at the cohort's front-member key, and dispatches it itself when popped
+/// (EventQueue knows nothing about cohorts). `gen` guards against superseded
+/// ticks — rescheduling a cohort's tick bumps the cohort's generation and
+/// the stale event decays to a no-op at pop. `order` pins the member the
+/// tick was aimed at, so a skim that moves the front forces a reschedule
+/// instead of firing a later member ahead of interleaved queue events.
+struct TickEvent {
+  std::uint32_t cohort = 0;
   std::uint32_t gen = 0;
+  std::uint64_t order = 0;
 };
 
 /// Tagged union over the event kinds. Move-only; destroying an unconsumed
 /// kDeliver payload notifies the sink so owned references are not leaked.
 class EventPayload {
  public:
-  enum class Kind : std::uint8_t { kNone, kCallback, kDeliver, kPeriodic };
+  enum class Kind : std::uint8_t { kNone, kCallback, kDeliver, kTick };
 
   EventPayload() {}
   explicit EventPayload(Callback cb) : kind_(Kind::kCallback) {
@@ -72,8 +79,8 @@ class EventPayload {
   explicit EventPayload(const DeliverEvent& event) : kind_(Kind::kDeliver) {
     new (&u_.deliver) DeliverEvent(event);
   }
-  explicit EventPayload(PeriodicTick tick) : kind_(Kind::kPeriodic) {
-    new (&u_.tick) PeriodicTick(tick);
+  explicit EventPayload(const TickEvent& tick) : kind_(Kind::kTick) {
+    new (&u_.tick) TickEvent(tick);
   }
 
   EventPayload(EventPayload&& other) noexcept { take(other); }
@@ -103,20 +110,18 @@ class EventPayload {
     if (gate == nullptr || gate(gate_ctx, gate_arg)) cb();
   }
 
+  /// Reads a kTick payload (trivial, nothing to consume).
+  [[nodiscard]] const TickEvent& tick() const {
+    BRISA_ASSERT(kind_ == Kind::kTick);
+    return u_.tick;
+  }
+
   /// Dispatches a kDeliver payload to its sink and consumes it.
   void run_deliver() {
     BRISA_ASSERT(kind_ == Kind::kDeliver);
     const DeliverEvent event = u_.deliver;
     kind_ = Kind::kNone;  // ownership of event.token moved to the sink call
     event.sink->on_deliver(event);
-  }
-
-  /// Reads and consumes a kPeriodic payload.
-  [[nodiscard]] PeriodicTick take_periodic() {
-    BRISA_ASSERT(kind_ == Kind::kPeriodic);
-    const PeriodicTick tick = u_.tick;
-    kind_ = Kind::kNone;
-    return tick;
   }
 
   /// Destroys the contents without firing; kDeliver payloads release their
@@ -134,8 +139,8 @@ class EventPayload {
         if (event.drop_token != nullptr) event.drop_token(event.token);
         return;
       }
-      case Kind::kPeriodic:
-        break;
+      case Kind::kTick:
+        break;  // trivially destructible
     }
     kind_ = Kind::kNone;
   }
@@ -153,8 +158,8 @@ class EventPayload {
       case Kind::kDeliver:
         new (&u_.deliver) DeliverEvent(other.u_.deliver);
         break;
-      case Kind::kPeriodic:
-        new (&u_.tick) PeriodicTick(other.u_.tick);
+      case Kind::kTick:
+        new (&u_.tick) TickEvent(other.u_.tick);
         break;
     }
     other.kind_ = Kind::kNone;
@@ -165,7 +170,7 @@ class EventPayload {
     ~Storage() {}
     Callback cb;
     DeliverEvent deliver;
-    PeriodicTick tick;
+    TickEvent tick;
   };
 
   Kind kind_ = Kind::kNone;

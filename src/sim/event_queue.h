@@ -1,13 +1,32 @@
 // Pending-event set of the discrete-event simulator.
 //
-// Events live in-place in a slab of reusable slots; a 4-ary min-heap of slot
-// indices keyed on EventKey gives deterministic ordering. An EventId is a
-// generation-tagged handle {slot, gen}: cancellation validates the handle
-// with one O(1) slot comparison (no hashing), removes the entry from the
-// heap, and recycles the slot immediately — so a schedule/cancel churn
-// workload (failure-detection timers are cancelled far more often than they
-// fire) runs in O(live events) memory, where the old lazy-tombstone design
-// grew its heap without bound.
+// Events live in-place in a slab of reusable slots; an ordering index keyed
+// on EventKey gives deterministic ordering. Two index implementations share
+// the slab (select with configure()):
+//
+//   * kHeap — a 4-ary min-heap of 24-byte entries. O(log n) schedule/pop,
+//     eager O(log n) cancellation. The default for standalone queues.
+//   * kCalendar — a bucketed calendar queue: time is quantized into
+//     fixed-width buckets (width derived from the conservative-window
+//     lookahead) arranged in a 1024-slot ring, with far-future events parked
+//     in per-chunk overflow lists that are poured wholesale when the cursor
+//     reaches them. The bucket under the cursor is drained through a small
+//     binary heap ("active" set), so schedule and pop cost O(log k) where k
+//     is one bucket's population — effectively O(1) at sweep scale, where
+//     the global heap's O(log n) sifts over megabytes of entries dominated
+//     the event loop. Cancellation is lazy (the slot is released eagerly so
+//     handles/payloads behave identically; the dead index entry is skimmed
+//     at drain or swept out once dead entries outnumber live ones).
+//
+// Both implementations are exact min-extractors over the same total key
+// order, so the pop sequence — and therefore every simulation result — is
+// byte-identical between them. See DESIGN.md §14.
+//
+// An EventId is a generation-tagged handle {slot, gen}: cancellation
+// validates the handle with one O(1) slot comparison (no hashing) and
+// recycles the slot immediately — so a schedule/cancel churn workload
+// (failure-detection timers are cancelled far more often than they fire)
+// runs in O(live events) memory.
 //
 // The sort key is supplied by the caller (the Simulator), not generated
 // here: under sharded execution the same logical event may be inserted into
@@ -16,6 +35,8 @@
 // itself shard-count-invariant. See simulator.h for the key construction.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <compare>
 #include <cstdint>
 #include <vector>
@@ -24,6 +45,7 @@
 #include "sim/inline_callback.h"
 #include "sim/time.h"
 #include "util/assert.h"
+#include "util/flat_map.h"
 
 namespace brisa::sim {
 
@@ -55,9 +77,22 @@ struct EventKey {
   std::uint64_t order = 0;
 };
 
+/// Pending-set index implementation (see file header).
+enum class QueueImpl : std::uint8_t { kHeap, kCalendar };
+
+[[nodiscard]] const char* to_string(QueueImpl impl);
+
 class EventQueue {
  public:
   using Callback = InlineCallback;
+
+  /// Selects the index implementation. Must be called while the queue is
+  /// empty (typically right after construction). `bucket_width` quantizes
+  /// calendar buckets; the Simulator passes its conservative-window
+  /// lookahead, standalone users can take the default.
+  void configure(QueueImpl impl,
+                 Duration bucket_width = Duration::microseconds(100));
+  [[nodiscard]] QueueImpl impl() const { return impl_; }
 
   /// Schedules `fn` under `key`; returns a cancellable id.
   EventId schedule(const EventKey& key, Callback fn);
@@ -70,15 +105,20 @@ class EventQueue {
   /// Schedules a typed network delivery (no closure, no allocation).
   EventId schedule_deliver(const EventKey& key, const DeliverEvent& event);
 
-  /// Schedules one occurrence of a periodic timer (interpreted by the
-  /// simulator, which owns the periodic state).
-  EventId schedule_periodic_tick(const EventKey& key, PeriodicTick tick);
-
   /// Inserts an already-built payload (the mailbox flush path: cross-shard
   /// events arrive with their payload and gate packed into a Mail).
   EventId schedule_payload(const EventKey& key, EventPayload payload,
                            GatePredicate gate, const void* ctx,
                            std::uint32_t arg);
+
+  /// Schedules a periodic-cohort tick (owner-dispatched at pop; see
+  /// TickEvent). Ticks are queue-internal bookkeeping, not simulation
+  /// events: they are excluded from size()/peak/scheduled_total() so the
+  /// observable counters stay identical to the queue-resident-timer scheme.
+  EventId schedule_tick(const EventKey& key, const TickEvent& tick);
+
+  /// Pending kTick events (pop() decrements; nothing else removes a tick).
+  [[nodiscard]] std::size_t tick_pending() const { return tick_pending_; }
 
   // Convenience overloads for standalone use (tests, benchmarks): plain
   // FIFO-at-equal-times ordering on lane 0 via an internal counter. The
@@ -94,10 +134,6 @@ class EventQueue {
   EventId schedule_deliver(TimePoint when, const DeliverEvent& event) {
     return schedule_deliver(EventKey{when, 0, fallback_order_++}, event);
   }
-  EventId schedule_periodic_tick(TimePoint when, PeriodicTick tick) {
-    return schedule_periodic_tick(EventKey{when, 0, fallback_order_++}, tick);
-  }
-
   /// Cancels a pending event. Cancelling an already-fired, stale, or invalid
   /// id is a harmless no-op (protocols race timers against message
   /// arrivals). Returns whether a live event was actually cancelled.
@@ -106,13 +142,15 @@ class EventQueue {
   /// True while the event behind `id` is still pending.
   [[nodiscard]] bool live(EventId id) const;
 
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] bool empty() const { return size_() == 0; }
+  [[nodiscard]] std::size_t size() const { return size_(); }
 
   /// Time of the earliest live event; TimePoint::max() when empty.
-  [[nodiscard]] TimePoint next_time() const {
-    return heap_.empty() ? TimePoint::max() : heap_[0].when;
-  }
+  [[nodiscard]] TimePoint next_time() const;
+
+  /// Full canonical key of the earliest live event. Queue must be non-empty.
+  /// The Simulator merges this against its periodic wheel's front key.
+  [[nodiscard]] EventKey next_key() const;
 
   struct Fired {
     TimePoint time;
@@ -123,15 +161,22 @@ class EventQueue {
     std::uint32_t gate_arg = 0;
 
     /// Executes a callback (honoring the gate) or delivery payload.
-    /// Periodic ticks are dispatched by the Simulator, not here.
+    /// Periodic ticks are dispatched by the owner, not here.
     void run();
   };
 
   /// Removes and returns the earliest live event. Queue must be non-empty.
   Fired pop();
 
-  /// Drops every pending event (owned delivery references are released).
+  /// Drops every pending event (owned delivery references are released) and
+  /// resets the standalone FIFO counter, so a cleared queue reused by a new
+  /// experiment orders TimePoint-overload events exactly like a fresh one.
   void clear();
+
+  /// Releases index and slab capacity back to the allocator. Cheap, safe at
+  /// any time; most effective on an empty queue (between experiment phases
+  /// or sweep cells), where every internal vector is deallocated outright.
+  void shrink();
 
   // --- Telemetry ------------------------------------------------------------
 
@@ -184,6 +229,23 @@ class EventQueue {
   };
   static_assert(sizeof(HeapEntry) == 24, "heap entry layout");
 
+  /// Calendar entries additionally record the slot generation at schedule
+  /// time: cancellation releases the slot but leaves the entry behind, and
+  /// the generation mismatch is what marks it dead at drain.
+  struct CalEntry {
+    TimePoint when;
+    std::uint64_t order = 0;
+    std::uint32_t lane = 0;
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
+  };
+
+  // Ring geometry: 1024 buckets, poured one 1024-bucket "chunk" of overflow
+  // at a time, so every entry moves at most once from overflow to ring.
+  static constexpr std::uint32_t kCalBuckets = 1024;
+  static constexpr std::uint32_t kCalChunkShift = 10;
+  static constexpr std::uint32_t kCalWords = kCalBuckets / 64;
+
   /// (when, lane, order) lexicographic order: the heap invariant.
   [[nodiscard]] static bool before(const HeapEntry& a, const HeapEntry& b) {
     if (a.when != b.when) return a.when < b.when;
@@ -191,28 +253,70 @@ class EventQueue {
     return a.order < b.order;
   }
 
-  EventId acquire_slot(const EventKey& key);
+  /// Inverted comparison for the std::*_heap min-heap over the active set.
+  [[nodiscard]] static bool cal_after(const CalEntry& a, const CalEntry& b) {
+    if (a.when != b.when) return a.when > b.when;
+    if (a.lane != b.lane) return a.lane > b.lane;
+    return a.order > b.order;
+  }
+
+  /// Live user-visible events: pending ticks are index residents but not
+  /// simulation events, so they are netted out of every size/peak reading.
+  [[nodiscard]] std::size_t size_() const {
+    return (impl_ == QueueImpl::kHeap ? heap_.size() : cal_live_) -
+           tick_pending_;
+  }
+
+  EventId acquire_slot(const EventKey& key, bool tick = false);
   void release_slot(std::uint32_t index);
   void heap_insert(HeapEntry entry);
   void heap_remove(std::uint32_t pos);
   void sift_up(std::uint32_t pos, HeapEntry entry);
   void sift_down(std::uint32_t pos, HeapEntry entry);
 
+  [[nodiscard]] std::uint64_t cal_bucket(TimePoint when) const {
+    return static_cast<std::uint64_t>(when.us()) / cal_width_us_;
+  }
+  void cal_insert(const CalEntry& entry);
+  /// Earliest live entry (skims dead active-set heads); nullptr when empty.
+  [[nodiscard]] const CalEntry* cal_peek();
+  /// Refills the active set from the ring/overflow; false when drained.
+  bool cal_refill();
+  void cal_compact();
+
   std::vector<Slot> slots_;
-  std::vector<HeapEntry> heap_;  ///< 4-ary min-heap keyed on EventKey
   std::uint32_t free_head_ = kNullIndex;
   std::uint64_t scheduled_total_ = 0;
   std::uint64_t cancelled_total_ = 0;
   std::uint64_t fallback_order_ = 0;  ///< TimePoint-overload FIFO counter
   std::size_t peak_pending_ = 0;
+  std::size_t tick_pending_ = 0;  ///< kTick events currently in the index
+
+  QueueImpl impl_ = QueueImpl::kHeap;
+
+  std::vector<HeapEntry> heap_;  ///< kHeap: 4-ary min-heap keyed on EventKey
+
+  // kCalendar state. The cursor is an absolute bucket number: buckets below
+  // it are drained (their surviving entries sit in the active heap), the
+  // ring covers the cursor's 1024-bucket chunk, and later chunks wait in
+  // overflow until the cursor's chunk is exhausted.
+  std::uint64_t cal_width_us_ = 100;
+  std::uint64_t cal_cursor_ = 0;
+  std::vector<CalEntry> cal_active_;  ///< min-heap (cal_after) of cursor bucket
+  std::vector<std::vector<CalEntry>> cal_ring_;
+  std::array<std::uint64_t, kCalWords> cal_bitmap_{};  ///< ring occupancy
+  util::FlatMap<std::uint64_t, std::vector<CalEntry>, 4> cal_overflow_;
+  std::size_t cal_live_ = 0;  ///< live (uncancelled) entries across all tiers
+  std::size_t cal_dead_ = 0;  ///< cancelled entries awaiting skim/sweep
 };
 
 // --- Hot-path definitions ----------------------------------------------------
 //
 // schedule/pop/cancel run once per simulated event; keeping them — sift
-// loops included — in the header lets the Simulator's and Network's
-// per-event code fold the slab bookkeeping, constant key fields, and the
-// heap walk into the call site instead of paying a cross-TU call per event.
+// loops and bucket placement included — in the header lets the Simulator's
+// and Network's per-event code fold the slab bookkeeping, constant key
+// fields, and the index update into the call site instead of paying a
+// cross-TU call per event.
 
 inline void EventQueue::sift_up(std::uint32_t pos, HeapEntry entry) {
   while (pos > 0) {
@@ -256,7 +360,38 @@ inline void EventQueue::heap_remove(std::uint32_t pos) {
   sift_up(slots_[moved.slot].heap_pos, moved);
 }
 
-inline EventId EventQueue::acquire_slot(const EventKey& key) {
+inline void EventQueue::cal_insert(const CalEntry& entry) {
+  const std::uint64_t b = cal_bucket(entry.when);
+  if (b < cal_cursor_) {
+    // At or behind the drain point (an event scheduled into the bucket the
+    // cursor is currently draining): joins the active heap directly.
+    cal_active_.push_back(entry);
+    std::push_heap(cal_active_.begin(), cal_active_.end(), cal_after);
+  } else if ((b >> kCalChunkShift) == (cal_cursor_ >> kCalChunkShift)) {
+    const auto slot = static_cast<std::uint32_t>(b & (kCalBuckets - 1));
+    cal_ring_[slot].push_back(entry);
+    cal_bitmap_[slot >> 6] |= 1ull << (slot & 63u);
+  } else {
+    cal_overflow_[b >> kCalChunkShift].push_back(entry);
+  }
+}
+
+inline const EventQueue::CalEntry* EventQueue::cal_peek() {
+  for (;;) {
+    while (!cal_active_.empty()) {
+      const CalEntry& e = cal_active_.front();
+      if (slots_[e.slot].gen == e.gen) return &cal_active_.front();
+      // Cancelled while queued: the slot was recycled at cancel time, only
+      // this index entry remained. Skim it.
+      std::pop_heap(cal_active_.begin(), cal_active_.end(), cal_after);
+      cal_active_.pop_back();
+      if (cal_dead_ > 0) --cal_dead_;
+    }
+    if (!cal_refill()) return nullptr;
+  }
+}
+
+inline EventId EventQueue::acquire_slot(const EventKey& key, bool tick) {
   std::uint32_t index;
   if (free_head_ != kNullIndex) {
     index = free_head_;
@@ -272,9 +407,19 @@ inline EventId EventQueue::acquire_slot(const EventKey& key) {
   slot.gate_ctx = nullptr;
   slot.gate_arg = 0;
   slot.next_free = kNullIndex;
-  ++scheduled_total_;
-  heap_insert(HeapEntry{key.when, key.order, key.lane, index});
-  if (heap_.size() > peak_pending_) peak_pending_ = heap_.size();
+  if (impl_ == QueueImpl::kHeap) {
+    heap_insert(HeapEntry{key.when, key.order, key.lane, index});
+  } else {
+    cal_insert(CalEntry{key.when, key.order, key.lane, index, slot.gen});
+    ++cal_live_;
+  }
+  if (tick) {
+    ++tick_pending_;  // invisible to the user-facing counters
+  } else {
+    ++scheduled_total_;
+    const std::size_t pending = size_();
+    if (pending > peak_pending_) peak_pending_ = pending;
+  }
   return EventId{index, slot.gen};
 }
 
@@ -321,9 +466,10 @@ inline EventId EventQueue::schedule_deliver(const EventKey& key,
   return id;
 }
 
-inline EventId EventQueue::schedule_periodic_tick(const EventKey& key,
-                                                  PeriodicTick tick) {
-  const EventId id = acquire_slot(key);
+
+inline EventId EventQueue::schedule_tick(const EventKey& key,
+                                         const TickEvent& tick) {
+  const EventId id = acquire_slot(key, /*tick=*/true);
   slots_[id.slot].payload = EventPayload(tick);
   return id;
 }
@@ -349,16 +495,55 @@ inline bool EventQueue::live(EventId id) const {
 
 inline bool EventQueue::cancel(EventId id) {
   if (!live(id)) return false;
-  heap_remove(slots_[id.slot].heap_pos);
-  release_slot(id.slot);
+  if (impl_ == QueueImpl::kHeap) {
+    heap_remove(slots_[id.slot].heap_pos);
+    release_slot(id.slot);
+  } else {
+    // Lazy: release the slot (handles go stale, the payload's references
+    // are dropped now, exactly like the eager path) and leave the index
+    // entry to be skimmed at drain. Sweep once the dead outnumber the live,
+    // so churn-heavy workloads stay O(live) memory.
+    release_slot(id.slot);
+    --cal_live_;
+    ++cal_dead_;
+    if (cal_dead_ >= 64 && cal_dead_ > cal_live_) cal_compact();
+  }
   ++cancelled_total_;
   return true;
 }
 
+inline TimePoint EventQueue::next_time() const {
+  if (impl_ == QueueImpl::kHeap) {
+    return heap_.empty() ? TimePoint::max() : heap_[0].when;
+  }
+  // Peeking skims dead entries, a benign mutation of index internals.
+  const CalEntry* e = const_cast<EventQueue*>(this)->cal_peek();
+  return e == nullptr ? TimePoint::max() : e->when;
+}
+
+inline EventKey EventQueue::next_key() const {
+  if (impl_ == QueueImpl::kHeap) {
+    BRISA_ASSERT_MSG(!heap_.empty(), "next_key() on empty event queue");
+    return EventKey{heap_[0].when, heap_[0].lane, heap_[0].order};
+  }
+  const CalEntry* e = const_cast<EventQueue*>(this)->cal_peek();
+  BRISA_ASSERT_MSG(e != nullptr, "next_key() on empty event queue");
+  return EventKey{e->when, e->lane, e->order};
+}
+
 inline EventQueue::Fired EventQueue::pop() {
-  BRISA_ASSERT_MSG(!heap_.empty(), "pop() on empty event queue");
-  const std::uint32_t index = heap_[0].slot;
-  const std::uint32_t lane = heap_[0].lane;
+  std::uint32_t index;
+  std::uint32_t lane;
+  if (impl_ == QueueImpl::kHeap) {
+    BRISA_ASSERT_MSG(!heap_.empty(), "pop() on empty event queue");
+    index = heap_[0].slot;
+    lane = heap_[0].lane;
+  } else {
+    const CalEntry* e = cal_peek();
+    BRISA_ASSERT_MSG(e != nullptr, "pop() on empty event queue");
+    index = e->slot;
+    lane = e->lane;
+  }
   Slot& slot = slots_[index];
   Fired fired;
   fired.time = slot.when;
@@ -369,7 +554,14 @@ inline EventQueue::Fired EventQueue::pop() {
   fired.gate = slot.gate;
   fired.gate_ctx = slot.gate_ctx;
   fired.gate_arg = slot.gate_arg;
-  heap_remove(0);
+  if (impl_ == QueueImpl::kHeap) {
+    heap_remove(0);
+  } else {
+    std::pop_heap(cal_active_.begin(), cal_active_.end(), cal_after);
+    cal_active_.pop_back();
+    --cal_live_;
+  }
+  if (fired.payload.kind() == EventPayload::Kind::kTick) --tick_pending_;
   release_slot(index);
   return fired;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iterator>
 
 #include "util/assert.h"
 #include "util/logging.h"
@@ -38,6 +39,25 @@ void Simulator::set_lookahead(Duration lookahead) {
   lookahead_ = lookahead;
 }
 
+void Simulator::set_queue_impl(QueueImpl impl) {
+  BRISA_ASSERT_MSG(queues_.size() == 1 &&
+                       global_->queue.scheduled_total() == 0 &&
+                       global_->active_periodics == 0,
+                   "set_queue_impl must precede sharding and scheduling");
+  queue_impl_ = impl;
+  // Eight conservative windows per bucket. Width is a pure perf knob (the
+  // drain-sort orders within a bucket either way): too narrow and the
+  // ring's reach shrinks to ~100ms at the default lookahead, pushing every
+  // periodic-tick horizon insert through the overflow map; 8x keeps the
+  // ring covering typical timer periods while buckets stay small enough to
+  // drain cache-hot.
+  const Duration base = lookahead_ > Duration::zero()
+                            ? lookahead_
+                            : Duration::microseconds(100);
+  cal_width_ = Duration::microseconds(base.us() * 8);
+  global_->queue.configure(impl, cal_width_);
+}
+
 void Simulator::configure_sharding(std::uint32_t shards,
                                    std::uint32_t workers) {
   BRISA_ASSERT_MSG(shards >= 1 && shards < (1u << (32 - kQueueIndexShift)),
@@ -51,7 +71,9 @@ void Simulator::configure_sharding(std::uint32_t shards,
                    "sharding requires set_lookahead(> 0)");
   shards_ = shards;
   for (std::uint32_t s = 0; s < shards; ++s) {
-    queues_.push_back(std::make_unique<QueueRt>());
+    auto q = std::make_unique<QueueRt>();
+    q->queue.configure(queue_impl_, cal_width_);
+    queues_.push_back(std::move(q));
   }
   global_ = queues_[0].get();
   for (auto& q : queues_) q->outbox.resize(shards + 1);
@@ -257,9 +279,9 @@ void Simulator::release_periodic(QueueRt& q, std::uint32_t slot) {
   BRISA_ASSERT(p.armed);
   p.gen = p.gen + 1 == 0 ? 1 : p.gen + 1;
   p.armed = false;
+  p.occ_armed = false;
   p.fn.reset();
   p.gate = nullptr;
-  p.pending = kInvalidEventId;
   p.next_free = q.periodic_free_head;
   q.periodic_free_head = slot;
   --q.active_periodics;
@@ -288,8 +310,10 @@ PeriodicId Simulator::start_periodic(std::uint32_t lane, Duration period,
   p.gate_arg = arg;
   p.lane = lane;
   const TimePoint first = (c != nullptr ? q.now : now_) + period;
-  p.pending = q.queue.schedule_periodic_tick(make_key(first, lane),
-                                             PeriodicTick{raw.slot, raw.gen});
+  // The key draw sits exactly where the queue-resident tick drew its key, so
+  // the per-lane sequence numbering — and every downstream order — is
+  // identical to the old scheme.
+  wheel_arm(q, raw.slot, raw.gen, lane, make_key(first, lane));
   return PeriodicId{(qidx << kQueueIndexShift) | raw.slot, raw.gen};
 }
 
@@ -324,7 +348,14 @@ void Simulator::cancel_periodic(PeriodicId id) {
                      "cross-shard periodic cancel from a parallel window");
   }
   QueueRt& q = *queues_[qidx];
-  q.queue.cancel(q.periodics[slot].pending);
+  Periodic& p = q.periodics[slot];
+  if (p.occ_armed) {
+    // The wheel entry stays behind and decays by generation mismatch; only
+    // the counters move, mirroring the old eager queue-cancel.
+    p.occ_armed = false;
+    --q.wheel_armed;
+    ++q.wheel_cancelled;
+  }
   release_periodic(q, slot);
 }
 
@@ -338,16 +369,95 @@ bool Simulator::periodic_live(PeriodicId id) const {
          q.periodics[slot].gen == id.gen;
 }
 
-void Simulator::fire_periodic(QueueRt& q, std::uint32_t lane,
-                              PeriodicTick tick) {
-  if (tick.slot >= q.periodics.size()) return;
+// --- Periodic-tick wheel -----------------------------------------------------
+
+/// (Re)schedules `ci`'s tick at its current front member's exact canonical
+/// key, superseding any outstanding tick (generation bump — the stale event
+/// decays to a no-op at pop). The front may itself be a cancelled member:
+/// dispatch validates and re-aims, so a stale aim costs one invisible pop,
+/// never an ordering violation (the live front's key is always later).
+void Simulator::wheel_schedule_tick(QueueRt& q, std::uint32_t ci) {
+  WheelCohort& c = q.wheel[ci];
+  const WheelMember& m = c.members[c.cursor];
+  ++c.tick_gen;
+  q.queue.schedule_tick(EventKey{m.when, m.lane, m.order},
+                        TickEvent{ci, c.tick_gen, m.order});
+}
+
+void Simulator::wheel_retire(QueueRt& q, std::uint32_t ci) {
+  WheelCohort& c = q.wheel[ci];
+  q.wheel_index.erase(c.win);
+  c.members.clear();  // capacity is kept for the freelist's next tenant
+  c.cursor = 0;
+  // tick_gen is intentionally NOT reset: it stays monotone across slot
+  // reuse so a dead tick can never match a later tenant's live one.
+  c.in_use = false;
+  c.next_free = q.wheel_free_head;
+  q.wheel_free_head = ci;
+}
+
+void Simulator::wheel_arm(QueueRt& q, std::uint32_t slot, std::uint32_t gen,
+                          std::uint32_t lane, const EventKey& key) {
+  Periodic& p = q.periodics[slot];
+  p.occ_armed = true;
+  ++q.wheel_scheduled;
+  ++q.wheel_armed;
+  q.wheel_armed_peak = std::max(q.wheel_armed_peak, q.wheel_armed);
+
+  const WheelMember m{key.when, key.order, lane, slot, gen};
+  const std::int64_t win = key.when.us() / cal_width_.us();
+  const auto it = q.wheel_index.find(win);
+  if (it != q.wheel_index.end()) {
+    // The window already has a cohort: join it at the member's canonical
+    // position. Fires proceed in key order and re-arm one period ahead, so
+    // same-period re-arms land in ascending order — the append fast path;
+    // mixed periods occasionally pay a lower_bound insert.
+    const std::uint32_t ci = it->second;
+    WheelCohort& c = q.wheel[ci];
+    if (c.members.empty() || member_less(c.members.back(), m)) {
+      c.members.push_back(m);
+      if (c.cursor + 1 == c.members.size()) wheel_schedule_tick(q, ci);
+      return;
+    }
+    const auto at = std::lower_bound(
+        c.members.begin() + static_cast<std::ptrdiff_t>(c.cursor),
+        c.members.end(), m, member_less);
+    const bool new_front =
+        at == c.members.begin() + static_cast<std::ptrdiff_t>(c.cursor);
+    c.members.insert(at, m);
+    // An earlier front invalidates the pending tick's aim; re-aim eagerly
+    // so the new member cannot fire late.
+    if (new_front) wheel_schedule_tick(q, ci);
+    return;
+  }
+  // First occurrence in this window.
+  std::uint32_t ci;
+  if (q.wheel_free_head != kNullIndex) {
+    ci = q.wheel_free_head;
+    q.wheel_free_head = q.wheel[ci].next_free;
+  } else {
+    ci = static_cast<std::uint32_t>(q.wheel.size());
+    q.wheel.emplace_back();
+  }
+  WheelCohort& c = q.wheel[ci];
+  c.in_use = true;
+  c.next_free = kNullIndex;
+  c.win = win;
+  c.cursor = 0;
+  c.members.push_back(m);
+  q.wheel_index.emplace(win, ci);
+  wheel_schedule_tick(q, ci);
+}
+
+void Simulator::fire_wheel_member(QueueRt& q, const WheelMember& m) {
   Callback fn;
   {
-    Periodic& p = q.periodics[tick.slot];
-    if (!p.armed || p.gen != tick.gen) return;  // cancelled while in flight
-    p.pending = kInvalidEventId;
+    Periodic& p = q.periodics[m.slot];
+    BRISA_ASSERT(p.armed && p.gen == m.gen && p.occ_armed);
+    p.occ_armed = false;
+    --q.wheel_armed;
     if (p.gate != nullptr && !p.gate(p.gate_ctx, p.gate_arg)) {
-      release_periodic(q, tick.slot);
+      release_periodic(q, m.slot);
       return;
     }
     // Run the closure from the stack: it may create or cancel periodic
@@ -355,37 +465,95 @@ void Simulator::fire_periodic(QueueRt& q, std::uint32_t lane,
     fn = std::move(p.fn);
   }
   fn();
-  Periodic& p = q.periodics[tick.slot];
-  if (!p.armed || p.gen != tick.gen) return;  // cancelled itself inside fn
+  Periodic& p = q.periodics[m.slot];
+  if (!p.armed || p.gen != m.gen) return;  // cancelled itself inside fn
   if (p.gate != nullptr && !p.gate(p.gate_ctx, p.gate_arg)) {
-    release_periodic(q, tick.slot);
+    release_periodic(q, m.slot);
     return;
   }
   p.fn = std::move(fn);
   const TimePoint next = (exec_active_ ? q.now : now_) + p.period;
-  p.pending = q.queue.schedule_periodic_tick(make_key(next, lane), tick);
+  wheel_arm(q, m.slot, m.gen, p.lane, make_key(next, p.lane));
+}
+
+/// Dispatches a popped cohort tick. Returns whether a member actually fired
+/// — dead/superseded ticks and pure skims are invisible: no counters, no
+/// clock movement, no user code. Exactly one live tick exists per in-use
+/// cohort, so this is the only place a cursor advances or a cohort drains.
+bool Simulator::wheel_tick(QueueRt& q, const TickEvent& t) {
+  if (t.cohort >= q.wheel.size()) return false;  // wheel cleared under it
+  {
+    WheelCohort& c = q.wheel[t.cohort];
+    if (!c.in_use || c.tick_gen != t.gen) return false;  // superseded
+    // Skim cancelled occurrences (the cancel already counted them).
+    while (c.cursor < c.members.size()) {
+      const WheelMember& m = c.members[c.cursor];
+      if (m.slot < q.periodics.size()) {
+        const Periodic& p = q.periodics[m.slot];
+        if (p.armed && p.gen == m.gen && p.occ_armed) break;
+      }
+      ++c.cursor;
+    }
+    if (c.cursor == c.members.size()) {
+      wheel_retire(q, t.cohort);  // every remaining member had decayed
+      return false;
+    }
+    if (c.members[c.cursor].order != t.order) {
+      // The skim moved the front past the member this tick was aimed at;
+      // queue events between the two keys must run first, so re-aim
+      // instead of firing early.
+      wheel_schedule_tick(q, t.cohort);
+      return false;
+    }
+  }
+  // References are re-taken after the callback: it may arm new timers and
+  // grow q.wheel under us.
+  const WheelMember m = q.wheel[t.cohort].members[q.wheel[t.cohort].cursor];
+  ++q.wheel[t.cohort].cursor;
+  ExecCtx* ec = exec_active_ ? tls_exec_ : nullptr;
+  if (ec != nullptr && ec->sim == this) {
+    ec->lane = m.lane;
+  } else {
+    current_lane_ = m.lane;
+  }
+  fire_wheel_member(q, m);
+  WheelCohort& c = q.wheel[t.cohort];
+  if (c.cursor < c.members.size()) {
+    // The next member's key is strictly larger than the one just fired, so
+    // interleaved queue events between the two run in canonical order.
+    wheel_schedule_tick(q, t.cohort);
+  } else {
+    wheel_retire(q, t.cohort);
+  }
+  return true;
 }
 
 // --- Run loop ----------------------------------------------------------------
 
-void Simulator::dispatch(QueueRt& q, EventQueue::Fired& fired) {
-  if (fired.payload.kind() == EventPayload::Kind::kPeriodic) {
-    fire_periodic(q, fired.lane, fired.payload.take_periodic());
-  } else {
-    fired.run();
-  }
-}
-
 std::uint64_t Simulator::run_single(TimePoint limit, bool drain) {
-  EventQueue& queue = global_->queue;
+  QueueRt& g = *global_;
   std::uint64_t fired_count = 0;
-  while (!queue.empty() && (drain || queue.next_time() <= limit)) {
-    EventQueue::Fired event = queue.pop();
-    BRISA_ASSERT_MSG(event.time >= now_, "event queue went backwards");
-    now_ = event.time;
-    current_lane_ = event.lane;
-    dispatch(*global_, event);
-    ++fired_count;
+  for (;;) {
+    const TimePoint t = g.queue.next_time();
+    if (t == TimePoint::max() || (!drain && t > limit)) break;
+    BRISA_ASSERT_MSG(t >= now_, "event queue went backwards");
+    EventQueue::Fired event = g.queue.pop();
+    if (event.payload.kind() == EventPayload::Kind::kTick) {
+      // The clock only moves if the tick fires a member: a decayed tick is
+      // as invisible as the cancellation that killed it.
+      const TimePoint before = now_;
+      now_ = event.time;
+      if (wheel_tick(g, event.payload.tick())) {
+        ++fired_count;
+      } else {
+        now_ = before;
+      }
+    } else {
+      now_ = event.time;
+      current_lane_ = event.lane;
+      event.run();
+      ++fired_count;
+    }
   }
   current_lane_ = 0;
   if (!drain && now_ < limit) now_ = limit;
@@ -407,13 +575,24 @@ std::uint64_t Simulator::run_sharded(TimePoint limit, bool drain) {
     if (tg <= th) {
       // Serial step: one global-lane event runs alone and may touch any
       // state (membership changes, churn, harness bookkeeping).
+      BRISA_ASSERT_MSG(tg >= now_, "event queue went backwards");
       EventQueue::Fired event = global_->queue.pop();
-      BRISA_ASSERT_MSG(event.time >= now_, "event queue went backwards");
-      now_ = event.time;
-      current_lane_ = 0;
-      dispatch(*global_, event);
-      ++fired_count;
-      ++serial_events_;
+      if (event.payload.kind() == EventPayload::Kind::kTick) {
+        const TimePoint before = now_;
+        now_ = event.time;
+        if (wheel_tick(*global_, event.payload.tick())) {
+          ++fired_count;
+          ++serial_events_;
+        } else {
+          now_ = before;
+        }
+      } else {
+        now_ = event.time;
+        current_lane_ = 0;
+        event.run();
+        ++fired_count;
+        ++serial_events_;
+      }
     } else {
       // Parallel window: [th, w_end) with w_end capped by the next global
       // event, the lookahead, and (for bounded runs) limit + 1us so events
@@ -479,12 +658,24 @@ void Simulator::process_shards(std::uint32_t widx) {
     ExecCtx ctx{this, &q, s + 1, 0};
     tls_exec_ = &ctx;
     std::uint64_t n = 0;
-    while (!q.queue.empty() && q.queue.next_time() < w_end) {
+    for (;;) {
+      const TimePoint t = q.queue.next_time();
+      if (t == TimePoint::max() || t >= w_end) break;
       EventQueue::Fired event = q.queue.pop();
-      q.now = event.time;
-      ctx.lane = event.lane;
-      dispatch(q, event);
-      ++n;
+      if (event.payload.kind() == EventPayload::Kind::kTick) {
+        const TimePoint before = q.now;
+        q.now = event.time;
+        if (wheel_tick(q, event.payload.tick())) {
+          ++n;
+        } else {
+          q.now = before;
+        }
+      } else {
+        q.now = event.time;
+        ctx.lane = event.lane;
+        event.run();
+        ++n;
+      }
     }
     tls_exec_ = nullptr;
     q.window_fired = n;
@@ -552,13 +743,42 @@ void Simulator::clear() {
          slot < static_cast<std::uint32_t>(q.periodics.size()); ++slot) {
       if (q.periodics[slot].armed) release_periodic(q, slot);
     }
+    // Dropped occurrences are not cancels, matching queue.clear() semantics.
+    // Pending ticks died with queue.clear(), so tick generations may reset.
+    q.wheel.clear();
+    q.wheel_index.clear();
+    q.wheel_free_head = kNullIndex;
+    q.wheel_armed = 0;
     for (auto& box : q.outbox) box.clear();
+  }
+}
+
+void Simulator::shrink() {
+  BRISA_ASSERT_MSG(!exec_active_, "shrink() inside a parallel window");
+  for (auto& qp : queues_) {
+    QueueRt& q = *qp;
+    q.queue.shrink();
+    if (q.queue.tick_pending() == 0) {
+      // Every in-use cohort keeps one live tick pending, so zero pending
+      // ticks means no cohorts at all (and no dead ticks that could match a
+      // reset generation) — the wheel storage can go entirely.
+      std::vector<WheelCohort>().swap(q.wheel);
+      std::unordered_map<std::int64_t, std::uint32_t, WheelKeyHash>().swap(
+          q.wheel_index);
+      q.wheel_free_head = kNullIndex;
+    }
+    if (q.active_periodics == 0) {
+      // Stale PeriodicIds stay harmless: periodic_live bounds-checks the
+      // slot against the (now empty) slab.
+      std::vector<Periodic>().swap(q.periodics);
+      q.periodic_free_head = kNullIndex;
+    }
   }
 }
 
 std::size_t Simulator::pending_events() const {
   std::size_t pending = 0;
-  for (const auto& q : queues_) pending += q->queue.size();
+  for (const auto& q : queues_) pending += q->queue.size() + q->wheel_armed;
   return pending;
 }
 
@@ -567,11 +787,11 @@ Simulator::Stats Simulator::stats() const {
   s.events_fired = events_fired_;
   for (const auto& qp : queues_) {
     const QueueRt& q = *qp;
-    s.events_scheduled += q.queue.scheduled_total();
-    s.events_cancelled += q.queue.cancelled_total();
-    s.pending_events += q.queue.size();
+    s.events_scheduled += q.queue.scheduled_total() + q.wheel_scheduled;
+    s.events_cancelled += q.queue.cancelled_total() + q.wheel_cancelled;
+    s.pending_events += q.queue.size() + q.wheel_armed;
     s.event_slab_slots += q.queue.slab_capacity();
-    s.peak_pending_events += q.queue.peak_pending();
+    s.peak_pending_events += q.queue.peak_pending() + q.wheel_armed_peak;
     s.active_periodics += q.active_periodics;
   }
   s.callback_heap_fallbacks =

@@ -20,10 +20,19 @@
 // including shards=1 (the default, which keeps the classic single-queue
 // fast path). See DESIGN.md §13.
 //
-// Periodic timers are slab-allocated per queue: each occurrence is a typed
-// tick event (no closure re-captured per tick), and the handle returned by
-// every() is a generation-tagged value — stale handles are harmless, and
-// cancellation is O(1) validation plus one heap removal.
+// Periodic timers are slab-allocated per queue and batched into a cohort
+// wheel: each armed occurrence is one 24-byte member of a (period, due)
+// cohort — every host firing the same interval in the same phase shares one
+// cohort, so a million keep-alive timers cost thousands of cohorts instead
+// of a million pending events. Each cohort is represented in the event
+// queue by exactly ONE tick event, scheduled at the cohort's front-member
+// canonical key; popping the tick fires one member and reschedules (same
+// instant, next member) or cycles the cohort one period forward — both O(1)
+// under the calendar queue. Ordering therefore comes from the queue itself,
+// so results stay byte-identical to the queue-resident scheme (DESIGN.md
+// §14). The handle returned by every() is a generation-tagged value — stale
+// handles are harmless, and cancellation is O(1) validation; the armed
+// occurrence decays lazily in its cohort.
 #pragma once
 
 #include <atomic>
@@ -31,6 +40,8 @@
 #include <cstdint>
 #include <memory>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -85,6 +96,20 @@ class Simulator {
   /// results never depend on it — only wall-clock does.
   void configure_sharding(std::uint32_t shards, std::uint32_t workers = 0);
   [[nodiscard]] std::uint32_t shards() const { return shards_; }
+
+  /// Selects the pending-set implementation for every queue (including ones
+  /// a later configure_sharding creates). Call after set_lookahead — the
+  /// calendar bucket width derives from it (one conservative window per
+  /// bucket; 100us when no lookahead is set) — and before any scheduling.
+  /// Both implementations are exact min-extractors over the canonical
+  /// EventKey, so results are byte-identical either way.
+  void set_queue_impl(QueueImpl impl);
+  [[nodiscard]] QueueImpl queue_impl() const { return queue_impl_; }
+
+  /// Releases empty event-queue slabs, wheel storage, and retired periodic
+  /// slabs back to the allocator (between sweep cells; see
+  /// EventQueue::shrink). Live state is never dropped.
+  void shrink();
 
   /// True while host-lane events are executing in parallel. Serial-only
   /// operations (membership changes, root-RNG draws) assert against this.
@@ -228,12 +253,71 @@ class Simulator {
     GatePredicate gate = nullptr;
     const void* gate_ctx = nullptr;
     std::uint32_t gate_arg = 0;
-    EventId pending;  ///< raw (unpacked) id within the owning queue
     std::uint32_t lane = 0;
     std::uint32_t gen = 1;
     std::uint32_t next_free = kNullIndex;
     bool armed = false;
+    /// An occurrence of this timer sits in the wheel (false while the
+    /// callback itself runs, mirroring the old in-flight tick). Cancelling
+    /// leaves the wheel entry behind to decay by generation mismatch.
+    bool occ_armed = false;
   };
+
+  // --- Periodic-tick wheel ---------------------------------------------------
+  // One cohort per occupied time window: timer occurrences due within the
+  // same `cal_width_`-wide slice of simulated time share one cohort,
+  // regardless of interval or exact phase. Each member carries its own
+  // exact canonical key (when, lane, order); the batch is kept sorted in
+  // that order, so draining a cohort front-to-back IS queue order. The
+  // cohort's queue presence is one kTick event aimed at the front member's
+  // exact key; a popped tick fires one member, then reschedules at the next
+  // member's key (strictly larger — interleaved queue events run in
+  // canonical order by construction) or retires the cohort when drained.
+  // The pending-event set thus holds one entry per occupied window instead
+  // of one per timer, which is what keeps a 100k-host fleet's queue — and
+  // its slab — cache-resident. Window width only groups; it can never
+  // change ordering, so any width yields byte-identical runs. Cancelled
+  // occurrences go stale in place (generation mismatch) and are skimmed —
+  // invisibly — at tick dispatch; a skim that moves the front reschedules
+  // the tick instead of firing early (the tick's pinned member order
+  // detects it).
+
+  struct WheelMember {
+    TimePoint when;           ///< exact due instant
+    std::uint64_t order = 0;  ///< EventKey::order drawn at arm time
+    std::uint32_t lane = 0;
+    std::uint32_t slot = 0;   ///< periodic slab slot
+    std::uint32_t gen = 0;    ///< slab generation at arm time
+  };
+
+  struct WheelCohort {
+    std::int64_t win = 0;  ///< index key: floor(front due / cal_width_)
+    std::vector<WheelMember> members;  ///< sorted by key; live from cursor
+    std::size_t cursor = 0;
+    /// Generation of the cohort's live tick. Rescheduling bumps it, so a
+    /// superseded tick decays to a no-op at pop; it survives retirement
+    /// (monotone across slot reuse) so a dead tick can never match a new
+    /// tenant's live one.
+    std::uint32_t tick_gen = 0;
+    std::uint32_t next_free = kNullIndex;
+    bool in_use = false;
+  };
+
+  /// Hash for the window-index key (a window ordinal).
+  struct WheelKeyHash {
+    std::size_t operator()(std::int64_t k) const {
+      const std::uint64_t x =
+          static_cast<std::uint64_t>(k) * 0x9E3779B97F4A7C15ull;
+      return static_cast<std::size_t>(x ^ (x >> 32));
+    }
+  };
+
+  /// Canonical EventKey order over members.
+  static constexpr bool member_less(const WheelMember& a,
+                                    const WheelMember& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.lane != b.lane ? a.lane < b.lane : a.order < b.order;
+  }
 
   /// A cross-shard event parked until the destination's next window.
   struct Mail {
@@ -256,6 +340,18 @@ class Simulator {
     std::vector<Periodic> periodics;
     std::uint32_t periodic_free_head = kNullIndex;
     std::size_t active_periodics = 0;
+
+    // Tick wheel for this queue's periodic occurrences, indexed by
+    // occupied window ordinal.
+    std::vector<WheelCohort> wheel;
+    std::unordered_map<std::int64_t, std::uint32_t, WheelKeyHash> wheel_index;
+    std::uint32_t wheel_free_head = kNullIndex;
+    std::size_t wheel_armed = 0;       ///< armed occurrences (gauge)
+    std::size_t wheel_armed_peak = 0;
+    // Monotone mirrors of what the queue's scheduled/cancelled counters
+    // recorded when occurrences were queue events, so Stats stay comparable.
+    std::uint64_t wheel_scheduled = 0;
+    std::uint64_t wheel_cancelled = 0;
 
     /// Outgoing cross-shard events, indexed by destination queue.
     std::vector<std::vector<Mail>> outbox;
@@ -296,8 +392,15 @@ class Simulator {
 
   PeriodicId acquire_periodic(QueueRt& q, std::uint32_t qidx);
   void release_periodic(QueueRt& q, std::uint32_t slot);
-  void fire_periodic(QueueRt& q, std::uint32_t lane, PeriodicTick tick);
-  void dispatch(QueueRt& q, EventQueue::Fired& fired);
+
+  // Wheel operations (per queue; thread-safe because exactly one thread
+  // works a QueueRt at a time, same as the event queue itself).
+  void wheel_arm(QueueRt& q, std::uint32_t slot, std::uint32_t gen,
+                 std::uint32_t lane, const EventKey& key);
+  bool wheel_tick(QueueRt& q, const TickEvent& tick);
+  void wheel_schedule_tick(QueueRt& q, std::uint32_t ci);
+  void fire_wheel_member(QueueRt& q, const WheelMember& m);
+  void wheel_retire(QueueRt& q, std::uint32_t ci);
 
   std::uint64_t run_single(TimePoint limit, bool drain);
   std::uint64_t run_sharded(TimePoint limit, bool drain);
@@ -314,6 +417,8 @@ class Simulator {
   std::uint32_t shards_ = 1;
   std::uint32_t workers_ = 1;
   Duration lookahead_ = Duration::zero();
+  QueueImpl queue_impl_ = QueueImpl::kHeap;
+  Duration cal_width_ = Duration::microseconds(100);
 
   /// Creator lane of the event being dispatched (serial / shards=1 path;
   /// parallel windows use the thread-local ExecCtx instead).

@@ -175,6 +175,7 @@ void apply(Scenario& s, const std::string& section, const std::string& key,
       return void(s.shards =
                       static_cast<std::uint32_t>(to_size(context, key, value)));
     }
+    if (key == "queue") return void(s.queue_impl = value);
   } else if (section == "limits") {
     if (key == "store-entries") {
       return void(s.store_entries = to_size(context, key, value));
@@ -197,6 +198,9 @@ void apply(Scenario& s, const std::string& section, const std::string& key,
     }
     if (key == "underuse-ms") {
       return void(s.underuse_ms = to_double(context, key, value));
+    }
+    if (key == "recovery-ms") {
+      return void(s.recovery_ms = to_double(context, key, value));
     }
   } else if (section == "churn") {
     // Only reachable from the builder / --set surface: inside a file the
@@ -435,6 +439,9 @@ void Scenario::validate() const {
   if (shards && (*shards == 0 || *shards > 63)) {
     fail("", "run shards must be in 1..63, got " + std::to_string(*shards));
   }
+  if (queue_impl && *queue_impl != "heap" && *queue_impl != "calendar") {
+    fail("", "run queue must be heap|calendar, got '" + *queue_impl + "'");
+  }
   if (streams && *streams == 0) fail("", "streams count must be >= 1");
   if (eviction && *eviction != "oldest-first" &&
       *eviction != "delivered-first") {
@@ -450,6 +457,9 @@ void Scenario::validate() const {
   }
   if (underuse_ms && *underuse_ms <= 0.0) {
     fail("", "limits underuse-ms must be positive");
+  }
+  if (recovery_ms && *recovery_ms <= 0.0) {
+    fail("", "limits recovery-ms must be positive");
   }
   if (overuse_ms && underuse_ms && *underuse_ms >= *overuse_ms) {
     fail("", "limits underuse-ms must be below overuse-ms");
@@ -528,7 +538,7 @@ std::string Scenario::to_text() const {
     }
   }
   const bool any_run = join_spread_s || stabilization_s || grace_s ||
-                       warmup_messages || shards;
+                       warmup_messages || shards || queue_impl;
   if (any_run) {
     out += "\n[run]\n";
     if (join_spread_s) emit(out, "join-spread-s", fmt_double(*join_spread_s));
@@ -540,10 +550,11 @@ std::string Scenario::to_text() const {
       emit(out, "warmup-messages", fmt_size(*warmup_messages));
     }
     if (shards) emit(out, "shards", fmt_size(*shards));
+    if (queue_impl) emit(out, "queue", *queue_impl);
   }
   const bool any_limits = store_entries || store_bytes || eviction ||
                           bloom_digests || bloom_fp || rate_control ||
-                          overuse_ms || underuse_ms;
+                          overuse_ms || underuse_ms || recovery_ms;
   if (any_limits) {
     out += "\n[limits]\n";
     if (store_entries) emit(out, "store-entries", fmt_size(*store_entries));
@@ -558,6 +569,7 @@ std::string Scenario::to_text() const {
     }
     if (overuse_ms) emit(out, "overuse-ms", fmt_double(*overuse_ms));
     if (underuse_ms) emit(out, "underuse-ms", fmt_double(*underuse_ms));
+    if (recovery_ms) emit(out, "recovery-ms", fmt_double(*recovery_ms));
   }
   if (!churn_dsl.empty()) {
     out += "\n[churn]\n";
@@ -631,6 +643,7 @@ std::map<std::string, std::string> Scenario::set_keys() const {
   put_double("run.grace-s", grace_s);
   put_size("run.warmup-messages", warmup_messages);
   if (shards) out["run.shards"] = std::to_string(*shards);
+  put_str("run.queue", queue_impl);
   put_size("limits.store-entries", store_entries);
   put_size("limits.store-bytes", store_bytes);
   put_str("limits.eviction", eviction);
@@ -639,6 +652,7 @@ std::map<std::string, std::string> Scenario::set_keys() const {
   put_bool("limits.rate-control", rate_control);
   put_double("limits.overuse-ms", overuse_ms);
   put_double("limits.underuse-ms", underuse_ms);
+  put_double("limits.recovery-ms", recovery_ms);
   put_bool("output.json", json);
   put_bool("output.cdf", cdf);
   if (!churn_dsl.empty()) out["churn"] = churn_dsl;
@@ -711,6 +725,8 @@ void fill_common(const Scenario& s, Config& config) {
   config.topology = scenario_topology(s);
   config.num_streams = s.streams_or(1);
   config.shards = s.shards_or(1);
+  config.queue = s.queue_or("calendar") == "heap" ? sim::QueueImpl::kHeap
+                                                  : sim::QueueImpl::kCalendar;
   if (s.join_spread_s) {
     config.join_spread = sim::Duration::milliseconds(
         static_cast<std::int64_t>(*s.join_spread_s * 1e3));
@@ -742,6 +758,10 @@ net::Limits scenario_limits(const Scenario& s) {
   if (s.underuse_ms) {
     limits.underuse_threshold = sim::Duration::microseconds(
         static_cast<std::int64_t>(*s.underuse_ms * 1e3));
+  }
+  if (s.recovery_ms) {
+    limits.rate_recovery = sim::Duration::microseconds(
+        static_cast<std::int64_t>(*s.recovery_ms * 1e3));
   }
   return limits;
 }

@@ -90,6 +90,10 @@ class Scenario {
   /// Event-lane shards for the simulator (1 = classic serial loop); results
   /// are byte-identical for every value, so this is purely an executor knob.
   std::optional<std::uint32_t> shards;
+  /// Pending-set implementation: heap|calendar (sim/event_queue.h). Both are
+  /// exact EventKey min-extractors, so — like shards — this is purely an
+  /// executor knob; harnesses default to calendar (DESIGN.md §14).
+  std::optional<std::string> queue_impl;
 
   // --- [limits] -----------------------------------------------------------
   // Bandwidth-discipline layer (net::Limits); absent section = layer off.
@@ -101,6 +105,8 @@ class Scenario {
   std::optional<bool> rate_control;
   std::optional<double> overuse_ms;
   std::optional<double> underuse_ms;
+  /// AIMD recovery step period (Limits.rate_recovery), milliseconds.
+  std::optional<double> recovery_ms;
 
   // --- [churn] ------------------------------------------------------------
   /// Verbatim churn/fault DSL statements (workload/churn.h), one per line;
@@ -164,6 +170,9 @@ class Scenario {
   }
   [[nodiscard]] std::uint32_t shards_or(std::uint32_t d) const {
     return shards.value_or(d);
+  }
+  [[nodiscard]] std::string queue_or(const std::string& d) const {
+    return queue_impl.value_or(d);
   }
 
   // --- [params] typed accessors (Flags semantics) -------------------------

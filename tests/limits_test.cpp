@@ -27,7 +27,8 @@ TEST(LimitsScenario, RoundTripAndMaterialization) {
       "bloom-fp      = 0.02\n"
       "rate-control  = true\n"
       "overuse-ms    = 150\n"
-      "underuse-ms   = 10\n");
+      "underuse-ms   = 10\n"
+      "recovery-ms   = 400\n");
   const net::Limits limits = workload::scenario_limits(s);
   EXPECT_EQ(limits.store_entries, 16u);
   EXPECT_EQ(limits.store_bytes, 65536u);
@@ -37,6 +38,7 @@ TEST(LimitsScenario, RoundTripAndMaterialization) {
   EXPECT_TRUE(limits.rate_control);
   EXPECT_EQ(limits.overuse_threshold, sim::Duration::milliseconds(150));
   EXPECT_EQ(limits.underuse_threshold, sim::Duration::milliseconds(10));
+  EXPECT_EQ(limits.rate_recovery, sim::Duration::milliseconds(400));
   EXPECT_TRUE(limits.bounded());
   EXPECT_TRUE(limits.any());
 
@@ -240,6 +242,46 @@ TEST(Limits, RateControlDefersOptionalTrafficUnderPressure) {
     deferrals += system.node(id).stats(0).rate_deferrals;
   }
   EXPECT_GT(deferrals, 0u);
+}
+
+TEST(Limits, AimdRecoveryFreezesDeferralsAfterBacklogClears) {
+  // Heavy phase: an absurdly low overuse threshold makes every in-flight
+  // transmission an overuse episode, so gains collapse toward the floor and
+  // anti-entropy rounds are deferred. Quiet phase: no stream traffic, so
+  // backlogs sit at zero (underusing) and each sustained-underuse period
+  // ramps the gain back one additive step — once every member is back at
+  // full rate, the deferral count must stop growing entirely.
+  net::Limits limits;
+  limits.rate_control = true;
+  limits.overuse_threshold = sim::Duration::microseconds(1);
+  limits.underuse_threshold = sim::Duration::microseconds(0);
+  limits.rate_recovery = sim::Duration::milliseconds(500);
+  workload::SimpleGossipSystem system(gossip_config(limits, 29));
+  system.bootstrap();
+  system.run_stream(60, 20.0, 4096, sim::Duration::seconds(30));
+  EXPECT_TRUE(system.complete_delivery());
+
+  const auto total_deferrals = [&system] {
+    std::uint64_t total = 0;
+    for (const net::NodeId id : system.all_ids()) {
+      total += system.node(id).stats(0).rate_deferrals;
+    }
+    return total;
+  };
+  const std::uint64_t heavy_phase = total_deferrals();
+  EXPECT_GT(heavy_phase, 0u);
+
+  // Anti-entropy timers fire every 100 ms with nothing else in flight: a
+  // handful of 500 ms quiet periods walks every gain back to 256/256.
+  system.run_for(sim::Duration::seconds(20));
+  for (const net::NodeId id : system.member_ids()) {
+    EXPECT_EQ(system.network().tx_rate_gain(id), 256u);
+  }
+  const std::uint64_t after_recovery = total_deferrals();
+
+  // Fully recovered senders never defer: the count is frozen.
+  system.run_for(sim::Duration::seconds(20));
+  EXPECT_EQ(total_deferrals(), after_recovery);
 }
 
 }  // namespace

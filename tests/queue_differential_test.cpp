@@ -1,0 +1,259 @@
+// Differential test of the two pending-set implementations (4-ary heap vs.
+// bucketed calendar queue) against a sorted-reference model.
+//
+// The contract under test: both implementations are *exact* min-extractors
+// over the canonical EventKey order — identical pop sequences, identical
+// cancel semantics, identical counters — for any schedule/cancel/pop churn,
+// including equal-time key ties and far-future events that exercise the
+// calendar's overflow chunks. This is what lets `[run] queue = calendar`
+// promise byte-identical experiment outputs (DESIGN.md §14).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace brisa::sim {
+namespace {
+
+struct RefKey {
+  std::int64_t when_us;
+  std::uint32_t lane;
+  std::uint64_t order;
+
+  bool operator<(const RefKey& o) const {
+    if (when_us != o.when_us) return when_us < o.when_us;
+    if (lane != o.lane) return lane < o.lane;
+    return order < o.order;
+  }
+  bool operator==(const RefKey& o) const {
+    return when_us == o.when_us && lane == o.lane && order == o.order;
+  }
+};
+
+EventKey to_event_key(const RefKey& k) {
+  return EventKey{TimePoint::from_us(k.when_us), k.lane, k.order};
+}
+
+/// One queue per implementation plus the reference, driven in lockstep.
+struct Trio {
+  EventQueue heap;
+  EventQueue calendar;
+  std::multiset<RefKey> reference;
+  std::vector<EventId> heap_ids;
+  std::vector<EventId> cal_ids;
+  std::vector<RefKey> keys;  ///< parallel to the id vectors
+  std::vector<bool> live;
+
+  explicit Trio(Duration bucket_width) {
+    heap.configure(QueueImpl::kHeap);
+    calendar.configure(QueueImpl::kCalendar, bucket_width);
+  }
+
+  void schedule(const RefKey& k) {
+    const EventKey key = to_event_key(k);
+    heap_ids.push_back(heap.schedule(key, [] {}));
+    cal_ids.push_back(calendar.schedule(key, [] {}));
+    reference.insert(k);
+    keys.push_back(k);
+    live.push_back(true);
+  }
+
+  /// Cancels the tracked event at `index`; all three must agree on whether
+  /// a live event was removed.
+  void cancel(std::size_t index) {
+    const bool h = heap.cancel(heap_ids[index]);
+    const bool c = calendar.cancel(cal_ids[index]);
+    ASSERT_EQ(h, c);
+    ASSERT_EQ(h, live[index]);
+    if (live[index]) {
+      auto it = reference.find(keys[index]);
+      ASSERT_TRUE(it != reference.end());
+      reference.erase(it);
+      live[index] = false;
+    }
+  }
+
+  /// Pops the minimum from both queues and checks it against the reference.
+  void pop_and_check() {
+    ASSERT_FALSE(reference.empty());
+    const RefKey expect = *reference.begin();
+    reference.erase(reference.begin());
+
+    ASSERT_FALSE(heap.empty());
+    ASSERT_FALSE(calendar.empty());
+    const EventKey hk = heap.next_key();
+    const EventKey ck = calendar.next_key();
+    ASSERT_EQ(hk.when.us(), expect.when_us);
+    ASSERT_EQ(hk.lane, expect.lane);
+    ASSERT_EQ(hk.order, expect.order);
+    ASSERT_EQ(ck.when.us(), expect.when_us);
+    ASSERT_EQ(ck.lane, expect.lane);
+    ASSERT_EQ(ck.order, expect.order);
+    ASSERT_EQ(heap.next_time().us(), expect.when_us);
+    ASSERT_EQ(calendar.next_time().us(), expect.when_us);
+
+    EventQueue::Fired hf = heap.pop();
+    EventQueue::Fired cf = calendar.pop();
+    ASSERT_EQ(hf.time.us(), cf.time.us());
+    ASSERT_EQ(hf.lane, cf.lane);
+    // Mark the popped entry dead in the tracker (ids are now stale).
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (live[i] && keys[i] == expect) {
+        live[i] = false;
+        break;
+      }
+    }
+  }
+
+  void check_counters() const {
+    EXPECT_EQ(heap.size(), calendar.size());
+    EXPECT_EQ(heap.size(), reference.size());
+    EXPECT_EQ(heap.scheduled_total(), calendar.scheduled_total());
+    EXPECT_EQ(heap.cancelled_total(), calendar.cancelled_total());
+    EXPECT_EQ(heap.peak_pending(), calendar.peak_pending());
+    EXPECT_EQ(heap.empty(), calendar.empty());
+  }
+};
+
+TEST(QueueDifferential, EqualTimeTiesFollowCanonicalKeyOrder) {
+  Trio t(Duration::microseconds(100));
+  // All in one bucket at the same instant: only (lane, order) break the tie.
+  const std::int64_t when = 1'000;
+  t.schedule({when, 3, 7});
+  t.schedule({when, 0, 9});
+  t.schedule({when, 3, 2});
+  t.schedule({when, 1, 5});
+  t.schedule({when, 0, 1});
+  while (!t.reference.empty()) t.pop_and_check();
+  t.check_counters();
+}
+
+TEST(QueueDifferential, FarFutureEventsCrossOverflowChunks) {
+  // 1 us buckets: events seconds apart land thousands of chunks away, so
+  // pops traverse ring scans, chunk jumps, and overflow pours.
+  Trio t(Duration::microseconds(1));
+  std::uint64_t order = 0;
+  for (int i = 0; i < 200; ++i) {
+    t.schedule({static_cast<std::int64_t>(i) * 37'003, 1, order++});
+  }
+  // Interleave: drain half, then add near-term events behind the cursor's
+  // chunk frontier.
+  for (int i = 0; i < 100; ++i) t.pop_and_check();
+  const std::int64_t now = 100 * 37'003;
+  for (int i = 0; i < 50; ++i) {
+    t.schedule({now + i, 2, order++});
+  }
+  while (!t.reference.empty()) t.pop_and_check();
+  t.check_counters();
+}
+
+TEST(QueueDifferential, RandomizedChurnMatchesReference) {
+  std::mt19937_64 rng(0xb415a);
+  for (const std::int64_t width_us : {1, 7, 100, 1000}) {
+    Trio t(Duration::microseconds(width_us));
+    std::int64_t now = 0;
+    std::uint64_t order = 0;
+    for (int step = 0; step < 20'000; ++step) {
+      const std::uint64_t roll = rng() % 100;
+      if (roll < 55 || t.reference.empty()) {
+        // Bursty horizon: mostly near-term, occasionally far future, with
+        // deliberate repeats of the same `when` to generate ties.
+        std::int64_t delta = static_cast<std::int64_t>(rng() % 400);
+        if (rng() % 16 == 0) delta = static_cast<std::int64_t>(rng() % 3'000'000);
+        if (rng() % 4 == 0) delta = 0;
+        t.schedule({now + delta, static_cast<std::uint32_t>(rng() % 5),
+                    order++});
+      } else if (roll < 75) {
+        const std::size_t index = rng() % t.keys.size();
+        t.cancel(index);
+      } else {
+        now = t.reference.begin()->when_us;  // clock follows the pop
+        t.pop_and_check();
+      }
+    }
+    while (!t.reference.empty()) t.pop_and_check();
+    t.check_counters();
+    // Lazy cancellation must not leak: with everything drained, the slab is
+    // all freelist and a sweep has removed buried dead entries.
+    EXPECT_TRUE(t.calendar.empty());
+  }
+}
+
+TEST(QueueDifferential, GatedEventsFireIdentically) {
+  static bool gate_open;
+  gate_open = false;
+  const GatePredicate gate = [](const void*, std::uint32_t) {
+    return gate_open;
+  };
+  for (const QueueImpl impl : {QueueImpl::kHeap, QueueImpl::kCalendar}) {
+    EventQueue q;
+    q.configure(impl, Duration::microseconds(10));
+    int ran = 0;
+    q.schedule_gated(EventKey{TimePoint::from_us(5), 0, 0}, gate, nullptr, 0,
+                     [&ran] { ++ran; });
+    q.schedule_gated(EventKey{TimePoint::from_us(6), 0, 1}, gate, nullptr, 0,
+                     [&ran] { ++ran; });
+    gate_open = false;
+    q.pop().run();  // gate closed: skipped
+    gate_open = true;
+    q.pop().run();  // gate open: runs
+    EXPECT_EQ(ran, 1) << to_string(impl);
+  }
+}
+
+TEST(QueueDifferential, ClearResetsStandaloneFifoOrder) {
+  // The TimePoint convenience overloads break same-time ties with an
+  // internal FIFO counter. After clear(), a reused queue must order a fresh
+  // experiment's events exactly like a new queue would — the counter leak
+  // this pins was observable as cross-run ordering drift in standalone
+  // harnesses that reuse one queue.
+  for (const QueueImpl impl : {QueueImpl::kHeap, QueueImpl::kCalendar}) {
+    EventQueue q;
+    q.configure(impl, Duration::microseconds(10));
+    std::vector<int> log;
+    const auto run_once = [&q, &log] {
+      for (int i = 0; i < 4; ++i) {
+        q.schedule(TimePoint::from_us(100), [&log, i] { log.push_back(i); });
+      }
+      q.schedule(TimePoint::from_us(50), [&log] { log.push_back(99); });
+      while (!q.empty()) q.pop().run();
+    };
+    run_once();
+    const std::vector<int> first = log;
+    q.clear();
+    log.clear();
+    run_once();
+    EXPECT_EQ(log, first) << to_string(impl);
+    EXPECT_EQ(log.front(), 99);
+  }
+}
+
+TEST(QueueDifferential, ShrinkReleasesEmptyQueueStorage) {
+  for (const QueueImpl impl : {QueueImpl::kHeap, QueueImpl::kCalendar}) {
+    EventQueue q;
+    q.configure(impl, Duration::microseconds(25));
+    std::vector<EventId> ids;
+    for (int i = 0; i < 10'000; ++i) {
+      ids.push_back(q.schedule(TimePoint::from_us(i * 11), [] {}));
+    }
+    for (int i = 0; i < 5'000; ++i) q.cancel(ids[static_cast<std::size_t>(i) * 2]);
+    while (!q.empty()) q.pop();
+    EXPECT_GT(q.slab_capacity(), 0u);
+    q.shrink();
+    EXPECT_EQ(q.slab_capacity(), 0u) << to_string(impl);
+    // Stale handles against the shrunk slab stay harmless.
+    EXPECT_FALSE(q.cancel(ids[1]));
+    // The queue is still fully usable afterwards.
+    int ran = 0;
+    q.schedule(TimePoint::from_us(5), [&ran] { ++ran; });
+    q.pop().run();
+    EXPECT_EQ(ran, 1);
+  }
+}
+
+}  // namespace
+}  // namespace brisa::sim
