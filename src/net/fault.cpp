@@ -27,6 +27,13 @@ void FaultPlan::add_crash(CrashRule rule) {
   crashes_.push_back(rule);
 }
 
+void FaultPlan::add_duty(DutyRule rule) {
+  BRISA_ASSERT(rule.from <= rule.to);
+  BRISA_ASSERT(rule.up > sim::Duration::zero());
+  BRISA_ASSERT(rule.down > sim::Duration::zero());
+  duties_.push_back(rule);
+}
+
 bool FaultPlan::matches(const NodeGroup& a, const NodeGroup& b, NodeId from,
                         NodeId to) {
   return (a.contains(from) && b.contains(to)) ||
@@ -85,6 +92,10 @@ FaultPlan FaultPlan::shifted(sim::Duration offset) const {
   }
   for (CrashRule& rule : out.crashes_) {
     rule.at = rule.at + offset;
+  }
+  for (DutyRule& rule : out.duties_) {
+    rule.from = rule.from + offset;
+    rule.to = rule.to + offset;
   }
   return out;
 }

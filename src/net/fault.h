@@ -103,6 +103,20 @@ struct CrashRule {
   auto operator<=>(const CrashRule&) const = default;
 };
 
+/// Duty-cycled availability for a node class: inside [from, to) each node in
+/// `group` alternates `up` online and `down` offline (trace-style mobility /
+/// sleep cycles). Like CrashRule, not interpreted by the Network — the
+/// workload driver phase-staggers the nodes and schedules suspend/resume.
+struct DutyRule {
+  NodeGroup group;
+  sim::TimePoint from;
+  sim::TimePoint to;
+  sim::Duration up;
+  sim::Duration down;
+
+  auto operator<=>(const DutyRule&) const = default;
+};
+
 /// What the fault layer says about one message crossing one link now.
 enum class LinkVerdict : std::uint8_t {
   kDeliver,    ///< unaffected
@@ -116,10 +130,11 @@ class FaultPlan {
   void add_partition(PartitionRule rule);
   void add_slow(SlowRule rule);
   void add_crash(CrashRule rule);
+  void add_duty(DutyRule rule);
 
   [[nodiscard]] bool empty() const {
     return losses_.empty() && partitions_.empty() && slows_.empty() &&
-           crashes_.empty();
+           crashes_.empty() && duties_.empty();
   }
 
   /// True when a partition window covering `now` separates the two nodes.
@@ -148,6 +163,9 @@ class FaultPlan {
   [[nodiscard]] const std::vector<CrashRule>& crashes() const {
     return crashes_;
   }
+  [[nodiscard]] const std::vector<DutyRule>& duties() const {
+    return duties_;
+  }
 
   bool operator==(const FaultPlan&) const = default;
 
@@ -161,6 +179,7 @@ class FaultPlan {
   std::vector<PartitionRule> partitions_;
   std::vector<SlowRule> slows_;
   std::vector<CrashRule> crashes_;
+  std::vector<DutyRule> duties_;
 };
 
 }  // namespace brisa::net

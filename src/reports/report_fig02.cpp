@@ -63,6 +63,8 @@ int fig02_run(const workload::Scenario& scenario) {
     workload::BrisaSystem::Config config;
     config.seed = seed;
     config.num_nodes = nodes;
+    config.testbed = workload::scenario_testbed(scenario);
+    config.topology = workload::scenario_topology(scenario);
     config.shards = scenario.shards_or(1);
     config.hyparview.active_size = static_cast<std::size_t>(view);
     config.hyparview.passive_size = static_cast<std::size_t>(view) * 6;

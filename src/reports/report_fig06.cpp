@@ -48,6 +48,8 @@ int fig06_run(const workload::Scenario& scenario) {
     workload::BrisaSystem::Config system_config;
     system_config.seed = seed;
     system_config.num_nodes = nodes;
+    system_config.testbed = workload::scenario_testbed(scenario);
+    system_config.topology = workload::scenario_topology(scenario);
     system_config.shards = scenario.shards_or(1);
     system_config.hyparview.active_size = cfg.view;
     system_config.hyparview.passive_size = cfg.view * 6;

@@ -247,6 +247,13 @@ int generic_run(const workload::Scenario& s) {
   pubsub.streams =
       workload::uniform_streams(streams, messages, rate, payload);
   pubsub.subscription_fraction = fraction;
+  if (s.zipf_exponent) pubsub.zipf_exponent = *s.zipf_exponent;
+  if (s.flash_messages) {
+    pubsub.flash_messages = *s.flash_messages;
+    pubsub.flash_at = sim::Duration::milliseconds(
+        static_cast<std::int64_t>(s.flash_at_s.value_or(0.0) * 1e3));
+    if (s.flash_rate) pubsub.flash_rate_per_s = *s.flash_rate;
+  }
   workload::PubSubDriver pubsub_driver(base->simulator(), pubsub,
                                        adapter.publish);
   pubsub_driver.run(grace);

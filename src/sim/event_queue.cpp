@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "util/assert.h"
@@ -90,8 +91,15 @@ void EventQueue::shrink() {
   if (empty() && tick_pending_ == 0) {
     // No live events: every outstanding handle is already stale (release
     // bumped its generation), so the slab and index storage can go entirely.
-    // live() on a shrunk slab fails the slot-bounds check, keeping stale
-    // cancels harmless.
+    // live() on a shrunk slab fails the slot-bounds check — but slots regrown
+    // *after* the swap would restart at gen 1 and alias old handles (a stale
+    // EventId{k, 1} would cancel a fresh event on slot k). Raising the floor
+    // to the highest generation the old slab reached keeps every regrown
+    // slot's generation strictly above any outstanding stale handle: a stale
+    // handle's gen is below its slot's post-release gen, which is <= floor.
+    for (const Slot& slot : slots_) {
+      gen_floor_ = std::max(gen_floor_, slot.gen);
+    }
     std::vector<Slot>().swap(slots_);
     free_head_ = kNullIndex;
     heap_ = {};

@@ -286,6 +286,12 @@ class EventQueue {
 
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNullIndex;
+  /// Starting generation for slots grown after a full shrink(): the highest
+  /// generation the discarded slab had reached. Keeps stale EventIds from
+  /// before the shrink strictly below any regrown slot's generation (the
+  /// ABA guard); 1 until the first full shrink, so behavior is unchanged
+  /// when shrink() never runs.
+  std::uint32_t gen_floor_ = 1;
   std::uint64_t scheduled_total_ = 0;
   std::uint64_t cancelled_total_ = 0;
   std::uint64_t fallback_order_ = 0;  ///< TimePoint-overload FIFO counter
@@ -400,6 +406,9 @@ inline EventId EventQueue::acquire_slot(const EventKey& key, bool tick) {
     index = static_cast<std::uint32_t>(slots_.size());
     BRISA_ASSERT_MSG(index < (1u << kSlotIndexBits), "event slab exhausted");
     slots_.emplace_back();
+    // Start at the generation floor shrink() recorded, so handles issued
+    // before a full shrink can never alias a slot regrown after it.
+    slots_.back().gen = gen_floor_;
   }
   Slot& slot = slots_[index];
   slot.when = key.when;

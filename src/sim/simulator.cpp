@@ -265,6 +265,9 @@ PeriodicId Simulator::acquire_periodic(QueueRt& q, std::uint32_t qidx) {
     slot = static_cast<std::uint32_t>(q.periodics.size());
     BRISA_ASSERT_MSG(slot < (1u << kQueueIndexShift), "periodic slab full");
     q.periodics.emplace_back();
+    // Start at the floor shrink() recorded so PeriodicIds issued before a
+    // slab shrink can never alias a slot regrown after it.
+    q.periodics.back().gen = q.periodic_gen_floor;
   }
   (void)qidx;
   Periodic& p = q.periodics[slot];
@@ -768,8 +771,14 @@ void Simulator::shrink() {
       q.wheel_free_head = kNullIndex;
     }
     if (q.active_periodics == 0) {
-      // Stale PeriodicIds stay harmless: periodic_live bounds-checks the
-      // slot against the (now empty) slab.
+      // Stale PeriodicIds bounds-check against the (now empty) slab — but
+      // slots regrown later would restart at gen 1 and alias old handles.
+      // Record the highest generation the old slab reached so regrown slots
+      // start strictly above every outstanding stale handle (release bumped
+      // each slot past any handle it ever issued).
+      for (const Periodic& p : q.periodics) {
+        q.periodic_gen_floor = std::max(q.periodic_gen_floor, p.gen);
+      }
       std::vector<Periodic>().swap(q.periodics);
       q.periodic_free_head = kNullIndex;
     }

@@ -340,6 +340,11 @@ class Simulator {
     std::vector<Periodic> periodics;
     std::uint32_t periodic_free_head = kNullIndex;
     std::size_t active_periodics = 0;
+    /// Starting generation for slots grown after shrink() dropped the slab:
+    /// the highest generation the discarded slab reached, so stale
+    /// PeriodicIds can never alias a regrown slot (mirrors
+    /// EventQueue::gen_floor_).
+    std::uint32_t periodic_gen_floor = 1;
 
     // Tick wheel for this queue's periodic occurrences, indexed by
     // occupied window ordinal.

@@ -114,7 +114,14 @@ void SimpleGossipSystem::bootstrap() {
   }
   // Seed each Cyclon view with a random sample of the population (the usual
   // simulator bootstrap for proactive PSS protocols); shuffles then mix the
-  // views toward uniformity during the stabilization window.
+  // views toward uniformity during the stabilization window. A generated
+  // overlay instead seeds each view from the node's graph neighbors, so the
+  // gossip exchange pattern starts on (and then mixes from) the generated
+  // structure.
+  const TopologyGraph* graph =
+      config_.topology && config_.topology->graph != nullptr
+          ? config_.topology->graph.get()
+          : nullptr;
   sim::Rng boot_rng = simulator_.rng().split(0x6B007);
   // Tiny populations cannot fill the requested view with distinct non-self
   // peers; clamp so the rejection loop below terminates.
@@ -122,6 +129,12 @@ void SimpleGossipSystem::bootstrap() {
       std::min(config_.bootstrap_view, population.size() - 1);
   for (const net::NodeId id : population) {
     std::vector<net::NodeId> seeds;
+    if (graph != nullptr && id.index() < graph->nodes()) {
+      for (const std::uint32_t v : graph->neighbors(id.index())) {
+        if (seeds.size() >= view_target) break;
+        seeds.push_back(population[v]);
+      }
+    }
     while (seeds.size() < view_target) {
       const net::NodeId candidate = boot_rng.pick(population);
       if (candidate == id) continue;

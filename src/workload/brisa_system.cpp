@@ -43,14 +43,35 @@ void BrisaSystem::bootstrap() {
   hyparview(first).start();
   population.push_back(first);
 
+  // A generated overlay pins each join to a graph edge: the contact is a
+  // random lower-index neighbor (every generator guarantees one exists), so
+  // the emergent HyParView views follow the generated structure.
+  const TopologyGraph* graph =
+      config_.topology && config_.topology->graph != nullptr
+          ? config_.topology->graph.get()
+          : nullptr;
   sim::Rng boot_rng = simulator_.rng().split(0xB007);
+  std::vector<net::NodeId> contacts;
   for (std::size_t i = 1; i < config_.num_nodes; ++i) {
     const auto offset = sim::Duration::microseconds(
         static_cast<std::int64_t>(static_cast<double>(i) /
                                   static_cast<double>(config_.num_nodes) *
                                   static_cast<double>(config_.join_spread.us())));
     const net::NodeId id = create_node();
-    const net::NodeId contact = boot_rng.pick(population);
+    net::NodeId contact = population.front();
+    if (graph != nullptr && i < graph->nodes()) {
+      contacts.clear();
+      for (const std::uint32_t v : graph->neighbors(
+               static_cast<std::uint32_t>(i))) {
+        if (v < i) contacts.push_back(population[v]);
+      }
+      BRISA_ASSERT_MSG(!contacts.empty(),
+                       "generated topology left a node without a lower-index "
+                       "neighbor");
+      contact = boot_rng.pick(contacts);
+    } else {
+      contact = boot_rng.pick(population);
+    }
     population.push_back(id);
     simulator_.after(offset, [this, id, contact]() {
       if (network_.alive(id)) hyparview(id).join(contact);

@@ -222,6 +222,19 @@ ChurnScript ChurnScript::parse(const std::string& text) {
         }
         std::tie(rule.a, rule.b) = parse_between(t, 8, line_no, line);
         script.fault_plan_.add_slow(rule);
+      } else if (t[6] == "duty") {
+        // from <t1> s to <t2> s duty <group> up <u> s down <d> s
+        if (t.size() != 14 || t[8] != "up" || t[10] != "s" ||
+            t[11] != "down" || t[13] != "s") {
+          fail(line_no, line, "expected 'duty <group> up <u> s down <d> s'");
+        }
+        net::DutyRule rule;
+        rule.group = parse_group(t[7], line_no, line);
+        rule.from = from;
+        rule.to = to;
+        rule.up = parse_duration_s(t[9], line_no, line);
+        rule.down = parse_duration_s(t[12], line_no, line);
+        script.fault_plan_.add_duty(rule);
       } else {
         fail(line_no, line, "unknown interval action '" + t[6] + "'");
       }
@@ -315,6 +328,13 @@ std::string to_dsl(const net::FaultPlan& plan) {
     out << "at " << format_seconds(relative_seconds(rule.at)) << " s crash "
         << rule.count << " for " << format_seconds(rule.duration.to_seconds())
         << " s\n";
+  }
+  for (const net::DutyRule& rule : plan.duties()) {
+    out << "from " << format_seconds(relative_seconds(rule.from)) << " s to "
+        << format_seconds(relative_seconds(rule.to)) << " s duty "
+        << format_group(rule.group) << " up "
+        << format_seconds(rule.up.to_seconds()) << " s down "
+        << format_seconds(rule.down.to_seconds()) << " s\n";
   }
   for (const net::SlowRule& rule : plan.slows()) {
     out << "from " << format_seconds(relative_seconds(rule.from)) << " s to "
@@ -421,6 +441,58 @@ void ChurnDriver::arm() {
       });
     }
   }
+  if (!plan.duties().empty()) {
+    BRISA_ASSERT_MSG(hooks_.suspend != nullptr && hooks_.resume != nullptr,
+                     "script has duty statements but the system provides no "
+                     "suspend/resume hooks");
+    for (const net::DutyRule& duty : plan.duties()) {
+      const sim::TimePoint start = shifted(duty.from);
+      const sim::TimePoint end = shifted(duty.to);
+      const sim::Duration cycle = duty.up + duty.down;
+      const sim::Duration down = duty.down;
+      const net::NodeGroup group = duty.group;
+      simulator_.at(start, [this, start, end, cycle, down, group]() {
+        // The node class is captured at window start; each member gets a
+        // deterministic phase inside one full cycle, staggering the outages
+        // instead of synchronizing the whole class.
+        for (const net::NodeId node : hooks_.population()) {
+          if (!group.contains(node)) continue;
+          const auto phase =
+              sim::Duration::microseconds(static_cast<std::int64_t>(
+                  rng_.uniform(static_cast<std::uint64_t>(cycle.us()))));
+          for (sim::TimePoint at = start + phase; at < end; at += cycle) {
+            simulator_.at(at, [this, node, down]() { duty_down(node, down); });
+          }
+        }
+      });
+    }
+  }
+}
+
+void ChurnDriver::duty_down(net::NodeId node, sim::Duration down) {
+  // A crash rule (or an overlapping duty rule) already holds the node down;
+  // re-suspending would let this cycle's earlier resume cut that outage
+  // short.
+  if (crashed_.count(node) > 0) return;
+  std::vector<net::NodeId> population = hooks_.population();
+  if (std::find(population.begin(), population.end(), node) ==
+      population.end()) {
+    return;  // churned away since the window started
+  }
+  crashed_.insert(node);
+  hooks_.suspend(node);
+  ++counters_.crashes;
+  simulator_.after(down, [this, node]() {
+    crashed_.erase(node);
+    // Kill during a suspension wins, exactly as for crash rules.
+    const std::vector<net::NodeId> population = hooks_.population();
+    if (std::find(population.begin(), population.end(), node) ==
+        population.end()) {
+      return;
+    }
+    hooks_.resume(node);
+    ++counters_.recoveries;
+  });
 }
 
 void ChurnDriver::crash_tick(std::size_t count, sim::Duration duration) {

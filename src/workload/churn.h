@@ -12,6 +12,7 @@
 //   at <t> s partition <groupA> from <groupB> for <d> s
 //   at <t> s crash <n> for <d> s
 //   from <t1> s to <t2> s slow <x>x [between <groupA> and <groupB>]
+//   from <t1> s to <t2> s duty <group> up <u> s down <d> s
 //
 // where a <group> is `all`, a single node index `<i>`, or an inclusive index
 // range `<lo>-<hi>`.
@@ -24,8 +25,11 @@
 // `partition` blackholes both directions between the groups for d seconds
 // and breaks crossing connections; `crash` freezes n random nodes for d
 // seconds (fail-recover — they keep state and identity, unlike churn's
-// permanent kill); `slow` multiplies link latency by x. Fault windows are
-// half-open [t1, t2); all times are relative to ChurnDriver::arm().
+// permanent kill); `slow` multiplies link latency by x; `duty` puts each
+// node of <group> on a phase-staggered up/down availability cycle inside the
+// window (trace-style mobility / sleep cycles — fail-recover like crash).
+// Fault windows are half-open [t1, t2); all times are relative to
+// ChurnDriver::arm().
 #pragma once
 
 #include <cstdint>
@@ -147,6 +151,9 @@ class ChurnDriver {
  private:
   void churn_tick(double fraction);
   void crash_tick(std::size_t count, sim::Duration duration);
+  /// One duty-cycle outage: suspend `node` and resume it `down` later
+  /// (counts into crashes/recoveries, shares the crashed_ guard).
+  void duty_down(net::NodeId node, sim::Duration down);
 
   sim::Simulator& simulator_;
   ChurnScript script_;

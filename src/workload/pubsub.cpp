@@ -1,6 +1,7 @@
 #include "workload/pubsub.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/assert.h"
 
@@ -28,6 +29,8 @@ PubSubDriver::PubSubDriver(sim::Simulator& simulator, Config config,
   BRISA_ASSERT_MSG(!config_.streams.empty(), "no streams configured");
   BRISA_ASSERT(config_.subscription_fraction >= 0.0 &&
                config_.subscription_fraction <= 1.0);
+  BRISA_ASSERT(config_.zipf_exponent >= 0.0);
+  BRISA_ASSERT(config_.flash_messages == 0 || config_.flash_rate_per_s > 0.0);
   BRISA_ASSERT(publish_ != nullptr);
 }
 
@@ -56,6 +59,23 @@ void PubSubDriver::run(sim::Duration grace) {
         last_injection = started_at_ + at;
       }
     }
+    // Flash crowd: an extra burst per stream on top of the steady schedule,
+    // starting flash_at after run() and paced at the (faster) flash rate.
+    if (config_.flash_messages > 0) {
+      const auto flash_gap =
+          sim::Duration::from_seconds(1.0 / config_.flash_rate_per_s);
+      for (std::size_t i = 0; i < config_.flash_messages; ++i) {
+        const auto at =
+            config_.flash_at + phase + flash_gap * static_cast<std::int64_t>(i);
+        simulator_.after(at, [this, index]() {
+          const PubSubStreamSpec& s = config_.streams[index];
+          if (publish_(s.stream, s.payload_bytes)) ++sent_[index];
+        });
+        if (started_at_ + at > last_injection) {
+          last_injection = started_at_ + at;
+        }
+      }
+    }
   }
   simulator_.run_until(last_injection + grace);
 }
@@ -68,13 +88,25 @@ std::uint64_t PubSubDriver::sent(net::StreamId stream) const {
 }
 
 bool PubSubDriver::subscribed(net::StreamId stream, net::NodeId node) const {
-  if (config_.subscription_fraction >= 1.0) return true;
+  double fraction = config_.subscription_fraction;
+  if (config_.zipf_exponent > 0.0) {
+    // Zipf skew by declaration rank: the first-declared stream keeps the
+    // configured fraction, later ones shrink as 1/rank^alpha.
+    for (std::size_t index = 0; index < config_.streams.size(); ++index) {
+      if (config_.streams[index].stream != stream) continue;
+      fraction /= std::pow(static_cast<double>(index + 1),
+                           config_.zipf_exponent);
+      break;
+    }
+  } else if (fraction >= 1.0) {
+    return true;
+  }
   // Deterministic per (stream, node): a split of the salt, not the
   // simulator RNG, so subscription sets are stable across runs and do not
   // perturb protocol randomness.
   sim::Rng rng(config_.subscription_seed ^
                (static_cast<std::uint64_t>(stream) << 32) ^ node.index());
-  return rng.bernoulli(config_.subscription_fraction);
+  return rng.bernoulli(std::min(fraction, 1.0));
 }
 
 }  // namespace brisa::workload

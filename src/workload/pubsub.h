@@ -44,6 +44,17 @@ class PubSubDriver {
     double subscription_fraction = 1.0;
     /// Salt for the deterministic (stream, node) subscription choice.
     std::uint64_t subscription_seed = 0x5B5C21BEULL;
+    /// Zipf subscription skew: the stream at popularity rank r (declaration
+    /// order, rank 1 first) is subscribed with probability
+    /// subscription_fraction / r^zipf_exponent. 0 = uniform (exact legacy
+    /// behavior, including the fraction >= 1 everyone-subscribes shortcut).
+    double zipf_exponent = 0.0;
+    /// Flash crowd: when flash_messages > 0, every stream injects that many
+    /// extra messages starting at flash_at after run() begins, paced at
+    /// flash_rate_per_s (a publish burst on top of the steady schedule).
+    std::size_t flash_messages = 0;
+    sim::Duration flash_at;
+    double flash_rate_per_s = 50.0;
   };
 
   /// `publish(stream, payload_bytes)` injects one message at the stream's

@@ -8,6 +8,7 @@
 #include "core/parent_selection.h"
 #include "workload/churn.h"
 #include "workload/sweep.h"
+#include "workload/topology_gen.h"
 
 namespace brisa::workload {
 
@@ -128,6 +129,20 @@ void apply(Scenario& s, const std::string& section, const std::string& key,
     if (key == "jitter-us") {
       return void(s.fat_tree_jitter_us = to_double(context, key, value));
     }
+    if (key == "ba-m") return void(s.ba_m = to_size(context, key, value));
+    if (key == "ws-k") return void(s.ws_k = to_size(context, key, value));
+    if (key == "ws-beta") {
+      return void(s.ws_beta = to_fraction(context, key, value));
+    }
+    if (key == "degree-cap") {
+      return void(s.degree_cap = to_size(context, key, value));
+    }
+    if (key == "edge-ms") {
+      return void(s.edge_ms = to_double(context, key, value));
+    }
+    if (key == "cross-ms") {
+      return void(s.cross_ms = to_double(context, key, value));
+    }
   } else if (section == "overlay") {
     if (key == "active-view") {
       return void(s.active_view = to_size(context, key, value));
@@ -157,6 +172,18 @@ void apply(Scenario& s, const std::string& section, const std::string& key,
     }
     if (key == "subscription-fraction") {
       return void(s.subscription_fraction = to_fraction(context, key, value));
+    }
+    if (key == "zipf") {
+      return void(s.zipf_exponent = to_double(context, key, value));
+    }
+    if (key == "flash-at-s") {
+      return void(s.flash_at_s = to_double(context, key, value));
+    }
+    if (key == "flash-messages") {
+      return void(s.flash_messages = to_size(context, key, value));
+    }
+    if (key == "flash-rate-per-s") {
+      return void(s.flash_rate = to_double(context, key, value));
     }
   } else if (section == "run") {
     if (key == "join-spread-s") {
@@ -214,11 +241,11 @@ void apply(Scenario& s, const std::string& section, const std::string& key,
     }
   } else if (section == "sweep") {
     const bool axis = key == "protocol" || key == "nodes" || key == "seeds" ||
-                      key == "faulted" ||
+                      key == "faulted" || key == "topology" ||
                       (key.rfind("param.", 0) == 0 && key.size() > 6);
     if (!axis && key != "cell-timeout-s") {
       fail(context, "unknown sweep key '" + key +
-                        "' (axes: protocol, nodes, seeds, faulted, "
+                        "' (axes: protocol, nodes, seeds, faulted, topology, "
                         "param.<name>; knobs: cell-timeout-s)");
     }
     for (auto& [existing, existing_value] : s.sweep) {
@@ -270,6 +297,20 @@ std::string fmt_double(double value) {
 std::string fmt_size(std::size_t value) { return std::to_string(value); }
 
 }  // namespace
+
+std::string normalize_topology_model(std::string model) {
+  for (char& c : model) {
+    if (c == '_') c = '-';
+  }
+  return model;
+}
+
+bool known_topology_model(const std::string& normalized) {
+  return normalized == "cluster" || normalized == "planetlab" ||
+         normalized == "clustered-wan" || normalized == "fat-tree" ||
+         normalized == "random" || normalized == "barabasi-albert" ||
+         normalized == "watts-strogatz" || normalized == "degree-capped";
+}
 
 // --- [params] accessors -----------------------------------------------------
 
@@ -414,11 +455,11 @@ void Scenario::validate() const {
     fail("", "protocol must be brisa|tree|gossip|tag, got '" + *protocol +
                  "'");
   }
-  if (topology_model && *topology_model != "cluster" &&
-      *topology_model != "planetlab" && *topology_model != "clustered-wan" &&
-      *topology_model != "fat-tree") {
+  if (topology_model &&
+      !known_topology_model(normalize_topology_model(*topology_model))) {
     fail("", "topology model must be cluster|planetlab|clustered-wan|"
-             "fat-tree, got '" +
+             "fat-tree|random|barabasi-albert|watts-strogatz|degree-capped, "
+             "got '" +
                  *topology_model + "'");
   }
   if (mode && *mode != "tree" && *mode != "dag") {
@@ -434,6 +475,29 @@ void Scenario::validate() const {
   if (inter_rtt_min_ms && inter_rtt_max_ms &&
       *inter_rtt_min_ms > *inter_rtt_max_ms) {
     fail("", "topology inter-rtt-min-ms exceeds inter-rtt-max-ms");
+  }
+  if (ba_m && *ba_m == 0) fail("", "topology ba-m must be >= 1");
+  if (ws_k && (*ws_k < 2 || *ws_k % 2 != 0)) {
+    fail("", "topology ws-k must be an even integer >= 2, got " +
+                 fmt_size(*ws_k));
+  }
+  if (degree_cap && *degree_cap < 2) {
+    fail("", "topology degree-cap must be >= 2, got " + fmt_size(*degree_cap));
+  }
+  if (edge_ms && *edge_ms <= 0.0) {
+    fail("", "topology edge-ms must be positive");
+  }
+  if (cross_ms && *cross_ms <= 0.0) {
+    fail("", "topology cross-ms must be positive");
+  }
+  if (zipf_exponent && *zipf_exponent < 0.0) {
+    fail("", "streams zipf must be non-negative");
+  }
+  if (flash_at_s && *flash_at_s < 0.0) {
+    fail("", "streams flash-at-s must be non-negative");
+  }
+  if (flash_rate && *flash_rate <= 0.0) {
+    fail("", "streams flash-rate-per-s must be positive");
   }
   if (parents && *parents == 0) fail("", "overlay parents must be >= 1");
   if (shards && (*shards == 0 || *shards > 63)) {
@@ -489,7 +553,8 @@ std::string Scenario::to_text() const {
   const bool any_topology =
       topology_model || clusters || intra_rtt_ms || inter_rtt_min_ms ||
       inter_rtt_max_ms || wan_jitter_ms || hosts_per_rack || racks_per_pod ||
-      intra_rack_us || intra_pod_us || inter_pod_us || fat_tree_jitter_us;
+      intra_rack_us || intra_pod_us || inter_pod_us || fat_tree_jitter_us ||
+      ba_m || ws_k || ws_beta || degree_cap || edge_ms || cross_ms;
   if (any_topology) {
     out += "\n[topology]\n";
     if (topology_model) emit(out, "model", *topology_model);
@@ -510,6 +575,12 @@ std::string Scenario::to_text() const {
     if (fat_tree_jitter_us) {
       emit(out, "jitter-us", fmt_double(*fat_tree_jitter_us));
     }
+    if (ba_m) emit(out, "ba-m", fmt_size(*ba_m));
+    if (ws_k) emit(out, "ws-k", fmt_size(*ws_k));
+    if (ws_beta) emit(out, "ws-beta", fmt_double(*ws_beta));
+    if (degree_cap) emit(out, "degree-cap", fmt_size(*degree_cap));
+    if (edge_ms) emit(out, "edge-ms", fmt_double(*edge_ms));
+    if (cross_ms) emit(out, "cross-ms", fmt_double(*cross_ms));
   }
   const bool any_overlay = active_view || passive_view || expansion_factor ||
                            mode || parents || strategy || prune;
@@ -525,8 +596,9 @@ std::string Scenario::to_text() const {
     if (strategy) emit(out, "strategy", *strategy);
     if (prune) emit(out, "prune", *prune ? "true" : "false");
   }
-  const bool any_streams =
-      streams || messages || rate || payload || subscription_fraction;
+  const bool any_streams = streams || messages || rate || payload ||
+                           subscription_fraction || zipf_exponent ||
+                           flash_at_s || flash_messages || flash_rate;
   if (any_streams) {
     out += "\n[streams]\n";
     if (streams) emit(out, "count", fmt_size(*streams));
@@ -536,6 +608,12 @@ std::string Scenario::to_text() const {
     if (subscription_fraction) {
       emit(out, "subscription-fraction", fmt_double(*subscription_fraction));
     }
+    if (zipf_exponent) emit(out, "zipf", fmt_double(*zipf_exponent));
+    if (flash_at_s) emit(out, "flash-at-s", fmt_double(*flash_at_s));
+    if (flash_messages) {
+      emit(out, "flash-messages", fmt_size(*flash_messages));
+    }
+    if (flash_rate) emit(out, "flash-rate-per-s", fmt_double(*flash_rate));
   }
   const bool any_run = join_spread_s || stabilization_s || grace_s ||
                        warmup_messages || shards || queue_impl;
@@ -626,6 +704,12 @@ std::map<std::string, std::string> Scenario::set_keys() const {
   put_double("topology.intra-pod-us", intra_pod_us);
   put_double("topology.inter-pod-us", inter_pod_us);
   put_double("topology.jitter-us", fat_tree_jitter_us);
+  put_size("topology.ba-m", ba_m);
+  put_size("topology.ws-k", ws_k);
+  put_double("topology.ws-beta", ws_beta);
+  put_size("topology.degree-cap", degree_cap);
+  put_double("topology.edge-ms", edge_ms);
+  put_double("topology.cross-ms", cross_ms);
   put_size("overlay.active-view", active_view);
   put_size("overlay.passive-view", passive_view);
   put_double("overlay.expansion-factor", expansion_factor);
@@ -638,6 +722,10 @@ std::map<std::string, std::string> Scenario::set_keys() const {
   put_double("streams.rate-per-s", rate);
   put_size("streams.payload", payload);
   put_double("streams.subscription-fraction", subscription_fraction);
+  put_double("streams.zipf", zipf_exponent);
+  put_double("streams.flash-at-s", flash_at_s);
+  put_size("streams.flash-messages", flash_messages);
+  put_double("streams.flash-rate-per-s", flash_rate);
   put_double("run.join-spread-s", join_spread_s);
   put_double("run.stabilization-s", stabilization_s);
   put_double("run.grace-s", grace_s);
@@ -685,7 +773,7 @@ TestbedKind scenario_testbed(const Scenario& s) {
 }
 
 std::optional<TopologyOverride> scenario_topology(const Scenario& s) {
-  const std::string model = s.topology_or("cluster");
+  const std::string model = normalize_topology_model(s.topology_or("cluster"));
   if (model == "clustered-wan") {
     net::ClusteredWanLatencyModel::Config config;
     if (s.clusters) config.clusters = *s.clusters;
@@ -709,6 +797,38 @@ std::optional<TopologyOverride> scenario_topology(const Scenario& s) {
     if (s.fat_tree_jitter_us) config.jitter_mean_us = *s.fat_tree_jitter_us;
     TopologyOverride topology;
     topology.latency = [config] { return net::make_fat_tree_latency(config); };
+    return topology;
+  }
+  if (model == "random") {
+    // The flat-random control routed through the override path: the same
+    // latency preset the bare testbed would install, so results are
+    // byte-identical to the no-override default (pinned by a differential
+    // golden) while still exercising the TopologyOverride machinery.
+    const TestbedKind testbed = scenario_testbed(s);
+    TopologyOverride topology;
+    topology.latency = [testbed] { return testbed_latency(testbed); };
+    return topology;
+  }
+  if (model == "barabasi-albert" || model == "watts-strogatz" ||
+      model == "degree-capped") {
+    TopologyGenConfig gen;
+    gen.seed = s.seed_or(1);
+    gen.nodes = static_cast<std::uint32_t>(s.nodes_or(512));
+    if (s.ba_m) gen.ba_m = static_cast<std::uint32_t>(*s.ba_m);
+    if (s.ws_k) gen.ws_k = static_cast<std::uint32_t>(*s.ws_k);
+    if (s.ws_beta) gen.ws_beta = *s.ws_beta;
+    if (s.degree_cap) {
+      gen.degree_cap = static_cast<std::uint32_t>(*s.degree_cap);
+    }
+    GraphLatencyConfig lat;
+    if (s.edge_ms) lat.edge_ms = *s.edge_ms;
+    if (s.cross_ms) lat.cross_ms = *s.cross_ms;
+    if (s.wan_jitter_ms) lat.jitter_mean_ms = *s.wan_jitter_ms;
+    TopologyOverride topology;
+    topology.graph = make_topology(model, gen);
+    topology.latency = [graph = topology.graph, lat] {
+      return make_graph_latency(graph, lat);
+    };
     return topology;
   }
   return std::nullopt;

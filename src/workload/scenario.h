@@ -49,7 +49,9 @@ class Scenario {
   std::optional<std::uint64_t> seed;
 
   // --- [topology] ---------------------------------------------------------
-  /// cluster|planetlab|clustered-wan|fat-tree
+  /// cluster|planetlab|clustered-wan|fat-tree, or a generated overlay:
+  /// random|barabasi-albert|watts-strogatz|degree-capped (underscore
+  /// spellings are accepted and normalized to hyphens).
   std::optional<std::string> topology_model;
   // clustered-wan keys
   std::optional<std::size_t> clusters;
@@ -64,6 +66,13 @@ class Scenario {
   std::optional<double> intra_pod_us;
   std::optional<double> inter_pod_us;
   std::optional<double> fat_tree_jitter_us;
+  // generated-overlay keys (workload/topology_gen.h)
+  std::optional<std::size_t> ba_m;        ///< barabasi-albert: edges per node
+  std::optional<std::size_t> ws_k;        ///< watts-strogatz: lattice degree
+  std::optional<double> ws_beta;          ///< watts-strogatz: rewiring prob
+  std::optional<std::size_t> degree_cap;  ///< degree-capped: per-node cap
+  std::optional<double> edge_ms;   ///< generated: one-hop latency (ms)
+  std::optional<double> cross_ms;  ///< generated: non-adjacent latency (ms)
 
   // --- [overlay] ----------------------------------------------------------
   std::optional<std::size_t> active_view;
@@ -80,6 +89,16 @@ class Scenario {
   std::optional<double> rate;
   std::optional<std::size_t> payload;
   std::optional<double> subscription_fraction;
+  /// Zipf subscription skew: stream at popularity rank r (declaration
+  /// order, rank 1 first) is subscribed with probability
+  /// subscription-fraction / r^zipf. 0 (default) = uniform.
+  std::optional<double> zipf_exponent;
+  // Flash crowd: an extra burst of `flash-messages` per stream injected at
+  // `flash-at-s` (relative to the end of stabilization) at
+  // `flash-rate-per-s` per stream.
+  std::optional<double> flash_at_s;
+  std::optional<std::size_t> flash_messages;
+  std::optional<double> flash_rate;
 
   // --- [run] --------------------------------------------------------------
   std::optional<double> join_spread_s;
@@ -233,6 +252,13 @@ class Scenario {
 // Used by the generic runner and by reports whose figure does not pin its
 // own layout. Reports that must reproduce a paper figure byte-identically
 // build their Config directly from the scenario's fields instead.
+
+/// Canonical (hyphenated) spelling of a topology model name: underscores
+/// become hyphens, so `barabasi_albert` and `barabasi-albert` are the same.
+[[nodiscard]] std::string normalize_topology_model(std::string model);
+
+/// True iff `normalized` (canonical spelling) names a known topology model.
+[[nodiscard]] bool known_topology_model(const std::string& normalized);
 
 /// The network-resource testbed implied by the topology model (planetlab ->
 /// kPlanetLab, everything else the cluster preset).

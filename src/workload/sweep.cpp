@@ -23,7 +23,7 @@ namespace {
 
 // --- Axis model -------------------------------------------------------------
 
-enum class AxisKind { kProtocol, kNodes, kSeeds, kFaulted, kParam };
+enum class AxisKind { kProtocol, kNodes, kSeeds, kFaulted, kTopology, kParam };
 
 struct Axis {
   AxisKind kind;
@@ -168,6 +168,17 @@ std::string parse_axes(const Scenario& s, std::vector<Axis>* axes) {
         }
         if (value == "true") has_faulted_true = true;
       }
+    } else if (key == "topology") {
+      axis = {AxisKind::kTopology, "topology", "topology.model", {}};
+      if (const std::string e = split_values(key, raw, false, &axis.values);
+          !e.empty()) {
+        return e;
+      }
+      for (const std::string& value : axis.values) {
+        if (!known_topology_model(normalize_topology_model(value))) {
+          return "axis 'topology': unknown topology model '" + value + "'";
+        }
+      }
     } else if (key.rfind("param.", 0) == 0) {
       const std::string name = key.substr(6);
       axis = {AxisKind::kParam, name, "params." + name, {}};
@@ -182,7 +193,7 @@ std::string parse_axes(const Scenario& s, std::vector<Axis>* axes) {
   }
   if (axes->empty()) {
     return "a [sweep] section needs at least one axis "
-           "(protocol, nodes, seeds, faulted, param.<name>)";
+           "(protocol, nodes, seeds, faulted, topology, param.<name>)";
   }
   if (has_faulted_true && s.churn_dsl.empty()) {
     return "axis 'faulted' includes true but the scenario has no [churn] "

@@ -15,6 +15,7 @@
 #include "net/transport.h"
 #include "sim/event_queue.h"
 #include "workload/churn.h"
+#include "workload/topology_gen.h"
 
 namespace brisa::workload {
 
@@ -35,6 +36,11 @@ struct TopologyOverride {
   std::function<std::unique_ptr<net::LatencyModel>()> latency;
   /// When unset, the testbed's network preset still applies.
   std::optional<net::Network::Config> network;
+  /// Generated overlay graph (barabasi-albert / watts-strogatz /
+  /// degree-capped models). When set, system harnesses seed bootstrap
+  /// contacts and views from graph edges so the emergent overlay follows
+  /// the generated structure; unset leaves bootstrap untouched.
+  std::shared_ptr<const TopologyGraph> graph;
 };
 
 /// Common base for the per-protocol system harnesses: owns the simulator,

@@ -1,0 +1,352 @@
+#include "workload/topology_gen.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/rng.h"
+#include "util/assert.h"
+
+namespace brisa::workload {
+
+namespace {
+
+/// Membership probe on a small under-construction adjacency list.
+bool has_neighbor(const std::vector<std::vector<std::uint32_t>>& adj,
+                  std::uint32_t u, std::uint32_t v) {
+  const auto& row = adj[u];
+  return std::find(row.begin(), row.end(), v) != row.end();
+}
+
+void link(std::vector<std::vector<std::uint32_t>>& adj, std::uint32_t u,
+          std::uint32_t v) {
+  adj[u].push_back(v);
+  adj[v].push_back(u);
+}
+
+std::vector<TopologyGraph::Edge> collect_edges(
+    const std::vector<std::vector<std::uint32_t>>& adj) {
+  std::vector<TopologyGraph::Edge> edges;
+  for (std::uint32_t u = 0; u < adj.size(); ++u) {
+    for (const std::uint32_t v : adj[u]) {
+      if (u < v) edges.push_back({u, v});
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+// --- TopologyGraph -----------------------------------------------------------
+
+TopologyGraph::TopologyGraph(std::uint32_t nodes, std::vector<Edge> edges,
+                             std::string name)
+    : nodes_(nodes), name_(std::move(name)), edges_(std::move(edges)) {
+  for (Edge& e : edges_) {
+    BRISA_ASSERT_MSG(e.a != e.b, "topology edge is a self-loop");
+    if (e.a > e.b) std::swap(e.a, e.b);
+    BRISA_ASSERT_MSG(e.b < nodes_, "topology edge endpoint out of range");
+  }
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  row_.assign(nodes_ + 1, 0);
+  for (const Edge& e : edges_) {
+    ++row_[e.a + 1];
+    ++row_[e.b + 1];
+  }
+  for (std::uint32_t u = 0; u < nodes_; ++u) row_[u + 1] += row_[u];
+  adj_.resize(static_cast<std::size_t>(row_[nodes_]));
+  std::vector<std::uint32_t> fill(row_.begin(), row_.end() - 1);
+  for (const Edge& e : edges_) {
+    adj_[fill[e.a]++] = e.b;
+    adj_[fill[e.b]++] = e.a;
+  }
+  // Rows come out ascending because the canonical edge list is sorted: a
+  // node's lower neighbors arrive in (b, a)-order and higher ones in
+  // (a, b)-order, both ascending, and lower precede higher.
+  for (std::uint32_t u = 0; u < nodes_; ++u) {
+    BRISA_ASSERT(std::is_sorted(adj_.begin() + row_[u],
+                                adj_.begin() + row_[u + 1]));
+  }
+}
+
+std::uint32_t TopologyGraph::max_degree() const {
+  std::uint32_t best = 0;
+  for (std::uint32_t u = 0; u < nodes_; ++u) best = std::max(best, degree(u));
+  return best;
+}
+
+bool TopologyGraph::adjacent(std::uint32_t u, std::uint32_t v) const {
+  const auto row = neighbors(u);
+  return std::binary_search(row.begin(), row.end(), v);
+}
+
+bool TopologyGraph::connected() const {
+  if (nodes_ == 0) return true;
+  std::vector<bool> seen(nodes_, false);
+  std::vector<std::uint32_t> frontier{0};
+  seen[0] = true;
+  std::uint32_t reached = 1;
+  while (!frontier.empty()) {
+    const std::uint32_t u = frontier.back();
+    frontier.pop_back();
+    for (const std::uint32_t v : neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++reached;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return reached == nodes_;
+}
+
+double TopologyGraph::clustering_coefficient() const {
+  if (nodes_ == 0) return 0.0;
+  double sum = 0.0;
+  for (std::uint32_t u = 0; u < nodes_; ++u) {
+    const auto row = neighbors(u);
+    const std::size_t d = row.size();
+    if (d < 2) continue;
+    std::size_t closed = 0;
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = i + 1; j < d; ++j) {
+        if (adjacent(row[i], row[j])) ++closed;
+      }
+    }
+    sum += static_cast<double>(closed) /
+           (static_cast<double>(d) * static_cast<double>(d - 1) / 2.0);
+  }
+  return sum / static_cast<double>(nodes_);
+}
+
+// --- Generators --------------------------------------------------------------
+
+std::shared_ptr<const TopologyGraph> make_barabasi_albert(
+    const TopologyGenConfig& config) {
+  const std::uint32_t n = config.nodes;
+  BRISA_ASSERT_MSG(n >= 2, "barabasi-albert needs >= 2 nodes");
+  const std::uint32_t m =
+      std::clamp<std::uint32_t>(config.ba_m, 1, n - 1);
+  sim::Rng rng(config.seed ^ 0xBA11AD5EEDULL);
+
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  // Degree-proportional sampling pool: every edge contributes both its
+  // endpoints, so a uniform pick lands on v with probability deg(v)/2E.
+  std::vector<std::uint32_t> endpoints;
+
+  // Seed clique over the first m+1 nodes (or all of them when n <= m+1,
+  // which the clamp rules out): every seed node starts with degree m, and
+  // every later node keeps a lower-index neighbor — connected by induction.
+  const std::uint32_t seed_nodes = m + 1;
+  for (std::uint32_t u = 0; u < seed_nodes; ++u) {
+    for (std::uint32_t v = u + 1; v < seed_nodes; ++v) {
+      link(adj, u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  std::vector<std::uint32_t> targets;
+  for (std::uint32_t v = seed_nodes; v < n; ++v) {
+    targets.clear();
+    while (targets.size() < m) {
+      const std::uint32_t t =
+          endpoints[static_cast<std::size_t>(rng.uniform(endpoints.size()))];
+      if (std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (const std::uint32_t t : targets) {
+      link(adj, v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return std::make_shared<TopologyGraph>(n, collect_edges(adj),
+                                         "barabasi-albert");
+}
+
+std::shared_ptr<const TopologyGraph> make_watts_strogatz(
+    const TopologyGenConfig& config) {
+  const std::uint32_t n = config.nodes;
+  BRISA_ASSERT_MSG(n >= 3, "watts-strogatz needs >= 3 nodes");
+  std::uint32_t k = config.ws_k;
+  BRISA_ASSERT_MSG(k >= 2 && k % 2 == 0, "ws-k must be even and >= 2");
+  if (k >= n) k = (n - 1) & ~1u;  // lattice degree cannot reach n
+  BRISA_ASSERT_MSG(config.ws_beta >= 0.0 && config.ws_beta <= 1.0,
+                   "ws-beta must be in [0, 1]");
+  const std::uint32_t half = k / 2;
+  sim::Rng rng(config.seed ^ 0x5077A7D5EEDULL);
+
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 1; j <= half; ++j) {
+      const std::uint32_t far = (i + j) % n;
+      if (!has_neighbor(adj, i, far)) link(adj, i, far);
+    }
+  }
+  // Rewire the chords (j >= 2) only; the j = 1 base cycle is exempt, which
+  // keeps the graph connected at every beta. A rewire moves the far end of
+  // (i, i+j) to a uniform non-neighbor — edge count is invariant.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 2; j <= half; ++j) {
+      const std::uint32_t far = (i + j) % n;
+      if (!rng.bernoulli(config.ws_beta)) continue;
+      std::uint32_t w = i;
+      bool found = false;
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        w = static_cast<std::uint32_t>(rng.uniform(n));
+        if (w != i && !has_neighbor(adj, i, w)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) continue;  // node nearly saturated: keep the chord
+      auto& ri = adj[i];
+      auto& rf = adj[far];
+      ri.erase(std::find(ri.begin(), ri.end(), far));
+      rf.erase(std::find(rf.begin(), rf.end(), i));
+      link(adj, i, w);
+    }
+  }
+  return std::make_shared<TopologyGraph>(n, collect_edges(adj),
+                                         "watts-strogatz");
+}
+
+std::shared_ptr<const TopologyGraph> make_degree_capped(
+    const TopologyGenConfig& config) {
+  const std::uint32_t n = config.nodes;
+  BRISA_ASSERT_MSG(n >= 2, "degree-capped needs >= 2 nodes");
+  const std::uint32_t cap = std::max<std::uint32_t>(config.degree_cap, 2);
+  sim::Rng rng(config.seed ^ 0xDE6CA55EEDULL);
+
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  // Spanning tree under the cap: each node attaches to a uniform earlier
+  // node that still has headroom. cap >= 2 keeps the open set non-empty
+  // (a saturated-only prefix would need mean degree >= 2 > tree's).
+  std::vector<std::uint32_t> open{0};
+  for (std::uint32_t v = 1; v < n; ++v) {
+    for (;;) {
+      BRISA_ASSERT_MSG(!open.empty(), "degree cap starved the spanning tree");
+      const std::size_t at = static_cast<std::size_t>(rng.uniform(open.size()));
+      const std::uint32_t u = open[at];
+      if (adj[u].size() >= cap) {  // saturated since it was drawn: drop it
+        open[at] = open.back();
+        open.pop_back();
+        continue;
+      }
+      link(adj, u, v);
+      if (adj[u].size() >= cap) {
+        open[at] = open.back();
+        open.pop_back();
+      }
+      break;
+    }
+    if (adj[v].size() < cap) open.push_back(v);
+  }
+
+  // Densify with random extra edges up to target = max(tree, min(2n,
+  // n*cap/2)) — mean degree ~4 at cap >= 8, the flat-random control shape.
+  const std::uint64_t by_cap = static_cast<std::uint64_t>(n) * cap / 2;
+  const std::uint64_t target =
+      std::max<std::uint64_t>(n - 1, std::min<std::uint64_t>(2ull * n, by_cap));
+  std::uint64_t edges = n - 1;
+  int misses = 0;
+  while (edges < target && misses < 256) {
+    const auto u = static_cast<std::uint32_t>(rng.uniform(n));
+    const auto v = static_cast<std::uint32_t>(rng.uniform(n));
+    if (u == v || adj[u].size() >= cap || adj[v].size() >= cap ||
+        has_neighbor(adj, u, v)) {
+      ++misses;
+      continue;
+    }
+    link(adj, u, v);
+    ++edges;
+    misses = 0;
+  }
+  if (edges < target) {
+    // Dense-corner fallback: enumerate every remaining feasible pair so the
+    // edge count is an exact function of (n, cap) whenever one exists.
+    std::vector<TopologyGraph::Edge> feasible;
+    for (std::uint32_t u = 0; u < n && edges < target; ++u) {
+      if (adj[u].size() >= cap) continue;
+      for (std::uint32_t v = u + 1; v < n; ++v) {
+        if (adj[v].size() >= cap || has_neighbor(adj, u, v)) continue;
+        feasible.push_back({u, v});
+      }
+    }
+    while (edges < target && !feasible.empty()) {
+      const std::size_t at =
+          static_cast<std::size_t>(rng.uniform(feasible.size()));
+      const auto [u, v] = feasible[at];
+      feasible[at] = feasible.back();
+      feasible.pop_back();
+      if (adj[u].size() >= cap || adj[v].size() >= cap) continue;
+      link(adj, u, v);
+      ++edges;
+    }
+  }
+  return std::make_shared<TopologyGraph>(n, collect_edges(adj),
+                                         "degree-capped");
+}
+
+std::shared_ptr<const TopologyGraph> make_topology(
+    const std::string& model, const TopologyGenConfig& config) {
+  if (model == "barabasi-albert") return make_barabasi_albert(config);
+  if (model == "watts-strogatz") return make_watts_strogatz(config);
+  if (model == "degree-capped") return make_degree_capped(config);
+  BRISA_ASSERT_MSG(false, "unknown generated-topology model");
+  return nullptr;
+}
+
+// --- GraphLatencyModel -------------------------------------------------------
+
+namespace {
+
+class GraphLatencyModel final : public net::LatencyModel {
+ public:
+  GraphLatencyModel(std::shared_ptr<const TopologyGraph> graph,
+                    GraphLatencyConfig config)
+      : graph_(std::move(graph)), config_(config) {
+    BRISA_ASSERT(graph_ != nullptr);
+  }
+
+  sim::Duration sample(net::NodeId from, net::NodeId to,
+                       sim::CounterRng& rng) override {
+    const double jitter_ms = rng.exponential(config_.jitter_mean_ms);
+    return base(from, to) +
+           sim::Duration::microseconds(
+               static_cast<std::int64_t>(jitter_ms * 1e3));
+  }
+
+  sim::Duration base(net::NodeId from, net::NodeId to) const override {
+    // Overlay neighbors pay one hop; everyone else a flat multi-hop path.
+    // Nodes beyond the generated population (spawned under churn) have no
+    // graph edges, so they price as non-adjacent.
+    const bool neighbors = from.index() < graph_->nodes() &&
+                           to.index() < graph_->nodes() &&
+                           graph_->adjacent(from.index(), to.index());
+    const double ms = neighbors ? config_.edge_ms : config_.cross_ms;
+    return sim::Duration::microseconds(static_cast<std::int64_t>(ms * 1e3));
+  }
+
+  sim::Duration min_flight() const override {
+    const double ms = std::min(config_.edge_ms, config_.cross_ms);
+    return sim::Duration::microseconds(static_cast<std::int64_t>(ms * 1e3));
+  }
+
+  const char* name() const override { return graph_->name().c_str(); }
+
+ private:
+  std::shared_ptr<const TopologyGraph> graph_;
+  GraphLatencyConfig config_;
+};
+
+}  // namespace
+
+std::unique_ptr<net::LatencyModel> make_graph_latency(
+    std::shared_ptr<const TopologyGraph> graph, GraphLatencyConfig config) {
+  return std::make_unique<GraphLatencyModel>(std::move(graph), config);
+}
+
+}  // namespace brisa::workload

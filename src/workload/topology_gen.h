@@ -1,0 +1,120 @@
+// Deterministic complex-network topology generators.
+//
+// The paper evaluates on flat random views; the epidemic literature it sits
+// in (Moreno, Nekovee & Vespignani; D'Angelo & Ferretti) shows the
+// reliability/efficiency frontier changes qualitatively on scale-free and
+// small-world overlays. These generators open that phase space: each builds
+// an undirected simple graph over node indices 0..n-1 as a pure function of
+// (model, params, seed) — same inputs, byte-identical edge list — and every
+// construction guarantees connectivity by invariant, not by retry:
+//
+//   * Barabási–Albert — preferential attachment: an (m+1)-clique seed, then
+//     each new node attaches m distinct edges sampled from the running
+//     endpoint list (degree-proportional). Scale-free degree tail.
+//   * Watts–Strogatz — ring lattice (k/2 neighbors each side) with
+//     probability-beta rewiring of the non-cycle chords; the base cycle is
+//     exempt, so the graph stays connected at any beta. Small-world: high
+//     clustering at low beta, short paths once beta > 0.
+//   * degree-capped random — spanning tree grown under a hard degree cap,
+//     plus random extra edges up to the cap. The flat-random control with
+//     bounded fan-out.
+//
+// A generated graph feeds the simulation two ways (see TopologyOverride):
+// bootstrap contact/view selection follows graph edges, and
+// GraphLatencyModel prices adjacent pairs as one overlay hop and
+// non-adjacent pairs as a multi-hop WAN path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/latency.h"
+
+namespace brisa::workload {
+
+/// Immutable undirected simple graph with a canonical edge list (each edge
+/// stored once as a < b, sorted lexicographically) and a CSR adjacency
+/// index. The canonical list is the determinism surface: two graphs are the
+/// same iff their edge lists are byte-identical.
+class TopologyGraph {
+ public:
+  struct Edge {
+    std::uint32_t a = 0;  ///< lower endpoint
+    std::uint32_t b = 0;  ///< higher endpoint
+    constexpr auto operator<=>(const Edge&) const = default;
+  };
+
+  /// Canonicalizes (orients, sorts, dedups) the edge list and builds the
+  /// adjacency index. Endpoints must be < nodes and edges must not be
+  /// self-loops.
+  TopologyGraph(std::uint32_t nodes, std::vector<Edge> edges,
+                std::string name);
+
+  [[nodiscard]] std::uint32_t nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Neighbors of `u`, ascending.
+  [[nodiscard]] std::span<const std::uint32_t> neighbors(
+      std::uint32_t u) const {
+    return {adj_.data() + row_[u], adj_.data() + row_[u + 1]};
+  }
+  [[nodiscard]] std::uint32_t degree(std::uint32_t u) const {
+    return row_[u + 1] - row_[u];
+  }
+  [[nodiscard]] std::uint32_t max_degree() const;
+  [[nodiscard]] bool adjacent(std::uint32_t u, std::uint32_t v) const;
+
+  /// BFS from node 0 reaches everyone.
+  [[nodiscard]] bool connected() const;
+
+  /// Mean local clustering coefficient (nodes of degree < 2 contribute 0),
+  /// the standard Watts–Strogatz small-world statistic.
+  [[nodiscard]] double clustering_coefficient() const;
+
+ private:
+  std::uint32_t nodes_;
+  std::string name_;
+  std::vector<Edge> edges_;
+  std::vector<std::uint32_t> row_;  ///< CSR offsets, size nodes_ + 1
+  std::vector<std::uint32_t> adj_;  ///< CSR targets, ascending per row
+};
+
+/// Generator parameters (scenario `[topology]` keys).
+struct TopologyGenConfig {
+  std::uint64_t seed = 1;
+  std::uint32_t nodes = 0;
+  std::uint32_t ba_m = 2;        ///< barabasi-albert: edges per new node
+  std::uint32_t ws_k = 4;        ///< watts-strogatz: even lattice degree
+  double ws_beta = 0.1;          ///< watts-strogatz: rewiring probability
+  std::uint32_t degree_cap = 8;  ///< degree-capped: hard per-node cap, >= 2
+};
+
+std::shared_ptr<const TopologyGraph> make_barabasi_albert(
+    const TopologyGenConfig& config);
+std::shared_ptr<const TopologyGraph> make_watts_strogatz(
+    const TopologyGenConfig& config);
+std::shared_ptr<const TopologyGraph> make_degree_capped(
+    const TopologyGenConfig& config);
+
+/// Dispatch by canonical model name ("barabasi-albert", "watts-strogatz",
+/// "degree-capped"); asserts on anything else.
+std::shared_ptr<const TopologyGraph> make_topology(
+    const std::string& model, const TopologyGenConfig& config);
+
+/// Latency model over a generated overlay: adjacent pairs pay one overlay
+/// hop (`edge_ms`), non-adjacent pairs a flat multi-hop path (`cross_ms`),
+/// both plus exponential jitter. min_flight() is the smaller base.
+struct GraphLatencyConfig {
+  double edge_ms = 2.0;
+  double cross_ms = 20.0;
+  double jitter_mean_ms = 1.0;
+};
+
+std::unique_ptr<net::LatencyModel> make_graph_latency(
+    std::shared_ptr<const TopologyGraph> graph, GraphLatencyConfig config);
+
+}  // namespace brisa::workload

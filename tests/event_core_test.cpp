@@ -184,6 +184,38 @@ TEST(EventCore, PeriodicSlotReuseKeepsStaleHandlesInert) {
   EXPECT_EQ(second_count, 3);
 }
 
+// ABA regression, periodic flavor: a PeriodicId issued before
+// Simulator::shrink() dropped the periodic slab must stay inert after the
+// slab regrows. Without the per-queue generation floor, the regrown slot
+// restarts at gen 1 — the stale handle's generation — and the stale
+// cancel_periodic would kill the fresh timer.
+TEST(EventCore, ShrinkThenRearmKeepsStalePeriodicIdsInert) {
+  Simulator simulator(1);
+  int stale_count = 0;
+  const PeriodicId stale =
+      simulator.every(Duration::seconds(1), [&]() { ++stale_count; });
+  simulator.run_until(TimePoint::origin() + Duration::seconds(2));
+  simulator.cancel_periodic(stale);
+  // Drain the cohort's dead tick so shrink() can take the full path.
+  simulator.run_until(TimePoint::origin() + Duration::seconds(4));
+  simulator.shrink();
+  EXPECT_FALSE(simulator.periodic_live(stale));
+  simulator.cancel_periodic(stale);  // bounds-checks against the empty slab
+
+  int fresh_count = 0;
+  const PeriodicId fresh =
+      simulator.every(Duration::seconds(1), [&]() { ++fresh_count; });
+  ASSERT_EQ(fresh.slot, stale.slot) << "slot not regrown, test is vacuous";
+  EXPECT_GT(fresh.gen, stale.gen);
+  EXPECT_TRUE(simulator.periodic_live(fresh));
+  simulator.cancel_periodic(stale);  // stale: must not kill `fresh`
+  EXPECT_TRUE(simulator.periodic_live(fresh));
+  // The rearmed cohort actually fires.
+  simulator.run_until(TimePoint::origin() + Duration::seconds(7));
+  EXPECT_EQ(stale_count, 2);
+  EXPECT_EQ(fresh_count, 3);
+}
+
 TEST(EventCore, ClearRetiresPeriodics) {
   Simulator simulator(1);
   int count = 0;

@@ -255,5 +255,37 @@ TEST(QueueDifferential, ShrinkReleasesEmptyQueueStorage) {
   }
 }
 
+// ABA regression: a handle issued before a full shrink() must never cancel
+// an event scheduled after it. The shrink drops the slab; without the
+// generation floor, the regrown slot restarts at gen 1 — exactly the stale
+// handle's generation — and the stale cancel would kill the fresh event.
+TEST(QueueDifferential, ShrinkThenRearmKeepsStaleHandlesInert) {
+  for (const QueueImpl impl : {QueueImpl::kHeap, QueueImpl::kCalendar}) {
+    EventQueue q;
+    q.configure(impl, Duration::microseconds(25));
+    const EventId stale = q.schedule(TimePoint::from_us(10), [] {});
+    q.pop().run();  // releases the slot, bumping its generation past stale's
+    q.shrink();     // full path: slab dropped
+    EXPECT_EQ(q.slab_capacity(), 0u);
+
+    int ran = 0;
+    const EventId fresh =
+        q.schedule(TimePoint::from_us(20), [&ran] { ++ran; });
+    ASSERT_EQ(fresh.slot, stale.slot) << to_string(impl)
+                                      << ": slot not regrown, test is vacuous";
+    EXPECT_GT(fresh.gen, stale.gen) << to_string(impl);
+    EXPECT_FALSE(q.cancel(stale)) << to_string(impl);
+    ASSERT_FALSE(q.empty()) << to_string(impl)
+                            << ": stale cancel killed the fresh event";
+    q.pop().run();
+    EXPECT_EQ(ran, 1) << to_string(impl);
+
+    // And the fresh handle itself still validates normally.
+    const EventId again = q.schedule(TimePoint::from_us(30), [] {});
+    EXPECT_TRUE(q.cancel(again));
+    EXPECT_FALSE(q.cancel(fresh));  // already fired
+  }
+}
+
 }  // namespace
 }  // namespace brisa::sim

@@ -1,0 +1,235 @@
+// Property suite for the deterministic topology generators: per generator
+// and per seed — determinism (same seed => byte-identical edge list),
+// connectivity, exact node/edge counts, the Barabási–Albert degree tail
+// heavier than the degree-capped random control (rank-based comparison, no
+// exponent fit), Watts–Strogatz clustering above the fully-rewired control
+// at low beta, and the degree cap never exceeded. Plus the bootstrap-safety
+// invariant every generator promises (each node has a lower-index neighbor)
+// and the graph latency model's adjacent-vs-cross pricing.
+#include "workload/topology_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "net/latency.h"
+#include "sim/rng.h"
+
+namespace brisa::workload {
+namespace {
+
+constexpr const char* kModels[] = {"barabasi-albert", "watts-strogatz",
+                                   "degree-capped"};
+constexpr std::uint64_t kSeeds[] = {1, 7, 42, 1337};
+
+TopologyGenConfig base_config(std::uint64_t seed, std::uint32_t nodes) {
+  TopologyGenConfig config;
+  config.seed = seed;
+  config.nodes = nodes;
+  return config;
+}
+
+TEST(TopologyGen, SameSeedSameEdgeList) {
+  for (const char* model : kModels) {
+    for (const std::uint64_t seed : kSeeds) {
+      const auto first = make_topology(model, base_config(seed, 300));
+      const auto second = make_topology(model, base_config(seed, 300));
+      EXPECT_EQ(first->edges(), second->edges())
+          << model << " seed " << seed << " is not deterministic";
+    }
+  }
+}
+
+TEST(TopologyGen, DifferentSeedsDifferentGraphs) {
+  for (const char* model : kModels) {
+    const auto a = make_topology(model, base_config(1, 300));
+    const auto b = make_topology(model, base_config(2, 300));
+    EXPECT_NE(a->edges(), b->edges()) << model << " ignores the seed";
+  }
+}
+
+TEST(TopologyGen, ConnectedAtEverySeed) {
+  for (const char* model : kModels) {
+    for (const std::uint64_t seed : kSeeds) {
+      const auto graph = make_topology(model, base_config(seed, 300));
+      EXPECT_EQ(graph->nodes(), 300u);
+      EXPECT_TRUE(graph->connected()) << model << " seed " << seed;
+    }
+  }
+}
+
+// Watts–Strogatz stays connected even at beta = 1 because the base cycle is
+// exempt from rewiring.
+TEST(TopologyGen, WattsStrogatzConnectedAtFullRewiring) {
+  for (const std::uint64_t seed : kSeeds) {
+    TopologyGenConfig config = base_config(seed, 300);
+    config.ws_beta = 1.0;
+    EXPECT_TRUE(make_watts_strogatz(config)->connected()) << "seed " << seed;
+  }
+}
+
+TEST(TopologyGen, BarabasiAlbertExactEdgeCount) {
+  // (m+1)-clique seed then m edges per remaining node.
+  for (const std::uint64_t seed : kSeeds) {
+    for (const std::uint32_t m : {1u, 2u, 4u}) {
+      TopologyGenConfig config = base_config(seed, 200);
+      config.ba_m = m;
+      const auto graph = make_barabasi_albert(config);
+      const std::size_t expected =
+          static_cast<std::size_t>(m + 1) * m / 2 +
+          static_cast<std::size_t>(200 - m - 1) * m;
+      EXPECT_EQ(graph->edges().size(), expected)
+          << "m = " << m << " seed " << seed;
+    }
+  }
+}
+
+TEST(TopologyGen, WattsStrogatzExactEdgeCount) {
+  // Rewiring moves chords, it never adds or removes them: always n*k/2.
+  for (const std::uint64_t seed : kSeeds) {
+    for (const std::uint32_t k : {2u, 4u, 6u}) {
+      for (const double beta : {0.0, 0.1, 1.0}) {
+        TopologyGenConfig config = base_config(seed, 200);
+        config.ws_k = k;
+        config.ws_beta = beta;
+        const auto graph = make_watts_strogatz(config);
+        EXPECT_EQ(graph->edges().size(), 200u * k / 2)
+            << "k = " << k << " beta = " << beta << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(TopologyGen, DegreeCappedExactEdgeCount) {
+  // target = max(n - 1, min(2n, n*cap/2)).
+  for (const std::uint64_t seed : kSeeds) {
+    for (const std::uint32_t cap : {2u, 3u, 8u}) {
+      TopologyGenConfig config = base_config(seed, 200);
+      config.degree_cap = cap;
+      const auto graph = make_degree_capped(config);
+      const std::uint64_t by_cap = 200ull * cap / 2;
+      const std::uint64_t expected =
+          std::max<std::uint64_t>(199, std::min<std::uint64_t>(400, by_cap));
+      EXPECT_EQ(graph->edges().size(), expected)
+          << "cap = " << cap << " seed " << seed;
+    }
+  }
+}
+
+TEST(TopologyGen, DegreeCapNeverExceeded) {
+  for (const std::uint64_t seed : kSeeds) {
+    for (const std::uint32_t cap : {2u, 3u, 4u, 8u}) {
+      TopologyGenConfig config = base_config(seed, 200);
+      config.degree_cap = cap;
+      const auto graph = make_degree_capped(config);
+      EXPECT_LE(graph->max_degree(), cap) << "cap = " << cap << " seed "
+                                          << seed;
+    }
+  }
+}
+
+// Rank-based heavy-tail check (no power-law exponent fit): at matched mean
+// degree (~4), the top-ranked BA hubs must dwarf the degree-capped random
+// control's top ranks, every seed.
+TEST(TopologyGen, BarabasiAlbertTailHeavierThanRandomControl) {
+  const auto top10_degree_sum = [](const TopologyGraph& graph) {
+    std::vector<std::uint32_t> degrees;
+    degrees.reserve(graph.nodes());
+    for (std::uint32_t u = 0; u < graph.nodes(); ++u) {
+      degrees.push_back(graph.degree(u));
+    }
+    std::sort(degrees.begin(), degrees.end(), std::greater<>());
+    return std::accumulate(degrees.begin(), degrees.begin() + 10, 0u);
+  };
+  for (const std::uint64_t seed : kSeeds) {
+    TopologyGenConfig ba = base_config(seed, 600);
+    ba.ba_m = 2;  // mean degree ~4
+    TopologyGenConfig control = base_config(seed, 600);
+    control.degree_cap = 8;  // target 2n edges: mean degree 4, capped tail
+    const std::uint32_t ba_top = top10_degree_sum(*make_barabasi_albert(ba));
+    const std::uint32_t control_top =
+        top10_degree_sum(*make_degree_capped(control));
+    EXPECT_GT(ba_top, control_top) << "seed " << seed;
+  }
+}
+
+// The small-world signature: lattice-like clustering survives light
+// rewiring, full rewiring destroys it.
+TEST(TopologyGen, WattsStrogatzClusteringAboveRewiredControl) {
+  for (const std::uint64_t seed : kSeeds) {
+    TopologyGenConfig low = base_config(seed, 400);
+    low.ws_k = 6;
+    low.ws_beta = 0.05;
+    TopologyGenConfig high = base_config(seed, 400);
+    high.ws_k = 6;
+    high.ws_beta = 1.0;
+    const double clustered =
+        make_watts_strogatz(low)->clustering_coefficient();
+    const double rewired =
+        make_watts_strogatz(high)->clustering_coefficient();
+    EXPECT_GT(clustered, rewired) << "seed " << seed;
+    EXPECT_GT(clustered, 0.3) << "seed " << seed;  // lattice C(k=6) = 0.6
+  }
+}
+
+// Bootstrap safety: every generator promises node v >= 1 a lower-index
+// neighbor, so graph-following contact selection never dead-ends.
+TEST(TopologyGen, EveryNodeHasLowerIndexNeighbor) {
+  for (const char* model : kModels) {
+    for (const std::uint64_t seed : kSeeds) {
+      const auto graph = make_topology(model, base_config(seed, 300));
+      for (std::uint32_t v = 1; v < graph->nodes(); ++v) {
+        const auto neighbors = graph->neighbors(v);
+        EXPECT_TRUE(!neighbors.empty() && neighbors.front() < v)
+            << model << " seed " << seed << " node " << v;
+      }
+    }
+  }
+}
+
+TEST(TopologyGen, TinyGraphsClampParameters) {
+  for (const char* model : kModels) {
+    TopologyGenConfig config = base_config(9, 4);
+    config.ba_m = 10;      // clamped to n - 1
+    config.ws_k = 10;      // clamped to (n - 1) & ~1
+    config.degree_cap = 2;
+    const auto graph = make_topology(model, config);
+    EXPECT_EQ(graph->nodes(), 4u);
+    EXPECT_TRUE(graph->connected()) << model;
+  }
+}
+
+TEST(TopologyGen, GraphLatencyPricesAdjacencyBelowCross) {
+  TopologyGenConfig config = base_config(3, 64);
+  const auto graph = make_watts_strogatz(config);
+  GraphLatencyConfig lat;
+  lat.edge_ms = 2.0;
+  lat.cross_ms = 20.0;
+  lat.jitter_mean_ms = 0.5;
+  const auto model = make_graph_latency(graph, lat);
+  EXPECT_EQ(model->min_flight(), sim::Duration::milliseconds(2));
+  sim::CounterRng rng(7);
+  const TopologyGraph::Edge edge = graph->edges().front();
+  // Find a non-adjacent pair.
+  std::uint32_t far = 0;
+  for (std::uint32_t v = 0; v < graph->nodes(); ++v) {
+    if (v != edge.a && !graph->adjacent(edge.a, v)) {
+      far = v;
+      break;
+    }
+  }
+  const auto near_sample = model->sample(net::NodeId(edge.a),
+                                         net::NodeId(edge.b), rng);
+  const auto far_sample =
+      model->sample(net::NodeId(edge.a), net::NodeId(far), rng);
+  EXPECT_GE(near_sample, sim::Duration::milliseconds(2));
+  EXPECT_GE(far_sample, sim::Duration::milliseconds(20));
+  EXPECT_LT(near_sample, far_sample);
+}
+
+}  // namespace
+}  // namespace brisa::workload

@@ -1,0 +1,81 @@
+// Differential golden for the topology-override plumbing: routing
+// `[topology] model = random` through the new generator/override path must
+// be byte-identical to the existing no-override default on fig02 and fig06.
+// The random model installs the same testbed latency preset the bare
+// default would, so any divergence means the override machinery itself
+// perturbs bootstrap order, RNG consumption, or latency pricing.
+//
+// The reports are invoked directly through Report::run — brisa_run's
+// scenario_key_error gate (correctly) rejects topology.model on figure
+// reports, but the C++ surface is exactly where the equivalence must hold.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "reports/reports.h"
+#include "workload/scenario.h"
+
+namespace brisa {
+namespace {
+
+using workload::Scenario;
+
+std::string run_report(const reports::Report& report, const Scenario& s) {
+  testing::internal::CaptureStdout();
+  EXPECT_EQ(report.run(s), 0);
+  return testing::internal::GetCapturedStdout();
+}
+
+TEST(TopologyGolden, RandomModelMatchesDefaultOnFig02) {
+  const reports::Report* report = reports::find("fig02_flood_duplicates");
+  ASSERT_NE(report, nullptr);
+  Scenario base = report->defaults();
+  base.set("scenario", "nodes", "48")
+      .set("streams", "messages", "20")
+      .set("params", "views", "4");
+
+  Scenario routed = base;
+  routed.set("topology", "model", "random");
+
+  const std::string default_output = run_report(*report, base);
+  const std::string routed_output = run_report(*report, routed);
+  EXPECT_NE(default_output.find("=== Fig 2"), std::string::npos);
+  EXPECT_EQ(default_output, routed_output);
+}
+
+TEST(TopologyGolden, RandomModelMatchesDefaultOnFig06) {
+  const reports::Report* report = reports::find("fig06_depth");
+  ASSERT_NE(report, nullptr);
+  Scenario base = report->defaults();
+  base.set("scenario", "nodes", "64").set("streams", "messages", "10");
+
+  Scenario routed = base;
+  routed.set("topology", "model", "random");
+
+  const std::string default_output = run_report(*report, base);
+  const std::string routed_output = run_report(*report, routed);
+  EXPECT_FALSE(default_output.empty());
+  EXPECT_EQ(default_output, routed_output);
+}
+
+// A generated model must *diverge* from the default on the same figure —
+// the override is actually reaching bootstrap and latency, not being
+// silently dropped.
+TEST(TopologyGolden, GeneratedModelDivergesFromDefault) {
+  const reports::Report* report = reports::find("fig02_flood_duplicates");
+  ASSERT_NE(report, nullptr);
+  Scenario base = report->defaults();
+  base.set("scenario", "nodes", "48")
+      .set("streams", "messages", "20")
+      .set("params", "views", "4");
+
+  Scenario generated = base;
+  generated.set("topology", "model", "barabasi-albert");
+
+  const std::string default_output = run_report(*report, base);
+  const std::string generated_output = run_report(*report, generated);
+  EXPECT_NE(default_output, generated_output);
+}
+
+}  // namespace
+}  // namespace brisa
